@@ -1,0 +1,158 @@
+// E7 — ablation of the conformance-rule design choices (paper §4.2).
+//
+// The paper discusses several knobs without measuring them: argument
+// permutations (Fig. 2's Perm), the "weaker rule" that only checks names
+// (rejected as unsafe), wildcard names, and the implicit cost of checking
+// every aspect. This bench quantifies each choice's cost so the trade-offs
+// behind the paper's rules are visible:
+//
+//   * permutations on/off on a permuted pair (what Perm costs);
+//   * member-name rules: exact vs contains vs token-subset;
+//   * aspect toggles: full rule vs name-only ("weaker") vs no-supertypes;
+//   * conformance cache on/off in a realistic mixed workload.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_checker.hpp"
+
+namespace {
+
+using namespace pti;
+using conform::ConformanceChecker;
+using conform::ConformanceOptions;
+using conform::MemberNameRule;
+
+void load_universe(reflect::Domain& domain) {
+  bench::load_people(domain);
+  domain.load_assembly(fixtures::planner_meetings());
+  domain.load_assembly(fixtures::agenda_meetings());
+  domain.load_assembly(fixtures::bank_accounts());
+  domain.load_assembly(fixtures::lists_a());
+  domain.load_assembly(fixtures::lists_b());
+}
+
+void BM_Permutations(benchmark::State& state) {
+  bench::paper_reference("E7 rule ablation (§4.2)",
+                         "cost of permutations, name rules, aspect toggles, cache");
+  reflect::Domain domain;
+  load_universe(domain);
+  ConformanceOptions options;
+  options.allow_permutations = state.range(0) != 0;
+  ConformanceChecker checker(domain.registry(), options);
+  const auto& source = *domain.registry().find("agenda.Meeting");
+  const auto& target = *domain.registry().find("planner.Meeting");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(source, target));
+  }
+  state.SetLabel(options.allow_permutations ? "perm-on(conformant)"
+                                            : "perm-off(rejected)");
+}
+BENCHMARK(BM_Permutations)->Arg(1)->Arg(0);
+
+void BM_MemberNameRules(benchmark::State& state) {
+  reflect::Domain domain;
+  load_universe(domain);
+  ConformanceOptions options;
+  const char* label = "";
+  switch (state.range(0)) {
+    case 0:
+      options.member_name_rule = MemberNameRule::Exact;
+      label = "exact(rejected)";
+      break;
+    case 1:
+      options.member_name_rule = MemberNameRule::Contains;
+      label = "contains(rejected)";  // getName is not a substring of getPersonName
+      break;
+    default:
+      options.member_name_rule = MemberNameRule::TokenSubset;
+      label = "token-subset(conformant)";
+      break;
+  }
+  ConformanceChecker checker(domain.registry(), options);
+  const auto& source = *domain.registry().find("teamB.Person");
+  const auto& target = *domain.registry().find("teamA.Person");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(source, target));
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(BM_MemberNameRules)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_AspectToggles(benchmark::State& state) {
+  reflect::Domain domain;
+  load_universe(domain);
+  ConformanceOptions options;
+  const char* label = "";
+  switch (state.range(0)) {
+    case 0:
+      label = "full-rule";
+      break;
+    case 1:  // the paper's "weaker rule": names only — fast but unsafe
+      options.check_fields = false;
+      options.check_methods = false;
+      options.check_constructors = false;
+      options.check_supertypes = false;
+      label = "name-only(unsafe)";
+      break;
+    default:
+      options.check_supertypes = false;
+      label = "no-supertypes";
+      break;
+  }
+  ConformanceChecker checker(domain.registry(), options);
+  const auto& source = *domain.registry().find("teamB.Person");
+  const auto& target = *domain.registry().find("teamA.Person");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(source, target));
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(BM_AspectToggles)->Arg(0)->Arg(1)->Arg(2);
+
+/// A mixed workload of 8 pair checks, with and without the cache — the
+/// steady-state cost a peer actually pays per received object.
+void BM_CacheAblation(benchmark::State& state) {
+  reflect::Domain domain;
+  load_universe(domain);
+  const bool use_cache = state.range(0) != 0;
+  conform::ConformanceCache cache;
+  ConformanceChecker checker(domain.registry(), {}, use_cache ? &cache : nullptr);
+
+  const std::pair<const char*, const char*> pairs[] = {
+      {"teamB.Person", "teamA.Person"},   {"teamA.Person", "teamB.Person"},
+      {"agenda.Meeting", "planner.Meeting"}, {"bank.Account", "teamA.Person"},
+      {"listsB.Node", "listsA.Node"},     {"teamB.Address", "teamA.Address"},
+      {"bank.Account", "planner.Meeting"}, {"teamA.Person", "teamA.INamed"},
+  };
+  for (auto _ : state) {
+    for (const auto& [src, tgt] : pairs) {
+      benchmark::DoNotOptimize(checker.check(*domain.registry().find(src),
+                                             *domain.registry().find(tgt)));
+    }
+  }
+  state.SetLabel(use_cache ? "cache-on" : "cache-off");
+  if (use_cache) state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheAblation)->Arg(1)->Arg(0);
+
+/// Levenshtein budget on type names: 0 (the paper) vs relaxed budgets.
+void BM_NameDistanceBudget(benchmark::State& state) {
+  reflect::Domain domain;
+  domain.load_assembly(fixtures::wide_type("wa", "Widget", 16, 16));
+  domain.load_assembly(fixtures::wide_type("wb", "Gadget", 16, 16));
+  ConformanceOptions options;
+  options.max_name_distance = static_cast<std::uint32_t>(state.range(0));
+  ConformanceChecker checker(domain.registry(), options);
+  const auto& source = *domain.registry().find("wb.Gadget");
+  const auto& target = *domain.registry().find("wa.Widget");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(source, target));
+  }
+  state.counters["max_distance"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_NameDistanceBudget)->Arg(0)->Arg(2)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

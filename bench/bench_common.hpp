@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark harness. Each bench binary reproduces
+// one experiment of the paper's Section 7 (see DESIGN.md's per-experiment
+// index); the `paper_reference` banners restate what the paper measured so
+// the output can be read side by side with it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "fixtures/sample_types.hpp"
+#include "reflect/domain.hpp"
+#include "reflect/dyn_object.hpp"
+#include "reflect/value.hpp"
+
+namespace pti::bench {
+
+/// Prints the paper's reference numbers once per binary.
+inline void paper_reference(const char* experiment, const char* text) {
+  static bool printed = false;
+  if (!printed) {
+    std::printf("# %s\n# paper: %s\n", experiment, text);
+    printed = true;
+  }
+}
+
+inline void load_people(reflect::Domain& domain) {
+  domain.load_assembly(fixtures::team_a_people(), "net://alice/teamA.people");
+  domain.load_assembly(fixtures::team_b_people(), "net://bob/teamB.people");
+}
+
+/// The paper's measurement subject: a simple Person instance (with the
+/// nested address, so object graphs are non-trivial).
+inline std::shared_ptr<reflect::DynObject> make_person_a(reflect::Domain& domain,
+                                                         std::string_view name = "Alice") {
+  const reflect::Value args[] = {reflect::Value(name)};
+  auto person = domain.instantiate("teamA.Person", args);
+  const reflect::Value addr[] = {reflect::Value("Main St"),
+                                 reflect::Value(std::int32_t{1015})};
+  person->set("address", reflect::Value(domain.instantiate("teamA.Address", addr)));
+  return person;
+}
+
+inline std::shared_ptr<reflect::DynObject> make_person_b(reflect::Domain& domain,
+                                                         std::string_view name = "Bob") {
+  const reflect::Value args[] = {reflect::Value(name)};
+  auto person = domain.instantiate("teamB.Person", args);
+  const reflect::Value addr[] = {reflect::Value("Rue du Lac"),
+                                 reflect::Value(std::int32_t{1007})};
+  person->set("address", reflect::Value(domain.instantiate("teamB.Address", addr)));
+  return person;
+}
+
+}  // namespace pti::bench

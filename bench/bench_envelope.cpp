@@ -1,0 +1,95 @@
+// E6 — the hybrid serialization scheme (paper Fig. 3).
+//
+// An object travels as an XML message combining type information (names,
+// identities, assembly download paths) with a SOAP- or binary-serialized
+// payload. Fig. 3 is architectural; we quantify what it implies:
+//
+//   * wrapper overhead (XML header bytes) vs payload bytes per encoding;
+//   * envelope build and parse cost;
+//   * how the wrapper amortizes as the payload grows (the wrapper is per
+//     message; type info is per distinct type, not per object).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "serial/envelope.hpp"
+#include "serial/object_serializer.hpp"
+
+namespace {
+
+using namespace pti;
+using reflect::Value;
+
+void BM_EnvelopeBuild(benchmark::State& state) {
+  bench::paper_reference("E6 hybrid envelope (Fig. 3)",
+                         "XML wrapper (type info + download paths) around SOAP/binary payload");
+  static const char* encodings[] = {"soap", "binary", "xml"};
+  const char* encoding = encodings[state.range(0)];
+
+  reflect::Domain domain;
+  bench::load_people(domain);
+  serial::SerializerRegistry registry = serial::SerializerRegistry::with_defaults();
+  serial::EnvelopeBuilder builder(registry.get(encoding), &domain.registry());
+  auto person = bench::make_person_a(domain);
+
+  serial::Envelope envelope;
+  for (auto _ : state) {
+    envelope = builder.build(Value(person));
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetLabel(encoding);
+  state.counters["payload_bytes"] = static_cast<double>(envelope.payload.size());
+  state.counters["wrapper_bytes"] = static_cast<double>(envelope.wrapper_size());
+  state.counters["message_bytes"] = static_cast<double>(envelope.to_bytes().size());
+}
+BENCHMARK(BM_EnvelopeBuild)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EnvelopeParse(benchmark::State& state) {
+  static const char* encodings[] = {"soap", "binary", "xml"};
+  const char* encoding = encodings[state.range(0)];
+
+  reflect::Domain domain;
+  bench::load_people(domain);
+  serial::SerializerRegistry registry = serial::SerializerRegistry::with_defaults();
+  serial::EnvelopeBuilder builder(registry.get(encoding), &domain.registry());
+  const auto bytes = builder.build(Value(bench::make_person_a(domain))).to_bytes();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::Envelope::from_bytes(bytes));
+  }
+  state.SetLabel(encoding);
+  state.counters["message_bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_EnvelopeParse)->Arg(0)->Arg(1)->Arg(2);
+
+/// Wrapper amortization: one envelope around graphs of growing size. The
+/// type-info section stays constant (two types), the payload grows.
+void BM_EnvelopeAmortization(benchmark::State& state) {
+  reflect::Domain domain;
+  bench::load_people(domain);
+  serial::SerializerRegistry registry = serial::SerializerRegistry::with_defaults();
+  serial::EnvelopeBuilder builder(registry.get("binary"), &domain.registry());
+
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Value::List people;
+  for (std::size_t i = 0; i < count; ++i) {
+    people.push_back(Value(bench::make_person_a(domain, "P" + std::to_string(i))));
+  }
+  const Value root(std::move(people));
+
+  serial::Envelope envelope;
+  for (auto _ : state) {
+    envelope = builder.build(root);
+    benchmark::DoNotOptimize(envelope);
+  }
+  const double wrapper = static_cast<double>(envelope.wrapper_size());
+  const double payload = static_cast<double>(envelope.payload.size());
+  state.counters["objects"] = static_cast<double>(count);
+  state.counters["wrapper_bytes"] = wrapper;
+  state.counters["payload_bytes"] = payload;
+  state.counters["wrapper_share_pct"] = 100.0 * wrapper / (wrapper + payload);
+}
+BENCHMARK(BM_EnvelopeAmortization)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// cross_team_person — a verbose walk-through of the optimistic transport
+// protocol (paper Fig. 1), printing every protocol-visible step and the
+// network cost of each phase.
+//
+// Scenario: alice (teamA types) pushes Person objects to bob (teamB
+// types). The first push triggers the full five-step dance; the second
+// push shows the caches at work; a push of a non-conformant Account shows
+// the rejection path that never downloads code.
+//
+// Build & run:  ./build/examples/cross_team_person
+#include <cstdio>
+
+#include "core/interop.hpp"
+#include "fixtures/sample_types.hpp"
+
+namespace {
+
+void print_phase(const char* title, const pti::core::InteropSystem& system,
+                 std::uint64_t& last_bytes, std::uint64_t& last_msgs,
+                 const pti::transport::ProtocolStats& receiver_stats) {
+  const auto& net = const_cast<pti::core::InteropSystem&>(system).network().stats();
+  std::printf("%-46s  +%6llu bytes  +%2llu msgs   [%s]\n", title,
+              static_cast<unsigned long long>(net.bytes - last_bytes),
+              static_cast<unsigned long long>(net.messages - last_msgs),
+              receiver_stats.summary().c_str());
+  last_bytes = net.bytes;
+  last_msgs = net.messages;
+}
+
+}  // namespace
+
+int main() {
+  using pti::reflect::Value;
+
+  pti::core::InteropSystem system;
+  auto& alice = system.create_runtime("alice");
+  auto& bob = system.create_runtime("bob");
+  alice.publish_assembly(pti::fixtures::team_a_people());
+  alice.publish_assembly(pti::fixtures::bank_accounts());
+  bob.publish_assembly(pti::fixtures::team_b_people());
+  bob.subscribe("teamB.Person", [](const pti::transport::DeliveredObject&) {});
+
+  std::uint64_t bytes = 0, msgs = 0;
+  std::printf("== optimistic protocol walk-through (Fig. 1) ==\n");
+
+  // --- first push: the full five steps -----------------------------------
+  const Value ada[] = {Value("Ada")};
+  auto person = alice.make("teamA.Person", ada);
+  const Value addr[] = {Value("Main St"), Value(std::int32_t{1015})};
+  person->set("address", Value(alice.make("teamA.Address", addr)));
+
+  (void)alice.send("bob", person);
+  print_phase("push #1 (unknown type: steps 1-5)", system, bytes, msgs, bob.stats());
+
+  // --- second push: descriptions and code are cached ----------------------
+  const Value grace[] = {Value("Grace")};
+  (void)alice.send("bob", alice.make("teamA.Person", grace));
+  print_phase("push #2 (cached: object + ack only)", system, bytes, msgs, bob.stats());
+
+  // --- non-conformant push: rejected before any code download -------------
+  const Value eve[] = {Value("Eve")};
+  (void)alice.send("bob", alice.make("bank.Account", eve));
+  print_phase("push #3 (non-conformant: rejected)", system, bytes, msgs, bob.stats());
+
+  // --- use the delivered objects through bob's own interface --------------
+  std::printf("\n== delivered objects, seen through teamB.Person ==\n");
+  for (const auto& event : bob.peer().delivered()) {
+    const std::string name = bob.call(event.adapted, "getPersonName").as_string();
+    const Value address = bob.call(event.adapted, "getAddress");
+    const std::string street =
+        address.is_null()
+            ? "(no address)"
+            : bob.call(address.as_object(), "getStreetName").as_string();
+    std::printf("  %s @ %s  (sender=%s, matched=%s)\n", name.c_str(), street.c_str(),
+                event.sender.c_str(), event.interest_type.c_str());
+  }
+
+  std::printf("\n== final accounting ==\n");
+  std::printf("  bob:   %s\n", bob.stats().summary().c_str());
+  std::printf("  alice: %s\n", alice.stats().summary().c_str());
+  std::printf("  conformance cache: %zu entries, hit rate %.0f%%\n",
+               bob.peer().conformance_cache().size(),
+               100.0 * bob.peer().conformance_cache().stats().hit_rate());
+  std::printf("  virtual time elapsed: %.2f ms\n",
+              static_cast<double>(system.network().clock().now_ns()) / 1e6);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// impostor_detection — conformance diagnostics and the behavioral probe.
+//
+// Three things the library offers beyond the core protocol:
+//   1. the textual type-declaration language (declare interest types
+//      without writing builder code);
+//   2. explain(): human-readable conformance reports, including the
+//      ambiguity cases the paper leaves "up to the programmer";
+//   3. the behavioral probe (the paper's Section 4.1 "future work"):
+//      structural conformance cannot tell an honest implementation from a
+//      structurally perfect impostor — differential testing can.
+//
+// Build & run:  ./build/examples/impostor_detection
+#include <cstdio>
+
+#include "conform/behavioral.hpp"
+#include "conform/conformance_checker.hpp"
+#include "conform/explain.hpp"
+#include "fixtures/sample_types.hpp"
+#include "reflect/domain.hpp"
+#include "reflect/type_parser.hpp"
+
+int main() {
+  pti::reflect::Domain domain;
+  domain.load_assembly(pti::fixtures::team_a_people());
+  domain.load_assembly(pti::fixtures::team_b_people());
+  domain.load_assembly(pti::fixtures::team_evil_people());
+
+  // A consumer declares its expectation textually — no code needed for a
+  // type used only as a conformance criterion.
+  pti::reflect::declare_types(domain.registry(), R"(
+    namespace consumer;
+    class Person {
+      private string name;
+      Person(string name);
+      string getName();
+      void setName(string name);
+    }
+  )");
+
+  pti::conform::ConformanceChecker checker(domain.registry());
+
+  std::printf("== structural verdicts against consumer.Person ==\n\n");
+  for (const char* candidate : {"teamA.Person", "teamB.Person", "evilC.Person"}) {
+    const auto result = checker.check(candidate, "consumer.Person");
+    std::printf("--- %s ---\n%s\n", candidate,
+                pti::conform::explain(result).c_str());
+  }
+
+  // Both teamB.Person and evilC.Person pass the structural rules. The
+  // behavioral probe (differential testing through the plan) separates
+  // them — exercising each against teamA's reference implementation.
+  std::printf("== behavioral probing against teamA.Person ==\n\n");
+  for (const char* candidate : {"teamB.Person", "evilC.Person"}) {
+    const auto structural =
+        checker.check(*domain.registry().find(candidate),
+                      *domain.registry().find("teamA.Person"));
+    const auto report = pti::conform::probe_behavioral_conformance(
+        domain, *domain.registry().find(candidate),
+        *domain.registry().find("teamA.Person"), structural.plan);
+    std::printf("%s: structurally conformant, behaviorally %s\n", candidate,
+                report.equivalent ? "EQUIVALENT" : "DIVERGENT");
+    std::printf("  (%zu trials, %zu calls, %zu methods tested, %zu skipped)\n",
+                report.trials_run, report.calls_made, report.methods_testable,
+                report.methods_skipped);
+    if (!report.equivalent) {
+      std::printf("  counterexample: %s\n", report.counterexample.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

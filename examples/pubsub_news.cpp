@@ -1,0 +1,129 @@
+// pubsub_news — type-based publish/subscribe with type interoperability
+// (paper Section 8, application #1).
+//
+// Two news agencies publish events of their own, independently designed
+// types (`NewsFlash` vs a differently-shaped `NewsFlash` and an unrelated
+// `StockQuote`). A reader subscribes with ITS own event type and receives
+// every conformant event, adapted — no a-priori agreement on types, the
+// problem classic TPS has.
+//
+// This example also shows how new event types are defined from scratch
+// with the TypeBuilder API (rather than the canned fixtures).
+//
+// Build & run:  ./build/examples/pubsub_news
+#include <cstdio>
+
+#include "core/interop.hpp"
+#include "reflect/primitives.hpp"
+#include "reflect/type_builder.hpp"
+#include "tps/tps.hpp"
+
+namespace {
+
+using pti::reflect::Args;
+using pti::reflect::Assembly;
+using pti::reflect::DynObject;
+using pti::reflect::TypeBuilder;
+using pti::reflect::Value;
+
+/// Agency one's event: headline + importance.
+std::shared_ptr<const Assembly> reuters_types() {
+  auto assembly = std::make_shared<Assembly>("reuters.events");
+  assembly->add_type(
+      TypeBuilder("reuters", "NewsFlash")
+          .field("headline", std::string(pti::reflect::kStringType))
+          .field("importance", std::string(pti::reflect::kInt32Type))
+          .constructor({{"headline", std::string(pti::reflect::kStringType)},
+                        {"importance", std::string(pti::reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("headline", a[0]);
+                         self.set("importance", a[1]);
+                       })
+          .method("getHeadline", std::string(pti::reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("headline"); })
+          .method("getImportance", std::string(pti::reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("importance"); })
+          .build());
+  return assembly;
+}
+
+/// Agency two: same module, different vocabulary (token-conformant names).
+std::shared_ptr<const Assembly> bloomberg_types() {
+  auto assembly = std::make_shared<Assembly>("bloomberg.events");
+  assembly->add_type(
+      TypeBuilder("bloomberg", "NewsFlash")
+          .field("newsHeadline", std::string(pti::reflect::kStringType))
+          .field("newsImportance", std::string(pti::reflect::kInt32Type))
+          .constructor({{"newsHeadline", std::string(pti::reflect::kStringType)},
+                        {"newsImportance", std::string(pti::reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("newsHeadline", a[0]);
+                         self.set("newsImportance", a[1]);
+                       })
+          .method("getNewsHeadline", std::string(pti::reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("newsHeadline"); })
+          .method("getNewsImportance", std::string(pti::reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("newsImportance"); })
+          .build());
+  // Plus a type no news reader cares about.
+  assembly->add_type(
+      TypeBuilder("bloomberg", "StockQuote")
+          .field("symbol", std::string(pti::reflect::kStringType))
+          .field("price", std::string(pti::reflect::kFloat64Type))
+          .constructor({{"symbol", std::string(pti::reflect::kStringType)},
+                        {"price", std::string(pti::reflect::kFloat64Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("symbol", a[0]);
+                         self.set("price", a[1]);
+                       })
+          .method("getSymbol", std::string(pti::reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("symbol"); })
+          .build());
+  return assembly;
+}
+
+}  // namespace
+
+int main() {
+  pti::core::InteropSystem system;
+  pti::tps::TpsDomain domain(system);
+
+  auto& reuters = domain.create_node("reuters");
+  auto& bloomberg = domain.create_node("bloomberg");
+  auto& reader = domain.create_node("reader");
+
+  reuters.offer_assembly(reuters_types());
+  bloomberg.offer_assembly(bloomberg_types());
+  // The reader subscribes with reuters' vocabulary — it has never seen
+  // bloomberg's types.
+  reader.offer_assembly(reuters_types());
+
+  reader.subscribe("reuters.NewsFlash",
+                   [&](const pti::transport::DeliveredObject& event) {
+                     auto& rt = reader.runtime();
+                     std::printf("reader got [%d] \"%s\"   (real type: %s)\n",
+                                 rt.call(event.adapted, "getImportance").as_int32(),
+                                 rt.call(event.adapted, "getHeadline").as_string().c_str(),
+                                 event.object->type_name().c_str());
+                   });
+
+  // Reuters publishes its own events.
+  const Value r1[] = {Value("Moon landing re-enacted"), Value(std::int32_t{7})};
+  auto report1 = reuters.publish(reuters.runtime().make("reuters.NewsFlash", r1));
+
+  // Bloomberg publishes a *differently shaped* news flash — delivered via
+  // implicit structural conformance — and a stock quote — filtered out.
+  const Value b1[] = {Value("Markets rally on middleware news"), Value(std::int32_t{9})};
+  auto report2 = bloomberg.publish(bloomberg.runtime().make("bloomberg.NewsFlash", b1));
+  const Value q1[] = {Value("PTI"), Value(42.0)};
+  auto report3 = bloomberg.publish(bloomberg.runtime().make("bloomberg.StockQuote", q1));
+
+  std::printf("\npublish results (recipients/delivered): reuters %zu/%zu, "
+              "bloomberg news %zu/%zu, bloomberg quote %zu/%zu\n",
+              report1.recipients, report1.delivered, report2.recipients,
+              report2.delivered, report3.recipients, report3.delivered);
+  std::printf("reader stats: %s\n", reader.runtime().stats().summary().c_str());
+  return (report1.delivered == 1 && report2.delivered == 1 && report3.delivered == 0)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,50 @@
+// Quickstart — the paper's Section 3.1 scenario in one page.
+//
+// Two programmers implement the same `Person` module with different method
+// names (setName/getName vs setPersonName/getPersonName). With implicit
+// structural conformance, either implementation can be used as the other.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/interop.hpp"
+#include "fixtures/sample_types.hpp"
+
+int main() {
+  using pti::reflect::Value;
+
+  // One simulated universe, two participants.
+  pti::core::InteropSystem system;
+  auto& alice = system.create_runtime("alice");
+  auto& bob = system.create_runtime("bob");
+
+  // Each team publishes its own types (metadata + code).
+  alice.publish_assembly(pti::fixtures::team_a_people());  // getName/setName
+  bob.publish_assembly(pti::fixtures::team_b_people());    // getPersonName/...
+
+  // Bob subscribes with HIS type. Alice has never seen it.
+  bob.subscribe("teamB.Person", [&](const pti::transport::DeliveredObject& event) {
+    // The delivered object was a teamA.Person; `adapted` lets bob use it
+    // through teamB's interface, renames included.
+    const std::string name = bob.call(event.adapted, "getPersonName").as_string();
+    std::printf("bob received a conformant person: %s\n", name.c_str());
+
+    const Value rename[] = {Value("Dr. " + name)};
+    bob.call(event.adapted, "setPersonName", rename);
+    std::printf("bob renamed them to: %s\n",
+                bob.call(event.adapted, "getPersonName").as_string().c_str());
+  });
+
+  // Alice sends HER person by value. The optimistic protocol ships the
+  // object, then the type description, then the code — each only on demand.
+  const Value args[] = {Value("Ada")};
+  const auto ack = alice.send("bob", alice.make("teamA.Person", args));
+
+  std::printf("delivered=%s matched_interest=%s\n", ack.delivered ? "yes" : "no",
+              ack.detail.c_str());
+  std::printf("conformance verdict (teamA.Person -> teamB.Person): %s\n",
+              bob.check_conformance("teamA.Person", "teamB.Person").conformant
+                  ? "conformant"
+                  : "NOT conformant");
+  return ack.delivered ? 0 : 1;
+}

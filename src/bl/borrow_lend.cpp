@@ -1,0 +1,53 @@
+#include "bl/borrow_lend.hpp"
+
+#include "util/string_util.hpp"
+
+namespace pti::bl {
+
+std::uint64_t Lender::lend(const std::shared_ptr<reflect::DynObject>& resource) {
+  if (!resource) throw remoting::RemotingError("cannot lend a null resource");
+  const std::uint64_t id = runtime_.export_object(resource);
+  directory_.advertise(Advert{runtime_.name(), id, resource->type_name(), true});
+  return id;
+}
+
+std::optional<Borrowed> Borrower::borrow(std::string_view criterion_type) {
+  const reflect::TypeDescription* criterion =
+      runtime_.domain().registry().find(criterion_type);
+  if (criterion == nullptr) {
+    throw conform::ConformError("borrow criterion type '" + std::string(criterion_type) +
+                                "' is not known locally");
+  }
+  for (Advert& advert : directory_.adverts()) {
+    if (!advert.available) continue;
+    if (advert.lender == runtime_.name()) continue;  // do not borrow from self
+
+    // Importing fetches the remote type's description on demand; then the
+    // conformance criterion decides (further referenced descriptions are
+    // fetched transparently through the peer's resolver path).
+    std::shared_ptr<reflect::DynObject> ref =
+        runtime_.import_remote(advert.lender, advert.object_id, advert.type_name);
+    const conform::CheckResult result =
+        runtime_.peer().checker().check(advert.type_name, criterion->qualified_name());
+    if (!result.conformant) continue;
+
+    advert.available = false;
+    Borrowed borrowed;
+    borrowed.handle = runtime_.proxies().wrap(std::move(ref), *criterion);
+    borrowed.advert = advert;
+    return borrowed;
+  }
+  return std::nullopt;
+}
+
+void Borrower::give_back(const Borrowed& borrowed) {
+  for (Advert& advert : directory_.adverts()) {
+    if (advert.lender == borrowed.advert.lender &&
+        advert.object_id == borrowed.advert.object_id) {
+      advert.available = true;
+      return;
+    }
+  }
+}
+
+}  // namespace pti::bl

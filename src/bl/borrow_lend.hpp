@@ -1,0 +1,80 @@
+// The borrow/lend (BL) abstraction — the paper's second application
+// (Section 8, citing [Eugster/Baehni, Java Grande-ISCOPE 2002]).
+//
+// Lenders lend resources to borrowers via specific criteria; the paper's
+// proposed criterion is *type conformance*: a borrower asks for "anything
+// usable as my type T_A", and a lent resource of type T_L qualifies when
+// T_L ≼is T_A. The borrowed resource stays on the lender (pass-by-
+// reference): the borrower drives it through a dynamic proxy stacked on a
+// remoting proxy — the exact composition Section 6.2 describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/interop.hpp"
+
+namespace pti::bl {
+
+/// One lent resource, as advertised in the directory.
+struct Advert {
+  std::string lender;      ///< runtime name hosting the resource
+  std::uint64_t object_id = 0;
+  std::string type_name;   ///< qualified type of the lent resource
+  bool available = true;
+};
+
+/// Shared directory of lent resources (the rendezvous service).
+class Directory {
+ public:
+  void advertise(Advert advert) { adverts_.push_back(std::move(advert)); }
+  [[nodiscard]] std::vector<Advert>& adverts() noexcept { return adverts_; }
+
+ private:
+  std::vector<Advert> adverts_;
+};
+
+class Lender {
+ public:
+  Lender(core::InteropRuntime& runtime, Directory& directory)
+      : runtime_(runtime), directory_(directory) {}
+
+  /// Lends a resource: exports it for remote invocation and advertises it.
+  std::uint64_t lend(const std::shared_ptr<reflect::DynObject>& resource);
+
+ private:
+  core::InteropRuntime& runtime_;
+  Directory& directory_;
+};
+
+/// A successfully borrowed resource: a local handle (dynamic proxy over a
+/// remote reference) usable as the borrower's criterion type.
+struct Borrowed {
+  std::shared_ptr<reflect::DynObject> handle;
+  Advert advert;
+};
+
+class Borrower {
+ public:
+  Borrower(core::InteropRuntime& runtime, Directory& directory)
+      : runtime_(runtime), directory_(directory) {}
+
+  /// Scans the directory for the first available resource whose type
+  /// conforms to `criterion_type` (a locally known type). Marks it
+  /// unavailable and returns the adapted handle; nullopt when nothing
+  /// conforms.
+  [[nodiscard]] std::optional<Borrowed> borrow(std::string_view criterion_type);
+
+  /// Returns a previously borrowed resource to the pool.
+  void give_back(const Borrowed& borrowed);
+
+ private:
+  core::InteropRuntime& runtime_;
+  Directory& directory_;
+};
+
+}  // namespace pti::bl

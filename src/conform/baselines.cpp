@@ -1,0 +1,81 @@
+#include "conform/baselines.hpp"
+
+#include "util/string_util.hpp"
+
+namespace pti::conform {
+
+using reflect::MethodDescription;
+using reflect::TypeDescription;
+
+bool ExactMatcher::matches(const TypeDescription& source, const TypeDescription& target) {
+  return !source.guid().is_nil() && source.guid() == target.guid();
+}
+
+NominalMatcher::NominalMatcher(reflect::TypeResolver& resolver)
+    : checker_(resolver,
+               [] {
+                 // Disable every structural aspect: what remains of the
+                 // checker pipeline is identity, equivalence and the
+                 // explicit (nominal) walk. Equivalence is harmless here —
+                 // structurally equal types are renamed copies, which
+                 // nominal systems would reject — so gate on kind below.
+                 return ConformanceOptions{};
+               }()) {}
+
+bool NominalMatcher::matches(const TypeDescription& source, const TypeDescription& target) {
+  const CheckResult r = checker_.check(source, target);
+  if (!r.conformant) return false;
+  return r.plan.kind() == ConformanceKind::Identity ||
+         r.plan.kind() == ConformanceKind::Explicit;
+}
+
+TaggedStructuralMatcher::TaggedStructuralMatcher(reflect::TypeResolver& resolver)
+    : resolver_(resolver) {}
+
+bool TaggedStructuralMatcher::matches(const TypeDescription& source,
+                                      const TypeDescription& target) {
+  if (!source.guid().is_nil() && source.guid() == target.guid()) return true;
+  // Only types that opted in may match structurally — the restriction the
+  // paper lifts ("legacy interfaces can never be used with structural
+  // conformance").
+  if (!source.structural_tag() || !target.structural_tag()) return false;
+
+  // Method-set inclusion with exact signatures: every target method must
+  // exist in the source with the same name, parameter types and return
+  // type (type references compared by name, case-sensitively — the Java
+  // model).
+  for (const MethodDescription& tm : target.methods()) {
+    bool found = false;
+    for (const MethodDescription& sm : source.methods()) {
+      if (sm.name != tm.name || sm.arity() != tm.arity() ||
+          sm.return_type != tm.return_type) {
+        continue;
+      }
+      bool params_equal = true;
+      for (std::size_t i = 0; i < sm.params.size(); ++i) {
+        if (sm.params[i].type_name != tm.params[i].type_name) {
+          params_equal = false;
+          break;
+        }
+      }
+      if (params_equal) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+ImplicitStructuralMatcher::ImplicitStructuralMatcher(reflect::TypeResolver& resolver,
+                                                     ConformanceOptions options,
+                                                     ConformanceCache* cache)
+    : checker_(resolver, options, cache) {}
+
+bool ImplicitStructuralMatcher::matches(const TypeDescription& source,
+                                        const TypeDescription& target) {
+  return checker_.conforms(source, target);
+}
+
+}  // namespace pti::conform

@@ -1,0 +1,91 @@
+// Baseline matchers the paper compares against conceptually (Section 2).
+//
+// * ExactMatcher          — .NET CTS / plain Java RMI behaviour: a type is
+//                           usable only as exactly itself (same identity).
+// * NominalMatcher        — explicit conformance only: identity or declared
+//                           subtyping (CORBA/Java RMI with shared
+//                           hierarchies).
+// * TaggedStructuralMatcher — "Safe Structural Conformance for Java"
+//                           [Läufer, Baumgartner, Russo 96]: structural
+//                           matching, but only between types explicitly
+//                           tagged as structurally conformant, with exact
+//                           member names and signatures (no renames, no
+//                           permutations, shared hierarchy assumed).
+//
+// All three implement Matcher so the benchmarks and the application layers
+// (TPS, borrow/lend) can swap the conformance relation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "conform/conformance_checker.hpp"
+#include "reflect/type_description.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::conform {
+
+/// A binary "may source stand in for target?" relation.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+  [[nodiscard]] virtual bool matches(const reflect::TypeDescription& source,
+                                     const reflect::TypeDescription& target) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Identity only (GUID equality).
+class ExactMatcher final : public Matcher {
+ public:
+  [[nodiscard]] bool matches(const reflect::TypeDescription& source,
+                             const reflect::TypeDescription& target) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "exact"; }
+};
+
+/// Identity or declared (nominal) subtyping.
+class NominalMatcher final : public Matcher {
+ public:
+  explicit NominalMatcher(reflect::TypeResolver& resolver);
+  [[nodiscard]] bool matches(const reflect::TypeDescription& source,
+                             const reflect::TypeDescription& target) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "nominal"; }
+
+ private:
+  ConformanceChecker checker_;
+};
+
+/// Läufer et al.-style tagged structural conformance: both types must carry
+/// the structural tag; matching is method-set inclusion with *exact* names
+/// and signatures.
+class TaggedStructuralMatcher final : public Matcher {
+ public:
+  explicit TaggedStructuralMatcher(reflect::TypeResolver& resolver);
+  [[nodiscard]] bool matches(const reflect::TypeDescription& source,
+                             const reflect::TypeDescription& target) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "tagged-structural";
+  }
+
+ private:
+  reflect::TypeResolver& resolver_;
+};
+
+/// The paper's full implicit structural conformance as a Matcher.
+class ImplicitStructuralMatcher final : public Matcher {
+ public:
+  explicit ImplicitStructuralMatcher(reflect::TypeResolver& resolver,
+                                     ConformanceOptions options = {},
+                                     ConformanceCache* cache = nullptr);
+  [[nodiscard]] bool matches(const reflect::TypeDescription& source,
+                             const reflect::TypeDescription& target) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "implicit-structural";
+  }
+  [[nodiscard]] ConformanceChecker& checker() noexcept { return checker_; }
+
+ private:
+  ConformanceChecker checker_;
+};
+
+}  // namespace pti::conform

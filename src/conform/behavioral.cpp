@@ -1,0 +1,169 @@
+#include "conform/behavioral.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "conform/conform_error.hpp"
+#include "reflect/primitives.hpp"
+#include "util/rng.hpp"
+
+namespace pti::conform {
+
+using reflect::DynObject;
+using reflect::MethodDescription;
+using reflect::NativeType;
+using reflect::TypeDescription;
+using reflect::Value;
+
+namespace {
+
+/// Random value of a primitive type; nullopt for non-primitive names.
+std::optional<Value> random_primitive(std::string_view type_name, util::Rng& rng) {
+  const std::string_view canonical = reflect::canonical_primitive(type_name);
+  if (canonical == reflect::kBoolType) return Value(rng.next_bool(0.5));
+  if (canonical == reflect::kInt32Type) {
+    return Value(static_cast<std::int32_t>(rng.next_below(2001)) - 1000);
+  }
+  if (canonical == reflect::kInt64Type) {
+    return Value(static_cast<std::int64_t>(rng.next_below(1u << 20)) - (1 << 19));
+  }
+  if (canonical == reflect::kFloat64Type) {
+    return Value(rng.next_double() * 100.0 - 50.0);
+  }
+  if (canonical == reflect::kStringType) {
+    std::string s;
+    const std::size_t len = rng.next_below(8);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+    return Value(std::move(s));
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] bool primitive_only(const std::vector<reflect::ParamDescription>& params) {
+  for (const auto& p : params) {
+    if (!reflect::is_primitive_name(p.type_name) ||
+        reflect::canonical_primitive(p.type_name) == reflect::kObjectType ||
+        reflect::canonical_primitive(p.type_name) == reflect::kListType) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] bool primitive_result(std::string_view return_type) {
+  const std::string_view canonical = reflect::canonical_primitive(return_type);
+  return reflect::is_primitive_name(return_type) &&
+         canonical != reflect::kObjectType && canonical != reflect::kListType;
+}
+
+}  // namespace
+
+BehavioralReport probe_behavioral_conformance(const reflect::Domain& domain,
+                                              const TypeDescription& source,
+                                              const TypeDescription& target,
+                                              const ConformancePlan& plan,
+                                              const BehavioralOptions& options) {
+  const NativeType* source_native = domain.find_native(source.qualified_name());
+  const NativeType* target_native = domain.find_native(target.qualified_name());
+  if (source_native == nullptr || target_native == nullptr) {
+    throw ConformError(
+        "behavioral probing needs both types loaded (executable) locally: '" +
+        source.qualified_name() + "' and '" + target.qualified_name() + "'");
+  }
+
+  BehavioralReport report;
+
+  // Testable method mappings: primitive-only parameters and results on the
+  // *target* signature (the contract being probed).
+  struct Probe {
+    const MethodMapping* mapping;
+    const MethodDescription* target_method;
+  };
+  std::vector<Probe> probes;
+  for (const MethodMapping& mapping : plan.methods()) {
+    const MethodDescription* tm = target.find_method(mapping.target_name, mapping.arity);
+    if (tm == nullptr) continue;
+    if (primitive_only(tm->params) && primitive_result(tm->return_type)) {
+      probes.push_back(Probe{&mapping, tm});
+      ++report.methods_testable;
+    } else {
+      ++report.methods_skipped;
+    }
+  }
+  if (probes.empty()) return report;  // nothing exercisable
+
+  // Constructor: prefer a plan-mapped primitive-argument constructor so
+  // both instances start from identical state.
+  const CtorMapping* ctor_mapping = nullptr;
+  const reflect::ConstructorDescription* target_ctor = nullptr;
+  for (const CtorMapping& c : plan.ctors()) {
+    for (const auto& tc : target.constructors()) {
+      if (tc.arity() == c.arity && primitive_only(tc.params)) {
+        ctor_mapping = &c;
+        target_ctor = &tc;
+        break;
+      }
+    }
+    if (ctor_mapping != nullptr) break;
+  }
+
+  util::Rng rng(options.seed);
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    ++report.trials_run;
+
+    std::shared_ptr<DynObject> target_obj;
+    std::shared_ptr<DynObject> source_obj;
+    if (ctor_mapping != nullptr) {
+      std::vector<Value> target_args;
+      for (const auto& p : target_ctor->params) {
+        target_args.push_back(*random_primitive(p.type_name, rng));
+      }
+      std::vector<Value> source_args(target_args.size());
+      for (std::size_t i = 0; i < target_args.size(); ++i) {
+        source_args[i] = target_args[ctor_mapping->arg_permutation[i]];
+      }
+      target_obj = target_native->instantiate(
+          reflect::Args(target_args.data(), target_args.size()));
+      source_obj = source_native->instantiate(
+          reflect::Args(source_args.data(), source_args.size()));
+    } else {
+      target_obj = target_native->instantiate_raw();
+      source_obj = source_native->instantiate_raw();
+    }
+
+    for (std::size_t call = 0; call < options.calls_per_trial; ++call) {
+      const Probe& probe = probes[rng.next_below(probes.size())];
+      std::vector<Value> target_args;
+      for (const auto& p : probe.target_method->params) {
+        target_args.push_back(*random_primitive(p.type_name, rng));
+      }
+      std::vector<Value> source_args(target_args.size());
+      for (std::size_t i = 0; i < target_args.size(); ++i) {
+        source_args[i] = target_args[probe.mapping->arg_permutation[i]];
+      }
+
+      const Value expected = target_native->invoke(
+          *target_obj, probe.target_method->name,
+          reflect::Args(target_args.data(), target_args.size()));
+      const Value actual = source_native->invoke(
+          *source_obj, probe.mapping->source_name,
+          reflect::Args(source_args.data(), source_args.size()));
+      ++report.calls_made;
+
+      if (!(expected == actual)) {
+        report.equivalent = false;
+        report.counterexample =
+            "trial " + std::to_string(trial) + ", call " + std::to_string(call) + ": " +
+            target.qualified_name() + "." + probe.target_method->name + " -> " +
+            expected.to_debug_string() + " but " + source.qualified_name() + "." +
+            probe.mapping->source_name + " -> " + actual.to_debug_string();
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pti::conform

@@ -1,0 +1,56 @@
+// Implicit *behavioral* conformance probing — the paper's Section 4.1
+// "future work" case, implemented for the fragment the paper itself deems
+// feasible: "that should be feasible for types dealing only with primitive
+// types, but for more complex types it is rather tricky".
+//
+// Structural conformance guarantees signatures line up; it cannot tell
+// whether `getName` mapped onto `getReversedName` *means* the same thing.
+// The probe runs differential tests: construct one instance of the source
+// and one of the target with identical (plan-permuted) random primitive
+// arguments, then drive both through the plan's method mappings with
+// identical random inputs, comparing every result. A divergence is a
+// counterexample; absence of divergence over N trials is (only)
+// probabilistic evidence — exactly why the paper calls full behavioral
+// conformance "very difficult to analyse".
+//
+// Methods whose signature involves object types are skipped and counted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "conform/conformance_plan.hpp"
+#include "reflect/domain.hpp"
+
+namespace pti::conform {
+
+struct BehavioralOptions {
+  std::size_t trials = 32;        ///< independent state/argument sequences
+  std::size_t calls_per_trial = 8;  ///< method invocations per sequence
+  std::uint64_t seed = 7;
+};
+
+struct BehavioralReport {
+  /// No counterexample found (probabilistic, not a proof).
+  bool equivalent = true;
+  std::size_t trials_run = 0;
+  std::size_t calls_made = 0;
+  std::size_t methods_testable = 0;
+  std::size_t methods_skipped = 0;  ///< non-primitive signatures
+  std::string counterexample;       ///< human-readable, empty if none
+
+  [[nodiscard]] bool exercised_anything() const noexcept {
+    return methods_testable > 0 && calls_made > 0;
+  }
+};
+
+/// Differential-tests `source` against `target` through `plan`. Both types
+/// must be loaded (executable) in `domain`; the plan must be the result of
+/// a successful structural check of source -> target. Throws ConformError
+/// on misuse (unloaded types, passthrough-less plan mismatch).
+[[nodiscard]] BehavioralReport probe_behavioral_conformance(
+    const reflect::Domain& domain, const reflect::TypeDescription& source,
+    const reflect::TypeDescription& target, const ConformancePlan& plan,
+    const BehavioralOptions& options = {});
+
+}  // namespace pti::conform

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::conform {
+
+class ConformError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when AmbiguityPolicy::Error is selected and a target member
+/// matches several source members (the case the paper leaves "up to the
+/// programmer to decide").
+class AmbiguityError : public ConformError {
+ public:
+  using ConformError::ConformError;
+};
+
+}  // namespace pti::conform

@@ -1,0 +1,127 @@
+// ConformanceChecker — implements the paper's conformance rules (Fig. 2).
+//
+// `check(source, target)` decides whether `source ≼ target`, i.e. whether
+// an instance of `source` can safely be used where a `target` is expected,
+// trying in order:
+//   1. identity            — same type GUID (platform type identity),
+//   2. equivalence         — structurally equal descriptions,
+//   3. explicit            — nominal subtyping via the supertype closure,
+//   4. implicit structural — rule (vi): name (i) + fields (ii) +
+//      supertypes (iii) + methods (iv) + constructors (v).
+//
+// Methods use covariant returns and contravariant arguments, with argument
+// permutations (Fig. 2's Perm) searched via bipartite matching. Recursive
+// type references are handled coinductively: a pair already under test is
+// assumed conformant, the standard algorithm for structural subtyping of
+// recursive types.
+//
+// The checker works purely on TypeDescriptions obtained through a
+// TypeResolver — never on implementations — which is what allows a peer to
+// check conformance *before* downloading any code (the optimistic
+// protocol's whole point). References to types the resolver cannot supply
+// are reported in CheckResult::missing_types so the transport layer can
+// fetch them and retry.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_options.hpp"
+#include "conform/conformance_plan.hpp"
+#include "reflect/type_description.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::conform {
+
+struct CheckResult {
+  bool conformant = false;
+  ConformancePlan plan;  ///< meaningful only when conformant
+  /// Type names referenced during the check that the resolver could not
+  /// supply. Non-empty means the verdict is provisional: fetch these and
+  /// re-check.
+  std::vector<std::string> missing_types;
+  /// Human-readable reasons for failure (capped).
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool needs_more_types() const noexcept { return !missing_types.empty(); }
+};
+
+class ConformanceChecker {
+ public:
+  /// The resolver supplies descriptions for referenced type names; the
+  /// optional cache memoizes verdicts across checks.
+  explicit ConformanceChecker(reflect::TypeResolver& resolver,
+                              ConformanceOptions options = {},
+                              ConformanceCache* cache = nullptr);
+
+  [[nodiscard]] const ConformanceOptions& options() const noexcept { return options_; }
+
+  /// Full check with plan. `source ≼ target`?
+  [[nodiscard]] CheckResult check(const reflect::TypeDescription& source,
+                                  const reflect::TypeDescription& target);
+
+  /// Check by (possibly unqualified) type names, resolved via the resolver.
+  [[nodiscard]] CheckResult check(std::string_view source_name,
+                                  std::string_view target_name);
+
+  /// Convenience verdict-only form.
+  [[nodiscard]] bool conforms(const reflect::TypeDescription& source,
+                              const reflect::TypeDescription& target);
+
+  /// The paper's `equals()`: equivalence only (identity or structural
+  /// equality), no subtyping, no implicit rule.
+  [[nodiscard]] static bool equivalent(const reflect::TypeDescription& source,
+                                       const reflect::TypeDescription& target) noexcept;
+
+ private:
+  struct Ctx;
+
+  CheckResult compute(const reflect::TypeDescription& source,
+                      const reflect::TypeDescription& target, Ctx& ctx);
+  CheckResult check_with_ctx(const reflect::TypeDescription& source,
+                             const reflect::TypeDescription& target, Ctx& ctx);
+
+  /// Recursive conformance on *referenced* type names (field types,
+  /// parameter types, supertypes). Appends to ctx missing/failure lists.
+  bool ref_conforms(std::string_view source_type, std::string_view source_ns,
+                    std::string_view target_type, std::string_view target_ns, Ctx& ctx);
+
+  bool name_conforms(std::string_view source_name, std::string_view target_name) const;
+  bool member_name_conforms(std::string_view source_name,
+                            std::string_view target_name) const;
+  bool explicitly_conforms(const reflect::TypeDescription& source,
+                           const reflect::TypeDescription& target, Ctx& ctx);
+
+  bool check_supertypes(const reflect::TypeDescription& source,
+                        const reflect::TypeDescription& target, Ctx& ctx,
+                        std::vector<std::string>& failures);
+  bool check_fields(const reflect::TypeDescription& source,
+                    const reflect::TypeDescription& target, Ctx& ctx,
+                    ConformancePlan& plan, std::vector<std::string>& failures);
+  bool check_methods(const reflect::TypeDescription& source,
+                     const reflect::TypeDescription& target, Ctx& ctx,
+                     ConformancePlan& plan, std::vector<std::string>& failures);
+  bool check_constructors(const reflect::TypeDescription& source,
+                          const reflect::TypeDescription& target, Ctx& ctx,
+                          ConformancePlan& plan, std::vector<std::string>& failures);
+
+  /// Finds a permutation assigning each source parameter a compatible
+  /// target argument (contravariant), preferring the identity permutation.
+  /// Returns empty optional when no perfect matching exists.
+  std::optional<std::vector<std::size_t>> find_argument_permutation(
+      const std::vector<reflect::ParamDescription>& source_params,
+      std::string_view source_ns,
+      const std::vector<reflect::ParamDescription>& target_params,
+      std::string_view target_ns, Ctx& ctx);
+
+  reflect::TypeResolver& resolver_;
+  ConformanceOptions options_;
+  ConformanceCache* cache_;
+};
+
+}  // namespace pti::conform

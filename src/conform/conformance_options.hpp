@@ -1,0 +1,88 @@
+// Tunable knobs of the implicit structural conformance relation.
+//
+// Defaults implement the paper's rules exactly (Section 4.2, Fig. 2):
+// case-insensitive names with Levenshtein distance 0, all aspects checked,
+// argument permutations considered. The non-default settings exist for the
+// extensions the paper sketches (wildcards, relaxed names) and for the E7
+// ablation benchmarks — including the "weaker rule" (name-only) that the
+// paper explicitly warns breaks type safety.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace pti::conform {
+
+/// What to do when one target member is matched by several source members.
+enum class AmbiguityPolicy : std::uint8_t {
+  First,      ///< pick the first declared match (paper: programmer's choice)
+  PreferExactName,  ///< prefer an exact (case-insensitive) name match, then first
+  Error,      ///< refuse: report the ambiguity as a failure
+};
+
+/// How *member* (method/field) names are compared. Type names always use
+/// the Levenshtein rule the paper states; for members the paper's formula
+/// is lenient enough to let `getName` interoperate with `getPersonName`
+/// (its own motivating example), which we reconstruct as token-subset
+/// matching. Exact and Contains exist for the E7 ablation.
+enum class MemberNameRule : std::uint8_t {
+  TokenSubset,  ///< camelCase tokens of one name include the other's (default)
+  Contains,     ///< case-insensitive substring either way
+  Exact,        ///< Levenshtein within max_name_distance (0 == equality)
+};
+
+struct ConformanceOptions {
+  // --- name aspect (i) ----------------------------------------------------
+  /// Maximum Levenshtein distance between (case-folded) names; the paper
+  /// uses 0.
+  std::uint32_t max_name_distance = 0;
+  /// Allow '*'/'?' wildcards in *target* names (paper: "wildcards could be
+  /// allowed but this is not the aim of this paper").
+  bool allow_wildcards = false;
+  /// Member (method/field) name comparison; see MemberNameRule.
+  MemberNameRule member_name_rule = MemberNameRule::TokenSubset;
+
+  // --- aspect toggles (for the ablation; all true == the paper's rule) ----
+  bool check_name = true;
+  bool check_fields = true;
+  bool check_supertypes = true;
+  bool check_methods = true;
+  bool check_constructors = true;
+
+  // --- method aspect (iv) --------------------------------------------------
+  /// Consider argument permutations, as Fig. 2's Perm(...) does.
+  bool allow_permutations = true;
+  /// Require identical visibility/static modifiers ("the modifiers of the
+  /// methods are supposed to be the same").
+  bool require_same_modifiers = true;
+
+  // --- extensions beyond the paper (default off) ---------------------------
+  /// Widening primitive conformance: int32 ≼ int64 ≼ float64.
+  bool allow_numeric_widening = false;
+
+  AmbiguityPolicy ambiguity = AmbiguityPolicy::First;
+
+  /// Stable fingerprint used in conformance-cache keys.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    std::uint64_t h = util::fnv1a64("conformance-options");
+    const auto mix = [&h](std::uint64_t v) { h = util::hash_combine(h, v); };
+    mix(max_name_distance);
+    mix(allow_wildcards);
+    mix(static_cast<std::uint64_t>(member_name_rule));
+    mix(check_name);
+    mix(check_fields);
+    mix(check_supertypes);
+    mix(check_methods);
+    mix(check_constructors);
+    mix(allow_permutations);
+    mix(require_same_modifiers);
+    mix(allow_numeric_widening);
+    mix(static_cast<std::uint64_t>(ambiguity));
+    return h;
+  }
+
+  bool operator==(const ConformanceOptions&) const = default;
+};
+
+}  // namespace pti::conform

@@ -1,0 +1,43 @@
+#include "conform/conformance_plan.hpp"
+
+#include "util/string_util.hpp"
+
+namespace pti::conform {
+
+std::string_view to_string(ConformanceKind kind) noexcept {
+  switch (kind) {
+    case ConformanceKind::Identity: return "identity";
+    case ConformanceKind::Equivalent: return "equivalent";
+    case ConformanceKind::Explicit: return "explicit";
+    case ConformanceKind::ImplicitStructural: return "implicit-structural";
+  }
+  return "?";
+}
+
+const MethodMapping* ConformancePlan::find_method(std::string_view target_name,
+                                                  std::size_t arity) const noexcept {
+  for (const auto& m : methods_) {
+    if (m.arity == arity && util::iequals(m.target_name, target_name)) return &m;
+  }
+  return nullptr;
+}
+
+const FieldMapping* ConformancePlan::find_field(
+    std::string_view target_field) const noexcept {
+  for (const auto& f : fields_) {
+    if (util::iequals(f.target_field, target_field)) return &f;
+  }
+  return nullptr;
+}
+
+bool ConformancePlan::has_ambiguities() const noexcept {
+  for (const auto& m : methods_) {
+    if (m.candidate_count > 1) return true;
+  }
+  for (const auto& c : ctors_) {
+    if (c.candidate_count > 1) return true;
+  }
+  return false;
+}
+
+}  // namespace pti::conform

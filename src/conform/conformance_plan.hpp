@@ -1,0 +1,107 @@
+// ConformancePlan — the *witness* of a successful conformance check.
+//
+// Knowing that T conforms to T' is not enough to use a T where a T' is
+// expected: the dynamic proxy must know which source method realizes each
+// target method and how the arguments were permuted. The checker produces
+// this plan as a by-product; the proxy executes it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pti::conform {
+
+/// How conformance was established, from strongest to weakest.
+enum class ConformanceKind : std::uint8_t {
+  Identity,            ///< same type identity (GUID)
+  Equivalent,          ///< structurally equal descriptions
+  Explicit,            ///< nominal subtyping (paper's explicit conformance)
+  ImplicitStructural,  ///< the paper's rule (vi)
+};
+
+[[nodiscard]] std::string_view to_string(ConformanceKind kind) noexcept;
+
+/// Maps one target method onto a source method.
+struct MethodMapping {
+  std::string target_name;
+  std::string source_name;
+  std::size_t arity = 0;
+  /// arg_permutation[i] = index of the *target-side* argument that feeds
+  /// source parameter i. Identity permutation == {0, 1, ..., n-1}.
+  std::vector<std::size_t> arg_permutation;
+  /// Return/argument type names, used by the proxy to decide whether
+  /// results need recursive wrapping.
+  std::string target_return_type;
+  std::string source_return_type;
+  /// Number of equally acceptable source candidates found (> 1 == the
+  /// ambiguous case the paper leaves to the programmer).
+  std::size_t candidate_count = 1;
+
+  [[nodiscard]] bool is_identity_permutation() const noexcept {
+    for (std::size_t i = 0; i < arg_permutation.size(); ++i) {
+      if (arg_permutation[i] != i) return false;
+    }
+    return true;
+  }
+};
+
+struct FieldMapping {
+  std::string target_field;
+  std::string source_field;
+  std::string target_type;
+  std::string source_type;
+};
+
+struct CtorMapping {
+  std::size_t arity = 0;
+  std::vector<std::size_t> arg_permutation;
+  std::size_t candidate_count = 1;
+};
+
+class ConformancePlan {
+ public:
+  ConformancePlan() = default;
+  ConformancePlan(std::string source_type, std::string target_type, ConformanceKind kind)
+      : source_type_(std::move(source_type)),
+        target_type_(std::move(target_type)),
+        kind_(kind) {}
+
+  [[nodiscard]] const std::string& source_type() const noexcept { return source_type_; }
+  [[nodiscard]] const std::string& target_type() const noexcept { return target_type_; }
+  [[nodiscard]] ConformanceKind kind() const noexcept { return kind_; }
+
+  void add_method(MethodMapping m) { methods_.push_back(std::move(m)); }
+  void add_field(FieldMapping f) { fields_.push_back(std::move(f)); }
+  void add_ctor(CtorMapping c) { ctors_.push_back(std::move(c)); }
+
+  [[nodiscard]] const std::vector<MethodMapping>& methods() const noexcept { return methods_; }
+  [[nodiscard]] const std::vector<FieldMapping>& fields() const noexcept { return fields_; }
+  [[nodiscard]] const std::vector<CtorMapping>& ctors() const noexcept { return ctors_; }
+
+  /// Lookup used on every proxied invocation (case-insensitive name).
+  [[nodiscard]] const MethodMapping* find_method(std::string_view target_name,
+                                                 std::size_t arity) const noexcept;
+  [[nodiscard]] const FieldMapping* find_field(std::string_view target_field) const noexcept;
+
+  /// True when any member mapping had several candidates.
+  [[nodiscard]] bool has_ambiguities() const noexcept;
+
+  /// Identity/equivalent/explicit plans need no adaptation at all: the
+  /// proxy can pass calls straight through.
+  [[nodiscard]] bool is_passthrough() const noexcept {
+    return kind_ != ConformanceKind::ImplicitStructural;
+  }
+
+ private:
+  std::string source_type_;
+  std::string target_type_;
+  ConformanceKind kind_ = ConformanceKind::Identity;
+  std::vector<MethodMapping> methods_;
+  std::vector<FieldMapping> fields_;
+  std::vector<CtorMapping> ctors_;
+};
+
+}  // namespace pti::conform

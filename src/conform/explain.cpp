@@ -1,0 +1,75 @@
+#include "conform/explain.hpp"
+
+#include <sstream>
+
+namespace pti::conform {
+
+namespace {
+
+void render_permutation(std::ostringstream& out, const std::vector<std::size_t>& perm) {
+  bool identity = true;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != i) {
+      identity = false;
+      break;
+    }
+  }
+  if (identity) return;
+  out << " [args:";
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    out << ' ' << i << "<-" << perm[i];
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string render_plan(const ConformancePlan& plan) {
+  std::ostringstream out;
+  out << plan.source_type() << " as " << plan.target_type() << " ("
+      << to_string(plan.kind()) << ")\n";
+  if (plan.is_passthrough()) {
+    out << "  passthrough: no adaptation required\n";
+    return out.str();
+  }
+  for (const MethodMapping& m : plan.methods()) {
+    out << "  method " << m.target_name << "/" << m.arity << " -> " << m.source_name;
+    render_permutation(out, m.arg_permutation);
+    if (m.candidate_count > 1) {
+      out << " (AMBIGUOUS: " << m.candidate_count << " candidates)";
+    }
+    out << '\n';
+  }
+  for (const FieldMapping& f : plan.fields()) {
+    out << "  field  " << f.target_field << ":" << f.target_type << " -> "
+        << f.source_field << ":" << f.source_type << '\n';
+  }
+  for (const CtorMapping& c : plan.ctors()) {
+    out << "  ctor   /" << c.arity;
+    render_permutation(out, c.arg_permutation);
+    if (c.candidate_count > 1) {
+      out << " (AMBIGUOUS: " << c.candidate_count << " candidates)";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string explain(const CheckResult& result) {
+  std::ostringstream out;
+  out << "verdict: " << (result.conformant ? "CONFORMANT" : "NOT CONFORMANT");
+  if (result.needs_more_types()) out << " (provisional: missing descriptions)";
+  out << '\n';
+  if (result.conformant) {
+    out << render_plan(result.plan);
+  }
+  for (const std::string& failure : result.failures) {
+    out << "  failure: " << failure << '\n';
+  }
+  for (const std::string& missing : result.missing_types) {
+    out << "  missing description: " << missing << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pti::conform

@@ -1,0 +1,23 @@
+// Human-readable rendering of conformance verdicts and plans.
+//
+// The paper leaves ambiguity resolution "up to the programmer to decide" —
+// which presupposes the programmer can *see* what matched what. These
+// helpers turn a CheckResult into the report a tool or log would print:
+// the conformance kind, every method/field/constructor mapping (with
+// permutations and candidate counts), failures and unresolved types.
+#pragma once
+
+#include <string>
+
+#include "conform/conformance_checker.hpp"
+#include "conform/conformance_plan.hpp"
+
+namespace pti::conform {
+
+/// Multi-line rendering of a full check result.
+[[nodiscard]] std::string explain(const CheckResult& result);
+
+/// Multi-line rendering of a plan's member mappings.
+[[nodiscard]] std::string render_plan(const ConformancePlan& plan);
+
+}  // namespace pti::conform

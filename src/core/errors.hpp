@@ -1,0 +1,25 @@
+// Aggregated error hierarchy of the library. Everything derives from
+// pti::Error (util/error.hpp):
+//
+//   pti::Error
+//   ├── xml::XmlError            malformed XML documents
+//   ├── reflect::ReflectError    unknown types/members, bad dynamic access
+//   ├── conform::ConformError    conformance machinery misuse
+//   │   └── conform::AmbiguityError
+//   ├── serial::SerialError      malformed payloads, unknown encodings
+//   ├── proxy::ProxyError        invocation through missing mappings
+//   │   └── proxy::NonConformantError
+//   ├── transport::TransportError
+//   │   ├── transport::NetworkError   drops, unknown recipients
+//   │   └── transport::ProtocolError  optimistic-protocol failures
+//   └── remoting::RemotingError  failed remote invocations
+#pragma once
+
+#include "conform/conform_error.hpp"
+#include "proxy/proxy_error.hpp"
+#include "reflect/reflect_error.hpp"
+#include "remoting/remoting_error.hpp"
+#include "serial/serial_error.hpp"
+#include "transport/transport_error.hpp"
+#include "util/error.hpp"
+#include "xml/xml_error.hpp"

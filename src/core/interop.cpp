@@ -1,0 +1,94 @@
+#include "core/interop.hpp"
+
+namespace pti::core {
+
+using reflect::DynObject;
+using reflect::Value;
+
+InteropRuntime::InteropRuntime(std::string name, transport::SimNetwork& network,
+                               std::shared_ptr<transport::AssemblyHub> hub,
+                               transport::PeerConfig config)
+    : peer_(std::move(name), network, std::move(hub), std::move(config)),
+      remoting_(peer_) {
+  peer_.set_delivery_handler([this](const transport::DeliveredObject& delivered) {
+    const auto [begin, end] = handlers_.equal_range(delivered.interest_type);
+    for (auto it = begin; it != end; ++it) it->second(delivered);
+  });
+}
+
+void InteropRuntime::publish_assembly(std::shared_ptr<const reflect::Assembly> assembly) {
+  peer_.host_assembly(std::move(assembly));
+}
+
+std::shared_ptr<DynObject> InteropRuntime::make(std::string_view type_name,
+                                                reflect::Args args) {
+  const reflect::TypeDescription* d = peer_.domain().registry().find(type_name);
+  const std::string resolved =
+      d != nullptr ? d->qualified_name() : std::string(type_name);
+  return peer_.domain().instantiate(resolved, args);
+}
+
+Value InteropRuntime::call(const std::shared_ptr<DynObject>& object,
+                           std::string_view method_name, reflect::Args args) {
+  return peer_.proxies().invoke(object, method_name, args);
+}
+
+std::shared_ptr<DynObject> InteropRuntime::adapt(const std::shared_ptr<DynObject>& object,
+                                                 std::string_view target_type) {
+  return peer_.proxies().wrap(object, target_type);
+}
+
+conform::CheckResult InteropRuntime::check_conformance(std::string_view source_type,
+                                                       std::string_view target_type) {
+  return peer_.checker().check(source_type, target_type);
+}
+
+void InteropRuntime::subscribe(std::string_view type_name, EventHandler handler) {
+  peer_.add_interest(type_name);
+  const reflect::TypeDescription* d = peer_.domain().registry().find(type_name);
+  handlers_.emplace(d->qualified_name(), std::move(handler));
+}
+
+transport::PushAck InteropRuntime::send(std::string_view to,
+                                        const std::shared_ptr<DynObject>& object) {
+  return peer_.send_object(to, object);
+}
+
+std::uint64_t InteropRuntime::export_object(std::shared_ptr<DynObject> object) {
+  return remoting_.export_object(std::move(object));
+}
+
+std::shared_ptr<DynObject> InteropRuntime::import_remote(std::string_view host,
+                                                         std::uint64_t object_id,
+                                                         std::string_view type_name) {
+  return remoting_.import_ref(host, object_id, type_name);
+}
+
+InteropSystem::InteropSystem(std::uint64_t seed)
+    : network_(seed), hub_(std::make_shared<transport::AssemblyHub>()) {}
+
+InteropRuntime& InteropSystem::create_runtime(std::string name,
+                                              transport::PeerConfig config) {
+  if (runtimes_.contains(name)) {
+    throw transport::TransportError("runtime '" + name + "' already exists");
+  }
+  auto runtime =
+      std::make_unique<InteropRuntime>(name, network_, hub_, std::move(config));
+  InteropRuntime& ref = *runtime;
+  runtimes_.emplace(std::move(name), std::move(runtime));
+  return ref;
+}
+
+InteropRuntime* InteropSystem::find(std::string_view name) noexcept {
+  const auto it = runtimes_.find(name);
+  return it == runtimes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<InteropRuntime*> InteropSystem::runtimes() {
+  std::vector<InteropRuntime*> out;
+  out.reserve(runtimes_.size());
+  for (auto& [name, rt] : runtimes_) out.push_back(rt.get());
+  return out;
+}
+
+}  // namespace pti::core

@@ -1,0 +1,124 @@
+// The public API of the library: InteropSystem (the simulated distributed
+// universe) and InteropRuntime (one participant's middleware instance).
+//
+// This is the layer a downstream user programs against:
+//
+//   pti::core::InteropSystem system;
+//   auto& alice = system.create_runtime("alice");
+//   auto& bob   = system.create_runtime("bob");
+//
+//   alice.publish_assembly(team_a_assembly);          // types + code
+//   bob.publish_assembly(team_b_assembly);
+//
+//   bob.subscribe("teamB.Person", [&](const auto& ev) {
+//     // ev.adapted is usable as teamB.Person even though alice sent
+//     // a teamA.Person — implicit structural conformance at work.
+//     bob.call(ev.adapted, "getPersonName");
+//   });
+//
+//   alice.send("bob", alice.make("teamA.Person", {Value("Alice")}));
+//
+// Everything underneath — hybrid envelopes, the optimistic transport
+// protocol, on-demand description/code download, conformance checking and
+// dynamic proxies — is the machinery of the paper, reachable through the
+// accessors when finer control is needed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "remoting/remoting.hpp"
+#include "transport/assembly_hub.hpp"
+#include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
+
+namespace pti::core {
+
+class InteropSystem;
+
+class InteropRuntime {
+ public:
+  InteropRuntime(std::string name, transport::SimNetwork& network,
+                 std::shared_ptr<transport::AssemblyHub> hub,
+                 transport::PeerConfig config = {});
+  InteropRuntime(const InteropRuntime&) = delete;
+  InteropRuntime& operator=(const InteropRuntime&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return peer_.name(); }
+
+  // --- types & code -------------------------------------------------------
+  /// Loads an assembly locally and makes it downloadable by other peers.
+  void publish_assembly(std::shared_ptr<const reflect::Assembly> assembly);
+  [[nodiscard]] reflect::Domain& domain() noexcept { return peer_.domain(); }
+
+  // --- object lifecycle ----------------------------------------------------
+  /// Instantiates a locally loaded type.
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> make(std::string_view type_name,
+                                                         reflect::Args args = {});
+  /// Universal invocation (direct, dynamic proxy or remote reference).
+  reflect::Value call(const std::shared_ptr<reflect::DynObject>& object,
+                      std::string_view method_name, reflect::Args args = {});
+  /// Adapts an object to a locally known target type (possibly a proxy).
+  /// Throws proxy::NonConformantError if the types do not conform.
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> adapt(
+      const std::shared_ptr<reflect::DynObject>& object, std::string_view target_type);
+  /// Conformance query between two known type names.
+  [[nodiscard]] conform::CheckResult check_conformance(std::string_view source_type,
+                                                       std::string_view target_type);
+
+  // --- pass-by-value exchange ----------------------------------------------
+  using EventHandler = std::function<void(const transport::DeliveredObject&)>;
+  /// Declares an interest in a local type and registers a callback fired
+  /// for every delivered object that conformed to it.
+  void subscribe(std::string_view type_name, EventHandler handler);
+  /// Sends an object graph to another runtime (pass-by-value).
+  transport::PushAck send(std::string_view to,
+                          const std::shared_ptr<reflect::DynObject>& object);
+
+  // --- pass-by-reference ----------------------------------------------------
+  /// Exports an object for remote invocation; returns its object id.
+  std::uint64_t export_object(std::shared_ptr<reflect::DynObject> object);
+  /// Imports a remote reference (fetching the type description if needed).
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> import_remote(
+      std::string_view host, std::uint64_t object_id, std::string_view type_name);
+
+  // --- internals, exposed for tests/benchmarks/applications ----------------
+  [[nodiscard]] transport::Peer& peer() noexcept { return peer_; }
+  [[nodiscard]] remoting::Remoting& remoting() noexcept { return remoting_; }
+  [[nodiscard]] proxy::ProxyFactory& proxies() noexcept { return peer_.proxies(); }
+  [[nodiscard]] conform::ConformanceChecker& checker() noexcept { return peer_.checker(); }
+  [[nodiscard]] transport::ProtocolStats& stats() noexcept { return peer_.stats(); }
+
+ private:
+  transport::Peer peer_;
+  remoting::Remoting remoting_;
+  std::multimap<std::string, EventHandler, util::ICaseLess> handlers_;
+};
+
+/// Owns the simulated universe: the network, the assembly hub and the
+/// runtimes attached to them.
+class InteropSystem {
+ public:
+  explicit InteropSystem(std::uint64_t seed = 42);
+
+  [[nodiscard]] transport::SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] const std::shared_ptr<transport::AssemblyHub>& hub() const noexcept {
+    return hub_;
+  }
+
+  InteropRuntime& create_runtime(std::string name, transport::PeerConfig config = {});
+  [[nodiscard]] InteropRuntime* find(std::string_view name) noexcept;
+  [[nodiscard]] std::vector<InteropRuntime*> runtimes();
+
+ private:
+  transport::SimNetwork network_;
+  std::shared_ptr<transport::AssemblyHub> hub_;
+  std::map<std::string, std::unique_ptr<InteropRuntime>, util::ICaseLess> runtimes_;
+};
+
+}  // namespace pti::core

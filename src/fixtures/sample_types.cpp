@@ -1,0 +1,472 @@
+#include "fixtures/sample_types.hpp"
+
+#include <algorithm>
+
+#include "reflect/primitives.hpp"
+#include "reflect/type_builder.hpp"
+
+namespace pti::fixtures {
+
+using reflect::Args;
+using reflect::Assembly;
+using reflect::DynObject;
+using reflect::ParamDescription;
+using reflect::TypeBuilder;
+using reflect::TypeKind;
+using reflect::Value;
+using reflect::Visibility;
+
+namespace {
+
+std::string str(std::string_view s) { return std::string(s); }
+
+}  // namespace
+
+std::shared_ptr<const Assembly> team_a_people() {
+  auto assembly = std::make_shared<Assembly>("teamA.people");
+
+  assembly->add_type(
+      TypeBuilder("teamA", "INamed", TypeKind::Interface)
+          .method("getName", str(reflect::kStringType), {})
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("teamA", "Address")
+          .field("street", str(reflect::kStringType))
+          .field("zip", str(reflect::kInt32Type))
+          .constructor({{"street", str(reflect::kStringType)},
+                        {"zip", str(reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("street", a[0]);
+                         self.set("zip", a[1]);
+                       })
+          .method("getStreet", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("street"); })
+          .method("getZip", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("zip"); })
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("teamA", "Person")
+          .implements("teamA.INamed")
+          .field("name", str(reflect::kStringType))
+          .field("address", "Address")
+          .constructor({{"name", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("name", a[0]); })
+          .method("getName", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("name"); })
+          .method("setName", str(reflect::kVoidType),
+                  {{"name", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    self.set("name", a[0]);
+                    return Value();
+                  })
+          .method("getAddress", "Address", {},
+                  [](DynObject& self, Args) { return self.get("address"); })
+          .method("setAddress", str(reflect::kVoidType), {{"address", "Address"}},
+                  [](DynObject& self, Args a) {
+                    self.set("address", a[0]);
+                    return Value();
+                  })
+          .method("greet", str(reflect::kStringType),
+                  {{"greeting", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    return Value(a[0].as_string() + ", " + self.get("name").as_string() +
+                                 "!");
+                  })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> team_b_people() {
+  auto assembly = std::make_shared<Assembly>("teamB.people");
+
+  assembly->add_type(
+      TypeBuilder("teamB", "INamed", TypeKind::Interface)
+          .method("getPersonName", str(reflect::kStringType), {})
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("teamB", "Address")
+          .field("street", str(reflect::kStringType))
+          .field("zip", str(reflect::kInt32Type))
+          .constructor({{"streetName", str(reflect::kStringType)},
+                        {"zipCode", str(reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("street", a[0]);
+                         self.set("zip", a[1]);
+                       })
+          .method("getStreetName", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("street"); })
+          .method("getZipCode", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("zip"); })
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("teamB", "Person")
+          .implements("teamB.INamed")
+          .field("name", str(reflect::kStringType))
+          .field("address", "Address")
+          .constructor({{"personName", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("name", a[0]); })
+          .method("getPersonName", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("name"); })
+          .method("setPersonName", str(reflect::kVoidType),
+                  {{"personName", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    self.set("name", a[0]);
+                    return Value();
+                  })
+          .method("getAddress", "Address", {},
+                  [](DynObject& self, Args) { return self.get("address"); })
+          .method("setAddress", str(reflect::kVoidType), {{"address", "Address"}},
+                  [](DynObject& self, Args a) {
+                    self.set("address", a[0]);
+                    return Value();
+                  })
+          .method("greet", str(reflect::kStringType),
+                  {{"salutation", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    return Value(a[0].as_string() + ", " + self.get("name").as_string() +
+                                 "!");
+                  })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> team_evil_people() {
+  auto assembly = std::make_shared<Assembly>("evilC.people");
+
+  assembly->add_type(
+      TypeBuilder("evilC", "INamed", TypeKind::Interface)
+          .method("getName", str(reflect::kStringType), {})
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("evilC", "Address")
+          .field("street", str(reflect::kStringType))
+          .field("zip", str(reflect::kInt32Type))
+          .constructor({{"street", str(reflect::kStringType)},
+                        {"zip", str(reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("street", a[0]);
+                         self.set("zip", a[1]);
+                       })
+          .method("getStreet", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("street"); })
+          .method("getZip", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("zip"); })
+          .build());
+
+  assembly->add_type(
+      TypeBuilder("evilC", "Person")
+          .implements("evilC.INamed")
+          .field("name", str(reflect::kStringType))
+          .field("address", "Address")
+          .constructor({{"name", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("name", a[0]); })
+          // Structurally a perfect Person; behaviorally wrong on purpose.
+          .method("getName", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) {
+                    std::string reversed = self.get("name").as_string();
+                    std::reverse(reversed.begin(), reversed.end());
+                    return Value(std::move(reversed));
+                  })
+          .method("setName", str(reflect::kVoidType),
+                  {{"name", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    self.set("name", a[0]);
+                    return Value();
+                  })
+          .method("getAddress", "Address", {},
+                  [](DynObject& self, Args) { return self.get("address"); })
+          .method("setAddress", str(reflect::kVoidType), {{"address", "Address"}},
+                  [](DynObject& self, Args a) {
+                    self.set("address", a[0]);
+                    return Value();
+                  })
+          .method("greet", str(reflect::kStringType),
+                  {{"greeting", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    return Value(self.get("name").as_string() + "? " +
+                                 a[0].as_string() + "...");
+                  })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> planner_meetings() {
+  auto assembly = std::make_shared<Assembly>("planner.schedule");
+  assembly->add_type(
+      TypeBuilder("planner", "Meeting")
+          .field("title", str(reflect::kStringType))
+          .field("start", str(reflect::kInt64Type))
+          .constructor({{"title", str(reflect::kStringType)},
+                        {"start", str(reflect::kInt64Type)}},
+                       [](DynObject& self, Args a) {
+                         self.set("title", a[0]);
+                         self.set("start", a[1]);
+                       })
+          .method("getTitle", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("title"); })
+          .method("getMeetingStart", str(reflect::kInt64Type), {},
+                  [](DynObject& self, Args) { return self.get("start"); })
+          .method("reschedule", str(reflect::kVoidType),
+                  {{"title", str(reflect::kStringType)},
+                   {"start", str(reflect::kInt64Type)}},
+                  [](DynObject& self, Args a) {
+                    self.set("title", a[0]);
+                    self.set("start", a[1]);
+                    return Value();
+                  })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> agenda_meetings() {
+  auto assembly = std::make_shared<Assembly>("agenda.schedule");
+  assembly->add_type(
+      TypeBuilder("agenda", "Meeting")
+          .field("title", str(reflect::kStringType))
+          .field("startTime", str(reflect::kInt64Type))
+          // Same constituent parts as planner.Meeting, permuted order.
+          .constructor({{"begin", str(reflect::kInt64Type)},
+                        {"title", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) {
+                         self.set("startTime", a[0]);
+                         self.set("title", a[1]);
+                       })
+          .method("getTitle", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("title"); })
+          .method("getStart", str(reflect::kInt64Type), {},
+                  [](DynObject& self, Args) { return self.get("startTime"); })
+          .method("reschedule", str(reflect::kVoidType),
+                  {{"begin", str(reflect::kInt64Type)},
+                   {"title", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    self.set("startTime", a[0]);
+                    self.set("title", a[1]);
+                    return Value();
+                  })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> bank_accounts() {
+  auto assembly = std::make_shared<Assembly>("bank.accounts");
+  assembly->add_type(
+      TypeBuilder("bank", "Account")
+          .field("owner", str(reflect::kStringType))
+          .field("balance", str(reflect::kFloat64Type))
+          .constructor({{"owner", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("owner", a[0]); })
+          .method("getOwner", str(reflect::kStringType), {},
+                  [](DynObject& self, Args) { return self.get("owner"); })
+          .method("getBalance", str(reflect::kFloat64Type), {},
+                  [](DynObject& self, Args) { return self.get("balance"); })
+          .method("deposit", str(reflect::kVoidType),
+                  {{"amount", str(reflect::kFloat64Type)}},
+                  [](DynObject& self, Args a) {
+                    self.set("balance",
+                             Value(self.get("balance").as_float64() + a[0].as_float64()));
+                    return Value();
+                  })
+          .build());
+  return assembly;
+}
+
+namespace {
+
+/// Walks a homogeneous linked chain summing the value field.
+Value sum_chain(DynObject& self, std::string_view value_field,
+                std::string_view next_field) {
+  std::int64_t total = 0;
+  const DynObject* current = &self;
+  while (current != nullptr) {
+    total += current->get(value_field).as_int32();
+    const Value next = current->get_or_null(next_field);
+    current = (next.kind() == reflect::ValueKind::Object && next.as_object())
+                  ? next.as_object().get()
+                  : nullptr;
+  }
+  return Value(static_cast<std::int32_t>(total));
+}
+
+}  // namespace
+
+std::shared_ptr<const Assembly> lists_a() {
+  auto assembly = std::make_shared<Assembly>("listsA.collections");
+  assembly->add_type(
+      TypeBuilder("listsA", "Node")
+          .field("value", str(reflect::kInt32Type))
+          .field("next", "Node")
+          .constructor({{"value", str(reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) { self.set("value", a[0]); })
+          .method("getValue", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("value"); })
+          .method("getNext", "Node", {},
+                  [](DynObject& self, Args) { return self.get("next"); })
+          .method("setNext", str(reflect::kVoidType), {{"next", "Node"}},
+                  [](DynObject& self, Args a) {
+                    self.set("next", a[0]);
+                    return Value();
+                  })
+          .method("sum", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return sum_chain(self, "value", "next"); })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> lists_b() {
+  auto assembly = std::make_shared<Assembly>("listsB.collections");
+  assembly->add_type(
+      TypeBuilder("listsB", "Node")
+          .field("nodeValue", str(reflect::kInt32Type))
+          .field("nextNode", "Node")
+          .constructor({{"nodeValue", str(reflect::kInt32Type)}},
+                       [](DynObject& self, Args a) { self.set("nodeValue", a[0]); })
+          .method("getNodeValue", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("nodeValue"); })
+          .method("getNextNode", "Node", {},
+                  [](DynObject& self, Args) { return self.get("nextNode"); })
+          .method("setNextNode", str(reflect::kVoidType), {{"nextNode", "Node"}},
+                  [](DynObject& self, Args a) {
+                    self.set("nextNode", a[0]);
+                    return Value();
+                  })
+          .method("sum", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) {
+                    return sum_chain(self, "nodeValue", "nextNode");
+                  })
+          .build());
+  return assembly;
+}
+
+namespace {
+
+std::shared_ptr<const reflect::NativeType> tagged_point(const std::string& ns, bool tag) {
+  return TypeBuilder(ns, tag ? "Point" : "PlainPoint")
+      .structural_tag(tag)
+      .field("x", str(reflect::kInt32Type))
+      .field("y", str(reflect::kInt32Type))
+      .constructor({{"x", str(reflect::kInt32Type)}, {"y", str(reflect::kInt32Type)}},
+                   [](DynObject& self, Args a) {
+                     self.set("x", a[0]);
+                     self.set("y", a[1]);
+                   })
+      .method("getX", str(reflect::kInt32Type), {},
+              [](DynObject& self, Args) { return self.get("x"); })
+      .method("getY", str(reflect::kInt32Type), {},
+              [](DynObject& self, Args) { return self.get("y"); })
+      .build();
+}
+
+}  // namespace
+
+std::shared_ptr<const Assembly> tagged_a() {
+  auto assembly = std::make_shared<Assembly>("taggedA.geometry");
+  assembly->add_type(tagged_point("taggedA", true));
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> tagged_b() {
+  auto assembly = std::make_shared<Assembly>("taggedB.geometry");
+  assembly->add_type(tagged_point("taggedB", true));
+  assembly->add_type(tagged_point("taggedB", false));  // untagged twin
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> print_shop() {
+  auto assembly = std::make_shared<Assembly>("shopA.devices");
+  assembly->add_type(
+      TypeBuilder("shopA", "Printer")
+          .field("name", str(reflect::kStringType))
+          .field("queue", str(reflect::kInt32Type))
+          .constructor({{"name", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("name", a[0]); })
+          .method("print", str(reflect::kInt32Type),
+                  {{"doc", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    const auto pages =
+                        static_cast<std::int32_t>(a[0].as_string().size() / 10 + 1);
+                    self.set("queue", Value(self.get("queue").as_int32() + pages));
+                    return Value(pages);
+                  })
+          .method("getQueueLength", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("queue"); })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> office_devices() {
+  auto assembly = std::make_shared<Assembly>("officeB.devices");
+  assembly->add_type(
+      TypeBuilder("officeB", "Printer")
+          .field("printerName", str(reflect::kStringType))
+          .field("queue", str(reflect::kInt32Type))
+          .constructor({{"printerName", str(reflect::kStringType)}},
+                       [](DynObject& self, Args a) { self.set("printerName", a[0]); })
+          .method("printDocument", str(reflect::kInt32Type),
+                  {{"document", str(reflect::kStringType)}},
+                  [](DynObject& self, Args a) {
+                    const auto pages =
+                        static_cast<std::int32_t>(a[0].as_string().size() / 10 + 1);
+                    self.set("queue", Value(self.get("queue").as_int32() + pages));
+                    return Value(pages);
+                  })
+          .method("getPrintQueueLength", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("queue"); })
+          .build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> wide_type(const std::string& ns, const std::string& name,
+                                          std::size_t field_count,
+                                          std::size_t method_count) {
+  auto assembly = std::make_shared<Assembly>(ns + ".generated");
+  TypeBuilder builder(ns, name);
+  for (std::size_t i = 0; i < field_count; ++i) {
+    builder.field("f" + std::to_string(i),
+                  i % 2 == 0 ? str(reflect::kInt32Type) : str(reflect::kStringType));
+  }
+  for (std::size_t i = 0; i < method_count; ++i) {
+    const std::string field_name = "f" + std::to_string(i % std::max<std::size_t>(
+                                                                field_count, 1));
+    const std::string type_name = (i % std::max<std::size_t>(field_count, 1)) % 2 == 0
+                                      ? str(reflect::kInt32Type)
+                                      : str(reflect::kStringType);
+    if (field_count == 0) {
+      builder.method("m" + std::to_string(i), str(reflect::kInt32Type), {},
+                     [](DynObject&, Args) { return Value(std::int32_t{0}); });
+    } else {
+      builder.method("getF" + std::to_string(i % field_count), type_name, {},
+                     [field_name](DynObject& self, Args) { return self.get(field_name); });
+    }
+  }
+  assembly->add_type(builder.build());
+  return assembly;
+}
+
+std::shared_ptr<const Assembly> deep_type_chain(const std::string& ns, std::size_t depth) {
+  auto assembly = std::make_shared<Assembly>(ns + ".chain");
+  for (std::size_t i = 0; i < depth; ++i) {
+    TypeBuilder builder(ns, "T" + std::to_string(i));
+    if (i + 1 < depth) {
+      // Qualified reference: two chains in different namespaces must not be
+      // *textually* identical (they would short-circuit as equivalent), the
+      // conformance recursion is the point of this fixture.
+      const std::string child_type = ns + ".T" + std::to_string(i + 1);
+      builder.field("child", child_type)
+          .method("getChild", child_type, {},
+                  [](DynObject& self, Args) { return self.get("child"); });
+    } else {
+      builder.field("payload", str(reflect::kInt32Type))
+          .method("getPayload", str(reflect::kInt32Type), {},
+                  [](DynObject& self, Args) { return self.get("payload"); });
+    }
+    assembly->add_type(builder.build());
+  }
+  return assembly;
+}
+
+}  // namespace pti::fixtures

@@ -1,0 +1,98 @@
+// Sample type universe used by tests, benchmarks and examples.
+//
+// These assemblies recreate the paper's running examples:
+//   * teamA.people / teamB.people — two teams' `Person` (the Section 3.1
+//     motivating example: getName/setName vs getPersonName/setPersonName),
+//     each with a nested `Address` (exercises recursive conformance and
+//     deep proxy wrapping);
+//   * planner.* / agenda.* — `Meeting` types whose constructors/methods
+//     take the same arguments in a different order (exercises argument
+//     permutations, Fig. 2's Perm);
+//   * bank.* — an `Account` type that conforms to nothing above (the
+//     rejection path of the optimistic protocol);
+//   * listsA.* / listsB.* — recursive linked-node types (coinductive
+//     conformance);
+//   * taggedA.* / taggedB.* — structurally tagged `Point` types for the
+//     Läufer-style baseline;
+//   * print shop types — `Printer`-like resources for the borrow/lend
+//     application.
+//
+// All builders are pure: each call returns a fresh Assembly, so different
+// peers can host identical universes independently.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "reflect/assembly.hpp"
+
+namespace pti::fixtures {
+
+// --- the paper's Person example ---------------------------------------------
+/// teamA.people: interface teamA.INamed; class teamA.Person
+/// (name/address fields; getName/setName/getAddress/setAddress/greet);
+/// class teamA.Address (street/zip; getStreet/getZip).
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> team_a_people();
+
+/// teamB.people: class teamB.Person (getPersonName/setPersonName/...);
+/// class teamB.Address — structurally conformant with teamA's.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> team_b_people();
+
+/// evilC.people: class evilC.Person — *structurally* conformant with
+/// teamA.Person but *behaviorally* divergent (getName reverses the name,
+/// greet uses a different format). Exercises the behavioral probe
+/// (conform/behavioral.hpp): structural rules accept it, differential
+/// testing exposes it.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> team_evil_people();
+
+// --- argument permutations ---------------------------------------------------
+/// planner.schedule: class planner.Meeting, ctor(title:string,start:int64),
+/// method reschedule(title:string,start:int64).
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> planner_meetings();
+
+/// agenda.schedule: class agenda.Meeting, ctor(begin:int64,title:string) —
+/// same parts, permuted order.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> agenda_meetings();
+
+// --- rejection path ----------------------------------------------------------
+/// bank.accounts: class bank.Account — conforms to none of the above.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> bank_accounts();
+
+// --- recursive types ---------------------------------------------------------
+/// listsA.collections: class listsA.Node {value:int32, next:Node} with
+/// getValue/getNext/setNext.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> lists_a();
+/// listsB.collections: class listsB.Node — same shape, different names
+/// inside (getNodeValue etc. still token-conformant).
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> lists_b();
+
+// --- tagged structural baseline ---------------------------------------------
+/// taggedA.geometry / taggedB.geometry: Point types carrying the
+/// structural tag (plus an untagged twin in B for the negative case).
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> tagged_a();
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> tagged_b();
+
+// --- borrow/lend resources ----------------------------------------------------
+/// shopA.devices: class shopA.Printer (print(doc:string)->int32 pages,
+/// getQueueLength()->int32).
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> print_shop();
+/// officeB.devices: class officeB.PrintingDevice (printDocument/
+/// getPrintQueueLength) — the borrower's criterion type.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> office_devices();
+
+// --- synthetic scaling types (benchmarks) -------------------------------------
+/// An assembly "<ns>.generated" with one class `<ns>.<name>` having
+/// `field_count` int32/string fields and `method_count` getter-style
+/// methods. Deterministic; used for width sweeps in E2/E4/E7.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> wide_type(
+    const std::string& ns, const std::string& name, std::size_t field_count,
+    std::size_t method_count);
+
+/// A chain of `depth` classes, `<ns>.T0 .. T<depth-1>`, where Ti has a
+/// field and getter of type Ti+1 — for depth sweeps of recursive
+/// conformance checking.
+[[nodiscard]] std::shared_ptr<const reflect::Assembly> deep_type_chain(
+    const std::string& ns, std::size_t depth);
+
+}  // namespace pti::fixtures

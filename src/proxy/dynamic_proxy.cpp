@@ -1,0 +1,235 @@
+#include "proxy/dynamic_proxy.hpp"
+
+#include <vector>
+
+#include "proxy/proxy_error.hpp"
+#include "reflect/primitives.hpp"
+
+namespace pti::proxy {
+
+using conform::CheckResult;
+using conform::ConformanceKind;
+using conform::ConformancePlan;
+using conform::MethodMapping;
+using reflect::DynObject;
+using reflect::TypeDescription;
+using reflect::Value;
+using reflect::ValueKind;
+
+namespace {
+
+constexpr int kMaxProxyDepth = 64;
+
+}  // namespace
+
+bool ProxyFactory::is_proxy(const DynObject& obj) noexcept {
+  return obj.has_field(kProxySourceField);
+}
+
+std::shared_ptr<DynObject> ProxyFactory::unwrap(std::shared_ptr<DynObject> obj) const {
+  while (obj && is_proxy(*obj)) {
+    obj = obj->get(kProxySourceField).as_object();
+  }
+  return obj;
+}
+
+std::shared_ptr<DynObject> ProxyFactory::wrap(std::shared_ptr<DynObject> source,
+                                              const TypeDescription& target_type) {
+  if (!source) throw ProxyError("cannot wrap a null object");
+  const TypeDescription* source_desc = domain_.registry().find(source->type_name());
+  if (source_desc == nullptr) {
+    throw ProxyError("no description registered for source type '" + source->type_name() +
+                     "'");
+  }
+  const CheckResult result = checker_.check(*source_desc, target_type);
+  if (!result.conformant) {
+    std::string detail;
+    for (const auto& f : result.failures) detail += "\n  - " + f;
+    throw NonConformantError("type '" + source->type_name() + "' does not conform to '" +
+                             target_type.qualified_name() + "'" + detail);
+  }
+  if (result.plan.is_passthrough()) {
+    return source;  // no adaptation needed, use the object directly
+  }
+  // Synthetic proxy object: nil GUID marks it as not being a "real"
+  // instance of the target type.
+  auto proxy_obj = DynObject::make(target_type.qualified_name(), util::Guid{});
+  proxy_obj->set(kProxySourceField, Value(std::move(source)));
+  return proxy_obj;
+}
+
+std::shared_ptr<DynObject> ProxyFactory::wrap(std::shared_ptr<DynObject> source,
+                                              std::string_view target_type_name) {
+  const TypeDescription* target = domain_.registry().find(target_type_name);
+  if (target == nullptr) {
+    throw ProxyError("no description registered for target type '" +
+                     std::string(target_type_name) + "'");
+  }
+  return wrap(std::move(source), *target);
+}
+
+const ConformancePlan ProxyFactory::plan_for(const DynObject& proxy_obj,
+                                             const DynObject& source_obj) {
+  const TypeDescription* source_desc = domain_.registry().find(source_obj.type_name());
+  const TypeDescription* target_desc = domain_.registry().find(proxy_obj.type_name());
+  if (source_desc == nullptr || target_desc == nullptr) {
+    throw ProxyError("proxy types vanished from the registry ('" + source_obj.type_name() +
+                     "' as '" + proxy_obj.type_name() + "')");
+  }
+  CheckResult result = checker_.check(*source_desc, *target_desc);
+  if (!result.conformant) {
+    throw NonConformantError("conformance of '" + source_obj.type_name() + "' to '" +
+                             proxy_obj.type_name() + "' no longer holds");
+  }
+  return std::move(result.plan);
+}
+
+Value ProxyFactory::invoke(const std::shared_ptr<DynObject>& obj,
+                           std::string_view method_name, reflect::Args args) {
+  return invoke_depth(obj, method_name, args, 0);
+}
+
+Value ProxyFactory::invoke_depth(const std::shared_ptr<DynObject>& obj,
+                                 std::string_view method_name, reflect::Args args,
+                                 int depth) {
+  if (!obj) throw ProxyError("cannot invoke on a null object");
+  if (depth > kMaxProxyDepth) {
+    throw ProxyError("proxy nesting exceeds " + std::to_string(kMaxProxyDepth) +
+                     " levels (cyclic wrapping?)");
+  }
+
+  if (remote_ != nullptr && remote_->is_remote_ref(*obj)) {
+    return remote_->invoke_remote(*obj, method_name, args);
+  }
+
+  if (!is_proxy(*obj)) {
+    return domain_.invoke(*obj, method_name, args);
+  }
+
+  const auto source = obj->get(kProxySourceField).as_object();
+  const ConformancePlan plan = plan_for(*obj, *source);
+
+  const MethodMapping* mapping = plan.find_method(method_name, args.size());
+  if (mapping == nullptr) {
+    throw ProxyError("target type '" + obj->type_name() + "' has no method '" +
+                     std::string(method_name) + "' with arity " +
+                     std::to_string(args.size()) + " in the conformance plan");
+  }
+
+  // Locate declared parameter/namespace info on both sides for adaptation.
+  const TypeDescription* source_desc = domain_.registry().find(source->type_name());
+  const TypeDescription* target_desc = domain_.registry().find(obj->type_name());
+  const reflect::MethodDescription* source_method =
+      source_desc->find_method(mapping->source_name, mapping->arity);
+  if (source_method == nullptr) {
+    throw ProxyError("conformance plan maps to unknown source method '" +
+                     mapping->source_name + "'");
+  }
+
+  // Permute + adapt arguments: source parameter i receives the target-side
+  // argument arg_permutation[i].
+  std::vector<Value> source_args;
+  source_args.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::size_t target_index = mapping->arg_permutation[i];
+    source_args.push_back(adapt_argument(args[target_index],
+                                         source_method->params[i].type_name,
+                                         source_desc->namespace_name(), depth));
+  }
+
+  Value result = invoke_depth(source, mapping->source_name, source_args, depth + 1);
+  return adapt_result(std::move(result), mapping->target_return_type,
+                      target_desc->namespace_name());
+}
+
+Value ProxyFactory::adapt_argument(Value value, std::string_view source_param_type,
+                                   std::string_view source_ns, int depth) {
+  if (value.kind() != ValueKind::Object) return value;
+  const auto& obj = value.as_object();
+  if (!obj) return value;
+
+  const TypeDescription* param_desc =
+      domain_.registry().resolve(source_param_type, source_ns);
+  if (param_desc == nullptr || param_desc->kind() == reflect::TypeKind::Primitive) {
+    return value;  // untyped/object-typed parameter: pass as-is
+  }
+
+  // If the argument is itself a proxy whose real object already satisfies
+  // the parameter nominally, strip the wrapper instead of stacking.
+  if (is_proxy(*obj)) {
+    auto real = obj->get(kProxySourceField).as_object();
+    const TypeDescription* real_desc = domain_.registry().find(real->type_name());
+    if (real_desc != nullptr) {
+      const CheckResult r = checker_.check(*real_desc, *param_desc);
+      if (r.conformant && r.plan.is_passthrough()) return Value(std::move(real));
+    }
+  }
+
+  const TypeDescription* arg_desc = domain_.registry().find(obj->type_name());
+  if (arg_desc == nullptr) return value;
+  const CheckResult r = checker_.check(*arg_desc, *param_desc);
+  if (!r.conformant || r.plan.is_passthrough()) {
+    return value;  // either fine as-is, or let the callee fail loudly
+  }
+  // Deep mismatch: reverse-wrap the target-side argument so the source
+  // implementation can drive it through its own expected interface.
+  (void)depth;
+  return Value(wrap(obj, *param_desc));
+}
+
+Value ProxyFactory::adapt_result(Value value, std::string_view target_return_type,
+                                 std::string_view target_ns) {
+  if (value.kind() != ValueKind::Object) return value;
+  const auto& obj = value.as_object();
+  if (!obj) return value;
+
+  const TypeDescription* ret_desc =
+      domain_.registry().resolve(target_return_type, target_ns);
+  if (ret_desc == nullptr || ret_desc->kind() == reflect::TypeKind::Primitive) {
+    return value;
+  }
+  const TypeDescription* obj_desc = domain_.registry().find(obj->type_name());
+  if (obj_desc == nullptr) return value;
+  const CheckResult r = checker_.check(*obj_desc, *ret_desc);
+  if (!r.conformant || r.plan.is_passthrough()) return value;
+  // Implicit-only conformance: the caller expects the target return type,
+  // so wrap — the recursive case of the paper's deep matching.
+  return Value(wrap(obj, *ret_desc));
+}
+
+Value ProxyFactory::get_field(const std::shared_ptr<DynObject>& obj,
+                              std::string_view target_field) {
+  if (!obj) throw ProxyError("cannot read a field of a null object");
+  if (!is_proxy(*obj)) return obj->get(target_field);
+
+  const auto source = obj->get(kProxySourceField).as_object();
+  const ConformancePlan plan = plan_for(*obj, *source);
+  const conform::FieldMapping* mapping = plan.find_field(target_field);
+  if (mapping == nullptr) {
+    throw ProxyError("no field mapping for '" + std::string(target_field) + "' on '" +
+                     obj->type_name() + "'");
+  }
+  Value value = get_field(source, mapping->source_field);
+  const TypeDescription* target_desc = domain_.registry().find(obj->type_name());
+  return adapt_result(std::move(value), mapping->target_type,
+                      target_desc != nullptr ? target_desc->namespace_name() : "");
+}
+
+void ProxyFactory::set_field(const std::shared_ptr<DynObject>& obj,
+                             std::string_view target_field, Value value) {
+  if (!obj) throw ProxyError("cannot write a field of a null object");
+  if (!is_proxy(*obj)) {
+    obj->set(target_field, std::move(value));
+    return;
+  }
+  const auto source = obj->get(kProxySourceField).as_object();
+  const ConformancePlan plan = plan_for(*obj, *source);
+  const conform::FieldMapping* mapping = plan.find_field(target_field);
+  if (mapping == nullptr) {
+    throw ProxyError("no field mapping for '" + std::string(target_field) + "' on '" +
+                     obj->type_name() + "'");
+  }
+  set_field(source, mapping->source_field, std::move(value));
+}
+
+}  // namespace pti::proxy

@@ -1,0 +1,115 @@
+// Dynamic proxies (paper Section 6, "to deal with such conformant objects,
+// dynamic proxies are used").
+//
+// A proxy is the artifact that lets a received object of type S be *used*
+// as the locally expected type T' once S ≼is T' has been established: it
+// renames methods, permutes arguments, and — for deep matches — wraps
+// nested objects in further proxies ("this mismatch increases with the
+// depth of the matching of the two types", Section 6.2).
+//
+// Representation: a proxy IS a DynObject whose type is the *target* type
+// and whose single hidden field `__pti.source` holds the wrapped source
+// object. This keeps proxies first-class citizens of the value model: they
+// can be stored in fields, passed as arguments and returned from methods,
+// exactly like .NET RealProxy instances masquerade as their transparent
+// proxy. All invocation goes through ProxyFactory::invoke, the equivalent
+// of the platform's transparent-proxy dispatch:
+//
+//   * plain object        -> direct dispatch through the local Domain,
+//   * proxy object        -> plan-driven adaptation, then recursion on the
+//                            wrapped source,
+//   * remote reference    -> delegated to the installed RemoteInvoker
+//                            (the remoting layer plugs in here, giving the
+//                            paper's dynamic-proxy-over-remoting-proxy
+//                            stacking for pass-by-reference).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "conform/conformance_checker.hpp"
+#include "reflect/domain.hpp"
+#include "reflect/dyn_object.hpp"
+
+namespace pti::proxy {
+
+/// Hidden field holding the wrapped source object inside a proxy object.
+inline constexpr std::string_view kProxySourceField = "__pti.source";
+
+/// Hook through which the remoting layer handles invocations on remote
+/// references (see remoting/remote_ref.hpp).
+class RemoteInvoker {
+ public:
+  virtual ~RemoteInvoker() = default;
+  [[nodiscard]] virtual bool is_remote_ref(const reflect::DynObject& obj) const noexcept = 0;
+  virtual reflect::Value invoke_remote(const reflect::DynObject& ref,
+                                       std::string_view method_name,
+                                       reflect::Args args) = 0;
+};
+
+class ProxyFactory {
+ public:
+  /// `domain` supplies local code and the registry of descriptions;
+  /// `checker` supplies conformance verdicts and plans (its cache makes
+  /// per-invocation plan lookups cheap).
+  ProxyFactory(reflect::Domain& domain, conform::ConformanceChecker& checker)
+      : domain_(domain), checker_(checker) {}
+
+  void set_remote_invoker(RemoteInvoker* invoker) noexcept { remote_ = invoker; }
+
+  /// Wraps `source` so it can be used as `target_type`. Returns `source`
+  /// unchanged when no adaptation is needed (identity / equivalence /
+  /// explicit subtyping — the cases where .NET needs no wrapper either).
+  /// Throws NonConformantError when source does not conform.
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> wrap(
+      std::shared_ptr<reflect::DynObject> source,
+      const reflect::TypeDescription& target_type);
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> wrap(
+      std::shared_ptr<reflect::DynObject> source, std::string_view target_type_name);
+
+  [[nodiscard]] static bool is_proxy(const reflect::DynObject& obj) noexcept;
+
+  /// Removes all proxy layers, yielding the underlying real object (used
+  /// before serialization: the wire carries real state, never wrappers).
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> unwrap(
+      std::shared_ptr<reflect::DynObject> obj) const;
+
+  /// Universal invocation: target-side method name and arguments in, value
+  /// out. Object-valued results that only implicitly conform to the
+  /// declared target return type come back wrapped in a further proxy;
+  /// object-valued arguments are unwrapped or reverse-wrapped as the
+  /// source's parameter types require.
+  reflect::Value invoke(const std::shared_ptr<reflect::DynObject>& obj,
+                        std::string_view method_name, reflect::Args args);
+
+  /// Target-side field access through the plan's field mapping.
+  [[nodiscard]] reflect::Value get_field(const std::shared_ptr<reflect::DynObject>& obj,
+                                         std::string_view target_field);
+  void set_field(const std::shared_ptr<reflect::DynObject>& obj,
+                 std::string_view target_field, reflect::Value value);
+
+  [[nodiscard]] reflect::Domain& domain() noexcept { return domain_; }
+  [[nodiscard]] conform::ConformanceChecker& checker() noexcept { return checker_; }
+
+ private:
+  reflect::Value invoke_depth(const std::shared_ptr<reflect::DynObject>& obj,
+                              std::string_view method_name, reflect::Args args, int depth);
+
+  /// The (cached) plan for a proxy object; throws if it disappeared.
+  const conform::ConformancePlan plan_for(const reflect::DynObject& proxy_obj,
+                                          const reflect::DynObject& source_obj);
+
+  /// Adapts one target-side argument value for a source-side parameter.
+  reflect::Value adapt_argument(reflect::Value value, std::string_view source_param_type,
+                                std::string_view source_ns, int depth);
+
+  /// Adapts a source-side result to the declared target return type.
+  reflect::Value adapt_result(reflect::Value value, std::string_view target_return_type,
+                              std::string_view target_ns);
+
+  reflect::Domain& domain_;
+  conform::ConformanceChecker& checker_;
+  RemoteInvoker* remote_ = nullptr;
+};
+
+}  // namespace pti::proxy

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::proxy {
+
+class ProxyError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Attempt to wrap a source object as a target type it does not conform to.
+class NonConformantError : public ProxyError {
+ public:
+  using ProxyError::ProxyError;
+};
+
+}  // namespace pti::proxy

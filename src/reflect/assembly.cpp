@@ -1,0 +1,110 @@
+#include "reflect/assembly.hpp"
+
+#include "reflect/primitives.hpp"
+#include "reflect/reflect_error.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::reflect {
+
+NativeType::NativeType(std::string namespace_name, std::string simple_name, TypeKind kind,
+                       util::Guid guid, std::string superclass,
+                       std::vector<std::string> interfaces,
+                       std::vector<FieldDescription> fields,
+                       std::vector<NativeMethodDef> methods,
+                       std::vector<NativeCtorDef> constructors, bool structural_tag)
+    : namespace_(std::move(namespace_name)),
+      name_(std::move(simple_name)),
+      kind_(kind),
+      guid_(guid),
+      superclass_(std::move(superclass)),
+      interfaces_(std::move(interfaces)),
+      fields_(std::move(fields)),
+      methods_(std::move(methods)),
+      constructors_(std::move(constructors)),
+      structural_tag_(structural_tag) {
+  qualified_name_ = namespace_.empty() ? name_ : namespace_ + "." + name_;
+}
+
+std::shared_ptr<DynObject> NativeType::instantiate_raw() const {
+  if (kind_ == TypeKind::Interface) {
+    throw ReflectError("cannot instantiate interface '" + qualified_name_ + "'");
+  }
+  auto obj = DynObject::make(qualified_name_, guid_);
+  for (const auto& f : fields_) {
+    obj->set(f.name, default_value_for(f.type_name));
+  }
+  return obj;
+}
+
+std::shared_ptr<DynObject> NativeType::instantiate(Args args) const {
+  auto obj = instantiate_raw();
+  if (constructors_.empty() && args.empty()) {
+    return obj;  // implicit default constructor
+  }
+  for (const auto& c : constructors_) {
+    if (c.signature.arity() == args.size()) {
+      if (c.body) c.body(*obj, args);
+      return obj;
+    }
+  }
+  throw ReflectError("no constructor of '" + qualified_name_ + "' takes " +
+                     std::to_string(args.size()) + " argument(s)");
+}
+
+const NativeMethodDef* NativeType::find_method(std::string_view name,
+                                               std::size_t arity) const noexcept {
+  for (const auto& m : methods_) {
+    if (m.signature.arity() == arity && util::iequals(m.signature.name, name)) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+Value NativeType::invoke(DynObject& self, std::string_view method_name, Args args) const {
+  const NativeMethodDef* def = find_method(method_name, args.size());
+  if (def == nullptr) {
+    throw ReflectError("type '" + qualified_name_ + "' has no method '" +
+                       std::string(method_name) + "' with arity " +
+                       std::to_string(args.size()));
+  }
+  if (!def->body) {
+    throw ReflectError("method '" + def->signature.signature_string() + "' of '" +
+                       qualified_name_ + "' has no body (abstract/interface method)");
+  }
+  return def->body(self, args);
+}
+
+void Assembly::add_type(std::shared_ptr<const NativeType> type) {
+  types_.push_back(std::move(type));
+}
+
+const NativeType* Assembly::find_type(std::string_view type_name) const noexcept {
+  for (const auto& t : types_) {
+    if (util::iequals(t->qualified_name(), type_name) || util::iequals(t->name(), type_name)) {
+      return t.get();
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Assembly::simulated_code_size() const noexcept {
+  // Deterministic proxy for compiled-code volume. Constants are chosen so
+  // that an assembly is one to two orders of magnitude larger than the XML
+  // type description of its types, which is the relationship the optimistic
+  // protocol exploits (descriptions cheap, code expensive).
+  std::size_t size = 512;  // manifest / headers
+  for (const auto& t : types_) {
+    size += 256 + 4 * t->qualified_name().size();
+    size += 96 * t->fields().size();
+    for (const auto& m : t->methods()) {
+      size += 160 + 48 * m.signature.params.size() + 2 * m.signature.name.size();
+    }
+    for (const auto& c : t->constructors()) {
+      size += 128 + 48 * c.signature.params.size();
+    }
+  }
+  return size;
+}
+
+}  // namespace pti::reflect

@@ -1,0 +1,125 @@
+// NativeType and Assembly — the "code" side of the reflection substrate.
+//
+// In the paper, once two types conform, the receiver downloads the
+// *assembly* (the .NET code unit) implementing the sender's type so the
+// object can be deserialized and invoked. Here an Assembly is a named
+// bundle of NativeTypes; a NativeType pairs every method/constructor
+// signature with an executable body (a std::function over the dynamic
+// object model). Peers that have not yet "downloaded" an assembly hold
+// only serialized bytes and type descriptions — never NativeTypes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/dyn_object.hpp"
+#include "reflect/type_description.hpp"
+#include "reflect/value.hpp"
+
+namespace pti::reflect {
+
+/// Body of an instance method. `self` is the receiver; `args` match the
+/// declared parameters positionally.
+using NativeMethod = std::function<Value(DynObject& self, Args args)>;
+
+/// Body of a constructor: initializes fields of a freshly created `self`.
+using NativeCtor = std::function<void(DynObject& self, Args args)>;
+
+struct NativeMethodDef {
+  MethodDescription signature;
+  NativeMethod body;  ///< empty for interface methods
+};
+
+struct NativeCtorDef {
+  ConstructorDescription signature;
+  NativeCtor body;
+};
+
+/// A fully implemented runtime type: metadata plus executable bodies.
+/// Instances are immutable after construction by TypeBuilder.
+class NativeType {
+ public:
+  NativeType(std::string namespace_name, std::string simple_name, TypeKind kind,
+             util::Guid guid, std::string superclass, std::vector<std::string> interfaces,
+             std::vector<FieldDescription> fields, std::vector<NativeMethodDef> methods,
+             std::vector<NativeCtorDef> constructors, bool structural_tag);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& namespace_name() const noexcept { return namespace_; }
+  [[nodiscard]] const std::string& qualified_name() const noexcept { return qualified_name_; }
+  [[nodiscard]] const util::Guid& guid() const noexcept { return guid_; }
+  [[nodiscard]] TypeKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& superclass() const noexcept { return superclass_; }
+  [[nodiscard]] const std::vector<std::string>& interfaces() const noexcept {
+    return interfaces_;
+  }
+  [[nodiscard]] const std::vector<FieldDescription>& fields() const noexcept {
+    return fields_;
+  }
+  [[nodiscard]] const std::vector<NativeMethodDef>& methods() const noexcept {
+    return methods_;
+  }
+  [[nodiscard]] const std::vector<NativeCtorDef>& constructors() const noexcept {
+    return constructors_;
+  }
+  [[nodiscard]] bool structural_tag() const noexcept { return structural_tag_; }
+
+  /// Creates an instance: default-initializes declared fields, then runs
+  /// the constructor selected by arity. Throws ReflectError when no
+  /// constructor matches or the type is an interface.
+  [[nodiscard]] std::shared_ptr<DynObject> instantiate(Args args = {}) const;
+
+  /// Zero-argument instantiation without requiring a declared constructor;
+  /// fields get default values. Used by deserializers before field fill-in.
+  [[nodiscard]] std::shared_ptr<DynObject> instantiate_raw() const;
+
+  /// Invokes a method by (case-insensitive) name and arity.
+  Value invoke(DynObject& self, std::string_view method_name, Args args) const;
+
+  [[nodiscard]] const NativeMethodDef* find_method(std::string_view name,
+                                                   std::size_t arity) const noexcept;
+
+ private:
+  std::string namespace_;
+  std::string name_;
+  std::string qualified_name_;
+  TypeKind kind_;
+  util::Guid guid_;
+  std::string superclass_;
+  std::vector<std::string> interfaces_;
+  std::vector<FieldDescription> fields_;
+  std::vector<NativeMethodDef> methods_;
+  std::vector<NativeCtorDef> constructors_;
+  bool structural_tag_ = false;
+};
+
+/// A named code unit — the paper's unit of on-demand code download.
+class Assembly {
+ public:
+  explicit Assembly(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void add_type(std::shared_ptr<const NativeType> type);
+  [[nodiscard]] const std::vector<std::shared_ptr<const NativeType>>& types() const noexcept {
+    return types_;
+  }
+  /// Lookup by qualified or simple name (case-insensitive); nullptr if absent.
+  [[nodiscard]] const NativeType* find_type(std::string_view type_name) const noexcept;
+
+  /// Simulated on-the-wire size of the code unit: a deterministic function
+  /// of its metadata volume (types, members, name lengths). This is what
+  /// the simulated network charges when a peer downloads the assembly,
+  /// making "code is much bigger than a type description" hold by
+  /// construction, as in any real platform.
+  [[nodiscard]] std::size_t simulated_code_size() const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<const NativeType>> types_;
+};
+
+}  // namespace pti::reflect

@@ -1,0 +1,70 @@
+// Domain — the per-peer runtime context (the analogue of a .NET AppDomain).
+//
+// A Domain owns the peer's TypeRegistry (descriptions it knows) and the
+// set of loaded Assemblies (code it can execute). Loading an assembly
+// introspects every contained NativeType and registers the resulting
+// descriptions; only then can instances of those types be created and
+// invoked locally.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/assembly.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::reflect {
+
+class Domain {
+ public:
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  [[nodiscard]] TypeRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const TypeRegistry& registry() const noexcept { return registry_; }
+
+  /// Loads an assembly: registers it as executable code and registers a
+  /// description (with provenance) for each contained type. Idempotent for
+  /// the same assembly name.
+  void load_assembly(std::shared_ptr<const Assembly> assembly,
+                     std::string_view download_path = {});
+
+  [[nodiscard]] bool has_assembly(std::string_view name) const noexcept;
+  [[nodiscard]] const Assembly* find_assembly(std::string_view name) const noexcept;
+  [[nodiscard]] std::vector<const Assembly*> assemblies() const;
+
+  /// The native (executable) type for a qualified name; nullptr when the
+  /// code has not been loaded (description-only knowledge).
+  [[nodiscard]] const NativeType* find_native(std::string_view qualified_name) const noexcept;
+
+  /// True when instances of the type can be created/invoked locally.
+  [[nodiscard]] bool is_loaded(std::string_view qualified_name) const noexcept {
+    return find_native(qualified_name) != nullptr;
+  }
+
+  /// Creates an instance of a loaded type. Throws ReflectError when the
+  /// type's code is not available.
+  [[nodiscard]] std::shared_ptr<DynObject> instantiate(std::string_view qualified_name,
+                                                       Args args = {}) const;
+
+  /// Invokes a method on an object whose type is loaded in this domain.
+  Value invoke(DynObject& object, std::string_view method_name, Args args = {}) const;
+
+  /// Recursively default-fills declared-but-missing fields of every object
+  /// in the graph whose type is loaded here. Lossy serializers (the
+  /// public-fields-only XML mechanism) drop private state; after code
+  /// download, the declared shape is restored with default values — the
+  /// XmlSerializer deserialization semantics.
+  void fill_missing_fields(DynObject& root) const;
+
+ private:
+  TypeRegistry registry_;
+  std::map<std::string, std::shared_ptr<const Assembly>, util::ICaseLess> assemblies_;
+  std::map<std::string, const NativeType*, util::ICaseLess> natives_;
+};
+
+}  // namespace pti::reflect

@@ -1,0 +1,58 @@
+#include "reflect/dyn_object.hpp"
+
+#include "reflect/reflect_error.hpp"
+
+namespace pti::reflect {
+
+const Value& DynObject::get(std::string_view field_name) const {
+  const auto it = fields_.find(field_name);
+  if (it == fields_.end()) {
+    throw ReflectError("object of type '" + type_name_ + "' has no field '" +
+                       std::string(field_name) + "'");
+  }
+  return it->second;
+}
+
+Value DynObject::get_or_null(std::string_view field_name) const {
+  const auto it = fields_.find(field_name);
+  return it == fields_.end() ? Value() : it->second;
+}
+
+void DynObject::set(std::string_view field_name, Value value) {
+  const auto it = fields_.find(field_name);
+  if (it == fields_.end()) {
+    fields_.emplace(std::string(field_name), std::move(value));
+  } else {
+    it->second = std::move(value);
+  }
+}
+
+bool DynObject::has_field(std::string_view field_name) const noexcept {
+  return fields_.find(field_name) != fields_.end();
+}
+
+bool DynObject::same_state(const DynObject& other) const noexcept {
+  // Field names compare case-insensitively (map keys keep their original
+  // spelling, so std::map::operator== would be too strict).
+  if (type_guid_ != other.type_guid_ || fields_.size() != other.fields_.size()) {
+    return false;
+  }
+  for (const auto& [name, value] : fields_) {
+    const auto it = other.fields_.find(name);
+    if (it == other.fields_.end() || !(it->second == value)) return false;
+  }
+  return true;
+}
+
+std::string DynObject::to_debug_string() const {
+  std::string out = type_name_ + "@{";
+  bool first = true;
+  for (const auto& [name, value] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=" + value.to_debug_string();
+  }
+  return out + "}";
+}
+
+}  // namespace pti::reflect

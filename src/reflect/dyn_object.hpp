@@ -1,0 +1,59 @@
+// DynObject — the runtime representation of an instance whose type may
+// have been introduced into the system at runtime (the paper's "new events
+// of new types"). It carries its type's qualified name and identity plus a
+// bag of named field values; behaviour lives in the NativeType of the
+// assembly that implements the type (assembly.hpp).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "reflect/value.hpp"
+#include "util/guid.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::reflect {
+
+class DynObject {
+ public:
+  DynObject(std::string type_qualified_name, util::Guid type_guid)
+      : type_name_(std::move(type_qualified_name)), type_guid_(type_guid) {}
+
+  [[nodiscard]] const std::string& type_name() const noexcept { return type_name_; }
+  [[nodiscard]] const util::Guid& type_guid() const noexcept { return type_guid_; }
+
+  /// Field read; throws ReflectError when the field does not exist.
+  [[nodiscard]] const Value& get(std::string_view field_name) const;
+  /// Field read returning null for missing fields (deserializer tolerance).
+  [[nodiscard]] Value get_or_null(std::string_view field_name) const;
+  /// Field write; creates the field when absent (the deserializer and
+  /// constructors populate objects this way).
+  void set(std::string_view field_name, Value value);
+  [[nodiscard]] bool has_field(std::string_view field_name) const noexcept;
+
+  /// Field names are matched case-insensitively, consistent with the
+  /// conformance rules.
+  [[nodiscard]] const std::map<std::string, Value, util::ICaseLess>& fields() const noexcept {
+    return fields_;
+  }
+
+  /// Structural equality of type identity + all fields (object-valued
+  /// fields compare by identity, see Value::operator==).
+  [[nodiscard]] bool same_state(const DynObject& other) const noexcept;
+
+  [[nodiscard]] std::string to_debug_string() const;
+
+  [[nodiscard]] static std::shared_ptr<DynObject> make(std::string type_qualified_name,
+                                                       util::Guid type_guid) {
+    return std::make_shared<DynObject>(std::move(type_qualified_name), type_guid);
+  }
+
+ private:
+  std::string type_name_;
+  util::Guid type_guid_;
+  std::map<std::string, Value, util::ICaseLess> fields_;
+};
+
+}  // namespace pti::reflect

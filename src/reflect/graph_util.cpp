@@ -1,0 +1,102 @@
+#include "reflect/graph_util.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace pti::reflect {
+
+namespace {
+
+class Cloner {
+ public:
+  Value clone_value(const Value& v) {
+    switch (v.kind()) {
+      case ValueKind::Object: {
+        const auto& obj = v.as_object();
+        if (!obj) return v;
+        return Value(clone_object(obj));
+      }
+      case ValueKind::List: {
+        Value::List items;
+        items.reserve(v.as_list().size());
+        for (const Value& item : v.as_list()) items.push_back(clone_value(item));
+        return Value(std::move(items));
+      }
+      default:
+        return v;  // scalars are value types
+    }
+  }
+
+  std::shared_ptr<DynObject> clone_object(const std::shared_ptr<DynObject>& obj) {
+    const auto it = clones_.find(obj.get());
+    if (it != clones_.end()) return it->second;
+    auto copy = DynObject::make(obj->type_name(), obj->type_guid());
+    clones_.emplace(obj.get(), copy);  // register before fields: cycles close
+    for (const auto& [name, value] : obj->fields()) {
+      copy->set(name, clone_value(value));
+    }
+    return copy;
+  }
+
+ private:
+  std::unordered_map<const DynObject*, std::shared_ptr<DynObject>> clones_;
+};
+
+class Measurer {
+ public:
+  void visit_value(const Value& v, std::size_t depth, GraphStats& stats) {
+    ++stats.values;
+    switch (v.kind()) {
+      case ValueKind::Object: {
+        const auto& obj = v.as_object();
+        if (!obj) return;
+        if (on_path_.contains(obj.get())) {
+          stats.has_cycles = true;
+          return;
+        }
+        const bool first_visit = visited_.insert(obj.get()).second;
+        if (first_visit) ++stats.objects;
+        stats.max_depth = std::max(stats.max_depth, depth + 1);
+        if (!first_visit) return;  // measure each object's content once
+        on_path_.insert(obj.get());
+        for (const auto& [name, value] : obj->fields()) {
+          visit_value(value, depth + 1, stats);
+        }
+        on_path_.erase(obj.get());
+        return;
+      }
+      case ValueKind::List:
+        for (const Value& item : v.as_list()) visit_value(item, depth, stats);
+        return;
+      default:
+        return;
+    }
+  }
+
+ private:
+  std::set<const DynObject*> visited_;
+  std::set<const DynObject*> on_path_;
+};
+
+}  // namespace
+
+Value deep_clone(const Value& root) {
+  Cloner cloner;
+  return cloner.clone_value(root);
+}
+
+std::shared_ptr<DynObject> deep_clone(const std::shared_ptr<DynObject>& root) {
+  if (!root) return nullptr;
+  Cloner cloner;
+  return cloner.clone_object(root);
+}
+
+GraphStats measure_graph(const Value& root) {
+  GraphStats stats;
+  Measurer measurer;
+  measurer.visit_value(root, 0, stats);  // `values` counts every slot incl. root
+  return stats;
+}
+
+}  // namespace pti::reflect

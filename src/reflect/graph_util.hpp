@@ -1,0 +1,31 @@
+// Object-graph utilities: deep cloning (with preserved sharing and
+// cycles) and graph measurement. Deep cloning gives *local* pass-by-value
+// semantics — the same observable behaviour as a network round trip
+// through the SOAP/binary serializers, without the wire.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "reflect/dyn_object.hpp"
+#include "reflect/value.hpp"
+
+namespace pti::reflect {
+
+/// Structure-preserving deep copy: every distinct object in the input
+/// graph maps to exactly one fresh object in the output (sharing and
+/// cycles survive); primitives and strings copy by value.
+[[nodiscard]] Value deep_clone(const Value& root);
+[[nodiscard]] std::shared_ptr<DynObject> deep_clone(const std::shared_ptr<DynObject>& root);
+
+struct GraphStats {
+  std::size_t objects = 0;       ///< distinct objects reachable
+  std::size_t values = 0;        ///< total value slots (fields + list items)
+  std::size_t max_depth = 0;     ///< deepest object nesting (cycles cut)
+  bool has_cycles = false;
+};
+
+/// Walks the graph once and reports its shape.
+[[nodiscard]] GraphStats measure_graph(const Value& root);
+
+}  // namespace pti::reflect

@@ -1,0 +1,43 @@
+#include "reflect/introspect.hpp"
+
+namespace pti::reflect {
+
+TypeDescription introspect(const NativeType& type, std::string_view assembly_name,
+                           std::string_view download_path) {
+  TypeDescription d(type.namespace_name(), type.name(), type.kind());
+  d.set_guid(type.guid());
+  d.set_superclass(type.superclass());
+  d.set_structural_tag(type.structural_tag());
+  for (const auto& itf : type.interfaces()) {
+    d.add_interface(itf);
+  }
+  for (const auto& f : type.fields()) {
+    d.add_field(FieldDescription{f.name, f.type_name, f.visibility, f.is_static});
+  }
+  for (const auto& m : type.methods()) {
+    MethodDescription sig;
+    sig.name = m.signature.name;
+    sig.return_type = m.signature.return_type;
+    sig.visibility = m.signature.visibility;
+    sig.is_static = m.signature.is_static;
+    sig.params.reserve(m.signature.params.size());
+    for (const auto& p : m.signature.params) {
+      sig.params.push_back(ParamDescription{p.name, p.type_name});
+    }
+    d.add_method(std::move(sig));
+  }
+  for (const auto& c : type.constructors()) {
+    ConstructorDescription sig;
+    sig.visibility = c.signature.visibility;
+    sig.params.reserve(c.signature.params.size());
+    for (const auto& p : c.signature.params) {
+      sig.params.push_back(ParamDescription{p.name, p.type_name});
+    }
+    d.add_constructor(std::move(sig));
+  }
+  d.set_assembly_name(std::string(assembly_name));
+  d.set_download_path(std::string(download_path));
+  return d;
+}
+
+}  // namespace pti::reflect

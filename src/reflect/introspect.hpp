@@ -1,0 +1,24 @@
+// Introspection: deriving a TypeDescription from a NativeType.
+//
+// This is the C++ stand-in for the CLR reflection walk the paper performs
+// when "the reflective capabilities of the object-oriented platform are
+// used" to create a type description (Section 5). The cost of this walk —
+// linear in the number of members — is what benchmark E2 measures together
+// with XML serialization.
+#pragma once
+
+#include <string_view>
+
+#include "reflect/assembly.hpp"
+#include "reflect/type_description.hpp"
+
+namespace pti::reflect {
+
+/// Walks the native type's members and produces the wire-format metadata.
+/// `download_path` is the location from which the implementing assembly
+/// can be fetched (empty when unknown/local-only).
+[[nodiscard]] TypeDescription introspect(const NativeType& type,
+                                         std::string_view assembly_name = {},
+                                         std::string_view download_path = {});
+
+}  // namespace pti::reflect

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::reflect {
+
+/// Errors raised by the reflection substrate: unknown types, missing
+/// members, arity/kind mismatches on dynamic access.
+class ReflectError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace pti::reflect

@@ -1,0 +1,76 @@
+#include "reflect/type_builder.hpp"
+
+#include "reflect/primitives.hpp"
+#include "reflect/reflect_error.hpp"
+
+namespace pti::reflect {
+
+TypeBuilder::TypeBuilder(std::string namespace_name, std::string simple_name, TypeKind kind)
+    : namespace_(std::move(namespace_name)), name_(std::move(simple_name)), kind_(kind) {
+  const std::string qualified = namespace_.empty() ? name_ : namespace_ + "." + name_;
+  guid_ = util::Guid::from_name(qualified);
+  if (kind_ == TypeKind::Class) superclass_ = std::string(kObjectType);
+}
+
+TypeBuilder& TypeBuilder::superclass(std::string name) {
+  superclass_ = std::move(name);
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::implements(std::string interface_name) {
+  interfaces_.push_back(std::move(interface_name));
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::field(std::string name, std::string type_name,
+                                Visibility visibility, bool is_static) {
+  fields_.push_back(FieldDescription{std::move(name), std::move(type_name), visibility,
+                                     is_static});
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::method(std::string name, std::string return_type,
+                                 std::vector<ParamDescription> params, NativeMethod body,
+                                 Visibility visibility, bool is_static) {
+  if (kind_ != TypeKind::Interface && !body) {
+    throw ReflectError("method '" + name + "' of class '" + name_ + "' needs a body");
+  }
+  MethodDescription sig;
+  sig.name = std::move(name);
+  sig.return_type = std::move(return_type);
+  sig.params = std::move(params);
+  sig.visibility = visibility;
+  sig.is_static = is_static;
+  methods_.push_back(NativeMethodDef{std::move(sig), std::move(body)});
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::constructor(std::vector<ParamDescription> params, NativeCtor body,
+                                      Visibility visibility) {
+  if (kind_ == TypeKind::Interface) {
+    throw ReflectError("interface '" + name_ + "' cannot declare constructors");
+  }
+  ConstructorDescription sig;
+  sig.params = std::move(params);
+  sig.visibility = visibility;
+  ctors_.push_back(NativeCtorDef{std::move(sig), std::move(body)});
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::guid(util::Guid g) {
+  guid_ = g;
+  return *this;
+}
+
+TypeBuilder& TypeBuilder::structural_tag(bool enabled) {
+  structural_tag_ = enabled;
+  return *this;
+}
+
+std::shared_ptr<const NativeType> TypeBuilder::build() const {
+  return std::make_shared<const NativeType>(namespace_, name_, kind_, guid_, superclass_,
+                                            interfaces_, fields_, methods_, ctors_,
+                                            structural_tag_);
+}
+
+}  // namespace pti::reflect

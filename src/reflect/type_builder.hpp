@@ -1,0 +1,61 @@
+// Fluent construction of NativeTypes.
+//
+// In the paper's setting programmers write ordinary C# classes and the
+// platform supplies the metadata. Without compiler support, TypeBuilder is
+// how "a programmer writes a type" in this library: declare fields,
+// methods with signatures and bodies, constructors — then build() yields
+// the immutable NativeType.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/assembly.hpp"
+
+namespace pti::reflect {
+
+class TypeBuilder {
+ public:
+  TypeBuilder(std::string namespace_name, std::string simple_name,
+              TypeKind kind = TypeKind::Class);
+
+  TypeBuilder& superclass(std::string name);
+  TypeBuilder& implements(std::string interface_name);
+
+  TypeBuilder& field(std::string name, std::string type_name,
+                     Visibility visibility = Visibility::Private, bool is_static = false);
+
+  /// Declares a method with parameters {{name, type}, ...} and a body.
+  /// Interface methods pass a default-constructed (empty) body.
+  TypeBuilder& method(std::string name, std::string return_type,
+                      std::vector<ParamDescription> params, NativeMethod body = {},
+                      Visibility visibility = Visibility::Public, bool is_static = false);
+
+  TypeBuilder& constructor(std::vector<ParamDescription> params, NativeCtor body = {},
+                           Visibility visibility = Visibility::Public);
+
+  /// Overrides the deterministic name-derived GUID (e.g. to model two
+  /// *distinct* identities that happen to share a name).
+  TypeBuilder& guid(util::Guid g);
+
+  /// Marks the type for the tagged-structural-conformance baseline.
+  TypeBuilder& structural_tag(bool enabled = true);
+
+  [[nodiscard]] std::shared_ptr<const NativeType> build() const;
+
+ private:
+  std::string namespace_;
+  std::string name_;
+  TypeKind kind_;
+  util::Guid guid_;
+  std::string superclass_;
+  std::vector<std::string> interfaces_;
+  std::vector<FieldDescription> fields_;
+  std::vector<NativeMethodDef> methods_;
+  std::vector<NativeCtorDef> ctors_;
+  bool structural_tag_ = false;
+};
+
+}  // namespace pti::reflect

@@ -1,0 +1,131 @@
+#include "reflect/type_description.hpp"
+
+#include "util/string_util.hpp"
+
+namespace pti::reflect {
+
+std::string_view to_string(TypeKind kind) noexcept {
+  switch (kind) {
+    case TypeKind::Class: return "class";
+    case TypeKind::Interface: return "interface";
+    case TypeKind::Primitive: return "primitive";
+  }
+  return "?";
+}
+
+std::string_view to_string(Visibility v) noexcept {
+  switch (v) {
+    case Visibility::Public: return "public";
+    case Visibility::Protected: return "protected";
+    case Visibility::Private: return "private";
+  }
+  return "?";
+}
+
+std::string MethodDescription::signature_string() const {
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) out += ",";
+    out += params[i].type_name;
+  }
+  out += ")->" + return_type;
+  return out;
+}
+
+std::string ConstructorDescription::signature_string() const {
+  std::string out = ".ctor(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) out += ",";
+    out += params[i].type_name;
+  }
+  return out + ")";
+}
+
+std::string TypeDescription::qualified_name() const {
+  if (namespace_.empty()) return name_;
+  return namespace_ + "." + name_;
+}
+
+const FieldDescription* TypeDescription::find_field(std::string_view name) const noexcept {
+  for (const auto& f : fields_) {
+    if (util::iequals(f.name, name)) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const MethodDescription*> TypeDescription::find_methods(
+    std::string_view name) const {
+  std::vector<const MethodDescription*> out;
+  for (const auto& m : methods_) {
+    if (util::iequals(m.name, name)) out.push_back(&m);
+  }
+  return out;
+}
+
+const MethodDescription* TypeDescription::find_method(std::string_view name,
+                                                      std::size_t arity) const noexcept {
+  for (const auto& m : methods_) {
+    if (m.arity() == arity && util::iequals(m.name, name)) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool iequal_params(const std::vector<ParamDescription>& a,
+                   const std::vector<ParamDescription>& b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!util::iequals(a[i].type_name, b[i].type_name)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TypeDescription::structurally_equal(const TypeDescription& other) const noexcept {
+  if (kind_ != other.kind_) return false;
+  if (!util::iequals(name_, other.name_)) return false;
+  if (!util::iequals(util::to_lower(superclass_), util::to_lower(other.superclass_))) {
+    return false;
+  }
+  if (interfaces_.size() != other.interfaces_.size()) return false;
+  for (std::size_t i = 0; i < interfaces_.size(); ++i) {
+    if (!util::iequals(interfaces_[i], other.interfaces_[i])) return false;
+  }
+  if (fields_.size() != other.fields_.size()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const auto& fa = fields_[i];
+    const auto& fb = other.fields_[i];
+    if (!util::iequals(fa.name, fb.name) || !util::iequals(fa.type_name, fb.type_name) ||
+        fa.visibility != fb.visibility || fa.is_static != fb.is_static) {
+      return false;
+    }
+  }
+  if (methods_.size() != other.methods_.size()) return false;
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    const auto& ma = methods_[i];
+    const auto& mb = other.methods_[i];
+    if (!util::iequals(ma.name, mb.name) ||
+        !util::iequals(ma.return_type, mb.return_type) ||
+        !iequal_params(ma.params, mb.params) || ma.visibility != mb.visibility ||
+        ma.is_static != mb.is_static) {
+      return false;
+    }
+  }
+  if (constructors_.size() != other.constructors_.size()) return false;
+  for (std::size_t i = 0; i < constructors_.size(); ++i) {
+    if (!iequal_params(constructors_[i].params, other.constructors_[i].params) ||
+        constructors_[i].visibility != other.constructors_[i].visibility) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view simple_name(std::string_view type_name) noexcept {
+  const std::size_t dot = type_name.rfind('.');
+  return dot == std::string_view::npos ? type_name : type_name.substr(dot + 1);
+}
+
+}  // namespace pti::reflect

@@ -1,0 +1,284 @@
+#include "reflect/type_parser.hpp"
+
+#include <string>
+
+#include "reflect/primitives.hpp"
+#include "reflect/reflect_error.hpp"
+#include "util/guid.hpp"
+
+namespace pti::reflect {
+
+namespace {
+
+class DeclParser {
+ public:
+  explicit DeclParser(std::string_view text) : text_(text) {}
+
+  std::vector<TypeDescription> parse_file() {
+    std::vector<TypeDescription> types;
+    skip_trivia();
+    while (!at_end()) {
+      // A `namespace x;` directive applies to the declarations that
+      // follow, until the next directive — so one file can declare several
+      // teams' views side by side.
+      if (looking_at_keyword("namespace")) {
+        consume_keyword("namespace");
+        namespace_ = parse_qname();
+        expect(';');
+      } else {
+        types.push_back(parse_type());
+      }
+      skip_trivia();
+    }
+    return types;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ReflectError("type declaration error at line " + std::to_string(line_) +
+                       ", column " + std::to_string(column_) + ": " + message);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_trivia() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (!at_end() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    skip_trivia();
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  [[nodiscard]] static bool is_ident_start(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  }
+  [[nodiscard]] static bool is_ident_char(char c) noexcept {
+    return is_ident_start(c) || (c >= '0' && c <= '9');
+  }
+
+  std::string parse_ident() {
+    skip_trivia();
+    if (at_end() || !is_ident_start(peek())) fail("expected an identifier");
+    std::string out;
+    while (!at_end() && is_ident_char(text_[pos_])) out.push_back(advance());
+    return out;
+  }
+
+  /// Dotted name: `a.b.C`.
+  std::string parse_qname() {
+    std::string out = parse_ident();
+    while (!at_end() && text_[pos_] == '.') {
+      advance();
+      out += '.';
+      out += parse_ident();
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool looking_at_keyword(std::string_view keyword) {
+    skip_trivia();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    const std::size_t after = pos_ + keyword.size();
+    return after >= text_.size() || !is_ident_char(text_[after]);
+  }
+
+  void consume_keyword(std::string_view keyword) {
+    if (!looking_at_keyword(keyword)) fail("expected '" + std::string(keyword) + "'");
+    for (std::size_t i = 0; i < keyword.size(); ++i) advance();
+  }
+
+  struct Modifiers {
+    Visibility visibility;
+    bool explicit_visibility = false;
+    bool is_static = false;
+  };
+
+  Modifiers parse_modifiers() {
+    Modifiers m{Visibility::Public, false, false};
+    while (true) {
+      if (looking_at_keyword("public")) {
+        consume_keyword("public");
+        m.visibility = Visibility::Public;
+        m.explicit_visibility = true;
+      } else if (looking_at_keyword("protected")) {
+        consume_keyword("protected");
+        m.visibility = Visibility::Protected;
+        m.explicit_visibility = true;
+      } else if (looking_at_keyword("private")) {
+        consume_keyword("private");
+        m.visibility = Visibility::Private;
+        m.explicit_visibility = true;
+      } else if (looking_at_keyword("static")) {
+        consume_keyword("static");
+        m.is_static = true;
+      } else {
+        return m;
+      }
+    }
+  }
+
+  std::vector<ParamDescription> parse_params() {
+    std::vector<ParamDescription> params;
+    expect('(');
+    skip_trivia();
+    if (peek() == ')') {
+      advance();
+      return params;
+    }
+    while (true) {
+      ParamDescription p;
+      p.type_name = parse_qname();
+      p.name = parse_ident();
+      params.push_back(std::move(p));
+      skip_trivia();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(')');
+      return params;
+    }
+  }
+
+  TypeDescription parse_type() {
+    TypeKind kind;
+    if (looking_at_keyword("class")) {
+      consume_keyword("class");
+      kind = TypeKind::Class;
+    } else if (looking_at_keyword("interface")) {
+      consume_keyword("interface");
+      kind = TypeKind::Interface;
+    } else {
+      fail("expected 'class' or 'interface'");
+    }
+    const std::string name = parse_ident();
+    TypeDescription type(namespace_, name, kind);
+    type.set_guid(util::Guid::from_name(type.qualified_name()));
+    if (kind == TypeKind::Class) type.set_superclass(std::string(kObjectType));
+
+    skip_trivia();
+    if (peek() == ':') {
+      advance();
+      if (kind == TypeKind::Interface) fail("interfaces cannot declare a superclass");
+      type.set_superclass(parse_qname());
+    }
+    if (looking_at_keyword("implements")) {
+      consume_keyword("implements");
+      type.add_interface(parse_qname());
+      skip_trivia();
+      while (peek() == ',') {
+        advance();
+        type.add_interface(parse_qname());
+        skip_trivia();
+      }
+    }
+    if (looking_at_keyword("tagged")) {
+      consume_keyword("tagged");
+      type.set_structural_tag(true);
+    }
+
+    expect('{');
+    skip_trivia();
+    while (peek() != '}') {
+      parse_member(type, name, kind);
+      skip_trivia();
+    }
+    advance();  // '}'
+    return type;
+  }
+
+  void parse_member(TypeDescription& type, const std::string& type_name, TypeKind kind) {
+    const Modifiers mods = parse_modifiers();
+    const std::string first = parse_qname();
+    skip_trivia();
+
+    // Constructor: `TypeName ( ... ) ;`
+    if (first == type_name && peek() == '(') {
+      if (kind == TypeKind::Interface) fail("interfaces cannot declare constructors");
+      ConstructorDescription ctor;
+      ctor.params = parse_params();
+      ctor.visibility = mods.visibility;
+      expect(';');
+      type.add_constructor(std::move(ctor));
+      return;
+    }
+
+    const std::string member_name = parse_ident();
+    skip_trivia();
+    if (peek() == '(') {
+      MethodDescription method;
+      method.name = member_name;
+      method.return_type = first;
+      method.params = parse_params();
+      method.visibility = mods.visibility;
+      method.is_static = mods.is_static;
+      expect(';');
+      type.add_method(std::move(method));
+      return;
+    }
+
+    if (kind == TypeKind::Interface) fail("interfaces cannot declare fields");
+    FieldDescription field;
+    field.name = member_name;
+    field.type_name = first;
+    // Fields default to private, like the builder.
+    field.visibility = mods.explicit_visibility ? mods.visibility : Visibility::Private;
+    field.is_static = mods.is_static;
+    expect(';');
+    type.add_field(std::move(field));
+  }
+
+  std::string_view text_;
+  std::string namespace_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<TypeDescription> parse_type_declarations(std::string_view text) {
+  DeclParser parser(text);
+  return parser.parse_file();
+}
+
+std::size_t declare_types(TypeRegistry& registry, std::string_view text) {
+  const std::vector<TypeDescription> types = parse_type_declarations(text);
+  for (const TypeDescription& t : types) {
+    registry.add(t);
+  }
+  return types.size();
+}
+
+}  // namespace pti::reflect

@@ -1,0 +1,55 @@
+// A small textual type-declaration language.
+//
+// The Renaissance system the paper compares against (Section 2.6) relied
+// on an explicit type-definition language ("lingua franca"); the paper's
+// approach deliberately does not. This parser exists for the cases where a
+// *description* — not an implementation — is all that is needed: declaring
+// interest types, interfaces, or conformance scenarios in tests and tools
+// without writing builder code. It produces plain TypeDescriptions;
+// executable types still come from TypeBuilder.
+//
+// Grammar (';'-terminated members, '//' comments):
+//
+//   file       := (namespace | type)*
+//   namespace  := "namespace" qname ";"      // applies until the next one
+//   type       := ("class" | "interface") NAME
+//                 (":" typeref)? ("implements" typeref ("," typeref)*)?
+//                 ("tagged")? "{" member* "}"
+//   member     := field | method | ctor
+//   field      := modifiers typeref NAME ";"
+//   method     := modifiers typeref NAME "(" params? ")" ";"
+//   ctor       := modifiers NAME "(" params? ")" ";"       // NAME == type
+//   params     := typeref NAME ("," typeref NAME)*
+//   modifiers  := ("public" | "protected" | "private")? "static"?
+//
+// Defaults mirror the builder: fields private, methods/ctors public.
+//
+// Example:
+//
+//   namespace teamA;
+//   interface INamed { string getName(); }
+//   class Person : object implements INamed {
+//     private string name;
+//     Person(string name);
+//     string getName();
+//     void setName(string name);
+//   }
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "reflect/type_description.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::reflect {
+
+/// Parses a declaration file into descriptions (GUIDs derived from the
+/// qualified names). Throws ReflectError with line/column on bad input.
+[[nodiscard]] std::vector<TypeDescription> parse_type_declarations(std::string_view text);
+
+/// Convenience: parse and register everything; returns how many types were
+/// added.
+std::size_t declare_types(TypeRegistry& registry, std::string_view text);
+
+}  // namespace pti::reflect

@@ -1,0 +1,90 @@
+#include "reflect/type_registry.hpp"
+
+#include <array>
+
+#include "reflect/primitives.hpp"
+#include "reflect/reflect_error.hpp"
+
+namespace pti::reflect {
+
+TypeDescription make_primitive_description(std::string_view canonical_name) {
+  TypeDescription d("", std::string(canonical_name), TypeKind::Primitive);
+  d.set_guid(util::Guid::from_name(std::string("pti.primitive.") +
+                                   std::string(canonical_name)));
+  return d;
+}
+
+TypeRegistry::TypeRegistry() {
+  static constexpr std::array<std::string_view, 8> kPrimitives = {
+      kVoidType, kBoolType,   kInt32Type,  kInt64Type,
+      kFloat64Type, kStringType, kObjectType, kListType};
+  for (const std::string_view p : kPrimitives) {
+    add(make_primitive_description(p));
+  }
+}
+
+const TypeDescription& TypeRegistry::add(TypeDescription description) {
+  const std::string key = description.qualified_name();
+  if (const auto it = by_name_.find(key); it != by_name_.end()) {
+    if (it->second.structurally_equal(description)) {
+      return it->second;  // idempotent re-registration
+    }
+    throw ReflectError("type '" + key +
+                       "' already registered with a different structure");
+  }
+  auto [it, inserted] = by_name_.emplace(key, std::move(description));
+  const TypeDescription* stored = &it->second;
+  if (!stored->guid().is_nil()) {
+    by_guid_.emplace(stored->guid(), stored);
+  }
+  by_simple_name_[stored->name()].push_back(stored);
+  insertion_order_.push_back(stored);
+  return *stored;
+}
+
+bool TypeRegistry::contains(std::string_view qualified_name) const noexcept {
+  return by_name_.find(qualified_name) != by_name_.end();
+}
+
+const TypeDescription* TypeRegistry::resolve(std::string_view type_name,
+                                             std::string_view referrer_namespace) {
+  const std::string_view canonical = canonical_primitive(type_name);
+  if (const auto it = by_name_.find(canonical); it != by_name_.end()) {
+    return &it->second;
+  }
+  // Bare (unqualified) names may be qualified by the referrer's namespace
+  // or resolved by a unique simple-name match; a qualified name that
+  // missed stays missing — it names a specific type we do not know.
+  if (type_name.find('.') != std::string_view::npos) return nullptr;
+  if (!referrer_namespace.empty()) {
+    const std::string qualified = std::string(referrer_namespace) + "." +
+                                  std::string(type_name);
+    if (const auto it = by_name_.find(qualified); it != by_name_.end()) {
+      return &it->second;
+    }
+  }
+  if (const auto it = by_simple_name_.find(type_name);
+      it != by_simple_name_.end() && it->second.size() == 1) {
+    return it->second.front();
+  }
+  return nullptr;
+}
+
+const TypeDescription* TypeRegistry::find(std::string_view type_name) {
+  return resolve(type_name, "");
+}
+
+const TypeDescription* TypeRegistry::find_by_guid(const util::Guid& guid) const noexcept {
+  const auto it = by_guid_.find(guid);
+  return it == by_guid_.end() ? nullptr : it->second;
+}
+
+std::vector<const TypeDescription*> TypeRegistry::user_types() const {
+  std::vector<const TypeDescription*> out;
+  for (const TypeDescription* d : insertion_order_) {
+    if (d->kind() != TypeKind::Primitive) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace pti::reflect

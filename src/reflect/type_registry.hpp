@@ -1,0 +1,77 @@
+// TypeRegistry — the per-peer universe of known type descriptions.
+//
+// A peer knows (a) the types of its locally loaded assemblies and (b) any
+// descriptions it has downloaded from other peers via the optimistic
+// protocol. Lookups are case-insensitive. The registry implements
+// TypeResolver, the interface through which the conformance checker
+// resolves member-type references (field types, parameter types) — which
+// is exactly where the protocol may need to fetch further descriptions
+// from the network (Peer overrides the resolver to do so).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "reflect/type_description.hpp"
+#include "util/guid.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::reflect {
+
+/// Resolves a type reference (possibly unqualified) into a description.
+/// `referrer_namespace` is the namespace of the description containing the
+/// reference, used to qualify bare names. Returns nullptr when unknown.
+class TypeResolver {
+ public:
+  virtual ~TypeResolver() = default;
+  [[nodiscard]] virtual const TypeDescription* resolve(
+      std::string_view type_name, std::string_view referrer_namespace) = 0;
+};
+
+class TypeRegistry final : public TypeResolver {
+ public:
+  /// A fresh registry pre-populated with the primitive types.
+  TypeRegistry();
+
+  /// Registers a description under its qualified name. Re-registering a
+  /// structurally equal description is a no-op; a conflicting structure
+  /// under the same name throws ReflectError.
+  const TypeDescription& add(TypeDescription description);
+
+  [[nodiscard]] bool contains(std::string_view qualified_name) const noexcept;
+
+  /// Resolution order: canonical primitive -> exact qualified name ->
+  /// referrer-namespace-qualified -> unique simple-name match.
+  [[nodiscard]] const TypeDescription* resolve(std::string_view type_name,
+                                               std::string_view referrer_namespace) override;
+
+  /// resolve() with an empty referrer namespace.
+  [[nodiscard]] const TypeDescription* find(std::string_view type_name);
+
+  /// Identity lookup.
+  [[nodiscard]] const TypeDescription* find_by_guid(const util::Guid& guid) const noexcept;
+
+  /// All registered non-primitive descriptions, in registration order.
+  [[nodiscard]] std::vector<const TypeDescription*> user_types() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+ private:
+  // std::map with stable node addresses: descriptions are referred to by
+  // pointer across the library.
+  std::map<std::string, TypeDescription, util::ICaseLess> by_name_;
+  std::unordered_map<util::Guid, const TypeDescription*> by_guid_;
+  std::map<std::string, std::vector<const TypeDescription*>, util::ICaseLess> by_simple_name_;
+  std::vector<const TypeDescription*> insertion_order_;
+};
+
+/// Builds the description of a primitive type (kind Primitive, shared
+/// deterministic GUID).
+[[nodiscard]] TypeDescription make_primitive_description(std::string_view canonical_name);
+
+}  // namespace pti::reflect

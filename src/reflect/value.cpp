@@ -1,0 +1,114 @@
+#include "reflect/value.hpp"
+
+#include "reflect/dyn_object.hpp"
+#include "reflect/reflect_error.hpp"
+
+namespace pti::reflect {
+
+std::string_view to_string(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::Null: return "null";
+    case ValueKind::Bool: return "bool";
+    case ValueKind::Int32: return "int32";
+    case ValueKind::Int64: return "int64";
+    case ValueKind::Float64: return "float64";
+    case ValueKind::String: return "string";
+    case ValueKind::Object: return "object";
+    case ValueKind::List: return "list";
+  }
+  return "?";
+}
+
+ValueKind Value::kind() const noexcept {
+  return static_cast<ValueKind>(data_.index());
+}
+
+namespace {
+
+[[noreturn]] void kind_mismatch(ValueKind expected, ValueKind actual) {
+  throw ReflectError("value kind mismatch: expected " + std::string(to_string(expected)) +
+                     ", got " + std::string(to_string(actual)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* p = std::get_if<bool>(&data_)) return *p;
+  kind_mismatch(ValueKind::Bool, kind());
+}
+
+std::int32_t Value::as_int32() const {
+  if (const auto* p = std::get_if<std::int32_t>(&data_)) return *p;
+  kind_mismatch(ValueKind::Int32, kind());
+}
+
+std::int64_t Value::as_int64() const {
+  if (const auto* p = std::get_if<std::int64_t>(&data_)) return *p;
+  if (const auto* p = std::get_if<std::int32_t>(&data_)) return *p;  // widening
+  kind_mismatch(ValueKind::Int64, kind());
+}
+
+double Value::as_float64() const {
+  if (const auto* p = std::get_if<double>(&data_)) return *p;
+  kind_mismatch(ValueKind::Float64, kind());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* p = std::get_if<std::string>(&data_)) return *p;
+  kind_mismatch(ValueKind::String, kind());
+}
+
+const std::shared_ptr<DynObject>& Value::as_object() const {
+  if (const auto* p = std::get_if<std::shared_ptr<DynObject>>(&data_)) return *p;
+  kind_mismatch(ValueKind::Object, kind());
+}
+
+const Value::List& Value::as_list() const {
+  if (const auto* p = std::get_if<List>(&data_)) return *p;
+  kind_mismatch(ValueKind::List, kind());
+}
+
+Value::List& Value::as_list() {
+  if (auto* p = std::get_if<List>(&data_)) return *p;
+  kind_mismatch(ValueKind::List, kind());
+}
+
+double Value::to_float64() const {
+  switch (kind()) {
+    case ValueKind::Int32: return static_cast<double>(as_int32());
+    case ValueKind::Int64: return static_cast<double>(std::get<std::int64_t>(data_));
+    case ValueKind::Float64: return as_float64();
+    default: kind_mismatch(ValueKind::Float64, kind());
+  }
+}
+
+bool Value::operator==(const Value& other) const noexcept {
+  return data_ == other.data_;
+}
+
+std::string Value::to_debug_string() const {
+  switch (kind()) {
+    case ValueKind::Null: return "null";
+    case ValueKind::Bool: return as_bool() ? "true" : "false";
+    case ValueKind::Int32: return std::to_string(as_int32());
+    case ValueKind::Int64: return std::to_string(std::get<std::int64_t>(data_));
+    case ValueKind::Float64: return std::to_string(as_float64());
+    case ValueKind::String: return '"' + as_string() + '"';
+    case ValueKind::Object: {
+      const auto& obj = as_object();
+      return obj ? obj->to_debug_string() : "object(null)";
+    }
+    case ValueKind::List: {
+      std::string out = "[";
+      const List& items = as_list();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += items[i].to_debug_string();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace pti::reflect

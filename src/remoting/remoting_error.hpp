@@ -1,0 +1,12 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::remoting {
+
+class RemotingError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace pti::remoting

@@ -1,0 +1,33 @@
+// Compact binary object serialization, modelled on .NET's BinaryFormatter:
+// tagged values, varint integers, a string pool and object back-references
+// (so shared references and cycles round-trip). This is the cheap, dense
+// payload encoding in the paper's hybrid scheme.
+//
+// Wire layout:
+//   magic "PTIB", version u8, then one encoded value.
+//   value := tag u8, payload
+//     Null                       —
+//     Bool                       u8
+//     Int32/Int64                signed varint
+//     Float64                    8 bytes (IEEE bits)
+//     String                     pooled string
+//     List                       count varint, values...
+//     Object (first occurrence)  marker 0, type name (pooled), guid 16B,
+//                                field count, (field name pooled, value)...
+//     Object (back-reference)    marker = object id
+//   pooled string := varint; 0 => new (length-prefixed bytes follow, id =
+//   next index), k>0 => reference to the k-th string seen.
+#pragma once
+
+#include "serial/object_serializer.hpp"
+
+namespace pti::serial {
+
+class BinarySerializer final : public ObjectSerializer {
+ public:
+  [[nodiscard]] std::string_view encoding() const noexcept override { return "binary"; }
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const reflect::Value& root) override;
+  [[nodiscard]] reflect::Value deserialize(std::span<const std::uint8_t> data) override;
+};
+
+}  // namespace pti::serial

@@ -1,0 +1,79 @@
+// The hybrid serialization scheme of the paper (Fig. 3).
+//
+// When an object travels between peers it is wrapped in an XML message
+// that combines:
+//   * TypeInfo — for every type occurring in the object graph: the type
+//     name, its identity (GUID), and where to download its description and
+//     implementation (assembly name + download path). This is the
+//     "optimistic" part: names and paths travel, descriptions and code do
+//     NOT — the receiver fetches them only when needed.
+//   * Payload — the object graph serialized by one of the pluggable
+//     mechanisms (SOAP or binary, per the paper; XML also supported).
+//     XML-based payloads nest as XML; binary payloads are base64.
+//
+//   <PTIMessage>
+//     <TypeInfo>
+//       <Type name="teamA.Person" guid="..." assembly="teamA.people"
+//             downloadPath="net://peerA/teamA.people"/>
+//     </TypeInfo>
+//     <Payload encoding="soap"> <SOAP-ENV:Envelope>...</SOAP-ENV:Envelope> </Payload>
+//   </PTIMessage>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reflect/type_registry.hpp"
+#include "reflect/value.hpp"
+#include "serial/object_serializer.hpp"
+#include "xml/xml_node.hpp"
+
+namespace pti::serial {
+
+struct TypeInfoEntry {
+  std::string type_name;  ///< qualified name
+  util::Guid guid;
+  std::string assembly_name;
+  std::string download_path;
+
+  bool operator==(const TypeInfoEntry&) const = default;
+};
+
+struct Envelope {
+  std::vector<TypeInfoEntry> types;
+  std::string encoding;                ///< payload serializer ("soap", ...)
+  std::vector<std::uint8_t> payload;   ///< serialized object graph
+
+  [[nodiscard]] xml::XmlNode to_xml() const;
+  [[nodiscard]] static Envelope from_xml(const xml::XmlNode& node);
+
+  /// Full message bytes as put on the wire.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  [[nodiscard]] static Envelope from_bytes(std::span<const std::uint8_t> data);
+
+  /// Size of the XML wrapper alone (message minus payload bytes) — the
+  /// envelope overhead benchmark E6 reports.
+  [[nodiscard]] std::size_t wrapper_size() const;
+};
+
+/// Builds envelopes: walks the object graph, collects the distinct types
+/// (with provenance looked up through the resolver), and serializes the
+/// payload with the chosen mechanism.
+class EnvelopeBuilder {
+ public:
+  EnvelopeBuilder(ObjectSerializer& serializer, reflect::TypeResolver* resolver)
+      : serializer_(serializer), resolver_(resolver) {}
+
+  [[nodiscard]] Envelope build(const reflect::Value& root);
+
+ private:
+  ObjectSerializer& serializer_;
+  reflect::TypeResolver* resolver_;
+};
+
+/// Collects the distinct type names reachable in a value graph (cycle-safe,
+/// stable order of first occurrence).
+[[nodiscard]] std::vector<std::string> collect_type_names(const reflect::Value& root);
+
+}  // namespace pti::serial

@@ -1,0 +1,44 @@
+#include "serial/object_serializer.hpp"
+
+#include "serial/binary_serializer.hpp"
+#include "serial/serial_error.hpp"
+#include "serial/soap_serializer.hpp"
+#include "serial/xml_object_serializer.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::serial {
+
+void SerializerRegistry::add(std::shared_ptr<ObjectSerializer> serializer) {
+  if (!serializer) throw SerialError("cannot register a null serializer");
+  serializers_[util::to_lower(serializer->encoding())] = std::move(serializer);
+}
+
+ObjectSerializer& SerializerRegistry::get(std::string_view encoding) const {
+  const auto it = serializers_.find(util::to_lower(encoding));
+  if (it == serializers_.end()) {
+    throw SerialError("no serializer registered for encoding '" + std::string(encoding) +
+                      "'");
+  }
+  return *it->second;
+}
+
+bool SerializerRegistry::has(std::string_view encoding) const noexcept {
+  return serializers_.find(util::to_lower(encoding)) != serializers_.end();
+}
+
+std::vector<std::string> SerializerRegistry::encodings() const {
+  std::vector<std::string> out;
+  out.reserve(serializers_.size());
+  for (const auto& [name, s] : serializers_) out.push_back(name);
+  return out;
+}
+
+SerializerRegistry SerializerRegistry::with_defaults() {
+  SerializerRegistry registry;
+  registry.add(std::make_shared<XmlObjectSerializer>());
+  registry.add(std::make_shared<SoapSerializer>());
+  registry.add(std::make_shared<BinarySerializer>());
+  return registry;
+}
+
+}  // namespace pti::serial

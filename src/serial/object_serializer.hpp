@@ -1,0 +1,56 @@
+// ObjectSerializer — the common interface of the three serialization
+// mechanisms the paper evaluates on .NET: XML, SOAP and binary
+// (Section 6.2). All three carry arbitrary Value graphs (primitives,
+// strings, lists, objects); they differ exactly as their .NET counterparts
+// do:
+//
+//   * XML    — human-readable, public fields only, no shared references
+//              (re-serializes DAGs, rejects cycles), largest output.
+//   * SOAP   — verbose envelope with id/href multi-reference encoding:
+//              shared references and cycles round-trip; private fields
+//              included.
+//   * binary — compact tagged bytes with string & object back-references;
+//              shared references and cycles round-trip; smallest/fastest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/value.hpp"
+
+namespace pti::serial {
+
+class ObjectSerializer {
+ public:
+  virtual ~ObjectSerializer() = default;
+
+  /// Wire identifier, e.g. "xml", "soap", "binary" — recorded in envelopes
+  /// so receivers pick the right decoder.
+  [[nodiscard]] virtual std::string_view encoding() const noexcept = 0;
+
+  [[nodiscard]] virtual std::vector<std::uint8_t> serialize(const reflect::Value& root) = 0;
+  [[nodiscard]] virtual reflect::Value deserialize(std::span<const std::uint8_t> data) = 0;
+};
+
+/// Registry of serializers by encoding name (case-insensitive).
+class SerializerRegistry {
+ public:
+  void add(std::shared_ptr<ObjectSerializer> serializer);
+  /// Throws SerialError for unknown encodings.
+  [[nodiscard]] ObjectSerializer& get(std::string_view encoding) const;
+  [[nodiscard]] bool has(std::string_view encoding) const noexcept;
+  [[nodiscard]] std::vector<std::string> encodings() const;
+
+  /// A registry with xml, soap and binary serializers pre-registered.
+  [[nodiscard]] static SerializerRegistry with_defaults();
+
+ private:
+  std::map<std::string, std::shared_ptr<ObjectSerializer>> serializers_;
+};
+
+}  // namespace pti::serial

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::serial {
+
+class SerialError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace pti::serial

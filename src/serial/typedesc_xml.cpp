@@ -1,0 +1,151 @@
+#include "serial/typedesc_xml.hpp"
+
+#include "serial/serial_error.hpp"
+#include "util/string_util.hpp"
+#include "xml/xml_parser.hpp"
+#include "xml/xml_writer.hpp"
+
+namespace pti::serial {
+
+using reflect::ConstructorDescription;
+using reflect::FieldDescription;
+using reflect::MethodDescription;
+using reflect::ParamDescription;
+using reflect::TypeDescription;
+using reflect::TypeKind;
+using reflect::Visibility;
+
+namespace {
+
+std::string_view kind_name(TypeKind k) noexcept { return reflect::to_string(k); }
+
+TypeKind parse_kind(std::string_view s) {
+  if (util::iequals(s, "class")) return TypeKind::Class;
+  if (util::iequals(s, "interface")) return TypeKind::Interface;
+  if (util::iequals(s, "primitive")) return TypeKind::Primitive;
+  throw SerialError("unknown type kind '" + std::string(s) + "'");
+}
+
+Visibility parse_visibility(std::string_view s) {
+  if (util::iequals(s, "public")) return Visibility::Public;
+  if (util::iequals(s, "protected")) return Visibility::Protected;
+  if (util::iequals(s, "private")) return Visibility::Private;
+  throw SerialError("unknown visibility '" + std::string(s) + "'");
+}
+
+void append_params(xml::XmlNode& parent, const std::vector<ParamDescription>& params) {
+  for (const auto& p : params) {
+    parent.add_child("Param").set_attr("name", p.name).set_attr("type", p.type_name);
+  }
+}
+
+std::vector<ParamDescription> read_params(const xml::XmlNode& parent) {
+  std::vector<ParamDescription> out;
+  for (const xml::XmlNode* p : parent.children_named("Param")) {
+    out.push_back(ParamDescription{std::string(p->attr("name").value_or("")),
+                                   std::string(p->required_attr("type"))});
+  }
+  return out;
+}
+
+}  // namespace
+
+xml::XmlNode type_description_to_xml(const TypeDescription& d) {
+  xml::XmlNode node("TypeDescription");
+  node.set_attr("name", d.name());
+  if (!d.namespace_name().empty()) node.set_attr("namespace", d.namespace_name());
+  node.set_attr("kind", kind_name(d.kind()));
+  if (!d.guid().is_nil()) node.set_attr("guid", d.guid().to_string());
+  if (!d.assembly_name().empty()) node.set_attr("assembly", d.assembly_name());
+  if (!d.download_path().empty()) node.set_attr("downloadPath", d.download_path());
+  if (d.structural_tag()) node.set_attr("structuralTag", "true");
+
+  if (!d.superclass().empty()) {
+    node.add_child("Superclass").set_attr("name", d.superclass());
+  }
+  for (const auto& itf : d.interfaces()) {
+    node.add_child("Interface").set_attr("name", itf);
+  }
+  for (const auto& f : d.fields()) {
+    auto& fn = node.add_child("Field");
+    fn.set_attr("name", f.name);
+    fn.set_attr("type", f.type_name);
+    fn.set_attr("visibility", reflect::to_string(f.visibility));
+    if (f.is_static) fn.set_attr("static", "true");
+  }
+  for (const auto& m : d.methods()) {
+    auto& mn = node.add_child("Method");
+    mn.set_attr("name", m.name);
+    mn.set_attr("returns", m.return_type);
+    mn.set_attr("visibility", reflect::to_string(m.visibility));
+    if (m.is_static) mn.set_attr("static", "true");
+    append_params(mn, m.params);
+  }
+  for (const auto& c : d.constructors()) {
+    auto& cn = node.add_child("Constructor");
+    cn.set_attr("visibility", reflect::to_string(c.visibility));
+    append_params(cn, c.params);
+  }
+  return node;
+}
+
+TypeDescription type_description_from_xml(const xml::XmlNode& node) {
+  if (node.name() != "TypeDescription") {
+    throw SerialError("expected <TypeDescription>, found <" + node.name() + ">");
+  }
+  TypeDescription d(std::string(node.attr("namespace").value_or("")),
+                    std::string(node.required_attr("name")),
+                    parse_kind(node.required_attr("kind")));
+  if (auto g = node.attr("guid")) {
+    const auto parsed = util::Guid::parse(*g);
+    if (!parsed) throw SerialError("malformed guid '" + std::string(*g) + "'");
+    d.set_guid(*parsed);
+  }
+  d.set_assembly_name(std::string(node.attr("assembly").value_or("")));
+  d.set_download_path(std::string(node.attr("downloadPath").value_or("")));
+  if (auto tag = node.attr("structuralTag")) {
+    d.set_structural_tag(util::iequals(*tag, "true"));
+  }
+  if (const xml::XmlNode* sc = node.child("Superclass")) {
+    d.set_superclass(std::string(sc->required_attr("name")));
+  }
+  for (const xml::XmlNode* itf : node.children_named("Interface")) {
+    d.add_interface(std::string(itf->required_attr("name")));
+  }
+  for (const xml::XmlNode* f : node.children_named("Field")) {
+    FieldDescription fd;
+    fd.name = std::string(f->required_attr("name"));
+    fd.type_name = std::string(f->required_attr("type"));
+    fd.visibility = parse_visibility(f->attr("visibility").value_or("private"));
+    fd.is_static = util::iequals(f->attr("static").value_or("false"), "true");
+    d.add_field(std::move(fd));
+  }
+  for (const xml::XmlNode* m : node.children_named("Method")) {
+    MethodDescription md;
+    md.name = std::string(m->required_attr("name"));
+    md.return_type = std::string(m->required_attr("returns"));
+    md.visibility = parse_visibility(m->attr("visibility").value_or("public"));
+    md.is_static = util::iequals(m->attr("static").value_or("false"), "true");
+    md.params = read_params(*m);
+    d.add_method(std::move(md));
+  }
+  for (const xml::XmlNode* c : node.children_named("Constructor")) {
+    ConstructorDescription cd;
+    cd.visibility = parse_visibility(c->attr("visibility").value_or("public"));
+    cd.params = read_params(*c);
+    d.add_constructor(std::move(cd));
+  }
+  return d;
+}
+
+std::string type_description_to_string(const TypeDescription& d, bool indent) {
+  xml::WriteOptions opt;
+  opt.indent = indent;
+  return xml::write(type_description_to_xml(d), opt);
+}
+
+TypeDescription type_description_from_string(std::string_view text) {
+  return type_description_from_xml(xml::parse(text));
+}
+
+}  // namespace pti::serial

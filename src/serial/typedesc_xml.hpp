@@ -1,0 +1,38 @@
+// Type descriptions as XML messages (paper Section 5.2).
+//
+// This is the exact artifact the optimistic protocol ships when a peer
+// asks "what does your type look like?": a flat, non-recursive description
+// carrying identity, supertypes, fields, method and constructor signatures,
+// plus the assembly name and download path needed to fetch the code later.
+//
+// Format:
+//   <TypeDescription name="Person" namespace="teamA" kind="class"
+//                    guid="..." assembly="teamA.people"
+//                    downloadPath="net://peerA/teamA.people">
+//     <Superclass name="object"/>
+//     <Interface name="teamA.INamed"/>
+//     <Field name="name" type="string" visibility="private"/>
+//     <Method name="getName" returns="string" visibility="public">
+//       <Param name="" type=""/> ...
+//     </Method>
+//     <Constructor visibility="public"> <Param .../> </Constructor>
+//   </TypeDescription>
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "reflect/type_description.hpp"
+#include "xml/xml_node.hpp"
+
+namespace pti::serial {
+
+[[nodiscard]] xml::XmlNode type_description_to_xml(const reflect::TypeDescription& d);
+[[nodiscard]] reflect::TypeDescription type_description_from_xml(const xml::XmlNode& node);
+
+/// Whole-string convenience wrappers (serialize with declaration, parse).
+[[nodiscard]] std::string type_description_to_string(const reflect::TypeDescription& d,
+                                                     bool indent = false);
+[[nodiscard]] reflect::TypeDescription type_description_from_string(std::string_view text);
+
+}  // namespace pti::serial

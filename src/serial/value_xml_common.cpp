@@ -1,0 +1,88 @@
+#include "serial/value_xml_common.hpp"
+
+#include <charconv>
+
+#include "serial/serial_error.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::serial::detail {
+
+using reflect::Value;
+using reflect::ValueKind;
+
+std::string format_float64(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw SerialError("cannot format float64");
+  return std::string(buf, ptr);
+}
+
+double parse_float64(std::string_view text) {
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw SerialError("malformed float64 '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+namespace {
+
+template <typename T>
+T parse_int(std::string_view text) {
+  T v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw SerialError("malformed integer '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_scalar(xml::XmlNode& node, const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::Null:
+      node.set_attr("kind", "null");
+      break;
+    case ValueKind::Bool:
+      node.set_attr("kind", "bool");
+      node.set_text(value.as_bool() ? "true" : "false");
+      break;
+    case ValueKind::Int32:
+      node.set_attr("kind", "int32");
+      node.set_text(std::to_string(value.as_int32()));
+      break;
+    case ValueKind::Int64:
+      node.set_attr("kind", "int64");
+      node.set_text(std::to_string(value.as_int64()));
+      break;
+    case ValueKind::Float64:
+      node.set_attr("kind", "float64");
+      node.set_text(format_float64(value.as_float64()));
+      break;
+    case ValueKind::String:
+      node.set_attr("kind", "string");
+      node.set_text(value.as_string());
+      break;
+    case ValueKind::Object:
+    case ValueKind::List:
+      throw SerialError("write_scalar cannot encode object/list values");
+  }
+}
+
+Value read_scalar(std::string_view kind, const xml::XmlNode& node) {
+  if (kind == "null") return Value();
+  if (kind == "bool") {
+    if (util::iequals(node.text(), "true")) return Value(true);
+    if (util::iequals(node.text(), "false")) return Value(false);
+    throw SerialError("malformed bool '" + node.text() + "'");
+  }
+  if (kind == "int32") return Value(parse_int<std::int32_t>(node.text()));
+  if (kind == "int64") return Value(parse_int<std::int64_t>(node.text()));
+  if (kind == "float64") return Value(parse_float64(node.text()));
+  if (kind == "string") return Value(node.text());
+  throw SerialError("unknown scalar kind '" + std::string(kind) + "'");
+}
+
+}  // namespace pti::serial::detail

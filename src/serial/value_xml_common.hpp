@@ -1,0 +1,24 @@
+// Shared helpers for the XML-based value encodings (plain XML and SOAP):
+// rendering primitive values to/from element text and kind attributes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "reflect/value.hpp"
+#include "xml/xml_node.hpp"
+
+namespace pti::serial::detail {
+
+/// Formats a float64 so it round-trips exactly (shortest representation).
+[[nodiscard]] std::string format_float64(double v);
+[[nodiscard]] double parse_float64(std::string_view text);
+
+/// Writes a primitive (non-object) value's kind attribute and text content
+/// onto `node`. Object values are the caller's concern (inline vs. href).
+void write_scalar(xml::XmlNode& node, const reflect::Value& value);
+
+/// Reads a scalar value of the given kind string from `node`'s text.
+[[nodiscard]] reflect::Value read_scalar(std::string_view kind, const xml::XmlNode& node);
+
+}  // namespace pti::serial::detail

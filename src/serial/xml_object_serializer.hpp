@@ -1,0 +1,36 @@
+// Plain XML object serialization, modelled on .NET's XmlSerializer: a
+// human-readable tree of *public* state. Like its model it has no notion
+// of object identity — shared sub-objects are duplicated and cyclic graphs
+// are rejected — which is why the paper pairs it with SOAP/binary for the
+// actual object payload and uses XML for descriptions and envelopes.
+#pragma once
+
+#include <optional>
+
+#include "reflect/type_registry.hpp"
+#include "serial/object_serializer.hpp"
+#include "xml/xml_node.hpp"
+
+namespace pti::serial {
+
+class XmlObjectSerializer final : public ObjectSerializer {
+ public:
+  /// When a resolver is supplied, only fields declared *public* in the
+  /// object's type description are emitted (the .NET XmlSerializer
+  /// behaviour); without one, or for unknown types, all fields are kept.
+  explicit XmlObjectSerializer(reflect::TypeResolver* resolver = nullptr)
+      : resolver_(resolver) {}
+
+  [[nodiscard]] std::string_view encoding() const noexcept override { return "xml"; }
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const reflect::Value& root) override;
+  [[nodiscard]] reflect::Value deserialize(std::span<const std::uint8_t> data) override;
+
+  /// DOM-level entry points (used by the envelope to nest payloads inline).
+  [[nodiscard]] xml::XmlNode to_xml(const reflect::Value& root);
+  [[nodiscard]] reflect::Value from_xml(const xml::XmlNode& root);
+
+ private:
+  reflect::TypeResolver* resolver_;
+};
+
+}  // namespace pti::serial

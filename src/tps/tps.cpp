@@ -1,0 +1,35 @@
+#include "tps/tps.hpp"
+
+namespace pti::tps {
+
+TpsNode::TpsNode(TpsDomain& domain, core::InteropRuntime& runtime)
+    : domain_(domain), runtime_(runtime) {}
+
+void TpsNode::offer_assembly(std::shared_ptr<const reflect::Assembly> assembly) {
+  runtime_.publish_assembly(std::move(assembly));
+}
+
+void TpsNode::subscribe(std::string_view event_type, EventCallback callback) {
+  runtime_.subscribe(event_type, std::move(callback));
+  ++subscriptions_;
+}
+
+PublishReport TpsNode::publish(const std::shared_ptr<reflect::DynObject>& event) {
+  PublishReport report;
+  for (const auto& node : domain_.nodes()) {
+    if (node.get() == this || !node->has_subscriptions()) continue;
+    ++report.recipients;
+    const transport::PushAck ack = runtime_.send(node->name(), event);
+    if (ack.delivered) ++report.delivered;
+  }
+  return report;
+}
+
+TpsNode& TpsDomain::create_node(std::string name, transport::PeerConfig config) {
+  core::InteropRuntime& runtime =
+      system_.create_runtime(std::move(name), std::move(config));
+  nodes_.push_back(std::make_unique<TpsNode>(*this, runtime));
+  return *nodes_.back();
+}
+
+}  // namespace pti::tps

@@ -1,0 +1,80 @@
+// Type-based publish/subscribe enhanced with type interoperability —
+// the paper's first application (Section 8, citing [Eugster/Guerraoui/
+// Damm, OOPSLA 2001]).
+//
+// Classic TPS forces publishers and subscribers to agree a priori on event
+// types. Here a subscriber subscribes with *its own* event type; events of
+// any type that implicitly structurally conforms are delivered, adapted
+// through a dynamic proxy. Non-conformant events are rejected by the
+// optimistic protocol before any code is downloaded.
+//
+// Topology: a TpsDomain is a directory of nodes attached to one
+// InteropSystem. publish() pushes the event to every *other* node that has
+// at least one subscription; each receiving node's own conformance check
+// decides delivery (multicast-by-conformance).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/interop.hpp"
+
+namespace pti::tps {
+
+struct PublishReport {
+  std::size_t recipients = 0;  ///< nodes the event was pushed to
+  std::size_t delivered = 0;   ///< nodes where a subscription conformed
+};
+
+class TpsDomain;
+
+class TpsNode {
+ public:
+  TpsNode(TpsDomain& domain, core::InteropRuntime& runtime);
+
+  [[nodiscard]] const std::string& name() const noexcept { return runtime_.name(); }
+  [[nodiscard]] core::InteropRuntime& runtime() noexcept { return runtime_; }
+
+  /// Publishes the node's event types + implementations.
+  void offer_assembly(std::shared_ptr<const reflect::Assembly> assembly);
+
+  using EventCallback = std::function<void(const transport::DeliveredObject&)>;
+  /// Subscribes with a locally known event type.
+  void subscribe(std::string_view event_type, EventCallback callback);
+  [[nodiscard]] bool has_subscriptions() const noexcept { return subscriptions_ > 0; }
+
+  /// Publishes an event to every subscribed node in the domain.
+  PublishReport publish(const std::shared_ptr<reflect::DynObject>& event);
+
+  /// Events delivered to this node, oldest first.
+  [[nodiscard]] const std::vector<transport::DeliveredObject>& inbox() const noexcept {
+    return runtime_.peer().delivered();
+  }
+
+ private:
+  TpsDomain& domain_;
+  core::InteropRuntime& runtime_;
+  std::size_t subscriptions_ = 0;
+};
+
+class TpsDomain {
+ public:
+  explicit TpsDomain(core::InteropSystem& system) : system_(system) {}
+
+  /// Creates a runtime + node registered in this domain.
+  TpsNode& create_node(std::string name, transport::PeerConfig config = {});
+
+  [[nodiscard]] core::InteropSystem& system() noexcept { return system_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<TpsNode>>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  core::InteropSystem& system_;
+  std::vector<std::unique_ptr<TpsNode>> nodes_;
+};
+
+}  // namespace pti::tps

@@ -1,0 +1,35 @@
+// AssemblyHub — the in-process stand-in for "downloadable code".
+//
+// In the paper, an assembly downloaded from a peer is real CLR code the
+// runtime links in. C++ cannot link code received over a wire, so the hub
+// holds every assembly that exists anywhere in the simulated universe;
+// the *protocol* still transfers descriptions and charges the network for
+// the assembly's simulated byte size, and a peer may load an assembly from
+// the hub only after a successful CodeResponse. The substitution keeps
+// every protocol-visible behaviour (message sequence, byte counts, cache
+// effects) intact — only the mechanics of code transport are simulated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "reflect/assembly.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::transport {
+
+class AssemblyHub {
+ public:
+  void publish(std::shared_ptr<const reflect::Assembly> assembly);
+  [[nodiscard]] std::shared_ptr<const reflect::Assembly> fetch(
+      std::string_view name) const noexcept;
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+
+ private:
+  std::map<std::string, std::shared_ptr<const reflect::Assembly>, util::ICaseLess>
+      assemblies_;
+};
+
+}  // namespace pti::transport

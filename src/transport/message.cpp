@@ -1,0 +1,69 @@
+#include "transport/message.hpp"
+
+namespace pti::transport {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 48;  // routing, kind, framing
+
+struct SizeVisitor {
+  std::size_t operator()(const ObjectPush& m) const noexcept {
+    std::size_t size = m.envelope.size() + m.eager_assembly_bytes;
+    for (const auto& d : m.eager_descriptions_xml) size += d.size();
+    for (const auto& n : m.eager_assembly_names) size += n.size() + 4;
+    return size;
+  }
+  std::size_t operator()(const PushAck& m) const noexcept { return 2 + m.detail.size(); }
+  std::size_t operator()(const TypeInfoRequest& m) const noexcept {
+    std::size_t size = 4;
+    for (const auto& n : m.type_names) size += n.size() + 4;
+    return size;
+  }
+  std::size_t operator()(const TypeInfoResponse& m) const noexcept {
+    std::size_t size = 4;
+    for (const auto& d : m.descriptions_xml) size += d.size() + 4;
+    for (const auto& u : m.unknown) size += u.size() + 4;
+    return size;
+  }
+  std::size_t operator()(const CodeRequest& m) const noexcept {
+    return m.assembly_name.size() + 4;
+  }
+  std::size_t operator()(const CodeResponse& m) const noexcept {
+    return m.assembly_name.size() + 6 + static_cast<std::size_t>(m.code_bytes);
+  }
+  std::size_t operator()(const InvokeRequest& m) const noexcept {
+    return 8 + m.method_name.size() + 4 + m.args_envelope.size();
+  }
+  std::size_t operator()(const InvokeResponse& m) const noexcept {
+    return 2 + m.result_envelope.size() + m.error.size();
+  }
+  std::size_t operator()(const ErrorReply& m) const noexcept {
+    return m.message.size() + 4;
+  }
+};
+
+struct KindVisitor {
+  const char* operator()(const ObjectPush&) const noexcept { return "ObjectPush"; }
+  const char* operator()(const PushAck&) const noexcept { return "PushAck"; }
+  const char* operator()(const TypeInfoRequest&) const noexcept { return "TypeInfoRequest"; }
+  const char* operator()(const TypeInfoResponse&) const noexcept {
+    return "TypeInfoResponse";
+  }
+  const char* operator()(const CodeRequest&) const noexcept { return "CodeRequest"; }
+  const char* operator()(const CodeResponse&) const noexcept { return "CodeResponse"; }
+  const char* operator()(const InvokeRequest&) const noexcept { return "InvokeRequest"; }
+  const char* operator()(const InvokeResponse&) const noexcept { return "InvokeResponse"; }
+  const char* operator()(const ErrorReply&) const noexcept { return "ErrorReply"; }
+};
+
+}  // namespace
+
+std::size_t Message::wire_size() const noexcept {
+  return kHeaderSize + sender.size() + recipient.size() + std::visit(SizeVisitor{}, payload);
+}
+
+const char* Message::kind_name() const noexcept {
+  return std::visit(KindVisitor{}, payload);
+}
+
+}  // namespace pti::transport

@@ -1,0 +1,85 @@
+// Protocol messages of the optimistic transport protocol (paper Fig. 1)
+// plus the remoting messages of Section 6.2.
+//
+//   ObjectPush       (1) object arrives, wrapped in the hybrid envelope
+//   TypeInfoRequest  (2) receiver asks for unknown type descriptions
+//   TypeInfoResponse (3) sender returns XML type descriptions
+//   CodeRequest      (4) types conform: receiver asks for the assembly
+//   CodeResponse     (5) code arrives, object becomes usable
+//   InvokeRequest/InvokeResponse — pass-by-reference remote invocations
+//   PushAck / ErrorReply — outcome signalling
+//
+// Wire sizes are modelled analytically (header + real content bytes); the
+// dominant contributors — envelopes, XML descriptions, assembly code — are
+// measured from their true serialized size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pti::transport {
+
+struct ObjectPush {
+  std::vector<std::uint8_t> envelope;  ///< serial::Envelope bytes
+  /// Eager-mode extras: descriptions and assemblies shipped up front.
+  std::vector<std::string> eager_descriptions_xml;
+  std::vector<std::string> eager_assembly_names;
+  std::uint64_t eager_assembly_bytes = 0;
+};
+
+struct PushAck {
+  bool delivered = false;
+  std::string detail;  ///< interest type on success, reason on rejection
+};
+
+struct TypeInfoRequest {
+  std::vector<std::string> type_names;
+};
+
+struct TypeInfoResponse {
+  std::vector<std::string> descriptions_xml;  ///< one per known requested type
+  std::vector<std::string> unknown;           ///< requested names this peer lacks
+};
+
+struct CodeRequest {
+  std::string assembly_name;
+};
+
+struct CodeResponse {
+  std::string assembly_name;
+  bool found = false;
+  std::uint64_t code_bytes = 0;  ///< simulated size of the shipped assembly
+};
+
+struct InvokeRequest {
+  std::uint64_t object_id = 0;
+  std::string method_name;
+  std::vector<std::uint8_t> args_envelope;  ///< list-of-arguments envelope
+};
+
+struct InvokeResponse {
+  bool ok = false;
+  std::vector<std::uint8_t> result_envelope;  ///< valid when ok
+  std::string error;                          ///< valid when !ok
+};
+
+struct ErrorReply {
+  std::string message;
+};
+
+using MessagePayload = std::variant<ObjectPush, PushAck, TypeInfoRequest, TypeInfoResponse,
+                                    CodeRequest, CodeResponse, InvokeRequest,
+                                    InvokeResponse, ErrorReply>;
+
+struct Message {
+  std::string sender;
+  std::string recipient;
+  MessagePayload payload;
+
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+  [[nodiscard]] const char* kind_name() const noexcept;
+};
+
+}  // namespace pti::transport

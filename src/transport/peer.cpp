@@ -1,0 +1,407 @@
+#include "transport/peer.hpp"
+
+#include <algorithm>
+
+#include "conform/baselines.hpp"
+#include "serial/typedesc_xml.hpp"
+#include "serial/xml_object_serializer.hpp"
+#include "transport/transport_error.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::transport {
+
+using conform::CheckResult;
+using reflect::DynObject;
+using reflect::TypeDescription;
+using serial::Envelope;
+using serial::TypeInfoEntry;
+
+namespace {
+
+/// Parses "net://host/assembly" download paths; returns the host, or empty
+/// when the path has another shape.
+[[nodiscard]] std::string_view download_host(std::string_view path) noexcept {
+  constexpr std::string_view kScheme = "net://";
+  if (!util::starts_with(path, kScheme)) return {};
+  path.remove_prefix(kScheme.size());
+  const std::size_t slash = path.find('/');
+  return slash == std::string_view::npos ? path : path.substr(0, slash);
+}
+
+}  // namespace
+
+Peer::Peer(std::string name, SimNetwork& network, std::shared_ptr<AssemblyHub> hub,
+           PeerConfig config)
+    : name_(std::move(name)),
+      network_(network),
+      hub_(std::move(hub)),
+      config_(std::move(config)),
+      checker_(domain_.registry(), config_.conformance,
+               config_.use_conformance_cache ? &cache_ : nullptr),
+      proxies_(domain_, checker_) {
+  if (!hub_) throw TransportError("peer '" + name_ + "' needs an assembly hub");
+  serializers_ = serial::SerializerRegistry::with_defaults();
+  // The XML serializer honours field visibility when it can see the
+  // descriptions (XmlSerializer semantics).
+  serializers_.add(std::make_shared<serial::XmlObjectSerializer>(&domain_.registry()));
+  if (!serializers_.has(config_.payload_encoding)) {
+    throw TransportError("unknown payload encoding '" + config_.payload_encoding + "'");
+  }
+  network_.attach(name_, [this](const Message& m) { return handle(m); });
+}
+
+Peer::~Peer() {
+  network_.detach(name_);
+}
+
+void Peer::host_assembly(std::shared_ptr<const reflect::Assembly> assembly) {
+  if (!assembly) throw TransportError("cannot host a null assembly");
+  const std::string path = "net://" + name_ + "/" + assembly->name();
+  hub_->publish(assembly);
+  domain_.load_assembly(std::move(assembly), path);
+}
+
+void Peer::add_interest(std::string_view type_name) {
+  const TypeDescription* d = domain_.registry().find(type_name);
+  if (d == nullptr) {
+    throw ProtocolError("interest type '" + std::string(type_name) +
+                        "' is not known to peer '" + name_ + "'");
+  }
+  const std::string qualified = d->qualified_name();
+  if (std::find(interests_.begin(), interests_.end(), qualified) == interests_.end()) {
+    interests_.push_back(qualified);
+  }
+}
+
+std::string Peer::describe_type_xml(std::string_view type_name) const {
+  const TypeDescription* d =
+      const_cast<reflect::TypeRegistry&>(domain_.registry()).find(type_name);
+  if (d == nullptr) {
+    throw ProtocolError("peer '" + name_ + "' does not know type '" +
+                        std::string(type_name) + "'");
+  }
+  return serial::type_description_to_string(*d);
+}
+
+PushAck Peer::send_object(std::string_view to,
+                          const std::shared_ptr<DynObject>& object) {
+  if (!object) throw ProtocolError("cannot send a null object");
+  // The wire carries real state, never proxy wrappers.
+  const std::shared_ptr<DynObject> real = proxies_.unwrap(object);
+
+  serial::ObjectSerializer& serializer = serializers_.get(config_.payload_encoding);
+  serial::EnvelopeBuilder builder(serializer, &domain_.registry());
+  const Envelope envelope = builder.build(reflect::Value(real));
+
+  ObjectPush push;
+  push.envelope = envelope.to_bytes();
+
+  if (config_.mode == ProtocolMode::Eager) {
+    // Ship the transitive description closure and every implementing
+    // assembly up front — the baseline the optimistic protocol beats.
+    std::set<std::string, util::ICaseLess> visited;
+    std::vector<std::string> frontier;
+    for (const auto& t : envelope.types) frontier.push_back(t.type_name);
+    std::set<std::string, util::ICaseLess> assemblies;
+    while (!frontier.empty()) {
+      const std::string type_name = std::move(frontier.back());
+      frontier.pop_back();
+      if (!visited.insert(type_name).second) continue;
+      const TypeDescription* d = domain_.registry().find(type_name);
+      if (d == nullptr || d->kind() == reflect::TypeKind::Primitive) continue;
+      push.eager_descriptions_xml.push_back(serial::type_description_to_string(*d));
+      if (!d->assembly_name().empty()) assemblies.insert(d->assembly_name());
+      if (!d->superclass().empty()) frontier.push_back(d->superclass());
+      for (const auto& itf : d->interfaces()) frontier.push_back(itf);
+      for (const auto& f : d->fields()) frontier.push_back(f.type_name);
+      for (const auto& m : d->methods()) {
+        frontier.push_back(m.return_type);
+        for (const auto& p : m.params) frontier.push_back(p.type_name);
+      }
+      for (const auto& c : d->constructors()) {
+        for (const auto& p : c.params) frontier.push_back(p.type_name);
+      }
+    }
+    for (const auto& assembly_name : assemblies) {
+      if (const auto assembly = hub_->fetch(assembly_name)) {
+        push.eager_assembly_names.push_back(assembly_name);
+        push.eager_assembly_bytes += assembly->simulated_code_size();
+      }
+    }
+  }
+
+  const Message response =
+      network_.send(Message{name_, std::string(to), std::move(push)});
+  ++stats_.objects_sent;
+
+  if (const auto* ack = std::get_if<PushAck>(&response.payload)) return *ack;
+  if (const auto* err = std::get_if<ErrorReply>(&response.payload)) {
+    throw ProtocolError("push to '" + std::string(to) + "' failed: " + err->message);
+  }
+  throw ProtocolError("unexpected response to ObjectPush: " +
+                      std::string(response.kind_name()));
+}
+
+Message Peer::handle(const Message& request) {
+  if (extra_handler_) {
+    if (auto handled = extra_handler_(request)) return std::move(*handled);
+  }
+  try {
+    if (const auto* push = std::get_if<ObjectPush>(&request.payload)) {
+      return handle_object_push(request, *push);
+    }
+    if (const auto* ti = std::get_if<TypeInfoRequest>(&request.payload)) {
+      return Message{name_, request.sender, handle_typeinfo(*ti)};
+    }
+    if (const auto* code = std::get_if<CodeRequest>(&request.payload)) {
+      return Message{name_, request.sender, handle_code(*code)};
+    }
+    return Message{name_, request.sender,
+                   ErrorReply{std::string("peer '") + name_ + "' cannot handle " +
+                              request.kind_name()}};
+  } catch (const Error& e) {
+    return Message{name_, request.sender, ErrorReply{e.what()}};
+  }
+}
+
+TypeInfoResponse Peer::handle_typeinfo(const TypeInfoRequest& request) {
+  TypeInfoResponse response;
+  for (const auto& type_name : request.type_names) {
+    const TypeDescription* d = domain_.registry().find(type_name);
+    if (d == nullptr || d->kind() == reflect::TypeKind::Primitive) {
+      response.unknown.push_back(type_name);
+    } else {
+      response.descriptions_xml.push_back(serial::type_description_to_string(*d));
+      ++stats_.typeinfo_served;
+    }
+  }
+  return response;
+}
+
+CodeResponse Peer::handle_code(const CodeRequest& request) {
+  CodeResponse response;
+  response.assembly_name = request.assembly_name;
+  if (domain_.has_assembly(request.assembly_name) && hub_->has(request.assembly_name)) {
+    response.found = true;
+    response.code_bytes = hub_->fetch(request.assembly_name)->simulated_code_size();
+    ++stats_.code_served;
+  }
+  return response;
+}
+
+std::size_t Peer::fetch_descriptions(std::string_view from, std::vector<std::string> names) {
+  // Deduplicate and drop what we already know.
+  std::set<std::string, util::ICaseLess> unique;
+  std::vector<std::string> wanted;
+  for (auto& n : names) {
+    if (domain_.registry().find(n) != nullptr) continue;
+    if (unique.insert(n).second) wanted.push_back(std::move(n));
+  }
+  if (wanted.empty()) return 0;
+
+  ++stats_.typeinfo_requests;
+  const Message response =
+      network_.send(Message{name_, std::string(from), TypeInfoRequest{std::move(wanted)}});
+  const auto* info = std::get_if<TypeInfoResponse>(&response.payload);
+  if (info == nullptr) {
+    throw ProtocolError("unexpected response to TypeInfoRequest: " +
+                        std::string(response.kind_name()));
+  }
+  std::size_t registered = 0;
+  for (const auto& xml_text : info->descriptions_xml) {
+    domain_.registry().add(serial::type_description_from_string(xml_text));
+    ++registered;
+  }
+  return registered;
+}
+
+CheckResult Peer::check_with_fetch(const TypeDescription& source,
+                                   const TypeDescription& target,
+                                   std::string_view sender) {
+  CheckResult result = checker_.check(source, target);
+  std::size_t rounds = 0;
+  while (result.needs_more_types() && config_.mode == ProtocolMode::Optimistic &&
+         rounds < config_.max_fetch_rounds) {
+    ++rounds;
+    if (fetch_descriptions(sender, result.missing_types) == 0) {
+      break;  // the sender cannot help further
+    }
+    result = checker_.check(source, target);
+  }
+  return result;
+}
+
+void Peer::ensure_code(const TypeInfoEntry& entry, std::string_view sender,
+                       bool& any_download) {
+  if (domain_.is_loaded(entry.type_name)) return;
+
+  // Resolve which assembly implements the type: the envelope carries it;
+  // the registered description is the fallback.
+  std::string assembly_name = entry.assembly_name;
+  std::string path = entry.download_path;
+  if (assembly_name.empty()) {
+    if (const TypeDescription* d = domain_.registry().find(entry.type_name)) {
+      assembly_name = d->assembly_name();
+      path = d->download_path();
+    }
+  }
+  if (assembly_name.empty()) {
+    throw ProtocolError("no assembly known for type '" + entry.type_name + "'");
+  }
+  if (domain_.has_assembly(assembly_name)) return;  // another type loaded it
+
+  std::string host{download_host(path)};
+  if (host.empty()) host = std::string(sender);
+
+  ++stats_.code_requests;
+  any_download = true;
+  const Message response =
+      network_.send(Message{name_, host, CodeRequest{assembly_name}});
+  const auto* code = std::get_if<CodeResponse>(&response.payload);
+  if (code == nullptr || !code->found) {
+    throw ProtocolError("assembly '" + assembly_name + "' is not available from '" +
+                        host + "'");
+  }
+  const auto assembly = hub_->fetch(assembly_name);
+  if (!assembly) {
+    throw ProtocolError("assembly '" + assembly_name +
+                        "' acknowledged but missing from the hub");
+  }
+  domain_.load_assembly(assembly, path);
+}
+
+void Peer::ensure_types_usable(const std::vector<TypeInfoEntry>& types,
+                               std::string_view counterpart) {
+  std::vector<std::string> unknown;
+  for (const auto& t : types) {
+    if (domain_.registry().find(t.type_name) == nullptr) unknown.push_back(t.type_name);
+  }
+  if (!unknown.empty()) {
+    fetch_descriptions(counterpart, unknown);
+    for (const auto& t : types) {
+      if (domain_.registry().find(t.type_name) == nullptr) {
+        throw ProtocolError("'" + std::string(counterpart) +
+                            "' could not describe type '" + t.type_name + "'");
+      }
+    }
+  }
+  bool any_download = false;
+  for (const auto& entry : types) {
+    ensure_code(entry, counterpart, any_download);
+  }
+}
+
+Message Peer::handle_object_push(const Message& request, const ObjectPush& push) {
+  ++stats_.objects_received;
+  const std::string& sender = request.sender;
+
+  // Eager extras land first (descriptions and pre-paid assemblies).
+  for (const auto& xml_text : push.eager_descriptions_xml) {
+    domain_.registry().add(serial::type_description_from_string(xml_text));
+  }
+  for (const auto& assembly_name : push.eager_assembly_names) {
+    if (!domain_.has_assembly(assembly_name)) {
+      if (const auto assembly = hub_->fetch(assembly_name)) {
+        domain_.load_assembly(assembly, "");
+      }
+    }
+  }
+
+  Envelope envelope = Envelope::from_bytes(push.envelope);
+  if (envelope.types.empty()) {
+    ++stats_.objects_rejected;
+    return Message{name_, sender, PushAck{false, "envelope carries no object types"}};
+  }
+
+  // Protocol step 2: obtain descriptions for unknown envelope types.
+  std::vector<std::string> unknown;
+  for (const auto& t : envelope.types) {
+    if (domain_.registry().find(t.type_name) == nullptr) unknown.push_back(t.type_name);
+  }
+  if (unknown.empty()) {
+    ++stats_.typeinfo_cache_hits;
+  } else {
+    if (config_.mode != ProtocolMode::Optimistic) {
+      throw ProtocolError("eager push from '" + sender + "' missing descriptions");
+    }
+    fetch_descriptions(sender, unknown);
+    for (const auto& t : envelope.types) {
+      if (domain_.registry().find(t.type_name) == nullptr) {
+        throw ProtocolError("sender '" + sender + "' could not describe type '" +
+                            t.type_name + "'");
+      }
+    }
+  }
+
+  // Protocol step 3: conformance against the interest set, gated by the
+  // configured matcher (the paper's rule by default, a Section 2 baseline
+  // otherwise).
+  const TypeDescription* pushed =
+      domain_.registry().find(envelope.types.front().type_name);
+  std::string matched_interest;
+  for (const auto& interest_name : interests_) {
+    const TypeDescription* interest = domain_.registry().find(interest_name);
+    if (interest == nullptr) continue;
+    const CheckResult result = check_with_fetch(*pushed, *interest, sender);
+    if (!result.conformant) continue;
+    bool accepted = true;
+    switch (config_.matcher) {
+      case MatcherKind::ImplicitStructural:
+        break;
+      case MatcherKind::Exact:
+        accepted = result.plan.kind() == conform::ConformanceKind::Identity;
+        break;
+      case MatcherKind::Nominal:
+        accepted = result.plan.kind() == conform::ConformanceKind::Identity ||
+                   result.plan.kind() == conform::ConformanceKind::Explicit;
+        break;
+      case MatcherKind::TaggedStructural: {
+        conform::TaggedStructuralMatcher tagged(domain_.registry());
+        accepted = tagged.matches(*pushed, *interest);
+        break;
+      }
+    }
+    if (accepted) {
+      matched_interest = interest_name;
+      break;
+    }
+  }
+  if (matched_interest.empty()) {
+    // The optimistic pay-off: no conformant interest, no code download.
+    ++stats_.objects_rejected;
+    return Message{name_, sender,
+                   PushAck{false, "no interest conforms to '" +
+                                      envelope.types.front().type_name + "'"}};
+  }
+
+  // Protocol step 4+5: download code for every type in the object graph.
+  bool any_download = false;
+  for (const auto& entry : envelope.types) {
+    ensure_code(entry, sender, any_download);
+  }
+  if (!any_download) ++stats_.code_cache_hits;
+
+  // Deserialize and hand over, wrapped as the interest type.
+  serial::ObjectSerializer& serializer = serializers_.get(envelope.encoding);
+  const reflect::Value root = serializer.deserialize(envelope.payload);
+  if (root.kind() != reflect::ValueKind::Object || !root.as_object()) {
+    ++stats_.objects_rejected;
+    return Message{name_, sender, PushAck{false, "payload root is not an object"}};
+  }
+
+  DeliveredObject delivered;
+  delivered.object = root.as_object();
+  // Lossy payload encodings (public-only XML) may have dropped private
+  // fields; restore the declared shape now that the code is loaded.
+  domain_.fill_missing_fields(*delivered.object);
+  delivered.adapted = proxies_.wrap(delivered.object, matched_interest);
+  delivered.interest_type = matched_interest;
+  delivered.sender = sender;
+  delivered_.push_back(delivered);
+  ++stats_.objects_delivered;
+  if (on_delivery_) on_delivery_(delivered);
+
+  return Message{name_, sender, PushAck{true, matched_interest}};
+}
+
+}  // namespace pti::transport

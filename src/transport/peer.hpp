@@ -1,0 +1,171 @@
+// Peer — one participant in the distributed system, implementing the
+// paper's optimistic transport protocol (Fig. 1):
+//
+//   1. an object arrives wrapped in a hybrid envelope (type names +
+//      download paths + payload) — no descriptions, no code;
+//   2. the receiver requests descriptions for the type names it does not
+//      know yet;
+//   3. descriptions arrive; the receiver checks implicit structural
+//      conformance against its types of interest (fetching further
+//      referenced descriptions on demand);
+//   4. only if some interest conforms does it request the code;
+//   5. the code (assembly) arrives, the object is deserialized and handed
+//      to the application wrapped as the interest type.
+//
+// Non-conformant pushes are rejected after step 3 — the saving the paper's
+// protocol exists for: neither the (large) code nor redundant descriptions
+// ever cross the wire. A Peer can also run in Eager mode (ships
+// descriptions + assemblies with every object), the baseline benchmark E5
+// compares against.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_checker.hpp"
+#include "proxy/dynamic_proxy.hpp"
+#include "reflect/domain.hpp"
+#include "serial/envelope.hpp"
+#include "serial/object_serializer.hpp"
+#include "transport/assembly_hub.hpp"
+#include "transport/protocol_stats.hpp"
+#include "transport/sim_network.hpp"
+
+namespace pti::transport {
+
+enum class ProtocolMode : std::uint8_t {
+  Optimistic,  ///< the paper's protocol: metadata and code on demand
+  Eager,       ///< baseline: descriptions + assemblies with every object
+};
+
+/// Which conformance relation gates delivery (the paper's rules vs the
+/// Section 2 baselines). All modes still produce adaptation plans through
+/// the checker; the matcher only decides *whether* an interest matches.
+enum class MatcherKind : std::uint8_t {
+  ImplicitStructural,  ///< the paper's rule (default)
+  Exact,               ///< type identity only (.NET CTS / plain RMI)
+  Nominal,             ///< identity or declared subtyping (CORBA-style)
+  TaggedStructural,    ///< Läufer et al.: tagged types, exact signatures
+};
+
+struct PeerConfig {
+  ProtocolMode mode = ProtocolMode::Optimistic;
+  MatcherKind matcher = MatcherKind::ImplicitStructural;
+  /// Payload serializer for pass-by-value objects ("soap", "binary", "xml").
+  std::string payload_encoding = "soap";
+  conform::ConformanceOptions conformance{};
+  bool use_conformance_cache = true;
+  /// Cap on description-fetch rounds per conformance decision.
+  std::size_t max_fetch_rounds = 16;
+};
+
+/// What the application receives when a pushed object matched an interest.
+struct DeliveredObject {
+  std::shared_ptr<reflect::DynObject> object;   ///< the raw deserialized object
+  std::shared_ptr<reflect::DynObject> adapted;  ///< usable as the interest type
+  std::string interest_type;                    ///< which interest matched
+  std::string sender;
+};
+
+class Peer {
+ public:
+  Peer(std::string name, SimNetwork& network, std::shared_ptr<AssemblyHub> hub,
+       PeerConfig config = {});
+  ~Peer();
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] reflect::Domain& domain() noexcept { return domain_; }
+  [[nodiscard]] conform::ConformanceChecker& checker() noexcept { return checker_; }
+  [[nodiscard]] conform::ConformanceCache& conformance_cache() noexcept { return cache_; }
+  [[nodiscard]] proxy::ProxyFactory& proxies() noexcept { return proxies_; }
+  [[nodiscard]] ProtocolStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const PeerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] serial::SerializerRegistry& serializers() noexcept { return serializers_; }
+
+  /// Loads the assembly locally and hosts it for download by other peers
+  /// (descriptions get download path "net://<peer>/<assembly>").
+  void host_assembly(std::shared_ptr<const reflect::Assembly> assembly);
+
+  /// Declares a type of interest; the name must resolve in the local
+  /// registry (you subscribe with *your* type).
+  void add_interest(std::string_view type_name);
+  [[nodiscard]] const std::vector<std::string>& interests() const noexcept {
+    return interests_;
+  }
+
+  using DeliveryHandler = std::function<void(const DeliveredObject&)>;
+  void set_delivery_handler(DeliveryHandler handler) { on_delivery_ = std::move(handler); }
+
+  /// Pass-by-value transfer of an object graph to another peer. Proxy
+  /// wrappers are stripped before serialization (the wire carries real
+  /// state). Throws NetworkError/ProtocolError on failure.
+  PushAck send_object(std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
+
+  /// Objects delivered to this peer so far (most recent last).
+  [[nodiscard]] const std::vector<DeliveredObject>& delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Extension point: a hook that may consume messages before the standard
+  /// protocol handler (the remoting layer installs itself here).
+  using ExtraHandler = std::function<std::optional<Message>(const Message&)>;
+  void set_extra_handler(ExtraHandler handler) { extra_handler_ = std::move(handler); }
+
+  /// Serializes a locally known user type description to XML (helper for
+  /// protocol responses and tests).
+  [[nodiscard]] std::string describe_type_xml(std::string_view type_name) const;
+
+  /// Fetches missing descriptions from `from`; returns how many were newly
+  /// registered. Public because the remoting layer runs the same
+  /// description dance for invocation arguments and results.
+  std::size_t fetch_descriptions(std::string_view from, std::vector<std::string> names);
+
+  /// Runs protocol steps 2+4+5 (descriptions, then code) for a set of
+  /// type-info entries without interest matching — the remoting layer's
+  /// path for making argument/result types usable.
+  void ensure_types_usable(const std::vector<serial::TypeInfoEntry>& types,
+                           std::string_view counterpart);
+
+ private:
+  Message handle(const Message& request);
+  Message handle_object_push(const Message& request, const ObjectPush& push);
+  [[nodiscard]] TypeInfoResponse handle_typeinfo(const TypeInfoRequest& request);
+  [[nodiscard]] CodeResponse handle_code(const CodeRequest& request);
+
+  /// Conformance with on-demand description fetching (protocol step 3).
+  [[nodiscard]] conform::CheckResult check_with_fetch(
+      const reflect::TypeDescription& source, const reflect::TypeDescription& target,
+      std::string_view sender);
+
+  /// Downloads (if necessary) the assembly for a type-info entry.
+  void ensure_code(const serial::TypeInfoEntry& entry, std::string_view sender,
+                   bool& any_download);
+
+  std::string name_;
+  SimNetwork& network_;
+  std::shared_ptr<AssemblyHub> hub_;
+  PeerConfig config_;
+
+  reflect::Domain domain_;
+  conform::ConformanceCache cache_;
+  conform::ConformanceChecker checker_;
+  proxy::ProxyFactory proxies_;
+  serial::SerializerRegistry serializers_;
+
+  std::vector<std::string> interests_;
+  std::vector<DeliveredObject> delivered_;
+  DeliveryHandler on_delivery_;
+  ExtraHandler extra_handler_;
+  ProtocolStats stats_;
+};
+
+}  // namespace pti::transport

@@ -1,0 +1,17 @@
+#include "transport/protocol_stats.hpp"
+
+#include <sstream>
+
+namespace pti::transport {
+
+std::string ProtocolStats::summary() const {
+  std::ostringstream out;
+  out << "sent=" << objects_sent << " received=" << objects_received
+      << " delivered=" << objects_delivered << " rejected=" << objects_rejected
+      << " typeinfo_req=" << typeinfo_requests << " code_req=" << code_requests
+      << " typeinfo_cache_hits=" << typeinfo_cache_hits
+      << " code_cache_hits=" << code_cache_hits;
+  return out.str();
+}
+
+}  // namespace pti::transport

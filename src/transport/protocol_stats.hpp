@@ -1,0 +1,30 @@
+// Per-peer protocol counters — the observable quantities behind the
+// paper's "optimistic transport protocol saves network resources" claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pti::transport {
+
+struct ProtocolStats {
+  // sender side
+  std::uint64_t objects_sent = 0;
+  std::uint64_t typeinfo_served = 0;
+  std::uint64_t code_served = 0;
+
+  // receiver side
+  std::uint64_t objects_received = 0;
+  std::uint64_t objects_delivered = 0;   ///< matched an interest, made usable
+  std::uint64_t objects_rejected = 0;    ///< no conformant interest — no code download
+  std::uint64_t typeinfo_requests = 0;   ///< description round trips initiated
+  std::uint64_t code_requests = 0;       ///< assembly downloads initiated
+  std::uint64_t typeinfo_cache_hits = 0; ///< pushes fully served from known descriptions
+  std::uint64_t code_cache_hits = 0;     ///< pushes needing no assembly download
+
+  void reset() noexcept { *this = {}; }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace pti::transport

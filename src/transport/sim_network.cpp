@@ -1,0 +1,75 @@
+#include "transport/sim_network.hpp"
+
+namespace pti::transport {
+
+void SimNetwork::attach(std::string_view name, Handler handler) {
+  if (!handler) throw TransportError("cannot attach a null handler");
+  handlers_[std::string(name)] = std::move(handler);
+}
+
+void SimNetwork::detach(std::string_view name) {
+  const auto it = handlers_.find(name);
+  if (it != handlers_.end()) handlers_.erase(it);
+}
+
+bool SimNetwork::is_attached(std::string_view name) const noexcept {
+  return handlers_.find(name) != handlers_.end();
+}
+
+void SimNetwork::set_link(std::string_view from, std::string_view to,
+                          const LinkConfig& config) {
+  links_[util::to_lower(from) + "->" + util::to_lower(to)] = config;
+}
+
+const LinkConfig& SimNetwork::link_for(std::string_view from,
+                                       std::string_view to) const noexcept {
+  const auto it = links_.find(util::to_lower(from) + "->" + util::to_lower(to));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+bool SimNetwork::charge(const Message& message) {
+  ++seen_;
+  if (const auto it = scheduled_drops_.find(seen_); it != scheduled_drops_.end()) {
+    scheduled_drops_.erase(it);
+    ++stats_.drops;
+    return false;
+  }
+  if (forced_drops_ > 0) {
+    --forced_drops_;
+    ++stats_.drops;
+    return false;
+  }
+  const LinkConfig& link = link_for(message.sender, message.recipient);
+  if (link.drop_probability > 0.0 && rng_.next_bool(link.drop_probability)) {
+    ++stats_.drops;
+    return false;
+  }
+  const std::size_t size = message.wire_size();
+  ++stats_.messages;
+  stats_.bytes += size;
+  const auto transmit_ns = static_cast<std::uint64_t>(
+      static_cast<double>(size) / link.bandwidth_bytes_per_sec * 1e9);
+  clock_.advance_ns(link.latency_ns + transmit_ns);
+  return true;
+}
+
+Message SimNetwork::send(const Message& request) {
+  const auto it = handlers_.find(request.recipient);
+  if (it == handlers_.end()) {
+    throw NetworkError("no peer attached as '" + request.recipient + "'");
+  }
+  if (!charge(request)) {
+    throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
+                       request.sender + "' to '" + request.recipient + "' was dropped");
+  }
+  Message response = it->second(request);
+  response.sender = request.recipient;
+  response.recipient = request.sender;
+  if (!charge(response)) {
+    throw NetworkError("response " + std::string(response.kind_name()) + " from '" +
+                       response.sender + "' was dropped");
+  }
+  return response;
+}
+
+}  // namespace pti::transport

@@ -1,0 +1,93 @@
+// Deterministic in-process network simulator.
+//
+// Substitutes for the paper's real testbed (two Windows hosts with .NET
+// remoting): peers attach under a name; send() routes a message to the
+// recipient's handler synchronously (handlers may send nested requests,
+// which models the protocol's mid-flight round trips), charging virtual
+// latency and bandwidth on a virtual clock and counting every byte — the
+// quantity the optimistic protocol is designed to save.
+//
+// Fault injection: a deterministic per-message drop schedule plus an
+// optional drop probability (seeded RNG) let tests exercise the protocol's
+// failure paths reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "transport/message.hpp"
+#include "transport/transport_error.hpp"
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::transport {
+
+struct LinkConfig {
+  std::uint64_t latency_ns = 1'000'000;          ///< 1 ms one-way
+  double bandwidth_bytes_per_sec = 12'500'000.0;  ///< 100 Mbit/s
+  double drop_probability = 0.0;
+};
+
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+
+  void reset() noexcept { *this = {}; }
+};
+
+class SimNetwork {
+ public:
+  /// A handler consumes a request and produces the response message.
+  using Handler = std::function<Message(const Message&)>;
+
+  explicit SimNetwork(std::uint64_t rng_seed = 42) : rng_(rng_seed) {}
+
+  void attach(std::string_view name, Handler handler);
+  void detach(std::string_view name);
+  [[nodiscard]] bool is_attached(std::string_view name) const noexcept;
+
+  /// Synchronous exchange: charges the request, dispatches to the
+  /// recipient, charges the response, returns it. Throws NetworkError on
+  /// unknown recipients or injected drops.
+  Message send(const Message& request);
+
+  void set_default_link(const LinkConfig& config) noexcept { default_link_ = config; }
+  /// Per-directed-link override ("from->to").
+  void set_link(std::string_view from, std::string_view to, const LinkConfig& config);
+
+  /// Deterministically drops the next `count` messages entering the network.
+  void inject_drop_next(std::size_t count = 1) noexcept { forced_drops_ += count; }
+
+  /// Schedules the nth message from now (1-based) to be dropped — lets
+  /// tests kill a specific protocol step (e.g. the TypeInfoRequest inside
+  /// a push) while the surrounding messages go through.
+  void inject_drop_at(std::uint64_t nth) { scheduled_drops_.insert(seen_ + nth); }
+
+  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+  [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
+
+ private:
+  [[nodiscard]] const LinkConfig& link_for(std::string_view from,
+                                           std::string_view to) const noexcept;
+  /// Charges one message traversal; returns false when it was dropped.
+  bool charge(const Message& message);
+
+  std::map<std::string, Handler, util::ICaseLess> handlers_;
+  std::map<std::string, LinkConfig> links_;
+  LinkConfig default_link_;
+  NetStats stats_;
+  util::SimClock clock_;
+  util::Rng rng_;
+  std::size_t forced_drops_ = 0;
+  std::uint64_t seen_ = 0;
+  std::set<std::uint64_t> scheduled_drops_;
+};
+
+}  // namespace pti::transport

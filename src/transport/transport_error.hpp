@@ -1,0 +1,25 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::transport {
+
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A message was dropped or the recipient is unreachable.
+class NetworkError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// The optimistic protocol could not complete (missing descriptions after
+/// retry budget, unavailable code, malformed envelope...).
+class ProtocolError : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+}  // namespace pti::transport

@@ -1,0 +1,83 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace pti::util {
+
+namespace {
+
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    t[static_cast<std::uint8_t>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+constexpr auto kDecode = make_decode_table();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back(kAlphabet[v & 0x3F]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve((text.size() / 4) * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const char c = text[i + k];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the final group.
+        if (i + 4 != text.size() || k < 2) return std::nullopt;
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after padding
+      const std::int8_t d = kDecode[static_cast<std::uint8_t>(c)];
+      if (d < 0) return std::nullopt;
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace pti::util

@@ -1,0 +1,20 @@
+// Base64 (RFC 4648) encode/decode, used to embed binary-serialized object
+// payloads inside the XML envelope of the hybrid serialization scheme
+// (paper Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pti::util {
+
+[[nodiscard]] std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Returns nullopt on any malformed input (bad characters, bad padding).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text);
+
+}  // namespace pti::util

@@ -1,0 +1,132 @@
+#include "util/byte_buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pti::util {
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  write_u8(static_cast<std::uint8_t>(v));
+  write_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) write_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) write_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    write_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  write_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::write_signed_varint(std::int64_t v) {
+  // Zig-zag encoding keeps small negative numbers short.
+  write_varint((static_cast<std::uint64_t>(v) << 1) ^
+               static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  write_varint(s.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  bytes_.insert(bytes_.end(), p, p + s.size());
+}
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> data) {
+  write_varint(data.size());
+  write_raw(data);
+}
+
+void ByteWriter::write_raw(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw ByteBufferError("byte buffer truncated: need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::read_u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::read_u16() {
+  require(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                          static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::read_u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t ByteReader::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    require(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift == 63 && (b & 0x7E) != 0) {
+      throw ByteBufferError("varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw ByteBufferError("varint too long");
+  }
+}
+
+std::int64_t ByteReader::read_signed_varint() {
+  const std::uint64_t z = read_varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+double ByteReader::read_f64() {
+  return std::bit_cast<double>(read_u64());
+}
+
+std::string ByteReader::read_string() {
+  const std::uint64_t n = read_varint();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> ByteReader::read_bytes() {
+  const std::uint64_t n = read_varint();
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace pti::util

@@ -1,0 +1,73 @@
+// Endian-stable binary reader/writer used by the binary serializer and the
+// simulated wire format. Integers use LEB128 varints (zig-zag for signed),
+// which is what makes the binary serializer markedly more compact than the
+// SOAP/XML forms — the size gap the paper's hybrid scheme (Fig. 3) exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pti::util {
+
+/// Thrown by ByteReader on truncated or malformed input.
+class ByteBufferError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_varint(std::uint64_t v);
+  void write_signed_varint(std::int64_t v);
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+  /// Length-prefixed (varint) UTF-8 string.
+  void write_string(std::string_view s);
+  /// Length-prefixed (varint) raw bytes.
+  void write_bytes(std::span<const std::uint8_t> data);
+  /// Raw bytes, no prefix.
+  void write_raw(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t read_u8();
+  [[nodiscard]] std::uint16_t read_u16();
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::uint64_t read_varint();
+  [[nodiscard]] std::int64_t read_signed_varint();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] bool read_bool() { return read_u8() != 0; }
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<std::uint8_t> read_bytes();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pti::util

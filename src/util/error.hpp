@@ -1,0 +1,16 @@
+// Root of the PTI exception hierarchy. Module-specific errors (conformance,
+// serialization, transport, remoting) derive from pti::Error so callers can
+// catch the whole library with a single handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pti {
+
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pti

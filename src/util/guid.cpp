@@ -1,0 +1,78 @@
+#include "util/guid.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::util {
+
+namespace {
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Guid Guid::from_name(std::string_view qualified_name) noexcept {
+  // Case-folded so that identity matches the case-insensitive name model.
+  std::uint64_t hi = kFnvOffset64;
+  std::uint64_t lo = fnv1a64("pti:guid:v1");
+  for (char c : qualified_name) {
+    const auto b = static_cast<std::uint8_t>(to_lower(c));
+    hi = (hi ^ b) * kFnvPrime64;
+    lo = (lo ^ b) * kFnvPrime64;
+    lo = hash_combine(lo, hi);
+  }
+  // Avoid accidentally producing the nil GUID for some exotic name.
+  if (hi == 0 && lo == 0) lo = 1;
+  return Guid{hi, lo};
+}
+
+Guid Guid::random(Rng& rng) noexcept {
+  std::uint64_t hi = rng.next_u64();
+  std::uint64_t lo = rng.next_u64();
+  if (hi == 0 && lo == 0) lo = 1;
+  return Guid{hi, lo};
+}
+
+std::optional<Guid> Guid::parse(std::string_view text) noexcept {
+  // Canonical layout: 8-4-4-4-12 hex digits with dashes at 8, 13, 18, 23.
+  if (text.size() != 36) return std::nullopt;
+  std::uint64_t hi = 0, lo = 0;
+  int nibble_index = 0;
+  for (std::size_t i = 0; i < 36; ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-') return std::nullopt;
+      continue;
+    }
+    const int d = hex_digit(text[i]);
+    if (d < 0) return std::nullopt;
+    if (nibble_index < 16) {
+      hi = (hi << 4) | static_cast<std::uint64_t>(d);
+    } else {
+      lo = (lo << 4) | static_cast<std::uint64_t>(d);
+    }
+    ++nibble_index;
+  }
+  return Guid{hi, lo};
+}
+
+std::string Guid::to_string() const {
+  std::array<char, 37> buf{};
+  std::snprintf(buf.data(), buf.size(), "%08x-%04x-%04x-%04x-%012llx",
+                static_cast<unsigned>(hi_ >> 32),
+                static_cast<unsigned>((hi_ >> 16) & 0xFFFF),
+                static_cast<unsigned>(hi_ & 0xFFFF),
+                static_cast<unsigned>(lo_ >> 48),
+                static_cast<unsigned long long>(lo_ & 0xFFFFFFFFFFFFULL));
+  return std::string(buf.data(), 36);
+}
+
+}  // namespace pti::util

@@ -1,0 +1,58 @@
+// 128-bit globally unique identifiers for type identity.
+//
+// The paper (Section 5, footnote 5) relies on the platform's notion of type
+// identity — .NET provides 128-bit GUIDs. Equality of GUIDs is the cheap
+// "same type" shortcut taken before any structural comparison.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pti::util {
+
+class Rng;  // forward declaration (rng.hpp)
+
+/// A 128-bit identifier rendered in the canonical
+/// `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx` hexadecimal form.
+class Guid {
+ public:
+  /// The nil GUID (all zero); used as "identity unknown".
+  constexpr Guid() noexcept = default;
+  constexpr Guid(std::uint64_t hi, std::uint64_t lo) noexcept : hi_(hi), lo_(lo) {}
+
+  /// Deterministic identity derived from a qualified type name. Two peers
+  /// that independently register the same (namespace-qualified) name obtain
+  /// the same identity, mirroring how .NET derives GUIDs for types.
+  [[nodiscard]] static Guid from_name(std::string_view qualified_name) noexcept;
+
+  /// Fresh random identity drawn from the given deterministic generator.
+  [[nodiscard]] static Guid random(Rng& rng) noexcept;
+
+  /// Parses the canonical form; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Guid> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_nil() const noexcept { return hi_ == 0 && lo_ == 0; }
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  friend constexpr auto operator<=>(const Guid&, const Guid&) noexcept = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+}  // namespace pti::util
+
+template <>
+struct std::hash<pti::util::Guid> {
+  std::size_t operator()(const pti::util::Guid& g) const noexcept {
+    return static_cast<std::size_t>(g.hi() ^ (g.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};

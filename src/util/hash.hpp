@@ -1,0 +1,28 @@
+// FNV-1a hashing, used for deterministic type identity (GUID-from-name),
+// conformance-cache keys and content fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pti::util {
+
+inline constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data,
+                                              std::uint64_t seed = kFnvOffset64) noexcept {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+/// Combines two hashes (boost::hash_combine-style, 64-bit constants).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace pti::util

@@ -1,0 +1,77 @@
+#include "util/levenshtein.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace pti::util {
+
+namespace {
+
+char fold(char c, bool ci) noexcept { return ci ? to_lower(c) : c; }
+
+}  // namespace
+
+std::size_t levenshtein(std::string_view a, std::string_view b, bool case_insensitive) {
+  if (a.size() > b.size()) std::swap(a, b);  // keep the row over the shorter string
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return m;
+
+  std::vector<std::size_t> row(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) row[i] = i;
+
+  for (std::size_t j = 1; j <= m; ++j) {
+    std::size_t prev_diag = row[0];
+    row[0] = j;
+    const char cb = fold(b[j - 1], case_insensitive);
+    for (std::size_t i = 1; i <= n; ++i) {
+      const std::size_t subst =
+          prev_diag + (fold(a[i - 1], case_insensitive) == cb ? 0 : 1);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+    }
+  }
+  return row[n];
+}
+
+bool levenshtein_within(std::string_view a, std::string_view b,
+                        std::size_t max_distance, bool case_insensitive) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (m - n > max_distance) return false;
+  if (max_distance == 0) {
+    return case_insensitive ? iequals(a, b) : a == b;
+  }
+
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max() / 2;
+  std::vector<std::size_t> row(n + 1, kInf);
+  for (std::size_t i = 0; i <= std::min(n, max_distance); ++i) row[i] = i;
+
+  for (std::size_t j = 1; j <= m; ++j) {
+    // Only cells within the diagonal band |i - j| <= max_distance matter.
+    const std::size_t lo = (j > max_distance) ? j - max_distance : 1;
+    const std::size_t hi = std::min(n, j + max_distance);
+    std::size_t prev_diag = row[lo - 1];
+    row[lo - 1] = (lo == 1) ? j : kInf;
+    const char cb = fold(b[j - 1], case_insensitive);
+    std::size_t row_min = row[lo - 1];
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const std::size_t subst =
+          prev_diag + (fold(a[i - 1], case_insensitive) == cb ? 0 : 1);
+      prev_diag = row[i];
+      const std::size_t up = (i <= j + max_distance - 1) ? row[i] : kInf;
+      const std::size_t left = row[i - 1];
+      row[i] = std::min({up + 1, left + 1, subst});
+      row_min = std::min(row_min, row[i]);
+    }
+    if (hi < n) row[hi + 1] = kInf;  // cell leaving the band
+    if (row_min > max_distance) return false;
+  }
+  return row[n] <= max_distance;
+}
+
+}  // namespace pti::util

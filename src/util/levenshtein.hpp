@@ -1,0 +1,25 @@
+// Levenshtein edit distance [Levenshtein 1965], cited by the paper as the
+// name-conformance metric: two names conform when their distance is 0
+// (case-insensitively). The threshold variant supports the paper's
+// "wildcards/relaxation could be allowed" extension and the E7 ablation.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace pti::util {
+
+/// Exact edit distance (insertions, deletions, substitutions all cost 1).
+/// `case_insensitive` folds ASCII case before comparing, matching the
+/// paper's "names are considered to be case insensitive".
+[[nodiscard]] std::size_t levenshtein(std::string_view a, std::string_view b,
+                                      bool case_insensitive = true);
+
+/// Early-exit variant: returns true iff distance(a, b) <= max_distance.
+/// Runs in O(max_distance * min(|a|,|b|)) via a banded computation, so the
+/// common max_distance == 0 case degenerates to a string comparison.
+[[nodiscard]] bool levenshtein_within(std::string_view a, std::string_view b,
+                                      std::size_t max_distance,
+                                      bool case_insensitive = true);
+
+}  // namespace pti::util

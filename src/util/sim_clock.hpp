@@ -1,0 +1,25 @@
+// Virtual time for the simulated network. All protocol latencies are
+// expressed in virtual nanoseconds so simulations are deterministic and
+// independent of the host machine.
+#pragma once
+
+#include <cstdint>
+
+namespace pti::util {
+
+class SimClock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return now_ns_; }
+
+  void advance_ns(std::uint64_t delta) noexcept { now_ns_ += delta; }
+
+  /// Moves the clock forward to `t` if `t` is in the future.
+  void advance_to_ns(std::uint64_t t) noexcept {
+    if (t > now_ns_) now_ns_ = t;
+  }
+
+ private:
+  std::uint64_t now_ns_ = 0;
+};
+
+}  // namespace pti::util

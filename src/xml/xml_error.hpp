@@ -1,0 +1,14 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace pti::xml {
+
+/// Parse and access errors for the XML module; parse errors carry a
+/// line/column position in the message.
+class XmlError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace pti::xml

@@ -1,0 +1,296 @@
+#include "xml/xml_parser.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "xml/xml_error.hpp"
+
+namespace pti::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  XmlNode parse_document() {
+    skip_misc();
+    if (at_end()) fail("document contains no root element");
+    XmlNode root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw XmlError("XML parse error at line " + std::to_string(line_) + ", column " +
+                   std::to_string(column_) + ": " + message);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= doc_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of document");
+    return doc_[pos_];
+  }
+
+  [[nodiscard]] bool looking_at(std::string_view s) const noexcept {
+    return doc_.size() - pos_ >= s.size() && doc_.substr(pos_, s.size()) == s;
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', found '" + peek() + "'");
+    advance();
+  }
+
+  void expect_literal(std::string_view s) {
+    for (char c : s) expect(c);
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = doc_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Skips whitespace, comments, processing instructions and DOCTYPE.
+  void skip_misc() {
+    while (true) {
+      skip_whitespace();
+      if (looking_at("<?")) {
+        skip_until("?>");
+      } else if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<!DOCTYPE")) {
+        skip_doctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_until(std::string_view terminator) {
+    while (!looking_at(terminator)) {
+      if (at_end()) fail("unterminated construct, expected '" + std::string(terminator) + "'");
+      advance();
+    }
+    for (std::size_t i = 0; i < terminator.size(); ++i) advance();
+  }
+
+  void skip_comment() {
+    expect_literal("<!--");
+    while (!looking_at("-->")) {
+      if (at_end()) fail("unterminated comment");
+      if (looking_at("--") && !looking_at("-->")) fail("'--' not allowed inside comment");
+      advance();
+    }
+    expect_literal("-->");
+  }
+
+  void skip_doctype() {
+    expect_literal("<!DOCTYPE");
+    // The internal subset sits between '[' and ']'; markup declarations
+    // inside it contain their own '>' which must not terminate the DOCTYPE.
+    int bracket_depth = 0;
+    while (true) {
+      const char c = advance();
+      if (c == '[') ++bracket_depth;
+      else if (c == ']') --bracket_depth;
+      else if (c == '>' && bracket_depth == 0) return;
+    }
+  }
+
+  [[nodiscard]] static bool is_name_start(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) noexcept {
+    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("invalid name start character");
+    std::string name;
+    while (!at_end() && is_name_char(doc_[pos_])) name.push_back(advance());
+    return name;
+  }
+
+  void decode_entity(std::string& out) {
+    expect('&');
+    if (peek() == '#') {
+      advance();
+      std::uint32_t code = 0;
+      if (peek() == 'x' || peek() == 'X') {
+        advance();
+        bool any = false;
+        while (peek() != ';') {
+          const char c = advance();
+          int d;
+          if (c >= '0' && c <= '9') d = c - '0';
+          else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+          else { fail("invalid hexadecimal character reference"); }
+          code = code * 16 + static_cast<std::uint32_t>(d);
+          any = true;
+        }
+        if (!any) fail("empty character reference");
+      } else {
+        bool any = false;
+        while (peek() != ';') {
+          const char c = advance();
+          if (c < '0' || c > '9') fail("invalid decimal character reference");
+          code = code * 10 + static_cast<std::uint32_t>(c - '0');
+          any = true;
+        }
+        if (!any) fail("empty character reference");
+      }
+      expect(';');
+      append_utf8(out, code);
+      return;
+    }
+    const std::string name = parse_name();
+    expect(';');
+    if (name == "amp") out += '&';
+    else if (name == "lt") out += '<';
+    else if (name == "gt") out += '>';
+    else if (name == "quot") out += '"';
+    else if (name == "apos") out += '\'';
+    else fail("unknown entity '&" + name + ";'");
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    advance();
+    std::string value;
+    while (peek() != quote) {
+      if (peek() == '&') {
+        decode_entity(value);
+      } else if (peek() == '<') {
+        fail("'<' not allowed in attribute value");
+      } else {
+        value.push_back(advance());
+      }
+    }
+    advance();  // closing quote
+    return value;
+  }
+
+  XmlNode parse_element() {
+    expect('<');
+    XmlNode node(parse_name());
+    while (true) {
+      skip_whitespace();
+      if (peek() == '/') {
+        advance();
+        expect('>');
+        return node;  // self-closing
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      const std::string attr_name = parse_name();
+      if (node.has_attr(attr_name)) fail("duplicate attribute '" + attr_name + "'");
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      node.set_attr(attr_name, parse_attribute_value());
+    }
+    parse_content(node);
+    return node;
+  }
+
+  void parse_content(XmlNode& node) {
+    std::string text;
+    const auto flush_text = [&] {
+      if (!text.empty()) {
+        node.append_text(text);
+        text.clear();
+      }
+    };
+    while (true) {
+      if (at_end()) fail("unterminated element <" + node.name() + ">");
+      if (looking_at("<![CDATA[")) {
+        for (std::size_t i = 0; i < 9; ++i) advance();
+        while (!looking_at("]]>")) {
+          if (at_end()) fail("unterminated CDATA section");
+          text.push_back(advance());
+        }
+        expect_literal("]]>");
+      } else if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<?")) {
+        skip_until("?>");
+      } else if (looking_at("</")) {
+        flush_text();
+        advance();
+        advance();
+        const std::string closing = parse_name();
+        if (closing != node.name()) {
+          fail("mismatched closing tag </" + closing + "> for <" + node.name() + ">");
+        }
+        skip_whitespace();
+        expect('>');
+        return;
+      } else if (peek() == '<') {
+        flush_text();
+        node.add_child(parse_element());
+      } else if (peek() == '&') {
+        decode_entity(text);
+      } else {
+        text.push_back(advance());
+      }
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+XmlNode parse(std::string_view document) {
+  Parser parser(document);
+  return parser.parse_document();
+}
+
+}  // namespace pti::xml

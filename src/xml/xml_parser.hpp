@@ -1,0 +1,17 @@
+// Recursive-descent XML parser covering the subset the PTI wire formats
+// use: elements, attributes, character data, entity references (named and
+// numeric), CDATA sections, comments, processing instructions and a
+// DOCTYPE prologue (skipped). Errors carry line/column positions.
+#pragma once
+
+#include <string_view>
+
+#include "xml/xml_node.hpp"
+
+namespace pti::xml {
+
+/// Parses a complete document and returns its root element.
+/// Throws XmlError on malformed input.
+[[nodiscard]] XmlNode parse(std::string_view document);
+
+}  // namespace pti::xml

@@ -1,0 +1,98 @@
+#include "xml/xml_writer.hpp"
+
+namespace pti::xml {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view raw, bool attribute) {
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      case '\'':
+        if (attribute) {
+          out += "&apos;";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+}
+
+void write_node(std::string& out, const XmlNode& node, const WriteOptions& opt, int depth) {
+  const auto do_indent = [&](int d) {
+    if (opt.indent) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(d) * 2, ' ');
+    }
+  };
+
+  if (depth > 0 || opt.declaration) do_indent(depth);
+  out += '<';
+  out += node.name();
+  for (const auto& a : node.attributes()) {
+    out += ' ';
+    out += a.name;
+    out += "=\"";
+    append_escaped(out, a.value, /*attribute=*/true);
+    out += '"';
+  }
+  if (node.children().empty() && node.text().empty()) {
+    out += "/>";
+    return;
+  }
+  out += '>';
+  append_escaped(out, node.text(), /*attribute=*/false);
+  for (const auto& c : node.children()) {
+    write_node(out, c, opt, depth + 1);
+  }
+  if (!node.children().empty()) do_indent(depth);
+  out += "</";
+  out += node.name();
+  out += '>';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  append_escaped(out, raw, /*attribute=*/false);
+  return out;
+}
+
+std::string escape_attribute(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  append_escaped(out, raw, /*attribute=*/true);
+  return out;
+}
+
+std::string write(const XmlNode& root, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  }
+  // write_node indents from depth 0 when a declaration precedes it; when
+  // there is no declaration the root starts at column 0 directly.
+  if (!options.declaration) {
+    WriteOptions opt = options;
+    std::string body;
+    write_node(body, root, opt, 0);
+    return body;
+  }
+  write_node(out, root, options, 0);
+  return out;
+}
+
+}  // namespace pti::xml

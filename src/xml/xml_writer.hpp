@@ -1,0 +1,25 @@
+// XML serialization of the DOM with proper escaping. Supports compact
+// output (for wire messages, where every byte is counted by the simulated
+// network) and indented output (for the human-readable descriptions the
+// paper advertises).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/xml_node.hpp"
+
+namespace pti::xml {
+
+struct WriteOptions {
+  bool indent = false;      ///< pretty-print with 2-space indentation
+  bool declaration = true;  ///< emit `<?xml version="1.0" encoding="UTF-8"?>`
+};
+
+[[nodiscard]] std::string write(const XmlNode& root, const WriteOptions& options = {});
+
+/// Escapes `&`, `<`, `>` (text) plus quotes (attributes).
+[[nodiscard]] std::string escape_text(std::string_view raw);
+[[nodiscard]] std::string escape_attribute(std::string_view raw);
+
+}  // namespace pti::xml

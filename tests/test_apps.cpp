@@ -1,0 +1,184 @@
+// Tests for the two applications of Section 8: type-based
+// publish/subscribe with interoperability (TPS) and borrow/lend (BL).
+#include <gtest/gtest.h>
+
+#include "bl/borrow_lend.hpp"
+#include "core/interop.hpp"
+#include "fixtures/sample_types.hpp"
+#include "tps/tps.hpp"
+
+namespace pti {
+namespace {
+
+using reflect::Value;
+
+// --- TPS ---------------------------------------------------------------
+
+class TpsTest : public ::testing::Test {
+ protected:
+  TpsTest() : domain_(system_) {}
+  core::InteropSystem system_;
+  tps::TpsDomain domain_;
+};
+
+TEST_F(TpsTest, ConformantEventsReachForeignSubscribers) {
+  tps::TpsNode& publisher = domain_.create_node("publisher");
+  tps::TpsNode& subscriber = domain_.create_node("subscriber");
+  publisher.offer_assembly(fixtures::team_a_people());
+  subscriber.offer_assembly(fixtures::team_b_people());
+
+  std::vector<std::string> seen;
+  subscriber.subscribe("teamB.Person", [&](const transport::DeliveredObject& ev) {
+    seen.push_back(subscriber.runtime()
+                       .call(ev.adapted, "getPersonName")
+                       .as_string());
+  });
+
+  const Value args[] = {Value("Ada")};
+  const tps::PublishReport report =
+      publisher.publish(publisher.runtime().make("teamA.Person", args));
+  EXPECT_EQ(report.recipients, 1u);
+  EXPECT_EQ(report.delivered, 1u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"Ada"}));
+  EXPECT_EQ(subscriber.inbox().size(), 1u);
+}
+
+TEST_F(TpsTest, NonConformantEventsAreFilteredPerSubscriber) {
+  tps::TpsNode& publisher = domain_.create_node("publisher");
+  tps::TpsNode& people_sub = domain_.create_node("people-sub");
+  tps::TpsNode& account_sub = domain_.create_node("account-sub");
+  publisher.offer_assembly(fixtures::team_a_people());
+  publisher.offer_assembly(fixtures::bank_accounts());
+  people_sub.offer_assembly(fixtures::team_b_people());
+  account_sub.offer_assembly(fixtures::bank_accounts());
+
+  int people_events = 0;
+  int account_events = 0;
+  people_sub.subscribe("teamB.Person", [&](const auto&) { ++people_events; });
+  account_sub.subscribe("bank.Account", [&](const auto&) { ++account_events; });
+
+  const Value person_args[] = {Value("Ada")};
+  const auto person_report =
+      publisher.publish(publisher.runtime().make("teamA.Person", person_args));
+  const Value account_args[] = {Value("Eve")};
+  const auto account_report =
+      publisher.publish(publisher.runtime().make("bank.Account", account_args));
+
+  EXPECT_EQ(person_report.recipients, 2u);
+  EXPECT_EQ(person_report.delivered, 1u);
+  EXPECT_EQ(account_report.delivered, 1u);
+  EXPECT_EQ(people_events, 1);
+  EXPECT_EQ(account_events, 1);
+  // The account subscriber never downloaded people code.
+  EXPECT_FALSE(system_.find("account-sub")->domain().has_assembly("teamA.people"));
+}
+
+TEST_F(TpsTest, NodesWithoutSubscriptionsAreSkipped) {
+  tps::TpsNode& publisher = domain_.create_node("publisher");
+  tps::TpsNode& idle = domain_.create_node("idle");
+  publisher.offer_assembly(fixtures::team_a_people());
+  idle.offer_assembly(fixtures::team_b_people());
+
+  const Value args[] = {Value("Ada")};
+  const auto report = publisher.publish(publisher.runtime().make("teamA.Person", args));
+  EXPECT_EQ(report.recipients, 0u);
+  EXPECT_TRUE(idle.inbox().empty());
+}
+
+TEST_F(TpsTest, PublisherCanAlsoSubscribe) {
+  tps::TpsNode& a = domain_.create_node("a");
+  tps::TpsNode& b = domain_.create_node("b");
+  a.offer_assembly(fixtures::team_a_people());
+  b.offer_assembly(fixtures::team_b_people());
+  int a_events = 0;
+  int b_events = 0;
+  a.subscribe("teamA.Person", [&](const auto&) { ++a_events; });
+  b.subscribe("teamB.Person", [&](const auto&) { ++b_events; });
+
+  const Value args[] = {Value("X")};
+  (void)a.publish(a.runtime().make("teamA.Person", args));
+  EXPECT_EQ(b_events, 1);
+  EXPECT_EQ(a_events, 0) << "publish must not loop back to the publisher";
+}
+
+// --- borrow/lend -------------------------------------------------------------
+
+class BlTest : public ::testing::Test {
+ protected:
+  BlTest()
+      : lender_rt_(system_.create_runtime("lender")),
+        borrower_rt_(system_.create_runtime("borrower")),
+        lender_(lender_rt_, directory_),
+        borrower_(borrower_rt_, directory_) {
+    lender_rt_.publish_assembly(fixtures::print_shop());
+    borrower_rt_.publish_assembly(fixtures::office_devices());
+  }
+
+  core::InteropSystem system_;
+  bl::Directory directory_;
+  core::InteropRuntime& lender_rt_;
+  core::InteropRuntime& borrower_rt_;
+  bl::Lender lender_;
+  bl::Borrower borrower_;
+};
+
+TEST_F(BlTest, BorrowByConformanceCriterion) {
+  const Value args[] = {Value("laser-1")};
+  auto printer = lender_rt_.make("shopA.Printer", args);
+  lender_.lend(printer);
+
+  // The borrower asks for its own type; the lent shopA.Printer conforms.
+  auto borrowed = borrower_.borrow("officeB.Printer");
+  ASSERT_TRUE(borrowed.has_value());
+  EXPECT_EQ(borrowed->advert.lender, "lender");
+
+  // Drive the remote resource through the borrower's interface: dynamic
+  // proxy (rename) over remoting proxy (network hop).
+  const Value doc[] = {Value(std::string(25, 'd'))};
+  const Value pages = borrower_rt_.call(borrowed->handle, "printDocument", doc);
+  EXPECT_EQ(pages.as_int32(), 3);
+  EXPECT_EQ(borrower_rt_.call(borrowed->handle, "getPrintQueueLength").as_int32(), 3);
+  // The state lives on the lender (pass-by-reference).
+  EXPECT_EQ(printer->get("queue").as_int32(), 3);
+}
+
+TEST_F(BlTest, BorrowingMarksUnavailableAndGiveBackRestores) {
+  const Value args[] = {Value("laser-1")};
+  lender_.lend(lender_rt_.make("shopA.Printer", args));
+
+  auto first = borrower_.borrow("officeB.Printer");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(borrower_.borrow("officeB.Printer").has_value());  // pool empty
+
+  borrower_.give_back(*first);
+  EXPECT_TRUE(borrower_.borrow("officeB.Printer").has_value());
+}
+
+TEST_F(BlTest, NonConformantResourcesAreSkipped) {
+  lender_rt_.publish_assembly(fixtures::bank_accounts());
+  const Value acc_args[] = {Value("Eve")};
+  lender_.lend(lender_rt_.make("bank.Account", acc_args));
+
+  EXPECT_FALSE(borrower_.borrow("officeB.Printer").has_value());
+
+  const Value args[] = {Value("laser-2")};
+  lender_.lend(lender_rt_.make("shopA.Printer", args));
+  auto borrowed = borrower_.borrow("officeB.Printer");
+  ASSERT_TRUE(borrowed.has_value());
+  EXPECT_EQ(borrowed->advert.type_name, "shopA.Printer");
+}
+
+TEST_F(BlTest, UnknownCriterionThrows) {
+  EXPECT_THROW((void)borrower_.borrow("no.SuchType"), conform::ConformError);
+}
+
+TEST_F(BlTest, BorrowersDoNotBorrowFromThemselves) {
+  bl::Lender self_lender(borrower_rt_, directory_);
+  borrower_rt_.publish_assembly(fixtures::print_shop());
+  const Value args[] = {Value("own-printer")};
+  self_lender.lend(borrower_rt_.make("shopA.Printer", args));
+  EXPECT_FALSE(borrower_.borrow("officeB.Printer").has_value());
+}
+
+}  // namespace
+}  // namespace pti

@@ -1,0 +1,111 @@
+// Tests for the public API layer (InteropSystem / InteropRuntime).
+#include <gtest/gtest.h>
+
+#include "core/interop.hpp"
+#include "fixtures/sample_types.hpp"
+
+namespace pti::core {
+namespace {
+
+using reflect::Value;
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : alice_(system_.create_runtime("alice")), bob_(system_.create_runtime("bob")) {
+    alice_.publish_assembly(fixtures::team_a_people());
+    bob_.publish_assembly(fixtures::team_b_people());
+  }
+
+  InteropSystem system_;
+  InteropRuntime& alice_;
+  InteropRuntime& bob_;
+};
+
+TEST_F(CoreTest, SystemManagesRuntimes) {
+  EXPECT_EQ(system_.find("alice"), &alice_);
+  EXPECT_EQ(system_.find("ALICE"), &alice_);  // case-insensitive
+  EXPECT_EQ(system_.find("nobody"), nullptr);
+  EXPECT_EQ(system_.runtimes().size(), 2u);
+  EXPECT_THROW((void)system_.create_runtime("alice"), transport::TransportError);
+}
+
+TEST_F(CoreTest, MakeAndCall) {
+  const Value args[] = {Value("Ada")};
+  auto person = alice_.make("teamA.Person", args);
+  EXPECT_EQ(alice_.call(person, "getName").as_string(), "Ada");
+  // Simple-name resolution works for unambiguous types.
+  auto another = alice_.make("Person", args);
+  EXPECT_EQ(another->type_name(), "teamA.Person");
+}
+
+TEST_F(CoreTest, SubscribeSendAdaptFlow) {
+  std::vector<std::string> names;
+  bob_.subscribe("teamB.Person", [&](const transport::DeliveredObject& ev) {
+    names.push_back(bob_.call(ev.adapted, "getPersonName").as_string());
+  });
+
+  const Value args[] = {Value("Ada")};
+  const auto ack = alice_.send("bob", alice_.make("teamA.Person", args));
+  EXPECT_TRUE(ack.delivered);
+  EXPECT_EQ(names, (std::vector<std::string>{"Ada"}));
+}
+
+TEST_F(CoreTest, MultipleSubscribersOnOneInterest) {
+  int calls = 0;
+  bob_.subscribe("teamB.Person", [&](const auto&) { ++calls; });
+  bob_.subscribe("teamB.Person", [&](const auto&) { ++calls; });
+  const Value args[] = {Value("X")};
+  (void)alice_.send("bob", alice_.make("teamA.Person", args));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(CoreTest, AdaptAndConformanceQueries) {
+  const Value args[] = {Value("Ada")};
+  auto person = alice_.make("teamA.Person", args);
+
+  // alice can query conformance between her local descriptions.
+  alice_.publish_assembly(fixtures::bank_accounts());
+  const auto ok = alice_.check_conformance("teamA.Person", "teamA.INamed");
+  EXPECT_TRUE(ok.conformant);
+  const auto bad = alice_.check_conformance("bank.Account", "teamA.Person");
+  EXPECT_FALSE(bad.conformant);
+
+  auto as_named = alice_.adapt(person, "teamA.INamed");
+  EXPECT_EQ(alice_.call(as_named, "getName").as_string(), "Ada");
+}
+
+TEST_F(CoreTest, ExportImportRemote) {
+  const Value args[] = {Value("Ada")};
+  auto person = alice_.make("teamA.Person", args);
+  const std::uint64_t id = alice_.export_object(person);
+
+  auto ref = bob_.import_remote("alice", id, "teamA.Person");
+  auto as_b = bob_.adapt(ref, "teamB.Person");
+  EXPECT_EQ(bob_.call(as_b, "getPersonName").as_string(), "Ada");
+}
+
+TEST_F(CoreTest, StatsAreReachable) {
+  bob_.subscribe("teamB.Person", [](const auto&) {});
+  const Value args[] = {Value("Ada")};
+  (void)alice_.send("bob", alice_.make("teamA.Person", args));
+  EXPECT_EQ(alice_.stats().objects_sent, 1u);
+  EXPECT_EQ(bob_.stats().objects_delivered, 1u);
+  EXPECT_GT(system_.network().stats().bytes, 0u);
+}
+
+TEST_F(CoreTest, PerRuntimeConfiguration) {
+  transport::PeerConfig config;
+  config.payload_encoding = "binary";
+  InteropRuntime& carol = system_.create_runtime("carol", config);
+  carol.publish_assembly(fixtures::team_b_people());
+  carol.subscribe("teamB.Person", [](const auto&) {});
+
+  const Value args[] = {Value("Ada")};
+  const auto ack = alice_.send("carol", alice_.make("teamA.Person", args));
+  EXPECT_TRUE(ack.delivered);
+  EXPECT_EQ(carol.peer().config().payload_encoding, "binary");
+}
+
+}  // namespace
+}  // namespace pti::core

@@ -1,0 +1,159 @@
+// Contract tests for the shared fixture universe: every assembly loads,
+// every type instantiates and behaves as documented, and the documented
+// conformance matrix holds. Benchmarks and examples rely on these
+// properties silently; this suite pins them.
+#include <gtest/gtest.h>
+
+#include "conform/conformance_checker.hpp"
+#include "fixtures/sample_types.hpp"
+#include "reflect/domain.hpp"
+
+namespace pti::fixtures {
+namespace {
+
+using conform::ConformanceChecker;
+using reflect::Domain;
+using reflect::Value;
+
+class FixtureTest : public ::testing::Test {
+ protected:
+  FixtureTest() : checker_(domain_.registry()) {
+    domain_.load_assembly(team_a_people());
+    domain_.load_assembly(team_b_people());
+    domain_.load_assembly(team_evil_people());
+    domain_.load_assembly(planner_meetings());
+    domain_.load_assembly(agenda_meetings());
+    domain_.load_assembly(bank_accounts());
+    domain_.load_assembly(lists_a());
+    domain_.load_assembly(lists_b());
+    domain_.load_assembly(tagged_a());
+    domain_.load_assembly(tagged_b());
+    domain_.load_assembly(print_shop());
+    domain_.load_assembly(office_devices());
+  }
+
+  bool conforms(std::string_view src, std::string_view tgt) {
+    return checker_.check(src, tgt).conformant;
+  }
+
+  Domain domain_;
+  ConformanceChecker checker_;
+};
+
+TEST_F(FixtureTest, EveryClassInstantiates) {
+  const Value name[] = {Value("n")};
+  const Value addr[] = {Value("s"), Value(std::int32_t{1})};
+  const Value meeting_a[] = {Value("t"), Value(std::int64_t{1})};
+  const Value meeting_b[] = {Value(std::int64_t{1}), Value("t")};
+  const Value node[] = {Value(std::int32_t{1})};
+  const Value point[] = {Value(std::int32_t{1}), Value(std::int32_t{2})};
+
+  EXPECT_NO_THROW((void)domain_.instantiate("teamA.Person", name));
+  EXPECT_NO_THROW((void)domain_.instantiate("teamA.Address", addr));
+  EXPECT_NO_THROW((void)domain_.instantiate("teamB.Person", name));
+  EXPECT_NO_THROW((void)domain_.instantiate("teamB.Address", addr));
+  EXPECT_NO_THROW((void)domain_.instantiate("evilC.Person", name));
+  EXPECT_NO_THROW((void)domain_.instantiate("planner.Meeting", meeting_a));
+  EXPECT_NO_THROW((void)domain_.instantiate("agenda.Meeting", meeting_b));
+  EXPECT_NO_THROW((void)domain_.instantiate("bank.Account", name));
+  EXPECT_NO_THROW((void)domain_.instantiate("listsA.Node", node));
+  EXPECT_NO_THROW((void)domain_.instantiate("listsB.Node", node));
+  EXPECT_NO_THROW((void)domain_.instantiate("taggedA.Point", point));
+  EXPECT_NO_THROW((void)domain_.instantiate("shopA.Printer", name));
+  EXPECT_NO_THROW((void)domain_.instantiate("officeB.Printer", name));
+}
+
+TEST_F(FixtureTest, DocumentedConformanceMatrixHolds) {
+  // The Person pair is mutually conformant; the impostor too.
+  EXPECT_TRUE(conforms("teamB.Person", "teamA.Person"));
+  EXPECT_TRUE(conforms("teamA.Person", "teamB.Person"));
+  EXPECT_TRUE(conforms("evilC.Person", "teamA.Person"));
+  // Meetings conform across permuted signatures, both ways.
+  EXPECT_TRUE(conforms("agenda.Meeting", "planner.Meeting"));
+  EXPECT_TRUE(conforms("planner.Meeting", "agenda.Meeting"));
+  // Printers conform (the borrow/lend pairing).
+  EXPECT_TRUE(conforms("shopA.Printer", "officeB.Printer"));
+  // Nodes conform recursively.
+  EXPECT_TRUE(conforms("listsB.Node", "listsA.Node"));
+  // Accounts conform to none of the above.
+  EXPECT_FALSE(conforms("bank.Account", "teamA.Person"));
+  EXPECT_FALSE(conforms("bank.Account", "planner.Meeting"));
+  EXPECT_FALSE(conforms("bank.Account", "shopA.Printer"));
+  // Cross-module pairs do not conform.
+  EXPECT_FALSE(conforms("teamA.Person", "planner.Meeting"));
+  EXPECT_FALSE(conforms("listsA.Node", "teamA.Person"));
+}
+
+TEST_F(FixtureTest, MethodBehaviourMatchesDocs) {
+  const Value args[] = {Value("Ada")};
+  auto a = domain_.instantiate("teamA.Person", args);
+  auto b = domain_.instantiate("teamB.Person", args);
+  auto evil = domain_.instantiate("evilC.Person", args);
+
+  EXPECT_EQ(domain_.invoke(*a, "getName").as_string(), "Ada");
+  EXPECT_EQ(domain_.invoke(*b, "getPersonName").as_string(), "Ada");
+  EXPECT_EQ(domain_.invoke(*evil, "getName").as_string(), "adA");  // reversed!
+
+  const Value hello[] = {Value("Hi")};
+  EXPECT_EQ(domain_.invoke(*a, "greet", hello).as_string(), "Hi, Ada!");
+  EXPECT_EQ(domain_.invoke(*b, "greet", hello).as_string(), "Hi, Ada!");
+  EXPECT_NE(domain_.invoke(*evil, "greet", hello).as_string(), "Hi, Ada!");
+}
+
+TEST_F(FixtureTest, LinkedNodeSumsWalkTheChain) {
+  const Value v1[] = {Value(std::int32_t{1})};
+  const Value v2[] = {Value(std::int32_t{2})};
+  const Value v3[] = {Value(std::int32_t{4})};
+  auto n1 = domain_.instantiate("listsA.Node", v1);
+  auto n2 = domain_.instantiate("listsA.Node", v2);
+  auto n3 = domain_.instantiate("listsA.Node", v3);
+  const Value next2[] = {Value(n2)};
+  const Value next3[] = {Value(n3)};
+  domain_.invoke(*n1, "setNext", next2);
+  domain_.invoke(*n2, "setNext", next3);
+  EXPECT_EQ(domain_.invoke(*n1, "sum").as_int32(), 7);
+  EXPECT_EQ(domain_.invoke(*n2, "sum").as_int32(), 6);
+}
+
+TEST_F(FixtureTest, PrinterAccounting) {
+  const Value name[] = {Value("p")};
+  auto printer = domain_.instantiate("shopA.Printer", name);
+  const Value doc[] = {Value(std::string(42, 'x'))};
+  EXPECT_EQ(domain_.invoke(*printer, "print", doc).as_int32(), 5);
+  EXPECT_EQ(domain_.invoke(*printer, "print", doc).as_int32(), 5);
+  EXPECT_EQ(domain_.invoke(*printer, "getQueueLength").as_int32(), 10);
+}
+
+TEST_F(FixtureTest, WideTypeGeneratorIsDeterministicAndSized) {
+  const auto w1 = wide_type("g", "W", 5, 7);
+  const auto w2 = wide_type("g", "W", 5, 7);
+  const reflect::NativeType* t1 = w1->find_type("g.W");
+  const reflect::NativeType* t2 = w2->find_type("g.W");
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->fields().size(), 5u);
+  EXPECT_EQ(t1->methods().size(), 7u);
+  EXPECT_EQ(t1->guid(), t2->guid());  // deterministic identity
+
+  auto obj = t1->instantiate();
+  EXPECT_EQ(t1->invoke(*obj, "getF0", {}).as_int32(), 0);
+  EXPECT_EQ(t1->invoke(*obj, "getF1", {}).as_string(), "");
+}
+
+TEST_F(FixtureTest, DeepChainGeneratorShape) {
+  const auto chain = deep_type_chain("g", 3);
+  EXPECT_EQ(chain->types().size(), 3u);
+  const reflect::NativeType* t0 = chain->find_type("g.T0");
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->fields()[0].type_name, "g.T1");
+  const reflect::NativeType* leaf = chain->find_type("g.T2");
+  EXPECT_EQ(leaf->fields()[0].name, "payload");
+}
+
+TEST_F(FixtureTest, TaggedFixturesCarryTheirTags) {
+  EXPECT_TRUE(domain_.registry().find("taggedA.Point")->structural_tag());
+  EXPECT_TRUE(domain_.registry().find("taggedB.Point")->structural_tag());
+  EXPECT_FALSE(domain_.registry().find("taggedB.PlainPoint")->structural_tag());
+}
+
+}  // namespace
+}  // namespace pti::fixtures

@@ -1,0 +1,214 @@
+// Tests for dynamic proxies: wrapping, renamed dispatch, argument
+// permutation, deep (recursive) wrapping, argument adaptation, field
+// mapping, unwrap, and the invocation-overhead contract.
+#include <gtest/gtest.h>
+
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_checker.hpp"
+#include "fixtures/sample_types.hpp"
+#include "proxy/dynamic_proxy.hpp"
+#include "proxy/proxy_error.hpp"
+#include "reflect/domain.hpp"
+
+namespace pti::proxy {
+namespace {
+
+using conform::ConformanceChecker;
+using reflect::Domain;
+using reflect::DynObject;
+using reflect::Value;
+using reflect::ValueKind;
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : checker_(domain_.registry(), {}, &cache_), factory_(domain_, checker_) {
+    domain_.load_assembly(fixtures::team_a_people());
+    domain_.load_assembly(fixtures::team_b_people());
+    domain_.load_assembly(fixtures::planner_meetings());
+    domain_.load_assembly(fixtures::agenda_meetings());
+    domain_.load_assembly(fixtures::bank_accounts());
+  }
+
+  std::shared_ptr<DynObject> make_b_person(std::string_view name) {
+    const Value args[] = {Value(name)};
+    auto person = domain_.instantiate("teamB.Person", args);
+    const Value addr[] = {Value("Rue du Lac"), Value(std::int32_t{1007})};
+    person->set("address", Value(domain_.instantiate("teamB.Address", addr)));
+    return person;
+  }
+
+  Domain domain_;
+  conform::ConformanceCache cache_;
+  ConformanceChecker checker_;
+  ProxyFactory factory_;
+};
+
+TEST_F(ProxyTest, DirectInvocationPassesThrough) {
+  const Value args[] = {Value("Alice")};
+  auto person = domain_.instantiate("teamA.Person", args);
+  EXPECT_FALSE(ProxyFactory::is_proxy(*person));
+  EXPECT_EQ(factory_.invoke(person, "getName", {}).as_string(), "Alice");
+}
+
+TEST_F(ProxyTest, WrapIsNoopForPassthroughKinds) {
+  const Value args[] = {Value("Alice")};
+  auto person = domain_.instantiate("teamA.Person", args);
+  // Identity.
+  EXPECT_EQ(factory_.wrap(person, "teamA.Person").get(), person.get());
+  // Explicit (declared interface).
+  EXPECT_EQ(factory_.wrap(person, "teamA.INamed").get(), person.get());
+}
+
+TEST_F(ProxyTest, RenamedMethodDispatch) {
+  auto b_person = make_b_person("Bob");
+  auto as_a = factory_.wrap(b_person, "teamA.Person");
+  ASSERT_TRUE(ProxyFactory::is_proxy(*as_a));
+  EXPECT_EQ(as_a->type_name(), "teamA.Person");
+
+  // Target-side names drive source-side methods.
+  EXPECT_EQ(factory_.invoke(as_a, "getName", {}).as_string(), "Bob");
+  const Value rename[] = {Value("Robert")};
+  factory_.invoke(as_a, "setName", rename);
+  EXPECT_EQ(factory_.invoke(as_a, "getName", {}).as_string(), "Robert");
+  // The underlying object really changed.
+  EXPECT_EQ(b_person->get("name").as_string(), "Robert");
+}
+
+TEST_F(ProxyTest, UnknownTargetMethodThrows) {
+  auto as_a = factory_.wrap(make_b_person("Bob"), "teamA.Person");
+  EXPECT_THROW((void)factory_.invoke(as_a, "selfDestruct", {}), ProxyError);
+  const Value arg[] = {Value("x")};
+  EXPECT_THROW((void)factory_.invoke(as_a, "getName", arg), ProxyError);  // bad arity
+}
+
+TEST_F(ProxyTest, NonConformantWrapThrowsWithDetails) {
+  const Value args[] = {Value("Eve")};
+  auto account = domain_.instantiate("bank.Account", args);
+  try {
+    (void)factory_.wrap(account, "teamA.Person");
+    FAIL() << "expected NonConformantError";
+  } catch (const NonConformantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bank.Account"), std::string::npos);
+    EXPECT_NE(what.find("teamA.Person"), std::string::npos);
+  }
+}
+
+TEST_F(ProxyTest, ArgumentPermutationIsApplied) {
+  const Value ctor_args[] = {Value(std::int64_t{900}), Value("standup")};
+  auto meeting = domain_.instantiate("agenda.Meeting", ctor_args);
+  auto as_planner = factory_.wrap(meeting, "planner.Meeting");
+
+  EXPECT_EQ(factory_.invoke(as_planner, "getTitle", {}).as_string(), "standup");
+  EXPECT_EQ(factory_.invoke(as_planner, "getMeetingStart", {}).as_int64(), 900);
+
+  // planner-order arguments (title, start) must land permuted in
+  // agenda.reschedule(begin, title).
+  const Value resched[] = {Value("retro"), Value(std::int64_t{1600})};
+  factory_.invoke(as_planner, "reschedule", resched);
+  EXPECT_EQ(meeting->get("title").as_string(), "retro");
+  EXPECT_EQ(meeting->get("startTime").as_int64(), 1600);
+}
+
+TEST_F(ProxyTest, DeepMatchingWrapsReturnedObjects) {
+  auto as_a = factory_.wrap(make_b_person("Bob"), "teamA.Person");
+  // getAddress returns a teamB.Address; the declared target return type is
+  // teamA.Address, which only implicitly conforms -> a nested proxy.
+  const Value address = factory_.invoke(as_a, "getAddress", {});
+  ASSERT_EQ(address.kind(), ValueKind::Object);
+  const auto& addr_obj = address.as_object();
+  ASSERT_TRUE(ProxyFactory::is_proxy(*addr_obj));
+  EXPECT_EQ(addr_obj->type_name(), "teamA.Address");
+  // ...and the nested proxy dispatches with renames of its own.
+  EXPECT_EQ(factory_.invoke(addr_obj, "getStreet", {}).as_string(), "Rue du Lac");
+  EXPECT_EQ(factory_.invoke(addr_obj, "getZip", {}).as_int32(), 1007);
+}
+
+TEST_F(ProxyTest, ArgumentsAreReverseWrappedForDeepMismatch) {
+  auto as_a = factory_.wrap(make_b_person("Bob"), "teamA.Person");
+  // Pass a *teamA* Address into the proxied setAddress: the underlying
+  // teamB method declares teamB.Address, so the argument needs a reverse
+  // wrapper presenting the teamB interface over the teamA object.
+  const Value addr_args[] = {Value("Bahnhofstrasse"), Value(std::int32_t{8001})};
+  auto a_address = domain_.instantiate("teamA.Address", addr_args);
+  const Value set_args[] = {Value(a_address)};
+  factory_.invoke(as_a, "setAddress", set_args);
+
+  const auto source = factory_.unwrap(as_a);
+  const auto& stored = source->get("address").as_object();
+  ASSERT_TRUE(ProxyFactory::is_proxy(*stored));
+  EXPECT_EQ(stored->type_name(), "teamB.Address");
+  // Driving the stored value through teamB's interface reaches the teamA
+  // object underneath.
+  EXPECT_EQ(factory_.invoke(stored, "getStreetName", {}).as_string(), "Bahnhofstrasse");
+}
+
+TEST_F(ProxyTest, PassthroughArgumentsAreNotWrapped) {
+  auto b_person = make_b_person("Bob");
+  auto as_a = factory_.wrap(b_person, "teamA.Person");
+  // A teamB.Address argument matches the underlying parameter type exactly.
+  const Value addr_args[] = {Value("Quai 5"), Value(std::int32_t{1201})};
+  auto b_address = domain_.instantiate("teamB.Address", addr_args);
+  const Value set_args[] = {Value(b_address)};
+  factory_.invoke(as_a, "setAddress", set_args);
+  EXPECT_EQ(b_person->get("address").as_object().get(), b_address.get());
+}
+
+TEST_F(ProxyTest, ProxyArgumentsAreUnwrappedWhenPossible) {
+  auto b_person = make_b_person("Bob");
+  auto as_a = factory_.wrap(b_person, "teamA.Person");
+  // Wrap a teamB.Address as teamA.Address, then pass it back through the
+  // teamA-typed proxy: the factory should strip the wrapper instead of
+  // stacking a second one.
+  const Value addr_args[] = {Value("Grand-Rue"), Value(std::int32_t{1110})};
+  auto b_address = domain_.instantiate("teamB.Address", addr_args);
+  auto as_a_address = factory_.wrap(b_address, "teamA.Address");
+  ASSERT_TRUE(ProxyFactory::is_proxy(*as_a_address));
+
+  const Value set_args[] = {Value(as_a_address)};
+  factory_.invoke(as_a, "setAddress", set_args);
+  EXPECT_EQ(b_person->get("address").as_object().get(), b_address.get());
+}
+
+TEST_F(ProxyTest, UnwrapStripsAllLayers) {
+  auto b_person = make_b_person("Bob");
+  auto layered = factory_.wrap(b_person, "teamA.Person");
+  EXPECT_EQ(factory_.unwrap(layered).get(), b_person.get());
+  EXPECT_EQ(factory_.unwrap(b_person).get(), b_person.get());
+  EXPECT_EQ(factory_.unwrap(nullptr), nullptr);
+}
+
+TEST_F(ProxyTest, FieldMappingThroughProxies) {
+  auto b_person = make_b_person("Bob");
+  auto as_a = factory_.wrap(b_person, "teamA.Person");
+  EXPECT_EQ(factory_.get_field(as_a, "name").as_string(), "Bob");
+  factory_.set_field(as_a, "name", Value("Bobby"));
+  EXPECT_EQ(b_person->get("name").as_string(), "Bobby");
+  EXPECT_THROW((void)factory_.get_field(as_a, "nonexistent"), ProxyError);
+  // Direct objects work too.
+  EXPECT_EQ(factory_.get_field(b_person, "name").as_string(), "Bobby");
+}
+
+TEST_F(ProxyTest, FieldReadAdaptsObjectValues) {
+  auto as_a = factory_.wrap(make_b_person("Bob"), "teamA.Person");
+  const Value address = factory_.get_field(as_a, "address");
+  ASSERT_EQ(address.kind(), ValueKind::Object);
+  EXPECT_TRUE(ProxyFactory::is_proxy(*address.as_object()));
+  EXPECT_EQ(address.as_object()->type_name(), "teamA.Address");
+}
+
+TEST_F(ProxyTest, NullAndErrorPaths) {
+  EXPECT_THROW((void)factory_.invoke(nullptr, "m", {}), ProxyError);
+  EXPECT_THROW((void)factory_.wrap(nullptr, "teamA.Person"), ProxyError);
+  auto b_person = make_b_person("Bob");
+  EXPECT_THROW((void)factory_.wrap(b_person, "no.SuchType"), ProxyError);
+}
+
+TEST_F(ProxyTest, GreetThroughProxyUsesPermutedlessArgs) {
+  auto as_a = factory_.wrap(make_b_person("Ada"), "teamA.Person");
+  const Value greeting[] = {Value("Bonjour")};
+  EXPECT_EQ(factory_.invoke(as_a, "greet", greeting).as_string(), "Bonjour, Ada!");
+}
+
+}  // namespace
+}  // namespace pti::proxy

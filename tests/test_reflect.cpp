@@ -1,0 +1,321 @@
+// Tests for the reflection substrate: values, objects, descriptions,
+// builder, introspection, registry, assemblies, domains.
+#include <gtest/gtest.h>
+
+#include "fixtures/sample_types.hpp"
+#include "reflect/assembly.hpp"
+#include "reflect/domain.hpp"
+#include "reflect/dyn_object.hpp"
+#include "reflect/introspect.hpp"
+#include "reflect/primitives.hpp"
+#include "reflect/reflect_error.hpp"
+#include "reflect/type_builder.hpp"
+#include "reflect/type_registry.hpp"
+#include "reflect/value.hpp"
+
+namespace pti::reflect {
+namespace {
+
+// --- Value --------------------------------------------------------------
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(Value().kind(), ValueKind::Null);
+  EXPECT_EQ(Value(true).kind(), ValueKind::Bool);
+  EXPECT_EQ(Value(std::int32_t{7}).kind(), ValueKind::Int32);
+  EXPECT_EQ(Value(std::int64_t{7}).kind(), ValueKind::Int64);
+  EXPECT_EQ(Value(3.25).kind(), ValueKind::Float64);
+  EXPECT_EQ(Value("s").kind(), ValueKind::String);
+  EXPECT_EQ(Value(Value::List{}).kind(), ValueKind::List);
+
+  EXPECT_EQ(Value(std::int32_t{42}).as_int32(), 42);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_THROW((void)Value("hi").as_int32(), ReflectError);
+  EXPECT_THROW((void)Value(1.5).as_string(), ReflectError);
+}
+
+TEST(Value, NumericWidening) {
+  EXPECT_EQ(Value(std::int32_t{5}).as_int64(), 5);  // int32 widens to int64
+  EXPECT_DOUBLE_EQ(Value(std::int32_t{5}).to_float64(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{5}).to_float64(), 5.0);
+  EXPECT_THROW((void)Value("x").to_float64(), ReflectError);
+}
+
+TEST(Value, EqualityIsStructuralExceptObjects) {
+  EXPECT_EQ(Value(std::int32_t{1}), Value(std::int32_t{1}));
+  EXPECT_NE(Value(std::int32_t{1}), Value(std::int64_t{1}));  // kinds differ
+  EXPECT_EQ(Value(Value::List{Value(1.0), Value("x")}),
+            Value(Value::List{Value(1.0), Value("x")}));
+
+  auto obj1 = DynObject::make("t.T", util::Guid::from_name("t.T"));
+  auto obj2 = DynObject::make("t.T", util::Guid::from_name("t.T"));
+  EXPECT_EQ(Value(obj1), Value(obj1));  // identity
+  EXPECT_NE(Value(obj1), Value(obj2));  // distinct instances
+}
+
+TEST(Value, DebugStrings) {
+  EXPECT_EQ(Value().to_debug_string(), "null");
+  EXPECT_EQ(Value(std::int32_t{3}).to_debug_string(), "3");
+  EXPECT_EQ(Value("x").to_debug_string(), "\"x\"");
+  EXPECT_EQ(Value(Value::List{Value(true)}).to_debug_string(), "[true]");
+}
+
+// --- DynObject -------------------------------------------------------------
+
+TEST(DynObject, FieldAccessIsCaseInsensitive) {
+  auto obj = DynObject::make("t.T", util::Guid{});
+  obj->set("Name", Value("alice"));
+  EXPECT_EQ(obj->get("name").as_string(), "alice");
+  EXPECT_TRUE(obj->has_field("NAME"));
+  obj->set("NAME", Value("bob"));
+  EXPECT_EQ(obj->get("Name").as_string(), "bob");
+  EXPECT_EQ(obj->fields().size(), 1u);
+  EXPECT_THROW((void)obj->get("missing"), ReflectError);
+  EXPECT_TRUE(obj->get_or_null("missing").is_null());
+}
+
+TEST(DynObject, SameState) {
+  auto a = DynObject::make("t.T", util::Guid::from_name("t.T"));
+  auto b = DynObject::make("t.T", util::Guid::from_name("t.T"));
+  a->set("x", Value(std::int32_t{1}));
+  b->set("X", Value(std::int32_t{1}));
+  EXPECT_TRUE(a->same_state(*b));
+  b->set("x", Value(std::int32_t{2}));
+  EXPECT_FALSE(a->same_state(*b));
+}
+
+// --- primitives ------------------------------------------------------------
+
+TEST(Primitives, CanonicalAliases) {
+  EXPECT_EQ(canonical_primitive("int"), kInt32Type);
+  EXPECT_EQ(canonical_primitive("Integer"), kInt32Type);
+  EXPECT_EQ(canonical_primitive("LONG"), kInt64Type);
+  EXPECT_EQ(canonical_primitive("double"), kFloat64Type);
+  EXPECT_EQ(canonical_primitive("boolean"), kBoolType);
+  EXPECT_EQ(canonical_primitive("teamA.Person"), "teamA.Person");
+  EXPECT_TRUE(is_primitive_name("VOID"));
+  EXPECT_FALSE(is_primitive_name("Person"));
+}
+
+TEST(Primitives, DefaultValues) {
+  EXPECT_EQ(default_value_for(kInt32Type), Value(std::int32_t{0}));
+  EXPECT_EQ(default_value_for(kStringType), Value(std::string{}));
+  EXPECT_EQ(default_value_for(kBoolType), Value(false));
+  EXPECT_TRUE(default_value_for("some.Object").is_null());
+  EXPECT_EQ(default_value_for(kListType).kind(), ValueKind::List);
+}
+
+// --- TypeDescription ---------------------------------------------------------
+
+TEST(TypeDescription, QualifiedNamesAndLookup) {
+  TypeDescription d("teamA", "Person", TypeKind::Class);
+  d.add_field({"name", "string", Visibility::Private, false});
+  d.add_method({"getName", "string", {}, Visibility::Public, false});
+  d.add_method({"setName", "void", {{"n", "string"}}, Visibility::Public, false});
+
+  EXPECT_EQ(d.qualified_name(), "teamA.Person");
+  EXPECT_NE(d.find_field("NAME"), nullptr);
+  EXPECT_EQ(d.find_field("nope"), nullptr);
+  EXPECT_NE(d.find_method("getname", 0), nullptr);
+  EXPECT_EQ(d.find_method("getName", 1), nullptr);
+  EXPECT_EQ(d.find_methods("setName").size(), 1u);
+  EXPECT_EQ(d.methods()[1].signature_string(), "setName(string)->void");
+}
+
+TEST(TypeDescription, StructuralEqualityIgnoresGuidAndCase) {
+  TypeDescription a("x", "T", TypeKind::Class);
+  a.set_guid(util::Guid::from_name("x.T"));
+  a.add_field({"f", "string", Visibility::Public, false});
+  TypeDescription b("y", "t", TypeKind::Class);
+  b.set_guid(util::Guid::from_name("y.t"));
+  b.add_field({"F", "STRING", Visibility::Public, false});
+  EXPECT_TRUE(a.structurally_equal(b));
+
+  b.add_field({"g", "int32", Visibility::Public, false});
+  EXPECT_FALSE(a.structurally_equal(b));
+}
+
+TEST(TypeDescription, SimpleNameHelper) {
+  EXPECT_EQ(simple_name("teamA.Person"), "Person");
+  EXPECT_EQ(simple_name("Person"), "Person");
+  EXPECT_EQ(simple_name("a.b.C"), "C");
+}
+
+// --- TypeBuilder + NativeType ---------------------------------------------
+
+TEST(TypeBuilder, BuildsWorkingTypes) {
+  const auto type =
+      TypeBuilder("demo", "Counter")
+          .field("count", std::string(kInt32Type))
+          .constructor({{"start", std::string(kInt32Type)}},
+                       [](DynObject& self, Args a) { self.set("count", a[0]); })
+          .method("increment", std::string(kInt32Type), {},
+                  [](DynObject& self, Args) {
+                    self.set("count", Value(self.get("count").as_int32() + 1));
+                    return self.get("count");
+                  })
+          .build();
+
+  EXPECT_EQ(type->qualified_name(), "demo.Counter");
+  EXPECT_EQ(type->guid(), util::Guid::from_name("demo.Counter"));
+
+  const Value args[] = {Value(std::int32_t{10})};
+  auto obj = type->instantiate(args);
+  EXPECT_EQ(obj->get("count").as_int32(), 10);
+  EXPECT_EQ(type->invoke(*obj, "increment", {}).as_int32(), 11);
+  EXPECT_EQ(type->invoke(*obj, "INCREMENT", {}).as_int32(), 12);  // ci dispatch
+  EXPECT_THROW((void)type->invoke(*obj, "decrement", {}), ReflectError);
+}
+
+TEST(TypeBuilder, RejectsBodylessClassMethodsAndInterfaceCtors) {
+  EXPECT_THROW(TypeBuilder("d", "C").method("m", "void", {}), ReflectError);
+  EXPECT_THROW(TypeBuilder("d", "I", TypeKind::Interface).constructor({}),
+               ReflectError);
+}
+
+TEST(NativeType, InstantiationRules) {
+  const auto iface = TypeBuilder("d", "I", TypeKind::Interface)
+                         .method("m", std::string(kVoidType), {})
+                         .build();
+  EXPECT_THROW((void)iface->instantiate(), ReflectError);
+
+  const auto plain = TypeBuilder("d", "Plain")
+                         .field("x", std::string(kInt32Type))
+                         .build();
+  auto obj = plain->instantiate();  // implicit default ctor
+  EXPECT_EQ(obj->get("x").as_int32(), 0);
+
+  const Value args[] = {Value(std::int32_t{5})};
+  EXPECT_THROW((void)plain->instantiate(args), ReflectError);  // no 1-arg ctor
+}
+
+TEST(NativeType, InterfaceMethodsHaveNoBody) {
+  const auto iface = TypeBuilder("d", "I", TypeKind::Interface)
+                         .method("m", std::string(kVoidType), {})
+                         .build();
+  auto obj = DynObject::make("other", util::Guid{});
+  EXPECT_THROW((void)iface->invoke(*obj, "m", {}), ReflectError);
+}
+
+// --- introspection --------------------------------------------------------
+
+TEST(Introspect, ProducesFaithfulDescriptions) {
+  const auto assembly = fixtures::team_a_people();
+  const NativeType* person = assembly->find_type("teamA.Person");
+  ASSERT_NE(person, nullptr);
+
+  const TypeDescription d = introspect(*person, assembly->name(), "net://a/x");
+  EXPECT_EQ(d.qualified_name(), "teamA.Person");
+  EXPECT_EQ(d.guid(), person->guid());
+  EXPECT_EQ(d.kind(), TypeKind::Class);
+  EXPECT_EQ(d.superclass(), std::string(kObjectType));
+  ASSERT_EQ(d.interfaces().size(), 1u);
+  EXPECT_EQ(d.interfaces()[0], "teamA.INamed");
+  EXPECT_EQ(d.fields().size(), 2u);
+  EXPECT_EQ(d.methods().size(), 5u);
+  EXPECT_EQ(d.constructors().size(), 1u);
+  EXPECT_EQ(d.assembly_name(), "teamA.people");
+  EXPECT_EQ(d.download_path(), "net://a/x");
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(TypeRegistry, PrepopulatesPrimitives) {
+  TypeRegistry registry;
+  EXPECT_NE(registry.find("int32"), nullptr);
+  EXPECT_NE(registry.find("int"), nullptr);  // alias
+  EXPECT_EQ(registry.find("int")->kind(), TypeKind::Primitive);
+  EXPECT_NE(registry.find("object"), nullptr);
+  EXPECT_TRUE(registry.user_types().empty());
+}
+
+TEST(TypeRegistry, AddAndResolve) {
+  TypeRegistry registry;
+  TypeDescription d("teamA", "Person", TypeKind::Class);
+  d.set_guid(util::Guid::from_name("teamA.Person"));
+  registry.add(d);
+
+  EXPECT_TRUE(registry.contains("teama.person"));           // ci key
+  EXPECT_NE(registry.find("teamA.Person"), nullptr);
+  EXPECT_NE(registry.find("Person"), nullptr);              // unique simple name
+  EXPECT_NE(registry.resolve("Person", "teamA"), nullptr);  // referrer ns
+  EXPECT_EQ(registry.find_by_guid(util::Guid::from_name("teamA.Person")),
+            registry.find("teamA.Person"));
+  EXPECT_EQ(registry.find("teamC.Person"), nullptr);
+}
+
+TEST(TypeRegistry, AmbiguousSimpleNamesNeedQualification) {
+  TypeRegistry registry;
+  TypeDescription a("teamA", "Person", TypeKind::Class);
+  TypeDescription b("teamB", "Person", TypeKind::Class);
+  b.add_field({"x", "int32", Visibility::Public, false});
+  registry.add(a);
+  registry.add(b);
+  EXPECT_EQ(registry.find("Person"), nullptr);  // ambiguous
+  EXPECT_NE(registry.resolve("Person", "teamB"), nullptr);
+  EXPECT_EQ(registry.resolve("Person", "teamB")->qualified_name(), "teamB.Person");
+}
+
+TEST(TypeRegistry, ReregistrationRules) {
+  TypeRegistry registry;
+  TypeDescription d("t", "T", TypeKind::Class);
+  registry.add(d);
+  EXPECT_NO_THROW(registry.add(d));  // idempotent
+
+  TypeDescription conflicting("t", "T", TypeKind::Class);
+  conflicting.add_field({"x", "int32", Visibility::Public, false});
+  EXPECT_THROW(registry.add(conflicting), ReflectError);
+}
+
+// --- assembly + domain ------------------------------------------------------
+
+TEST(Assembly, FindTypeAndSimulatedSize) {
+  const auto assembly = fixtures::team_a_people();
+  EXPECT_NE(assembly->find_type("teamA.Person"), nullptr);
+  EXPECT_NE(assembly->find_type("person"), nullptr);  // simple name, ci
+  EXPECT_EQ(assembly->find_type("bank.Account"), nullptr);
+  // Code is much bigger than a description — the optimistic protocol's
+  // premise.
+  EXPECT_GT(assembly->simulated_code_size(), 1000u);
+}
+
+TEST(Domain, LoadAssemblyRegistersEverything) {
+  Domain domain;
+  domain.load_assembly(fixtures::team_a_people(), "net://alice/teamA.people");
+
+  EXPECT_TRUE(domain.has_assembly("teamA.people"));
+  EXPECT_TRUE(domain.is_loaded("teamA.Person"));
+  const TypeDescription* d = domain.registry().find("teamA.Person");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->download_path(), "net://alice/teamA.people");
+
+  const Value args[] = {Value("Alice")};
+  auto person = domain.instantiate("teamA.Person", args);
+  EXPECT_EQ(domain.invoke(*person, "getName").as_string(), "Alice");
+
+  const Value rename[] = {Value("Alicia")};
+  domain.invoke(*person, "setName", rename);
+  EXPECT_EQ(domain.invoke(*person, "getName").as_string(), "Alicia");
+}
+
+TEST(Domain, LoadIsIdempotentAndErrorsAreClear) {
+  Domain domain;
+  const auto assembly = fixtures::team_a_people();
+  domain.load_assembly(assembly);
+  EXPECT_NO_THROW(domain.load_assembly(assembly));
+  EXPECT_THROW((void)domain.instantiate("unknown.T"), ReflectError);
+
+  auto stranger = DynObject::make("unknown.T", util::Guid{});
+  EXPECT_THROW((void)domain.invoke(*stranger, "m"), ReflectError);
+}
+
+TEST(Domain, GreetUsesArguments) {
+  Domain domain;
+  domain.load_assembly(fixtures::team_a_people());
+  const Value args[] = {Value("Bob")};
+  auto person = domain.instantiate("teamA.Person", args);
+  const Value greeting[] = {Value("Hello")};
+  EXPECT_EQ(domain.invoke(*person, "greet", greeting).as_string(), "Hello, Bob!");
+}
+
+}  // namespace
+}  // namespace pti::reflect

@@ -1,0 +1,411 @@
+// Tests for the simulated network and the optimistic transport protocol
+// (Fig. 1): on-demand descriptions and code, caching, rejection without
+// code download, the eager baseline, and failure injection.
+#include <gtest/gtest.h>
+
+#include "fixtures/sample_types.hpp"
+#include "transport/assembly_hub.hpp"
+#include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
+#include "transport/transport_error.hpp"
+
+namespace pti::transport {
+namespace {
+
+using reflect::DynObject;
+using reflect::Value;
+
+// --- SimNetwork -------------------------------------------------------------
+
+TEST(SimNetwork, RoutesAndCharges) {
+  SimNetwork net;
+  net.attach("echo", [](const Message& m) {
+    return Message{"echo", m.sender, PushAck{true, "ok"}};
+  });
+  const Message reply = net.send(Message{"client", "echo", CodeRequest{"x"}});
+  EXPECT_TRUE(std::get<PushAck>(reply.payload).delivered);
+  EXPECT_EQ(reply.sender, "echo");
+  EXPECT_EQ(reply.recipient, "client");
+  EXPECT_EQ(net.stats().messages, 2u);  // request + response
+  EXPECT_GT(net.stats().bytes, 0u);
+  EXPECT_GT(net.clock().now_ns(), 0u);
+}
+
+TEST(SimNetwork, UnknownRecipientThrows) {
+  SimNetwork net;
+  EXPECT_THROW((void)net.send(Message{"a", "ghost", CodeRequest{"x"}}), NetworkError);
+}
+
+TEST(SimNetwork, ForcedDropsThrowDeterministically) {
+  SimNetwork net;
+  net.attach("svc", [](const Message& m) {
+    return Message{"svc", m.sender, PushAck{true, ""}};
+  });
+  net.inject_drop_next(1);
+  EXPECT_THROW((void)net.send(Message{"a", "svc", CodeRequest{"x"}}), NetworkError);
+  EXPECT_EQ(net.stats().drops, 1u);
+  // Next message goes through.
+  EXPECT_NO_THROW((void)net.send(Message{"a", "svc", CodeRequest{"x"}}));
+}
+
+TEST(SimNetwork, PerLinkConfigAffectsLatency) {
+  SimNetwork net;
+  net.attach("svc", [](const Message& m) {
+    return Message{"svc", m.sender, PushAck{true, ""}};
+  });
+  net.set_default_link({.latency_ns = 0, .bandwidth_bytes_per_sec = 1e12});
+  (void)net.send(Message{"a", "svc", CodeRequest{"x"}});
+  const auto t0 = net.clock().now_ns();
+  net.set_link("a", "svc", {.latency_ns = 5'000'000, .bandwidth_bytes_per_sec = 1e12});
+  (void)net.send(Message{"a", "svc", CodeRequest{"x"}});
+  EXPECT_GE(net.clock().now_ns() - t0, 5'000'000u);
+}
+
+TEST(MessageSizes, CodeDominatesDescriptions) {
+  const Message code{"a", "b", CodeResponse{"asm", true, 50'000}};
+  const Message info{"a", "b", TypeInfoResponse{{std::string(600, 'x')}, {}}};
+  EXPECT_GT(code.wire_size(), info.wire_size());
+  EXPECT_STREQ(code.kind_name(), "CodeResponse");
+}
+
+// --- the optimistic protocol (Fig. 1) ---------------------------------------
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest()
+      : hub_(std::make_shared<AssemblyHub>()),
+        alice_("alice", net_, hub_),
+        bob_("bob", net_, hub_) {
+    alice_.host_assembly(fixtures::team_a_people());
+    bob_.host_assembly(fixtures::team_b_people());
+    bob_.add_interest("teamB.Person");
+  }
+
+  std::shared_ptr<DynObject> make_a_person(std::string_view name) {
+    const Value args[] = {Value(name)};
+    auto person = alice_.domain().instantiate("teamA.Person", args);
+    const Value addr[] = {Value("Main St"), Value(std::int32_t{42})};
+    person->set("address", Value(alice_.domain().instantiate("teamA.Address", addr)));
+    return person;
+  }
+
+  SimNetwork net_;
+  std::shared_ptr<AssemblyHub> hub_;
+  Peer alice_;
+  Peer bob_;
+};
+
+TEST_F(ProtocolTest, FullFigureOneFlow) {
+  const PushAck ack = alice_.send_object("bob", make_a_person("Alice"));
+  EXPECT_TRUE(ack.delivered);
+  EXPECT_EQ(ack.detail, "teamB.Person");
+
+  // Step 2/3 happened: one request for the envelope's unknown types
+  // (Person, Address), and one more for teamA.INamed — referenced by the
+  // Person description but not part of the object graph, so fetched on
+  // demand during the conformance check.
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 2u);
+  // Step 4/5 happened: bob downloaded the assembly.
+  EXPECT_EQ(bob_.stats().code_requests, 1u);
+  EXPECT_TRUE(bob_.domain().has_assembly("teamA.people"));
+  EXPECT_TRUE(bob_.domain().is_loaded("teamA.Person"));
+
+  // The delivered object is usable as bob's own type.
+  ASSERT_EQ(bob_.delivered().size(), 1u);
+  const DeliveredObject& delivered = bob_.delivered().front();
+  EXPECT_EQ(delivered.interest_type, "teamB.Person");
+  EXPECT_EQ(delivered.sender, "alice");
+  EXPECT_EQ(bob_.proxies().invoke(delivered.adapted, "getPersonName", {}).as_string(),
+            "Alice");
+  // Deep access works across the wire too.
+  const Value address = bob_.proxies().invoke(delivered.adapted, "getAddress", {});
+  EXPECT_EQ(bob_.proxies().invoke(address.as_object(), "getStreetName", {}).as_string(),
+            "Main St");
+}
+
+TEST_F(ProtocolTest, SecondPushOfSameTypeUsesCaches) {
+  (void)alice_.send_object("bob", make_a_person("One"));
+  const auto typeinfo_before = bob_.stats().typeinfo_requests;
+  const auto code_before = bob_.stats().code_requests;
+  net_.reset_stats();
+
+  (void)alice_.send_object("bob", make_a_person("Two"));
+  // No further metadata or code round trips — the optimistic saving.
+  EXPECT_EQ(bob_.stats().typeinfo_requests, typeinfo_before);
+  EXPECT_EQ(bob_.stats().code_requests, code_before);
+  EXPECT_EQ(bob_.stats().typeinfo_cache_hits, 1u);
+  EXPECT_EQ(bob_.stats().code_cache_hits, 1u);
+  EXPECT_EQ(net_.stats().messages, 2u);  // push + ack only
+}
+
+TEST_F(ProtocolTest, NonConformantPushIsRejectedWithoutCodeDownload) {
+  alice_.host_assembly(fixtures::bank_accounts());
+  const Value args[] = {Value("Eve")};
+  auto account = alice_.domain().instantiate("bank.Account", args);
+
+  const PushAck ack = alice_.send_object("bob", account);
+  EXPECT_FALSE(ack.delivered);
+  EXPECT_EQ(bob_.stats().objects_rejected, 1u);
+  // Descriptions were fetched (needed for the conformance decision)...
+  EXPECT_GE(bob_.stats().typeinfo_requests, 1u);
+  // ...but code was NOT (the protocol's whole point).
+  EXPECT_EQ(bob_.stats().code_requests, 0u);
+  EXPECT_FALSE(bob_.domain().has_assembly("bank.accounts"));
+  EXPECT_TRUE(bob_.delivered().empty());
+}
+
+TEST_F(ProtocolTest, NoInterestNoDelivery) {
+  Peer carol("carol", net_, hub_);  // no interests at all
+  const PushAck ack = alice_.send_object("carol", make_a_person("X"));
+  EXPECT_FALSE(ack.delivered);
+  EXPECT_EQ(carol.stats().code_requests, 0u);
+}
+
+TEST_F(ProtocolTest, ProxiesAreStrippedBeforeSending) {
+  // bob receives alice's person, adapts it, sends the *proxy* back.
+  (void)alice_.send_object("bob", make_a_person("Alice"));
+  alice_.add_interest("teamA.Person");
+  const auto& adapted = bob_.delivered().front().adapted;
+  ASSERT_TRUE(proxy::ProxyFactory::is_proxy(*adapted));
+
+  const PushAck ack = bob_.send_object("alice", adapted);
+  EXPECT_TRUE(ack.delivered);
+  const auto& received = alice_.delivered().front().object;
+  // What crossed the wire is the real teamA.Person state, not a wrapper.
+  EXPECT_EQ(received->type_name(), "teamA.Person");
+  EXPECT_FALSE(received->has_field(proxy::kProxySourceField));
+  EXPECT_EQ(received->get("name").as_string(), "Alice");
+}
+
+TEST_F(ProtocolTest, ThirdPartyForwardingDownloadsFromOrigin) {
+  // alice -> bob (bob now knows teamA types), then bob -> carol: carol
+  // must fetch the assembly from *alice* (the download path's host).
+  (void)alice_.send_object("bob", make_a_person("Alice"));
+  Peer carol("carol", net_, hub_);
+  carol.host_assembly(fixtures::team_b_people());
+  carol.add_interest("teamB.Person");
+
+  const auto& received = bob_.delivered().front().object;
+  const PushAck ack = bob_.send_object("carol", received);
+  EXPECT_TRUE(ack.delivered);
+  EXPECT_TRUE(carol.domain().has_assembly("teamA.people"));
+  // alice served one code download for bob and one for carol.
+  EXPECT_EQ(alice_.stats().code_served, 2u);
+}
+
+TEST_F(ProtocolTest, MissingAssemblySurfacesAsProtocolError) {
+  // A type whose assembly nobody hosts: build description-only knowledge
+  // by hosting on a third peer, killing it, then pushing from alice.
+  auto ghost_assembly = fixtures::bank_accounts();
+  {
+    Peer ghost("ghost", net_, std::make_shared<AssemblyHub>());  // separate hub!
+    ghost.host_assembly(ghost_assembly);
+  }
+  // alice knows the type (loads locally into her domain + our hub), but the
+  // download path points at the detached ghost peer.
+  alice_.domain().load_assembly(ghost_assembly, "net://ghost/bank.accounts");
+  bob_.add_interest("teamB.Person");
+  const Value args[] = {Value("Eve")};
+  auto account = alice_.domain().instantiate("bank.Account", args);
+  // Rejected on conformance grounds — no code fetch attempted, no error.
+  const PushAck ack = alice_.send_object("bob", account);
+  EXPECT_FALSE(ack.delivered);
+
+  // Now make bob interested in something the account *does* conform to:
+  // its own type, known only by description.
+  bob_.fetch_descriptions("alice", {"bank.Account"});
+  bob_.add_interest("bank.Account");
+  EXPECT_THROW((void)alice_.send_object("bob", account), ProtocolError);
+}
+
+TEST_F(ProtocolTest, DroppedResponseSurfacesAsError) {
+  net_.inject_drop_next(1);
+  EXPECT_THROW((void)alice_.send_object("bob", make_a_person("X")), NetworkError);
+}
+
+TEST_F(ProtocolTest, DroppedMidProtocolStepSurfacesAsError) {
+  // Message #1 is the push itself; message #2 is bob's TypeInfoRequest.
+  // Killing the latter makes the push fail with a protocol-level error
+  // reported back to alice (bob catches the network failure, answers with
+  // an ErrorReply, send_object converts it).
+  net_.inject_drop_at(2);
+  EXPECT_THROW((void)alice_.send_object("bob", make_a_person("X")), ProtocolError);
+  EXPECT_EQ(net_.stats().drops, 1u);
+  EXPECT_TRUE(bob_.delivered().empty());
+
+  // The system recovers: the very next push succeeds end to end.
+  EXPECT_TRUE(alice_.send_object("bob", make_a_person("Y")).delivered);
+}
+
+TEST_F(ProtocolTest, DroppedCodeResponseSurfacesAsError) {
+  // Messages within the first push: 1 push, 2 typeinfo req, 3 typeinfo
+  // resp, 4 typeinfo req (INamed), 5 resp, 6 code req, 7 code resp.
+  net_.inject_drop_at(7);
+  EXPECT_THROW((void)alice_.send_object("bob", make_a_person("X")), ProtocolError);
+  EXPECT_FALSE(bob_.domain().has_assembly("teamA.people"));
+  // Recovery on retry.
+  EXPECT_TRUE(alice_.send_object("bob", make_a_person("Y")).delivered);
+  EXPECT_TRUE(bob_.domain().has_assembly("teamA.people"));
+}
+
+TEST_F(ProtocolTest, MalformedEnvelopeIsReportedNotFatal) {
+  ObjectPush garbage;
+  garbage.envelope = {0x00, 0x01, 0x02, 0x03};
+  const Message response = net_.send(Message{"alice", "bob", std::move(garbage)});
+  const auto* error = std::get_if<ErrorReply>(&response.payload);
+  ASSERT_NE(error, nullptr);
+  // The peer keeps working afterwards.
+  EXPECT_TRUE(alice_.send_object("bob", make_a_person("OK")).delivered);
+}
+
+TEST_F(ProtocolTest, UnexpectedMessageKindsGetErrorReplies) {
+  const Message response =
+      net_.send(Message{"alice", "bob", PushAck{true, "spurious"}});
+  const auto* error = std::get_if<ErrorReply>(&response.payload);
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->message.find("cannot handle"), std::string::npos);
+}
+
+TEST_F(ProtocolTest, InterestMustBeLocallyKnown) {
+  EXPECT_THROW(bob_.add_interest("totally.Unknown"), ProtocolError);
+}
+
+TEST_F(ProtocolTest, TypeInfoRequestsAnswerOnlyKnownTypes) {
+  Message request{"bob", "alice", TypeInfoRequest{{"teamA.Person", "no.Such"}}};
+  const Message response = net_.send(request);
+  const auto& info = std::get<TypeInfoResponse>(response.payload);
+  EXPECT_EQ(info.descriptions_xml.size(), 1u);
+  ASSERT_EQ(info.unknown.size(), 1u);
+  EXPECT_EQ(info.unknown.front(), "no.Such");
+}
+
+TEST_F(ProtocolTest, DeliveryHandlerFires) {
+  std::vector<std::string> seen;
+  bob_.set_delivery_handler([&seen, this](const DeliveredObject& d) {
+    seen.push_back(bob_.proxies().invoke(d.adapted, "getPersonName", {}).as_string());
+  });
+  (void)alice_.send_object("bob", make_a_person("Ada"));
+  (void)alice_.send_object("bob", make_a_person("Grace"));
+  EXPECT_EQ(seen, (std::vector<std::string>{"Ada", "Grace"}));
+}
+
+// --- matcher modes (Section 2 baselines end-to-end) ---------------------------
+
+class MatcherModeTest : public ::testing::TestWithParam<MatcherKind> {};
+
+TEST_P(MatcherModeTest, GatesDeliveryAccordingToTheRelation) {
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  PeerConfig receiver_config;
+  receiver_config.matcher = GetParam();
+  Peer alice("alice", net, hub);
+  Peer bob("bob", net, hub, receiver_config);
+  alice.host_assembly(fixtures::team_a_people());
+  bob.host_assembly(fixtures::team_a_people());  // bob also knows teamA
+  bob.host_assembly(fixtures::team_b_people());
+  bob.add_interest("teamB.Person");
+  bob.add_interest("teamA.Person");
+
+  const Value args[] = {Value("Ada")};
+  auto person = alice.domain().instantiate("teamA.Person", args);
+  const PushAck ack = alice.send_object("bob", person);
+
+  switch (GetParam()) {
+    case MatcherKind::ImplicitStructural:
+      // First interest (teamB.Person) already matches implicitly.
+      EXPECT_TRUE(ack.delivered);
+      EXPECT_EQ(ack.detail, "teamB.Person");
+      break;
+    case MatcherKind::Exact:
+    case MatcherKind::Nominal:
+    case MatcherKind::TaggedStructural:
+      // Only the identical type matches under the baselines.
+      EXPECT_TRUE(ack.delivered);
+      EXPECT_EQ(ack.detail, "teamA.Person");
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherModeTest,
+                         ::testing::Values(MatcherKind::ImplicitStructural,
+                                           MatcherKind::Exact, MatcherKind::Nominal,
+                                           MatcherKind::TaggedStructural));
+
+TEST(MatcherModeNegative, BaselinesRejectWhatImplicitAccepts) {
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  PeerConfig exact_config;
+  exact_config.matcher = MatcherKind::Exact;
+  Peer alice("alice", net, hub);
+  Peer bob("bob", net, hub, exact_config);
+  alice.host_assembly(fixtures::team_a_people());
+  bob.host_assembly(fixtures::team_b_people());
+  bob.add_interest("teamB.Person");  // only the foreign-shaped interest
+
+  const Value args[] = {Value("Ada")};
+  const PushAck ack =
+      alice.send_object("bob", alice.domain().instantiate("teamA.Person", args));
+  EXPECT_FALSE(ack.delivered);
+  EXPECT_EQ(bob.stats().objects_rejected, 1u);
+}
+
+// --- eager baseline ---------------------------------------------------------
+
+TEST(EagerProtocol, ShipsEverythingUpFront) {
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  PeerConfig eager;
+  eager.mode = ProtocolMode::Eager;
+  Peer alice("alice", net, hub, eager);
+  Peer bob("bob", net, hub, eager);
+  alice.host_assembly(fixtures::team_a_people());
+  bob.host_assembly(fixtures::team_b_people());
+  bob.add_interest("teamB.Person");
+
+  const Value args[] = {Value("Alice")};
+  auto person = alice.domain().instantiate("teamA.Person", args);
+  const PushAck ack = alice.send_object("bob", person);
+  EXPECT_TRUE(ack.delivered);
+  // Everything arrived with the push: zero extra round trips.
+  EXPECT_EQ(bob.stats().typeinfo_requests, 0u);
+  EXPECT_EQ(bob.stats().code_requests, 0u);
+  EXPECT_TRUE(bob.domain().has_assembly("teamA.people"));
+}
+
+TEST(EagerProtocol, CostsMoreBytesOnRepeatedPushes) {
+  const auto run = [](ProtocolMode mode) {
+    SimNetwork net;
+    auto hub = std::make_shared<AssemblyHub>();
+    PeerConfig config;
+    config.mode = mode;
+    Peer alice("alice", net, hub, config);
+    Peer bob("bob", net, hub, config);
+    alice.host_assembly(fixtures::team_a_people());
+    bob.host_assembly(fixtures::team_b_people());
+    bob.add_interest("teamB.Person");
+    for (int i = 0; i < 10; ++i) {
+      const Value args[] = {Value("P" + std::to_string(i))};
+      (void)alice.send_object("bob", alice.domain().instantiate("teamA.Person", args));
+    }
+    return net.stats().bytes;
+  };
+  const auto optimistic_bytes = run(ProtocolMode::Optimistic);
+  const auto eager_bytes = run(ProtocolMode::Eager);
+  EXPECT_LT(optimistic_bytes, eager_bytes)
+      << "optimistic=" << optimistic_bytes << " eager=" << eager_bytes;
+}
+
+// --- assembly hub -------------------------------------------------------------
+
+TEST(AssemblyHub, PublishAndFetch) {
+  AssemblyHub hub;
+  EXPECT_FALSE(hub.has("teamA.people"));
+  hub.publish(fixtures::team_a_people());
+  EXPECT_TRUE(hub.has("TEAMA.PEOPLE"));  // case-insensitive
+  EXPECT_NE(hub.fetch("teamA.people"), nullptr);
+  EXPECT_EQ(hub.fetch("nope"), nullptr);
+  EXPECT_THROW(hub.publish(nullptr), TransportError);
+}
+
+}  // namespace
+}  // namespace pti::transport

@@ -1,0 +1,192 @@
+// Tests for the textual type-declaration language (reflect/type_parser).
+#include <gtest/gtest.h>
+
+#include "conform/conformance_checker.hpp"
+#include "reflect/reflect_error.hpp"
+#include "reflect/type_parser.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::reflect {
+namespace {
+
+constexpr const char* kPersonDecl = R"(
+// Team A's view of the Person module.
+namespace teamA;
+
+interface INamed {
+  string getName();
+}
+
+class Person : object implements INamed {
+  private string name;
+  private Address address;
+  Person(string name);
+  string getName();
+  void setName(string name);
+  Address getAddress();
+}
+
+class Address {
+  private string street;
+  private int32 zip;
+  Address(string street, int32 zip);
+  string getStreet();
+  int32 getZip();
+}
+)";
+
+TEST(TypeParser, ParsesTheFullExample) {
+  const std::vector<TypeDescription> types = parse_type_declarations(kPersonDecl);
+  ASSERT_EQ(types.size(), 3u);
+
+  const TypeDescription& inamed = types[0];
+  EXPECT_EQ(inamed.qualified_name(), "teamA.INamed");
+  EXPECT_EQ(inamed.kind(), TypeKind::Interface);
+  EXPECT_TRUE(inamed.superclass().empty());
+  ASSERT_EQ(inamed.methods().size(), 1u);
+  EXPECT_EQ(inamed.methods()[0].signature_string(), "getName()->string");
+
+  const TypeDescription& person = types[1];
+  EXPECT_EQ(person.qualified_name(), "teamA.Person");
+  EXPECT_EQ(person.superclass(), "object");
+  ASSERT_EQ(person.interfaces().size(), 1u);
+  EXPECT_EQ(person.interfaces()[0], "INamed");
+  EXPECT_EQ(person.fields().size(), 2u);
+  EXPECT_EQ(person.fields()[0].visibility, Visibility::Private);
+  EXPECT_EQ(person.methods().size(), 3u);
+  ASSERT_EQ(person.constructors().size(), 1u);
+  EXPECT_EQ(person.constructors()[0].params.size(), 1u);
+  EXPECT_EQ(person.guid(), util::Guid::from_name("teamA.Person"));
+
+  const TypeDescription& address = types[2];
+  EXPECT_EQ(address.constructors()[0].params[1].type_name, "int32");
+  EXPECT_EQ(address.constructors()[0].params[1].name, "zip");
+}
+
+TEST(TypeParser, ModifiersAndDefaults) {
+  const auto types = parse_type_declarations(R"(
+    class T {
+      public int32 counter;
+      int32 hidden;
+      protected static string tag;
+      private static int64 stamp();
+      public void run();
+    }
+  )");
+  ASSERT_EQ(types.size(), 1u);
+  const TypeDescription& t = types[0];
+  EXPECT_EQ(t.namespace_name(), "");  // no namespace declared
+  EXPECT_EQ(t.fields()[0].visibility, Visibility::Public);
+  EXPECT_EQ(t.fields()[1].visibility, Visibility::Private);  // default
+  EXPECT_EQ(t.fields()[2].visibility, Visibility::Protected);
+  EXPECT_TRUE(t.fields()[2].is_static);
+  EXPECT_EQ(t.methods()[0].visibility, Visibility::Private);
+  EXPECT_TRUE(t.methods()[0].is_static);
+  EXPECT_EQ(t.methods()[1].visibility, Visibility::Public);
+}
+
+TEST(TypeParser, TaggedAndMultipleInterfaces) {
+  const auto types = parse_type_declarations(R"(
+    namespace geo;
+    interface IFlat { int32 getX(); }
+    interface IDeep { int32 getZ(); }
+    class Point implements IFlat, IDeep tagged {
+      private int32 x;
+      int32 getX();
+      int32 getZ();
+    }
+  )");
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_TRUE(types[2].structural_tag());
+  EXPECT_EQ(types[2].interfaces().size(), 2u);
+}
+
+TEST(TypeParser, QualifiedReferences) {
+  const auto types = parse_type_declarations(R"(
+    namespace app;
+    class Holder {
+      private other.ns.Widget widget;
+      other.ns.Widget getWidget();
+    }
+  )");
+  EXPECT_EQ(types[0].fields()[0].type_name, "other.ns.Widget");
+  EXPECT_EQ(types[0].methods()[0].return_type, "other.ns.Widget");
+}
+
+TEST(TypeParser, DeclareIntoRegistry) {
+  TypeRegistry registry;
+  EXPECT_EQ(declare_types(registry, kPersonDecl), 3u);
+  EXPECT_TRUE(registry.contains("teamA.Person"));
+  EXPECT_NE(registry.resolve("Address", "teamA"), nullptr);
+}
+
+TEST(TypeParser, ParsedTypesWorkWithConformance) {
+  // Declare two Person views textually; the checker accepts them like any
+  // builder-made descriptions.
+  TypeRegistry registry;
+  declare_types(registry, R"(
+    namespace a;
+    class Person {
+      private string name;
+      Person(string name);
+      string getName();
+      void setName(string name);
+    }
+  )");
+  declare_types(registry, R"(
+    namespace b;
+    class Person {
+      private string name;
+      Person(string personName);
+      string getPersonName();
+      void setPersonName(string personName);
+    }
+  )");
+  conform::ConformanceChecker checker(registry);
+  const auto result = checker.check("b.Person", "a.Person");
+  ASSERT_TRUE(result.conformant);
+  EXPECT_EQ(result.plan.find_method("getName", 0)->source_name, "getPersonName");
+}
+
+TEST(TypeParser, ErrorsCarryPositions) {
+  try {
+    (void)parse_type_declarations("class T {\n  int32 x\n}");
+    FAIL() << "expected ReflectError";
+  } catch (const ReflectError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TypeParser, RejectsMalformedDeclarations) {
+  EXPECT_THROW((void)parse_type_declarations("struct T {}"), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("class {}"), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("class T { T(); "), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("interface I : object {}"), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("interface I { I(); }"), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("interface I { int32 x; }"), ReflectError);
+  EXPECT_THROW((void)parse_type_declarations("namespace ;"), ReflectError);
+}
+
+TEST(TypeParser, MultipleNamespaceDirectives) {
+  const auto types = parse_type_declarations(R"(
+    namespace a;
+    class T {}
+    namespace b;
+    class T {}
+    class U {}
+  )");
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0].qualified_name(), "a.T");
+  EXPECT_EQ(types[1].qualified_name(), "b.T");
+  EXPECT_EQ(types[2].qualified_name(), "b.U");
+}
+
+TEST(TypeParser, CommentsAndWhitespaceAreIgnored) {
+  const auto types = parse_type_declarations(
+      "// leading comment\nnamespace n; // trailing\nclass T { // inner\n }");
+  ASSERT_EQ(types.size(), 1u);
+  EXPECT_EQ(types[0].qualified_name(), "n.T");
+}
+
+}  // namespace
+}  // namespace pti::reflect

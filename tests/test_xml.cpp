@@ -1,0 +1,154 @@
+// Unit and property tests for the XML DOM, writer and parser.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "xml/xml_error.hpp"
+#include "xml/xml_node.hpp"
+#include "xml/xml_parser.hpp"
+#include "xml/xml_writer.hpp"
+
+namespace pti::xml {
+namespace {
+
+TEST(XmlNode, AttributesPreserveOrderAndOverwrite) {
+  XmlNode n("Type");
+  n.set_attr("b", "2").set_attr("a", "1").set_attr("b", "3");
+  ASSERT_EQ(n.attributes().size(), 2u);
+  EXPECT_EQ(n.attributes()[0].name, "b");
+  EXPECT_EQ(*n.attr("b"), "3");
+  EXPECT_EQ(*n.attr("a"), "1");
+  EXPECT_FALSE(n.attr("missing").has_value());
+  EXPECT_THROW((void)n.required_attr("missing"), XmlError);
+}
+
+TEST(XmlNode, ChildLookup) {
+  XmlNode n("root");
+  n.add_child("a").set_attr("i", "0");
+  n.add_child("b");
+  n.add_child("a").set_attr("i", "1");
+  EXPECT_EQ(n.children_named("a").size(), 2u);
+  EXPECT_EQ(n.child("b")->name(), "b");
+  EXPECT_EQ(n.child("zzz"), nullptr);
+  EXPECT_THROW((void)n.required_child("zzz"), XmlError);
+}
+
+TEST(XmlWriter, EscapesSpecialCharacters) {
+  XmlNode n("t");
+  n.set_attr("a", "x<y&\"z'");
+  n.set_text("a<b>&c");
+  const std::string out = write(n, {.indent = false, .declaration = false});
+  EXPECT_EQ(out, "<t a=\"x&lt;y&amp;&quot;z&apos;\">a&lt;b&gt;&amp;c</t>");
+}
+
+TEST(XmlWriter, SelfClosesEmptyElements) {
+  XmlNode n("empty");
+  n.set_attr("k", "v");
+  EXPECT_EQ(write(n, {.indent = false, .declaration = false}), "<empty k=\"v\"/>");
+}
+
+TEST(XmlWriter, EmitsDeclaration) {
+  XmlNode n("d");
+  const std::string out = write(n);
+  EXPECT_TRUE(out.starts_with("<?xml version=\"1.0\" encoding=\"UTF-8\"?>"));
+}
+
+TEST(XmlParser, ParsesAttributesTextAndNesting) {
+  const XmlNode root = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- a comment -->\n"
+      "<root a='1' b=\"two\">\n"
+      "  <child>text &amp; more</child>\n"
+      "  <empty/>\n"
+      "</root>");
+  EXPECT_EQ(root.name(), "root");
+  EXPECT_EQ(*root.attr("a"), "1");
+  EXPECT_EQ(*root.attr("b"), "two");
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_EQ(root.children()[0].text(), "text & more");
+  EXPECT_EQ(root.children()[1].name(), "empty");
+}
+
+TEST(XmlParser, DecodesEntities) {
+  const XmlNode n = parse("<t>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;&#x2713;</t>");
+  EXPECT_EQ(n.text(), "<>&\"'AB\xE2\x9C\x93");
+}
+
+TEST(XmlParser, HandlesCdata) {
+  const XmlNode n = parse("<t><![CDATA[<raw> & unescaped]]></t>");
+  EXPECT_EQ(n.text(), "<raw> & unescaped");
+}
+
+TEST(XmlParser, SkipsDoctypeAndProcessingInstructions) {
+  const XmlNode n = parse(
+      "<?xml version=\"1.0\"?><!DOCTYPE note [<!ENTITY x \"y\">]><note><?pi data?>"
+      "ok</note>");
+  EXPECT_EQ(n.name(), "note");
+  EXPECT_EQ(n.text(), "ok");
+}
+
+TEST(XmlParser, ReportsErrorsWithPosition) {
+  try {
+    (void)parse("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected XmlError";
+  } catch (const XmlError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("mismatched"), std::string::npos) << what;
+  }
+}
+
+TEST(XmlParser, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)parse(""), XmlError);
+  EXPECT_THROW((void)parse("just text"), XmlError);
+  EXPECT_THROW((void)parse("<a>"), XmlError);
+  EXPECT_THROW((void)parse("<a><b></a></b>"), XmlError);
+  EXPECT_THROW((void)parse("<a x=1/>"), XmlError);           // unquoted attr
+  EXPECT_THROW((void)parse("<a x='1' x='2'/>"), XmlError);   // duplicate attr
+  EXPECT_THROW((void)parse("<a>&unknown;</a>"), XmlError);   // unknown entity
+  EXPECT_THROW((void)parse("<a/><b/>"), XmlError);           // two roots
+  EXPECT_THROW((void)parse("<a>&#;</a>"), XmlError);         // empty char ref
+}
+
+TEST(XmlParser, AttributeValueMayContainBothQuoteKinds) {
+  const XmlNode n = parse("<t a=\"it's\" b='say \"hi\"'/>");
+  EXPECT_EQ(*n.attr("a"), "it's");
+  EXPECT_EQ(*n.attr("b"), "say \"hi\"");
+}
+
+// --- write/parse round-trip property -----------------------------------------
+
+XmlNode random_tree(util::Rng& rng, int depth) {
+  XmlNode node("n" + std::to_string(rng.next_below(5)));
+  const std::size_t attr_count = rng.next_below(3);
+  for (std::size_t i = 0; i < attr_count; ++i) {
+    // Attribute values stress escaping.
+    node.set_attr("a" + std::to_string(i), "v<&\"'" + std::to_string(rng.next_u64() % 100));
+  }
+  if (depth > 0 && rng.next_bool(0.7)) {
+    const std::size_t child_count = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < child_count; ++i) {
+      node.add_child(random_tree(rng, depth - 1));
+    }
+  } else {
+    node.set_text("text >&< " + std::to_string(rng.next_u64() % 1000));
+  }
+  return node;
+}
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlRoundTripProperty, WriteThenParseIsIdentity) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    const XmlNode tree = random_tree(rng, 3);
+    // Compact form.
+    EXPECT_EQ(parse(write(tree, {.indent = false, .declaration = true})), tree);
+    EXPECT_EQ(parse(write(tree, {.indent = false, .declaration = false})), tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace pti::xml

@@ -1,0 +1,167 @@
+// pti — command-line front end to the conformance machinery.
+//
+// Usage:
+//   pti describe <decl-file>                 print XML descriptions
+//   pti check <decl-file> <source> <target>  conformance verdict + plan
+//   pti matrix <decl-file>                   pairwise conformance matrix
+//   pti demo                                 run `matrix` on a built-in
+//                                            two-team Person universe
+//
+// <decl-file> uses the textual type-declaration language documented in
+// src/reflect/type_parser.hpp. Options (before the subcommand):
+//   --exact-members      member names must match exactly
+//   --allow-wildcards    '*'/'?' allowed in target names
+//   --name-distance=N    Levenshtein budget for type names (default 0)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conform/conformance_checker.hpp"
+#include "conform/explain.hpp"
+#include "reflect/type_parser.hpp"
+#include "reflect/type_registry.hpp"
+#include "serial/typedesc_xml.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr const char* kDemoDeclarations = R"(
+// Built-in demo universe: the paper's Section 3.1 scenario.
+namespace teamA;
+
+class Person {
+  private string name;
+  Person(string name);
+  string getName();
+  void setName(string name);
+}
+
+namespace teamB;
+
+class Person {
+  private string name;
+  Person(string personName);
+  string getPersonName();
+  void setPersonName(string personName);
+}
+
+namespace bank;
+
+class Account {
+  private string owner;
+  private float64 balance;
+  Account(string owner);
+  string getOwner();
+  float64 getBalance();
+}
+)";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw pti::Error("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pti [options] describe <decl-file>\n"
+               "       pti [options] check <decl-file> <source> <target>\n"
+               "       pti [options] matrix <decl-file>\n"
+               "       pti [options] demo\n"
+               "options: --exact-members --allow-wildcards --name-distance=N\n");
+  return 2;
+}
+
+int run_describe(pti::reflect::TypeRegistry& registry) {
+  for (const pti::reflect::TypeDescription* d : registry.user_types()) {
+    std::printf("%s\n\n", pti::serial::type_description_to_string(*d, true).c_str());
+  }
+  return 0;
+}
+
+int run_check(pti::conform::ConformanceChecker& checker, const std::string& source,
+              const std::string& target) {
+  const auto result = checker.check(source, target);
+  std::printf("%s", pti::conform::explain(result).c_str());
+  return result.conformant ? 0 : 1;
+}
+
+int run_matrix(pti::reflect::TypeRegistry& registry,
+               pti::conform::ConformanceChecker& checker) {
+  const auto types = registry.user_types();
+  std::size_t width = 0;
+  for (const auto* t : types) width = std::max(width, t->qualified_name().size());
+  std::printf("%-*s", static_cast<int>(width + 2), "source \\ target");
+  for (const auto* t : types) std::printf(" %-*s", static_cast<int>(width), t->name().c_str());
+  std::printf("\n");
+  for (const auto* source : types) {
+    std::printf("%-*s", static_cast<int>(width + 2), source->qualified_name().c_str());
+    for (const auto* target : types) {
+      const auto result = checker.check(*source, *target);
+      const char* cell = "-";
+      if (result.conformant) {
+        switch (result.plan.kind()) {
+          case pti::conform::ConformanceKind::Identity: cell = "id"; break;
+          case pti::conform::ConformanceKind::Equivalent: cell = "eq"; break;
+          case pti::conform::ConformanceKind::Explicit: cell = "sub"; break;
+          case pti::conform::ConformanceKind::ImplicitStructural: cell = "IS"; break;
+        }
+      }
+      std::printf(" %-*s", static_cast<int>(width), cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nid=identity  eq=equivalent  sub=explicit subtype  "
+              "IS=implicit structural  -=not conformant\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pti::conform::ConformanceOptions options;
+  int arg = 1;
+  for (; arg < argc && std::strncmp(argv[arg], "--", 2) == 0; ++arg) {
+    const std::string_view flag = argv[arg];
+    if (flag == "--exact-members") {
+      options.member_name_rule = pti::conform::MemberNameRule::Exact;
+    } else if (flag == "--allow-wildcards") {
+      options.allow_wildcards = true;
+    } else if (flag.rfind("--name-distance=", 0) == 0) {
+      options.max_name_distance =
+          static_cast<std::uint32_t>(std::atoi(flag.data() + 16));
+    } else {
+      return usage();
+    }
+  }
+  if (arg >= argc) return usage();
+  const std::string_view command = argv[arg++];
+
+  try {
+    pti::reflect::TypeRegistry registry;
+    pti::conform::ConformanceChecker checker(registry, options);
+
+    if (command == "demo") {
+      pti::reflect::declare_types(registry, kDemoDeclarations);
+      return run_matrix(registry, checker);
+    }
+    if (arg >= argc) return usage();
+    pti::reflect::declare_types(registry, read_file(argv[arg++]));
+
+    if (command == "describe") return run_describe(registry);
+    if (command == "matrix") return run_matrix(registry, checker);
+    if (command == "check") {
+      if (arg + 1 >= argc) return usage();
+      return run_check(checker, argv[arg], argv[arg + 1]);
+    }
+    return usage();
+  } catch (const pti::Error& e) {
+    std::fprintf(stderr, "pti: %s\n", e.what());
+    return 2;
+  }
+}
