@@ -6,19 +6,94 @@
 // argues (implicitly) that the check dwarfs proxy invocation overhead.
 //
 // We measure: the Person pair uncached and cached, a non-conformant pair
-// (early rejection), the baseline matchers, and width/depth sweeps showing
+// (early rejection), the baseline matchers, cache-hit throughput and
+// per-lookup heap allocations (the interned-identity layer makes the
+// verdict-only hit path allocation-free), and width/depth sweeps showing
 // how the "lower bound" grows with type size.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "bench_common.hpp"
 #include "conform/baselines.hpp"
 #include "conform/conformance_cache.hpp"
 #include "conform/conformance_checker.hpp"
 
+// --- global allocation counter ----------------------------------------------
+// Counts every operator new in the process so benchmarks can report
+// allocations per iteration; the acceptance bar for the cache-hit verdict
+// path is exactly zero.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1))) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) & ~(a - 1))) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace pti;
 using conform::ConformanceChecker;
+
+/// Runs the benchmark loop while tracking operator-new calls and reports
+/// them as the "allocs_per_iter" counter.
+template <typename Body>
+void measure_allocs(benchmark::State& state, Body&& body) {
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) body();
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  state.counters["allocs_per_iter"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(after - before) / static_cast<double>(state.iterations());
+}
 
 void BM_ImplicitCheckUncached(benchmark::State& state) {
   bench::paper_reference("E4 conformance testing (§7.4)",
@@ -42,12 +117,56 @@ void BM_ImplicitCheckCached(benchmark::State& state) {
   const auto& source = *domain.registry().find("teamB.Person");
   const auto& target = *domain.registry().find("teamA.Person");
   (void)checker.check(source, target);  // warm
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(checker.check(source, target));
-  }
+  measure_allocs(state, [&] { benchmark::DoNotOptimize(checker.check(source, target)); });
   state.counters["cache_hit_rate"] = cache.stats().hit_rate();
 }
 BENCHMARK(BM_ImplicitCheckCached);
+
+/// The verdict-only hit path: conforms() answers from the interned-key
+/// cache without materializing a CheckResult. This is the path a busy peer
+/// takes on every repeat (source, target) pair; allocs_per_iter must be 0.
+void BM_CachedVerdictOnly(benchmark::State& state) {
+  reflect::Domain domain;
+  bench::load_people(domain);
+  conform::ConformanceCache cache;
+  ConformanceChecker checker(domain.registry(), {}, &cache);
+  const auto& source = *domain.registry().find("teamB.Person");
+  const auto& target = *domain.registry().find("teamA.Person");
+  (void)checker.check(source, target);  // warm
+  measure_allocs(state, [&] { benchmark::DoNotOptimize(checker.conforms(source, target)); });
+  state.counters["cache_hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CachedVerdictOnly);
+
+/// Cache-hit throughput across many distinct warmed pairs (not just one
+/// hot key): cycles through the pairs of a deep reference chain, all of
+/// which were cached by the single warming check.
+void BM_CacheHitManyPairs(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  reflect::Domain domain;
+  domain.load_assembly(fixtures::deep_type_chain("da", depth));
+  domain.load_assembly(fixtures::deep_type_chain("db", depth));
+  conform::ConformanceCache cache;
+  ConformanceChecker checker(domain.registry(), {}, &cache);
+  (void)checker.check(*domain.registry().find("db.T0"),
+                      *domain.registry().find("da.T0"));  // warms every level
+  std::vector<std::pair<const reflect::TypeDescription*, const reflect::TypeDescription*>>
+      pairs;
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::string level = "T" + std::to_string(i);
+    pairs.emplace_back(domain.registry().find("db." + level),
+                       domain.registry().find("da." + level));
+  }
+  std::size_t next = 0;
+  measure_allocs(state, [&] {
+    const auto& [source, target] = pairs[next];
+    benchmark::DoNotOptimize(checker.conforms(*source, *target));
+    next = (next + 1) % pairs.size();
+  });
+  state.counters["distinct_pairs"] = static_cast<double>(pairs.size());
+  state.counters["cache_hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_CacheHitManyPairs)->Arg(16)->Arg(64);
 
 void BM_NonConformantEarlyReject(benchmark::State& state) {
   reflect::Domain domain;

@@ -90,6 +90,49 @@ void BM_DeserializeWidthSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DeserializeWidthSweep)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+/// Structural fingerprint computation from a cold cache: one case-folding
+/// hash pass over the whole description. Paid once per description; every
+/// later structurally_equal() starts with an O(1) fingerprint compare.
+void BM_FingerprintCompute(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const auto assembly = fixtures::wide_type("bench", "Widget", width, width);
+  auto d = reflect::introspect(*assembly->find_type("bench.Widget"), assembly->name(), "");
+  for (auto _ : state) {
+    d.set_kind(d.kind());  // invalidates the memoized fingerprint
+    benchmark::DoNotOptimize(d.fingerprint());
+  }
+  state.counters["members"] = static_cast<double>(2 * width);
+}
+BENCHMARK(BM_FingerprintCompute)->Arg(2)->Arg(32)->Arg(128);
+
+/// structurally_equal on same-shape, differently-named types: the
+/// fingerprint mismatch rejects in O(1) instead of walking every member.
+void BM_StructuralCompareReject(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const auto wa = fixtures::wide_type("wa", "Widget", width, width);
+  const auto wb = fixtures::wide_type("wb", "Gadget", width, width);
+  const auto a = reflect::introspect(*wa->find_type("wa.Widget"), wa->name(), "");
+  const auto b = reflect::introspect(*wb->find_type("wb.Gadget"), wb->name(), "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.structurally_equal(b));
+  }
+  state.counters["members"] = static_cast<double>(2 * width);
+}
+BENCHMARK(BM_StructuralCompareReject)->Arg(2)->Arg(32)->Arg(128);
+
+/// Registry resolution by qualified name: folds and hashes the probe on
+/// the fly against the shared symbol table — no key strings built.
+void BM_RegistryResolve(benchmark::State& state) {
+  reflect::Domain domain;
+  bench::load_people(domain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain.registry().find("teamA.Person"));
+    benchmark::DoNotOptimize(domain.registry().find("TEAMB.PERSON"));  // case-folded hit
+    benchmark::DoNotOptimize(domain.registry().find("teamA.NoSuchType"));
+  }
+}
+BENCHMARK(BM_RegistryResolve);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,25 +1,11 @@
 #include "conform/conformance_cache.hpp"
 
-#include "util/string_util.hpp"
-
 namespace pti::conform {
 
-std::string ConformanceCache::make_key(std::string_view source, std::string_view target,
-                                       std::uint64_t options_fingerprint) {
-  std::string key;
-  key.reserve(source.size() + target.size() + 20);
-  key += util::to_lower(source);
-  key += '\x1f';
-  key += util::to_lower(target);
-  key += '\x1f';
-  key += std::to_string(options_fingerprint);
-  return key;
-}
-
-const CachedVerdict* ConformanceCache::lookup(std::string_view source,
-                                              std::string_view target,
+const CachedVerdict* ConformanceCache::lookup(util::InternedName source,
+                                              util::InternedName target,
                                               std::uint64_t options_fingerprint) noexcept {
-  const auto it = entries_.find(make_key(source, target, options_fingerprint));
+  const auto it = entries_.find(Key{source, target, options_fingerprint});
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
@@ -28,9 +14,19 @@ const CachedVerdict* ConformanceCache::lookup(std::string_view source,
   return &it->second;
 }
 
-void ConformanceCache::insert(std::string_view source, std::string_view target,
+const CachedVerdict* ConformanceCache::probe(const reflect::TypeDescription& source,
+                                             const reflect::TypeDescription& target,
+                                             std::uint64_t options_fingerprint) noexcept {
+  const auto it =
+      entries_.find(Key{source.name_id(), target.name_id(), options_fingerprint});
+  if (it == entries_.end()) return nullptr;
+  ++stats_.hits;
+  return &it->second;
+}
+
+void ConformanceCache::insert(util::InternedName source, util::InternedName target,
                               std::uint64_t options_fingerprint, CachedVerdict verdict) {
-  entries_[make_key(source, target, options_fingerprint)] = std::move(verdict);
+  entries_[Key{source, target, options_fingerprint}] = std::move(verdict);
   ++stats_.insertions;
 }
 

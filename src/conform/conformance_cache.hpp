@@ -6,15 +6,21 @@
 // completed verdict (with its plan) never changes. Results whose check
 // encountered unresolved type references are NOT cached; they may flip
 // once the missing descriptions are downloaded.
+//
+// Keys are (source name id, target name id, options fingerprint): the
+// interned ids are case-folded once at TypeDescription construction, so a
+// lookup is a hash-combine of three integers and an open probe — no string
+// building, no case folding, zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <string>
-#include <string_view>
 #include <unordered_map>
 
 #include "conform/conformance_plan.hpp"
+#include "reflect/type_description.hpp"
+#include "util/hash.hpp"
+#include "util/interning.hpp"
 
 namespace pti::conform {
 
@@ -36,13 +42,35 @@ struct CachedVerdict {
 
 class ConformanceCache {
  public:
-  /// Key: (source qualified name, target qualified name, options
-  /// fingerprint); names are case-folded.
-  [[nodiscard]] const CachedVerdict* lookup(std::string_view source,
-                                            std::string_view target,
+  /// Key: (source qualified-name id, target qualified-name id, options
+  /// fingerprint). Interned ids already encode the case-folded names.
+  struct Key {
+    util::InternedName source;
+    util::InternedName target;
+    std::uint64_t options_fingerprint = 0;
+
+    bool operator==(const Key&) const noexcept = default;
+  };
+
+  [[nodiscard]] const CachedVerdict* lookup(util::InternedName source,
+                                            util::InternedName target,
                                             std::uint64_t options_fingerprint) noexcept;
 
-  void insert(std::string_view source, std::string_view target,
+  [[nodiscard]] const CachedVerdict* lookup(const reflect::TypeDescription& source,
+                                            const reflect::TypeDescription& target,
+                                            std::uint64_t options_fingerprint) noexcept {
+    return lookup(source.name_id(), target.name_id(), options_fingerprint);
+  }
+
+  /// lookup() that records a hit when found but nothing on a miss — for
+  /// fast paths that fall through to a full check on miss, where that
+  /// check's own lookup records the single authoritative miss. Keeps each
+  /// logical check at exactly one hit or one miss in the stats.
+  [[nodiscard]] const CachedVerdict* probe(const reflect::TypeDescription& source,
+                                           const reflect::TypeDescription& target,
+                                           std::uint64_t options_fingerprint) noexcept;
+
+  void insert(util::InternedName source, util::InternedName target,
               std::uint64_t options_fingerprint, CachedVerdict verdict);
 
   void clear() noexcept { entries_.clear(); }
@@ -51,10 +79,15 @@ class ConformanceCache {
   void reset_stats() noexcept { stats_ = {}; }
 
  private:
-  [[nodiscard]] static std::string make_key(std::string_view source, std::string_view target,
-                                            std::uint64_t options_fingerprint);
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(util::hash_combine(
+          util::pair_key(k.source, k.target) * 0x9E3779B97F4A7C15ULL,
+          k.options_fingerprint));
+    }
+  };
 
-  std::unordered_map<std::string, CachedVerdict> entries_;
+  std::unordered_map<Key, CachedVerdict, KeyHash> entries_;
   CacheStats stats_;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "conform/conform_error.hpp"
 #include "reflect/primitives.hpp"
+#include "util/interning.hpp"
 #include "util/levenshtein.hpp"
 #include "util/string_util.hpp"
 
@@ -25,24 +28,22 @@ void push_failure(std::vector<std::string>& failures, std::string message) {
   if (failures.size() < kMaxFailures) failures.push_back(std::move(message));
 }
 
-[[nodiscard]] std::string pair_key(std::string_view a, std::string_view b) {
-  return util::to_lower(a) + "\x1f" + util::to_lower(b);
-}
-
 }  // namespace
 
-/// Per-top-level-check state shared across the recursion.
+/// Per-top-level-check state shared across the recursion. All pair keys
+/// are util::pair_key() of the two descriptions' interned name ids — a
+/// 64-bit integer, so guard/memo probes never fold or build strings.
 struct ConformanceChecker::Ctx {
   /// Pairs (source, target) currently being checked; re-encountering one
   /// is the coinductive "assume conformant" case for recursive types.
-  std::set<std::string> in_progress;
+  std::unordered_set<std::uint64_t> in_progress;
   /// Pairs completed within this top-level check. Without it, a pair
   /// referenced from several member positions (field type + return type,
   /// say) is recomputed per position — exponential on deep reference
   /// chains. Only assumption-free results are memoized (see
   /// check_with_ctx): a verdict derived from a still-open coinductive
   /// assumption is provisional until the enclosing pair closes.
-  std::map<std::string, CheckResult> memo;
+  std::unordered_map<std::uint64_t, CheckResult> memo;
   /// Incremented whenever the coinductive "assume in-progress pair
   /// conformant" branch fires; used to detect provisional results.
   int assumption_events = 0;
@@ -52,7 +53,10 @@ struct ConformanceChecker::Ctx {
 
 ConformanceChecker::ConformanceChecker(reflect::TypeResolver& resolver,
                                        ConformanceOptions options, ConformanceCache* cache)
-    : resolver_(resolver), options_(options), cache_(cache) {}
+    : resolver_(resolver),
+      options_(options),
+      options_fp_(options.fingerprint()),
+      cache_(cache) {}
 
 bool ConformanceChecker::equivalent(const TypeDescription& source,
                                     const TypeDescription& target) noexcept {
@@ -111,14 +115,21 @@ CheckResult ConformanceChecker::check(std::string_view source_name,
 
 bool ConformanceChecker::conforms(const TypeDescription& source,
                                   const TypeDescription& target) {
+  // Verdict-only fast path: a cached verdict answers without building a
+  // CheckResult (no plan copy, no failure strings — zero allocations).
+  // probe() leaves miss accounting to the lookup inside check().
+  if (cache_ != nullptr) {
+    if (const CachedVerdict* cached = cache_->probe(source, target, options_fp_)) {
+      return cached->conformant;
+    }
+  }
   return check(source, target).conformant;
 }
 
 CheckResult ConformanceChecker::check_with_ctx(const TypeDescription& source,
                                                const TypeDescription& target, Ctx& ctx) {
   if (cache_ != nullptr) {
-    if (const CachedVerdict* cached = cache_->lookup(
-            source.qualified_name(), target.qualified_name(), options_.fingerprint())) {
+    if (const CachedVerdict* cached = cache_->lookup(source, target, options_fp_)) {
       CheckResult result;
       result.conformant = cached->conformant;
       result.plan = cached->plan;
@@ -128,8 +139,7 @@ CheckResult ConformanceChecker::check_with_ctx(const TypeDescription& source,
       return result;
     }
   }
-  const std::string memo_key =
-      pair_key(source.qualified_name(), target.qualified_name());
+  const std::uint64_t memo_key = util::pair_key(source.name_id(), target.name_id());
   if (const auto it = ctx.memo.find(memo_key); it != ctx.memo.end()) {
     return it->second;
   }
@@ -142,8 +152,7 @@ CheckResult ConformanceChecker::check_with_ctx(const TypeDescription& source,
   const bool final_verdict = top_level || ctx.assumption_events == events_before;
   if (final_verdict) {
     if (cache_ != nullptr && result.missing_types.empty()) {
-      cache_->insert(source.qualified_name(), target.qualified_name(),
-                     options_.fingerprint(),
+      cache_->insert(source.name_id(), target.name_id(), options_fp_,
                      CachedVerdict{result.conformant, result.plan});
     }
     ctx.memo.emplace(memo_key, result);
@@ -233,7 +242,7 @@ CheckResult ConformanceChecker::compute(const TypeDescription& source,
   }
 
   // Coinductive cycle handling for the recursive aspects.
-  const std::string key = pair_key(src_name, tgt_name);
+  const std::uint64_t key = util::pair_key(source.name_id(), target.name_id());
   if (ctx.in_progress.contains(key)) {
     // Assumed conformant while the enclosing check of the same pair runs.
     ++ctx.assumption_events;
@@ -291,15 +300,15 @@ bool ConformanceChecker::explicitly_conforms(const TypeDescription& source,
   // transitively implemented interfaces), matching by resolved identity or
   // case-insensitive qualified name.
   std::vector<const TypeDescription*> frontier{&source};
-  std::set<std::string> visited;
+  std::unordered_set<util::InternedName> visited;
   while (!frontier.empty()) {
     const TypeDescription* current = frontier.back();
     frontier.pop_back();
-    if (!visited.insert(util::to_lower(current->qualified_name())).second) continue;
+    if (!visited.insert(current->name_id()).second) continue;
 
     if (current != &source) {
       if (!current->guid().is_nil() && current->guid() == target.guid()) return true;
-      if (util::iequals(current->qualified_name(), target.qualified_name())) return true;
+      if (current->name_id() == target.name_id()) return true;
     }
 
     const auto visit_ref = [&](const std::string& ref) {

@@ -24,7 +24,6 @@
 #pragma once
 
 #include <memory>
-#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -69,7 +68,9 @@ class ConformanceChecker {
   [[nodiscard]] CheckResult check(std::string_view source_name,
                                   std::string_view target_name);
 
-  /// Convenience verdict-only form.
+  /// Convenience verdict-only form. On a cache hit this is the cheapest
+  /// entry point: the verdict is returned straight from the interned-key
+  /// cache without materializing a CheckResult (zero heap allocations).
   [[nodiscard]] bool conforms(const reflect::TypeDescription& source,
                               const reflect::TypeDescription& target);
 
@@ -121,6 +122,9 @@ class ConformanceChecker {
 
   reflect::TypeResolver& resolver_;
   ConformanceOptions options_;
+  /// options_.fingerprint() hashed once at construction; part of every
+  /// cache key.
+  std::uint64_t options_fp_;
   ConformanceCache* cache_;
 };
 

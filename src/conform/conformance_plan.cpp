@@ -16,7 +16,7 @@ std::string_view to_string(ConformanceKind kind) noexcept {
 
 const MethodMapping* ConformancePlan::find_method(std::string_view target_name,
                                                   std::size_t arity) const noexcept {
-  for (const auto& m : methods_) {
+  for (const auto& m : methods()) {
     if (m.arity == arity && util::iequals(m.target_name, target_name)) return &m;
   }
   return nullptr;
@@ -24,17 +24,17 @@ const MethodMapping* ConformancePlan::find_method(std::string_view target_name,
 
 const FieldMapping* ConformancePlan::find_field(
     std::string_view target_field) const noexcept {
-  for (const auto& f : fields_) {
+  for (const auto& f : fields()) {
     if (util::iequals(f.target_field, target_field)) return &f;
   }
   return nullptr;
 }
 
 bool ConformancePlan::has_ambiguities() const noexcept {
-  for (const auto& m : methods_) {
+  for (const auto& m : methods()) {
     if (m.candidate_count > 1) return true;
   }
-  for (const auto& c : ctors_) {
+  for (const auto& c : ctors()) {
     if (c.candidate_count > 1) return true;
   }
   return false;

@@ -4,9 +4,16 @@
 // expected: the dynamic proxy must know which source method realizes each
 // target method and how the arguments were permuted. The checker produces
 // this plan as a by-product; the proxy executes it.
+//
+// Plans are copy-on-write: a completed plan is immutable in practice (the
+// checker builds it once, then it is cached, copied into CheckResults and
+// held by proxies), so copies share one refcounted payload and cost a
+// pointer bump — returning a cached verdict allocates nothing. The rare
+// mutation of a shared plan clones first.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -65,21 +72,30 @@ class ConformancePlan {
  public:
   ConformancePlan() = default;
   ConformancePlan(std::string source_type, std::string target_type, ConformanceKind kind)
-      : source_type_(std::move(source_type)),
-        target_type_(std::move(target_type)),
-        kind_(kind) {}
+      : data_(std::make_shared<Data>(
+            Data{std::move(source_type), std::move(target_type), kind, {}, {}, {}})) {}
 
-  [[nodiscard]] const std::string& source_type() const noexcept { return source_type_; }
-  [[nodiscard]] const std::string& target_type() const noexcept { return target_type_; }
-  [[nodiscard]] ConformanceKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& source_type() const noexcept {
+    return data().source_type;
+  }
+  [[nodiscard]] const std::string& target_type() const noexcept {
+    return data().target_type;
+  }
+  [[nodiscard]] ConformanceKind kind() const noexcept { return data().kind; }
 
-  void add_method(MethodMapping m) { methods_.push_back(std::move(m)); }
-  void add_field(FieldMapping f) { fields_.push_back(std::move(f)); }
-  void add_ctor(CtorMapping c) { ctors_.push_back(std::move(c)); }
+  void add_method(MethodMapping m) { mutable_data().methods.push_back(std::move(m)); }
+  void add_field(FieldMapping f) { mutable_data().fields.push_back(std::move(f)); }
+  void add_ctor(CtorMapping c) { mutable_data().ctors.push_back(std::move(c)); }
 
-  [[nodiscard]] const std::vector<MethodMapping>& methods() const noexcept { return methods_; }
-  [[nodiscard]] const std::vector<FieldMapping>& fields() const noexcept { return fields_; }
-  [[nodiscard]] const std::vector<CtorMapping>& ctors() const noexcept { return ctors_; }
+  [[nodiscard]] const std::vector<MethodMapping>& methods() const noexcept {
+    return data().methods;
+  }
+  [[nodiscard]] const std::vector<FieldMapping>& fields() const noexcept {
+    return data().fields;
+  }
+  [[nodiscard]] const std::vector<CtorMapping>& ctors() const noexcept {
+    return data().ctors;
+  }
 
   /// Lookup used on every proxied invocation (case-insensitive name).
   [[nodiscard]] const MethodMapping* find_method(std::string_view target_name,
@@ -92,16 +108,37 @@ class ConformancePlan {
   /// Identity/equivalent/explicit plans need no adaptation at all: the
   /// proxy can pass calls straight through.
   [[nodiscard]] bool is_passthrough() const noexcept {
-    return kind_ != ConformanceKind::ImplicitStructural;
+    return data().kind != ConformanceKind::ImplicitStructural;
   }
 
  private:
-  std::string source_type_;
-  std::string target_type_;
-  ConformanceKind kind_ = ConformanceKind::Identity;
-  std::vector<MethodMapping> methods_;
-  std::vector<FieldMapping> fields_;
-  std::vector<CtorMapping> ctors_;
+  struct Data {
+    std::string source_type;
+    std::string target_type;
+    ConformanceKind kind = ConformanceKind::Identity;
+    std::vector<MethodMapping> methods;
+    std::vector<FieldMapping> fields;
+    std::vector<CtorMapping> ctors;
+  };
+
+  [[nodiscard]] static const Data& empty_data() noexcept {
+    static const Data empty;
+    return empty;
+  }
+  [[nodiscard]] const Data& data() const noexcept {
+    return data_ ? *data_ : empty_data();
+  }
+  /// Clones before writing when the payload is shared (or absent).
+  [[nodiscard]] Data& mutable_data() {
+    if (!data_) {
+      data_ = std::make_shared<Data>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<Data>(*data_);
+    }
+    return *data_;
+  }
+
+  std::shared_ptr<Data> data_;
 };
 
 }  // namespace pti::conform

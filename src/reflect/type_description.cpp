@@ -1,5 +1,7 @@
 #include "reflect/type_description.hpp"
 
+#include "util/hash.hpp"
+#include "util/interning.hpp"
 #include "util/string_util.hpp"
 
 namespace pti::reflect {
@@ -83,12 +85,78 @@ bool iequal_params(const std::vector<ParamDescription>& a,
 
 }  // namespace
 
+namespace {
+
+/// Folds a string into the running fingerprint with a terminator so that
+/// adjacent fields cannot alias ("ab","c" vs "a","bc").
+[[nodiscard]] std::uint64_t fp_string(std::uint64_t h, std::string_view s) noexcept {
+  h = util::fold_hash(s, h);
+  h ^= 0x1f;
+  h *= util::kFnvPrime64;
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fp_byte(std::uint64_t h, std::uint8_t b) noexcept {
+  h ^= b;
+  h *= util::kFnvPrime64;
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fp_size(std::uint64_t h, std::size_t n) noexcept {
+  for (int i = 0; i < 4; ++i) h = fp_byte(h, static_cast<std::uint8_t>(n >> (8 * i)));
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fp_params(std::uint64_t h,
+                                      const std::vector<ParamDescription>& params) noexcept {
+  h = fp_size(h, params.size());
+  for (const auto& p : params) h = fp_string(h, p.type_name);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t TypeDescription::fingerprint() const noexcept {
+  if (fingerprint_.valid) return fingerprint_.value;
+  std::uint64_t h = util::fnv1a64("pti.fp");
+  h = fp_byte(h, static_cast<std::uint8_t>(kind_));
+  h = fp_string(h, name_);
+  h = fp_string(h, superclass_);
+  h = fp_size(h, interfaces_.size());
+  for (const auto& itf : interfaces_) h = fp_string(h, itf);
+  h = fp_size(h, fields_.size());
+  for (const auto& f : fields_) {
+    h = fp_string(h, f.name);
+    h = fp_string(h, f.type_name);
+    h = fp_byte(h, static_cast<std::uint8_t>(f.visibility));
+    h = fp_byte(h, f.is_static ? 1 : 0);
+  }
+  h = fp_size(h, methods_.size());
+  for (const auto& m : methods_) {
+    h = fp_string(h, m.name);
+    h = fp_string(h, m.return_type);
+    h = fp_params(h, m.params);
+    h = fp_byte(h, static_cast<std::uint8_t>(m.visibility));
+    h = fp_byte(h, m.is_static ? 1 : 0);
+  }
+  h = fp_size(h, constructors_.size());
+  for (const auto& c : constructors_) {
+    h = fp_params(h, c.params);
+    h = fp_byte(h, static_cast<std::uint8_t>(c.visibility));
+  }
+  fingerprint_.value = h;
+  fingerprint_.valid = true;
+  return h;
+}
+
 bool TypeDescription::structurally_equal(const TypeDescription& other) const noexcept {
+  // Fingerprints hash exactly the structure compared below, so a mismatch
+  // is an O(1) definitive rejection; a match still runs the full
+  // comparison to rule out hash collisions.
+  if (fingerprint() != other.fingerprint()) return false;
   if (kind_ != other.kind_) return false;
   if (!util::iequals(name_, other.name_)) return false;
-  if (!util::iequals(util::to_lower(superclass_), util::to_lower(other.superclass_))) {
-    return false;
-  }
+  if (!util::iequals(superclass_, other.superclass_)) return false;
   if (interfaces_.size() != other.interfaces_.size()) return false;
   for (std::size_t i = 0; i < interfaces_.size(); ++i) {
     if (!util::iequals(interfaces_[i], other.interfaces_[i])) return false;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/guid.hpp"
+#include "util/interning.hpp"
 
 namespace pti::reflect {
 
@@ -68,9 +69,13 @@ struct ConstructorDescription {
 
 class TypeDescription {
  public:
-  TypeDescription() = default;
+  TypeDescription() : TypeDescription("", "", TypeKind::Class) {}
   TypeDescription(std::string namespace_name, std::string simple_name, TypeKind kind)
-      : namespace_(std::move(namespace_name)), name_(std::move(simple_name)), kind_(kind) {}
+      : namespace_(std::move(namespace_name)),
+        name_(std::move(simple_name)),
+        kind_(kind),
+        name_id_(util::SymbolTable::global().intern_qualified(namespace_, name_)),
+        simple_name_id_(util::SymbolTable::global().intern(name_)) {}
 
   // --- identity ---------------------------------------------------------
   /// Simple name, e.g. "Person". Conformance rule (i) compares *simple*
@@ -80,37 +85,64 @@ class TypeDescription {
   [[nodiscard]] const std::string& namespace_name() const noexcept { return namespace_; }
   /// "teamA.Person" — the registry key; unique per peer universe.
   [[nodiscard]] std::string qualified_name() const;
+  /// Interned identity of the case-folded qualified name. Two descriptions
+  /// share a name_id iff their qualified names are case-insensitively
+  /// equal; every hot path keys on this instead of re-folding strings.
+  [[nodiscard]] util::InternedName name_id() const noexcept { return name_id_; }
+  /// Interned identity of the case-folded simple name (rule (i) compares
+  /// simple names).
+  [[nodiscard]] util::InternedName simple_name_id() const noexcept {
+    return simple_name_id_;
+  }
   [[nodiscard]] const util::Guid& guid() const noexcept { return guid_; }
   void set_guid(const util::Guid& g) noexcept { guid_ = g; }
 
   [[nodiscard]] TypeKind kind() const noexcept { return kind_; }
-  void set_kind(TypeKind k) noexcept { kind_ = k; }
+  void set_kind(TypeKind k) noexcept {
+    kind_ = k;
+    fingerprint_.valid = false;
+  }
 
   // --- structure --------------------------------------------------------
   /// Superclass simple-or-qualified name; empty for root classes,
   /// interfaces and primitives.
   [[nodiscard]] const std::string& superclass() const noexcept { return superclass_; }
-  void set_superclass(std::string s) { superclass_ = std::move(s); }
+  void set_superclass(std::string s) {
+    superclass_ = std::move(s);
+    fingerprint_.valid = false;
+  }
 
   [[nodiscard]] const std::vector<std::string>& interfaces() const noexcept {
     return interfaces_;
   }
-  void add_interface(std::string name) { interfaces_.push_back(std::move(name)); }
+  void add_interface(std::string name) {
+    interfaces_.push_back(std::move(name));
+    fingerprint_.valid = false;
+  }
 
   [[nodiscard]] const std::vector<FieldDescription>& fields() const noexcept {
     return fields_;
   }
-  void add_field(FieldDescription f) { fields_.push_back(std::move(f)); }
+  void add_field(FieldDescription f) {
+    fields_.push_back(std::move(f));
+    fingerprint_.valid = false;
+  }
 
   [[nodiscard]] const std::vector<MethodDescription>& methods() const noexcept {
     return methods_;
   }
-  void add_method(MethodDescription m) { methods_.push_back(std::move(m)); }
+  void add_method(MethodDescription m) {
+    methods_.push_back(std::move(m));
+    fingerprint_.valid = false;
+  }
 
   [[nodiscard]] const std::vector<ConstructorDescription>& constructors() const noexcept {
     return constructors_;
   }
-  void add_constructor(ConstructorDescription c) { constructors_.push_back(std::move(c)); }
+  void add_constructor(ConstructorDescription c) {
+    constructors_.push_back(std::move(c));
+    fingerprint_.valid = false;
+  }
 
   // --- provenance (optimistic transport, Section 6) ----------------------
   /// Name of the assembly (code unit) implementing this type.
@@ -144,10 +176,27 @@ class TypeDescription {
   /// case-insensitively, identity (GUID) ignored.
   [[nodiscard]] bool structurally_equal(const TypeDescription& other) const noexcept;
 
+  /// Case-folded hash of everything structurally_equal() inspects (kind,
+  /// simple name, supertypes, fields, methods, constructors — namespace and
+  /// GUID excluded). Unequal fingerprints mean definitely-not-equal, so
+  /// structural comparisons and registry dedup reject in O(1); computed
+  /// lazily and memoized until the structure next mutates.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
  private:
+  /// Memoized fingerprint. Derived data: transparent to equality so the
+  /// defaulted operator== still compares only the description itself.
+  struct FingerprintCache {
+    mutable std::uint64_t value = 0;
+    mutable bool valid = false;
+    bool operator==(const FingerprintCache&) const noexcept { return true; }
+  };
+
   std::string namespace_;
   std::string name_;
   TypeKind kind_ = TypeKind::Class;
+  util::InternedName name_id_;
+  util::InternedName simple_name_id_;
   util::Guid guid_;
   std::string superclass_;
   std::vector<std::string> interfaces_;
@@ -157,6 +206,7 @@ class TypeDescription {
   std::string assembly_name_;
   std::string download_path_;
   bool structural_tag_ = false;
+  FingerprintCache fingerprint_;
 };
 
 /// Strips a possibly-qualified type name to its simple name

@@ -24,12 +24,12 @@ TypeRegistry::TypeRegistry() {
 }
 
 const TypeDescription& TypeRegistry::add(TypeDescription description) {
-  const std::string key = description.qualified_name();
+  const util::InternedName key = description.name_id();
   if (const auto it = by_name_.find(key); it != by_name_.end()) {
     if (it->second.structurally_equal(description)) {
       return it->second;  // idempotent re-registration
     }
-    throw ReflectError("type '" + key +
+    throw ReflectError("type '" + description.qualified_name() +
                        "' already registered with a different structure");
   }
   auto [it, inserted] = by_name_.emplace(key, std::move(description));
@@ -37,35 +37,42 @@ const TypeDescription& TypeRegistry::add(TypeDescription description) {
   if (!stored->guid().is_nil()) {
     by_guid_.emplace(stored->guid(), stored);
   }
-  by_simple_name_[stored->name()].push_back(stored);
+  by_simple_name_[stored->simple_name_id()].push_back(stored);
   insertion_order_.push_back(stored);
   return *stored;
 }
 
 bool TypeRegistry::contains(std::string_view qualified_name) const noexcept {
-  return by_name_.find(qualified_name) != by_name_.end();
+  const util::InternedName id = util::SymbolTable::global().find(qualified_name);
+  return id.valid() && by_name_.find(id) != by_name_.end();
+}
+
+const TypeDescription* TypeRegistry::find_by_id(util::InternedName id) const noexcept {
+  if (!id.valid()) return nullptr;
+  const auto it = by_name_.find(id);
+  return it == by_name_.end() ? nullptr : &it->second;
 }
 
 const TypeDescription* TypeRegistry::resolve(std::string_view type_name,
                                              std::string_view referrer_namespace) {
+  const util::SymbolTable& symbols = util::SymbolTable::global();
   const std::string_view canonical = canonical_primitive(type_name);
-  if (const auto it = by_name_.find(canonical); it != by_name_.end()) {
-    return &it->second;
-  }
+  if (const TypeDescription* d = find_by_id(symbols.find(canonical))) return d;
   // Bare (unqualified) names may be qualified by the referrer's namespace
   // or resolved by a unique simple-name match; a qualified name that
   // missed stays missing — it names a specific type we do not know.
   if (type_name.find('.') != std::string_view::npos) return nullptr;
   if (!referrer_namespace.empty()) {
-    const std::string qualified = std::string(referrer_namespace) + "." +
-                                  std::string(type_name);
-    if (const auto it = by_name_.find(qualified); it != by_name_.end()) {
-      return &it->second;
+    if (const TypeDescription* d =
+            find_by_id(symbols.find_qualified(referrer_namespace, type_name))) {
+      return d;
     }
   }
-  if (const auto it = by_simple_name_.find(type_name);
-      it != by_simple_name_.end() && it->second.size() == 1) {
-    return it->second.front();
+  if (const util::InternedName simple = symbols.find(type_name); simple.valid()) {
+    if (const auto it = by_simple_name_.find(simple);
+        it != by_simple_name_.end() && it->second.size() == 1) {
+      return it->second.front();
+    }
   }
   return nullptr;
 }

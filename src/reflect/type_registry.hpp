@@ -9,7 +9,6 @@
 // from the network (Peer overrides the resolver to do so).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +18,7 @@
 
 #include "reflect/type_description.hpp"
 #include "util/guid.hpp"
+#include "util/interning.hpp"
 #include "util/string_util.hpp"
 
 namespace pti::reflect {
@@ -46,12 +46,19 @@ class TypeRegistry final : public TypeResolver {
   [[nodiscard]] bool contains(std::string_view qualified_name) const noexcept;
 
   /// Resolution order: canonical primitive -> exact qualified name ->
-  /// referrer-namespace-qualified -> unique simple-name match.
+  /// referrer-namespace-qualified -> unique simple-name match. All paths
+  /// are allocation-free: names are probed against the shared SymbolTable
+  /// (folding on the fly), and a name that was never interned is known to
+  /// be absent without touching the maps.
   [[nodiscard]] const TypeDescription* resolve(std::string_view type_name,
                                                std::string_view referrer_namespace) override;
 
   /// resolve() with an empty referrer namespace.
   [[nodiscard]] const TypeDescription* find(std::string_view type_name);
+
+  /// Identity lookup by interned qualified-name id (the fastest path; used
+  /// by layers that already hold a description).
+  [[nodiscard]] const TypeDescription* find_by_id(util::InternedName id) const noexcept;
 
   /// Identity lookup.
   [[nodiscard]] const TypeDescription* find_by_guid(const util::Guid& guid) const noexcept;
@@ -62,11 +69,12 @@ class TypeRegistry final : public TypeResolver {
   [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
 
  private:
-  // std::map with stable node addresses: descriptions are referred to by
-  // pointer across the library.
-  std::map<std::string, TypeDescription, util::ICaseLess> by_name_;
+  // unordered_map is node-based, so description addresses are stable across
+  // rehash: descriptions are referred to by pointer across the library.
+  std::unordered_map<util::InternedName, TypeDescription> by_name_;
   std::unordered_map<util::Guid, const TypeDescription*> by_guid_;
-  std::map<std::string, std::vector<const TypeDescription*>, util::ICaseLess> by_simple_name_;
+  std::unordered_map<util::InternedName, std::vector<const TypeDescription*>>
+      by_simple_name_;
   std::vector<const TypeDescription*> insertion_order_;
 };
 

@@ -33,6 +33,9 @@ enum class Tag : std::uint8_t {
 class Writer {
  public:
   std::vector<std::uint8_t> write(const Value& root) {
+    // Skip the first several doublings up front; large object graphs keep
+    // growing geometrically from here instead of from a handful of bytes.
+    out_.reserve(512);
     out_.write_raw(std::span<const std::uint8_t>(
         reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
     out_.write_u8(kVersion);

@@ -10,11 +10,12 @@ namespace pti::serial {
 
 void SerializerRegistry::add(std::shared_ptr<ObjectSerializer> serializer) {
   if (!serializer) throw SerialError("cannot register a null serializer");
-  serializers_[util::to_lower(serializer->encoding())] = std::move(serializer);
+  std::string key = util::to_lower(serializer->encoding());
+  serializers_[std::move(key)] = std::move(serializer);
 }
 
 ObjectSerializer& SerializerRegistry::get(std::string_view encoding) const {
-  const auto it = serializers_.find(util::to_lower(encoding));
+  const auto it = serializers_.find(encoding);
   if (it == serializers_.end()) {
     throw SerialError("no serializer registered for encoding '" + std::string(encoding) +
                       "'");
@@ -23,7 +24,7 @@ ObjectSerializer& SerializerRegistry::get(std::string_view encoding) const {
 }
 
 bool SerializerRegistry::has(std::string_view encoding) const noexcept {
-  return serializers_.find(util::to_lower(encoding)) != serializers_.end();
+  return serializers_.find(encoding) != serializers_.end();
 }
 
 std::vector<std::string> SerializerRegistry::encodings() const {

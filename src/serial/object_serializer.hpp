@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "reflect/value.hpp"
+#include "util/string_util.hpp"
 
 namespace pti::serial {
 
@@ -50,7 +51,9 @@ class SerializerRegistry {
   [[nodiscard]] static SerializerRegistry with_defaults();
 
  private:
-  std::map<std::string, std::shared_ptr<ObjectSerializer>> serializers_;
+  // Transparent case-insensitive comparator: lookups probe with the
+  // string_view as-is instead of building a lowered copy per call.
+  std::map<std::string, std::shared_ptr<ObjectSerializer>, util::ICaseLess> serializers_;
 };
 
 }  // namespace pti::serial

@@ -18,12 +18,21 @@ bool SimNetwork::is_attached(std::string_view name) const noexcept {
 
 void SimNetwork::set_link(std::string_view from, std::string_view to,
                           const LinkConfig& config) {
-  links_[util::to_lower(from) + "->" + util::to_lower(to)] = config;
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  links_[util::pair_key(symbols.intern(from), symbols.intern(to))] = config;
 }
 
 const LinkConfig& SimNetwork::link_for(std::string_view from,
                                        std::string_view to) const noexcept {
-  const auto it = links_.find(util::to_lower(from) + "->" + util::to_lower(to));
+  if (links_.empty()) return default_link_;
+  // Peer names on an overridden link were interned by set_link; a name the
+  // symbol table has never seen cannot key an override.
+  const util::SymbolTable& symbols = util::SymbolTable::global();
+  const util::InternedName from_id = symbols.find(from);
+  if (!from_id.valid()) return default_link_;
+  const util::InternedName to_id = symbols.find(to);
+  if (!to_id.valid()) return default_link_;
+  const auto it = links_.find(util::pair_key(from_id, to_id));
   return it == links_.end() ? default_link_ : it->second;
 }
 

@@ -18,9 +18,11 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "transport/message.hpp"
 #include "transport/transport_error.hpp"
+#include "util/interning.hpp"
 #include "util/rng.hpp"
 #include "util/sim_clock.hpp"
 #include "util/string_util.hpp"
@@ -80,7 +82,10 @@ class SimNetwork {
   bool charge(const Message& message);
 
   std::map<std::string, Handler, util::ICaseLess> handlers_;
-  std::map<std::string, LinkConfig> links_;
+  // Keyed on pair_key(from, to) of interned peer names: charging a message
+  // probes with two no-insert symbol lookups instead of concatenating four
+  // lowered strings per send.
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
   LinkConfig default_link_;
   NetStats stats_;
   util::SimClock clock_;

@@ -21,6 +21,10 @@ class ByteBufferError : public std::runtime_error {
 
 class ByteWriter {
  public:
+  /// Pre-sizes the underlying buffer; serializer entry points call this so
+  /// large payloads don't pay log2(size) vector regrowths.
+  void reserve(std::size_t capacity) { bytes_.reserve(capacity); }
+
   void write_u8(std::uint8_t v) { bytes_.push_back(v); }
   void write_u16(std::uint16_t v);
   void write_u32(std::uint32_t v);

@@ -1,0 +1,92 @@
+#include "util/interning.hpp"
+
+#include "util/hash.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::util {
+
+namespace {
+
+[[nodiscard]] std::uint64_t fold_hash_char(char c, std::uint64_t h) noexcept {
+  h ^= static_cast<std::uint8_t>(to_lower(c));
+  h *= kFnvPrime64;
+  return h;
+}
+
+/// Does `folded` (already lower-case) spell "ns.name" case-folded? Avoids
+/// concatenating the probe.
+[[nodiscard]] bool folded_equals(std::string_view folded, std::string_view ns,
+                                 std::string_view name) noexcept {
+  if (ns.empty()) return iequals(folded, name);
+  if (folded.size() != ns.size() + 1 + name.size()) return false;
+  return iequals(folded.substr(0, ns.size()), ns) && folded[ns.size()] == '.' &&
+         iequals(folded.substr(ns.size() + 1), name);
+}
+
+}  // namespace
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+InternedName SymbolTable::find_hashed(std::uint64_t h, std::string_view ns,
+                                      std::string_view name) const noexcept {
+  const auto it = index_.find(h);
+  if (it == index_.end()) return {};
+  for (const std::uint32_t id : it->second) {
+    if (folded_equals(entries_[id].folded, ns, name)) return InternedName(id);
+  }
+  return {};
+}
+
+InternedName SymbolTable::find(std::string_view s) const noexcept {
+  return find_hashed(fold_hash(s), {}, s);
+}
+
+InternedName SymbolTable::find_qualified(std::string_view ns,
+                                         std::string_view name) const noexcept {
+  if (ns.empty()) return find(name);
+  std::uint64_t h = fold_hash(ns);
+  h = fold_hash_char('.', h);
+  h = fold_hash(name, h);
+  return find_hashed(h, ns, name);
+}
+
+InternedName SymbolTable::intern(std::string_view s) {
+  const std::uint64_t h = fold_hash(s);
+  if (const InternedName id = find_hashed(h, {}, s); id.valid()) return id;
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{to_lower(s), h});
+  index_[h].push_back(id);
+  return InternedName(id);
+}
+
+InternedName SymbolTable::intern_qualified(std::string_view ns, std::string_view name) {
+  if (ns.empty()) return intern(name);
+  std::uint64_t h = fold_hash(ns);
+  h = fold_hash_char('.', h);
+  h = fold_hash(name, h);
+  if (const InternedName id = find_hashed(h, ns, name); id.valid()) return id;
+  std::string folded;
+  folded.reserve(ns.size() + 1 + name.size());
+  folded += to_lower(ns);
+  folded += '.';
+  folded += to_lower(name);
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::move(folded), h});
+  index_[h].push_back(id);
+  return InternedName(id);
+}
+
+std::string_view SymbolTable::folded(InternedName id) const noexcept {
+  if (!id.valid() || id.value() >= entries_.size()) return {};
+  return entries_[id.value()].folded;
+}
+
+std::uint64_t SymbolTable::hash(InternedName id) const noexcept {
+  if (!id.valid() || id.value() >= entries_.size()) return 0;
+  return entries_[id.value()].hash;
+}
+
+}  // namespace pti::util

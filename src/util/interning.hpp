@@ -1,0 +1,131 @@
+// Interned, case-folded string identity — the zero-allocation substrate
+// under every name-keyed hot path (registry resolution, conformance-cache
+// keys, recursion guards, simulated-network link lookup).
+//
+// The conformance rules compare names case-insensitively, so the seed code
+// case-folded strings at every comparison point: each cache lookup built a
+// fresh lowered key, each recursion-guard insert concatenated two lowered
+// qualified names, and the registry ran character-folding comparisons on
+// every tree probe. A SymbolTable folds and hashes each distinct name
+// exactly once and hands out a 32-bit InternedName; equal ids mean equal
+// folded names, so every later comparison is an integer compare and every
+// later hash is a single multiply — no heap traffic.
+//
+// find()/find_qualified() never insert and never allocate: probing folds
+// and hashes the candidate on the fly and compares it character-by-character
+// against stored folded spellings. A name that was never interned cannot be
+// the key of anything, so a miss is an authoritative "unknown".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::util {
+
+/// FNV-1a over the case-folded characters of `s`, continuing from `seed` —
+/// the hash of the folded form without materializing it.
+[[nodiscard]] constexpr std::uint64_t fold_hash(std::string_view s,
+                                                std::uint64_t seed = kFnvOffset64) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(to_lower(c));
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+/// Identity of a case-folded string in a SymbolTable. Two names intern to
+/// the same id iff they are case-insensitively equal. Default-constructed
+/// ids are invalid ("name unknown").
+class InternedName {
+ public:
+  constexpr InternedName() noexcept = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != kInvalid; }
+  /// Raw index, usable as a dense array key. Only meaningful when valid().
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return id_; }
+
+  friend constexpr bool operator==(InternedName, InternedName) noexcept = default;
+
+ private:
+  friend class SymbolTable;
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  explicit constexpr InternedName(std::uint32_t id) noexcept : id_(id) {}
+
+  std::uint32_t id_ = kInvalid;
+};
+
+/// Packs a (source, target) pair of interned names into one 64-bit key —
+/// the conformance checker's recursion guards and memo tables key on this.
+[[nodiscard]] constexpr std::uint64_t pair_key(InternedName a, InternedName b) noexcept {
+  return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+}
+
+/// Append-only table of case-folded names. Interning is amortized O(1);
+/// find() is O(1) with zero allocations. Ids are stable for the lifetime
+/// of the table and folded() views are never invalidated.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// The process-wide table. TypeDescription, TypeRegistry, the
+  /// conformance cache and SimNetwork all share it so their ids agree.
+  [[nodiscard]] static SymbolTable& global();
+
+  /// Folds `s` and returns its id, inserting on first sight.
+  InternedName intern(std::string_view s);
+
+  /// Interns the qualified form "ns.name" (or just "name" when `ns` is
+  /// empty) without building the concatenation unless it is new.
+  InternedName intern_qualified(std::string_view ns, std::string_view name);
+
+  /// Id of `s` if it was ever interned; invalid otherwise. Never inserts,
+  /// never allocates.
+  [[nodiscard]] InternedName find(std::string_view s) const noexcept;
+
+  /// find() of the qualified form "ns.name" without concatenating.
+  [[nodiscard]] InternedName find_qualified(std::string_view ns,
+                                            std::string_view name) const noexcept;
+
+  /// The stored folded spelling. Stable for the table's lifetime.
+  [[nodiscard]] std::string_view folded(InternedName id) const noexcept;
+
+  /// The precomputed hash of the folded spelling.
+  [[nodiscard]] std::uint64_t hash(InternedName id) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string folded;
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] InternedName find_hashed(std::uint64_t h, std::string_view ns,
+                                         std::string_view name) const noexcept;
+
+  // Entries live in a deque so folded() views survive growth; the index
+  // buckets ids by folded hash (collisions resolved by folded compare).
+  std::deque<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace pti::util
+
+template <>
+struct std::hash<pti::util::InternedName> {
+  [[nodiscard]] std::size_t operator()(pti::util::InternedName id) const noexcept {
+    // Fibonacci scramble: raw ids are small sequential integers.
+    return static_cast<std::size_t>(id.value() * 0x9E3779B97F4A7C15ULL);
+  }
+};

@@ -4,10 +4,6 @@
 
 namespace pti::util {
 
-char to_lower(char c) noexcept {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-
 std::string to_lower(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -13,7 +13,9 @@
 namespace pti::util {
 
 /// ASCII lower-casing (type names in the model are ASCII identifiers).
-[[nodiscard]] char to_lower(char c) noexcept;
+[[nodiscard]] constexpr char to_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
 [[nodiscard]] std::string to_lower(std::string_view s);
 
 /// Case-insensitive equality, the comparison used for name conformance.

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Builds the benchmark binaries in Release and records their results as
+# BENCH_<name>.json at the repo root — the bench trajectory consumed by
+# ROADMAP.md's performance notes. Usage:
+#
+#   tools/run_benches.sh                # conformance + typedesc (the hot paths)
+#   tools/run_benches.sh all            # every bench binary
+#   BENCH_MIN_TIME=0.5 tools/run_benches.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+MIN_TIME=${BENCH_MIN_TIME:-0.2}
+
+if [[ "${1:-}" == "all" ]]; then
+  BENCHES=(conformance typedesc envelope invocation object_serial transport ablation)
+else
+  BENCHES=(conformance typedesc)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+targets=()
+for b in "${BENCHES[@]}"; do targets+=("bench_$b"); done
+cmake --build "$BUILD_DIR" -j --target "${targets[@]}"
+
+# Console table for the human; the JSON trajectory file is written by the
+# library itself (the "# paper: ..." banners only go to stdout, so the JSON
+# stays clean).
+for b in "${BENCHES[@]}"; do
+  echo "== bench_$b =="
+  "$BUILD_DIR/bench_$b" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="BENCH_$b.json" \
+    --benchmark_out_format=json
+done
+
+echo "Wrote: $(ls BENCH_*.json | tr '\n' ' ')"
