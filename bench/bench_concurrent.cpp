@@ -1,0 +1,136 @@
+// Concurrent hot-path throughput — the scaling story of the sharded
+// SymbolTable / TypeRegistry / ConformanceCache.
+//
+// PR 1 made the cached check ~19 ns single-threaded; this bench measures
+// whether concurrent peers can actually exploit that: every benchmark runs
+// at 1, 2 and 4 threads against ONE shared registry + cache + checker, so
+// the numbers show aggregate items_per_second across threads. On a
+// multi-core host the aggregate should grow with the thread count (shards
+// mean distinct pairs rarely contend); on a single-vCPU container it can
+// only stay flat — the interesting number there is that per-item cost does
+// not collapse under contention.
+//
+// The single-thread rows double as the "no pessimization" guard: they are
+// the same cached check()/conforms() paths BENCH_conformance measures, now
+// paying one shared-lock per lookup.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_checker.hpp"
+#include "reflect/type_registry.hpp"
+#include "util/interning.hpp"
+
+namespace {
+
+using namespace pti;
+
+/// One shared universe for all threads of all benchmarks: domain (registry),
+/// cache, checker, and a warmed set of distinct conformant pairs spread
+/// across cache shards. Magic-static init is thread-safe.
+struct SharedEnv {
+  reflect::Domain domain;
+  conform::ConformanceCache cache;
+  conform::ConformanceChecker checker;
+  const reflect::TypeDescription* source = nullptr;
+  const reflect::TypeDescription* target = nullptr;
+  std::vector<std::pair<const reflect::TypeDescription*, const reflect::TypeDescription*>>
+      pairs;
+
+  SharedEnv() : checker(domain.registry(), {}, &cache) {
+    bench::load_people(domain);
+    constexpr std::size_t kDepth = 64;
+    domain.load_assembly(fixtures::deep_type_chain("da", kDepth));
+    domain.load_assembly(fixtures::deep_type_chain("db", kDepth));
+    source = domain.registry().find("teamB.Person");
+    target = domain.registry().find("teamA.Person");
+    (void)checker.check(*source, *target);  // warm the hot pair
+    (void)checker.check(*domain.registry().find("db.T0"),
+                        *domain.registry().find("da.T0"));  // warms every level
+    for (std::size_t i = 0; i < kDepth; ++i) {
+      const std::string level = "T" + std::to_string(i);
+      pairs.emplace_back(domain.registry().find("db." + level),
+                         domain.registry().find("da." + level));
+    }
+  }
+};
+
+SharedEnv& env() {
+  static SharedEnv e;
+  return e;
+}
+
+/// Cached full check (plan returned) on one hot pair, all threads hitting
+/// the same cache shard — the worst case for lock contention.
+void BM_ConcurrentCachedCheck(benchmark::State& state) {
+  bench::paper_reference("E-conc: cached check, shared pair",
+                         "aggregate throughput of the paper's conformance test "
+                         "when peers share one warmed cache");
+  SharedEnv& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.checker.check(*e.source, *e.target));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentCachedCheck)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// Verdict-only cached conforms() on one hot pair.
+void BM_ConcurrentCachedVerdict(benchmark::State& state) {
+  SharedEnv& e = env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.checker.conforms(*e.source, *e.target));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentCachedVerdict)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// Cached verdicts across 64 distinct warmed pairs: each thread starts at a
+/// different offset, so lookups spread across cache shards — the intended
+/// steady state of a busy multi-tenant peer.
+void BM_ConcurrentCachedVerdictManyPairs(benchmark::State& state) {
+  SharedEnv& e = env();
+  std::size_t next = static_cast<std::size_t>(state.thread_index()) * 17 % e.pairs.size();
+  for (auto _ : state) {
+    const auto& [source, target] = e.pairs[next];
+    benchmark::DoNotOptimize(e.checker.conforms(*source, *target));
+    next = (next + 1) % e.pairs.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcurrentCachedVerdictManyPairs)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+/// Zero-alloc registry resolution (symbol-table probe + sharded id map).
+void BM_ConcurrentResolve(benchmark::State& state) {
+  SharedEnv& e = env();
+  reflect::TypeRegistry& registry = e.domain.registry();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.resolve("teamA.Person", ""));
+    benchmark::DoNotOptimize(registry.resolve("Address", "teamB"));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ConcurrentResolve)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// Interning an already-known name (the steady-state intern path: shared
+/// shard lock, probe, return existing id).
+void BM_ConcurrentInternHit(benchmark::State& state) {
+  util::SymbolTable& table = util::SymbolTable::global();
+  (void)table.intern("bench.concurrent.Hot");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.intern("bench.concurrent.Hot"));
+    benchmark::DoNotOptimize(table.find_qualified("bench", "missing"));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ConcurrentInternHit)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,33 +1,142 @@
 #include "conform/conformance_cache.hpp"
 
+#include <mutex>
+
 namespace pti::conform {
+
+ConformanceCache::~ConformanceCache() {
+  for (Shard& shard : shards_) {
+    delete shard.table.load(std::memory_order_relaxed);
+    for (Table* t : shard.retired) delete t;
+  }
+}
+
+const CachedVerdict* ConformanceCache::read(Shard& shard, const Key& key, std::size_t h,
+                                            bool count_miss) noexcept {
+  const Table* table = shard.table.load(std::memory_order_acquire);
+  if (table != nullptr) {
+    const std::uint64_t tag = tag_of(h);
+    for (std::size_t i = h & table->mask, probes = 0; probes <= table->mask;
+         i = (i + 1) & table->mask, ++probes) {
+      const std::uint64_t slot_tag = table->slots[i].tag.load(std::memory_order_acquire);
+      if (slot_tag == 0) break;  // empty slot ends the probe chain
+      if (slot_tag != tag) continue;
+      const MapEntry* entry = table->slots[i].entry.load(std::memory_order_acquire);
+      if (entry != nullptr && entry->first == key) {
+        shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        return &entry->second;
+      }
+    }
+  }
+  if (count_miss) shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
 
 const CachedVerdict* ConformanceCache::lookup(util::InternedName source,
                                               util::InternedName target,
                                               std::uint64_t options_fingerprint) noexcept {
-  const auto it = entries_.find(Key{source, target, options_fingerprint});
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  return &it->second;
+  const Key key{source, target, options_fingerprint};
+  const std::size_t h = KeyHash{}(key);
+  return read(shards_[shard_of(h)], key, h, /*count_miss=*/true);
 }
 
 const CachedVerdict* ConformanceCache::probe(const reflect::TypeDescription& source,
                                              const reflect::TypeDescription& target,
                                              std::uint64_t options_fingerprint) noexcept {
-  const auto it =
-      entries_.find(Key{source.name_id(), target.name_id(), options_fingerprint});
-  if (it == entries_.end()) return nullptr;
-  ++stats_.hits;
-  return &it->second;
+  const Key key{source.name_id(), target.name_id(), options_fingerprint};
+  const std::size_t h = KeyHash{}(key);
+  return read(shards_[shard_of(h)], key, h, /*count_miss=*/false);
+}
+
+void ConformanceCache::publish(Table& table, const MapEntry* entry) noexcept {
+  const std::size_t h = KeyHash{}(entry->first);
+  for (std::size_t i = h & table.mask;; i = (i + 1) & table.mask) {
+    if (table.slots[i].tag.load(std::memory_order_relaxed) == 0) {
+      // Entry first, tag second (release): a reader that sees the tag sees
+      // the entry pointer and the fully built map node behind it.
+      table.slots[i].entry.store(entry, std::memory_order_relaxed);
+      table.slots[i].tag.store(tag_of(h), std::memory_order_release);
+      return;
+    }
+  }
 }
 
 void ConformanceCache::insert(util::InternedName source, util::InternedName target,
                               std::uint64_t options_fingerprint, CachedVerdict verdict) {
-  entries_[Key{source, target, options_fingerprint}] = std::move(verdict);
-  ++stats_.insertions;
+  const Key key{source, target, options_fingerprint};
+  const std::size_t h = KeyHash{}(key);
+  Shard& shard = shards_[shard_of(h)];
+  std::unique_lock lock(shard.mutex);
+  // First write wins: verdicts are deterministic for a key, and leaving an
+  // existing entry untouched keeps pointers other threads obtained from
+  // lookup() pointing at stable data.
+  const auto [it, inserted] = shard.entries.try_emplace(key, std::move(verdict));
+  if (!inserted) return;
+  shard.stats.insertions.fetch_add(1, std::memory_order_relaxed);
+  Table* table = shard.table.load(std::memory_order_relaxed);
+  // Grow (or first-create) at ~60% occupancy so probe chains stay short.
+  if (table == nullptr || (table->used + 1) * 5 > (table->mask + 1) * 3) {
+    const std::size_t capacity =
+        table == nullptr ? kInitialSlots : 2 * (table->mask + 1);
+    Table* bigger = new Table(capacity);
+    for (const MapEntry& entry : shard.entries) publish(*bigger, &entry);
+    bigger->used = shard.entries.size();
+    shard.table.store(bigger, std::memory_order_release);
+    if (table != nullptr) shard.retired.push_back(table);
+  } else {
+    publish(*table, &*it);
+    ++table->used;
+  }
+}
+
+void ConformanceCache::clear() noexcept {
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    shard.entries.clear();
+    // Documented contract: clear() runs quiesced, so no reader still holds
+    // the old table and it can be reclaimed along with the retired ones.
+    delete shard.table.exchange(nullptr, std::memory_order_relaxed);
+    for (Table* t : shard.retired) delete t;
+    shard.retired.clear();
+  }
+}
+
+std::size_t ConformanceCache::size() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+CacheStats ConformanceCache::stats() const noexcept {
+  CacheStats out;
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    const CacheStats s = shard_stats(i);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+  }
+  return out;
+}
+
+CacheStats ConformanceCache::shard_stats(std::size_t shard) const noexcept {
+  CacheStats out;
+  if (shard >= kShardCount) return out;
+  const ShardStats& s = shards_[shard].stats;
+  out.hits = s.hits.load(std::memory_order_relaxed);
+  out.misses = s.misses.load(std::memory_order_relaxed);
+  out.insertions = s.insertions.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ConformanceCache::reset_stats() noexcept {
+  for (Shard& shard : shards_) {
+    shard.stats.hits.store(0, std::memory_order_relaxed);
+    shard.stats.misses.store(0, std::memory_order_relaxed);
+    shard.stats.insertions.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace pti::conform

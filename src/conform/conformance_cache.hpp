@@ -11,11 +11,30 @@
 // interned ids are case-folded once at TypeDescription construction, so a
 // lookup is a hash-combine of three integers and an open probe — no string
 // building, no case folding, zero heap allocations.
+//
+// Thread safety: the cache is sharded 16 ways by key hash. Each shard
+// keeps a node-based map as the authoritative store (writers take the
+// shard's mutex) plus an open-addressing read index of atomic
+// (tag, entry*) slots published release/acquire — so lookup()/probe() are
+// LOCK-FREE: a cached-verdict hit costs a hash, a couple of atomic loads
+// and a key compare, the same order of magnitude as the single-threaded
+// cache of PR 1. Entry pointers are stable map nodes (never erased during
+// concurrent operation), which is what makes publishing them to lock-free
+// readers sound; a reader racing an index grow may transiently miss a
+// fresh key, which only costs a benign recompute + idempotent re-insert.
+// Per-shard hit/miss/insertion counters are atomics. clear() is the only
+// eraser and requires external quiescence (no concurrent readers holding
+// pointers).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "conform/conformance_plan.hpp"
 #include "reflect/type_description.hpp"
@@ -52,6 +71,8 @@ class ConformanceCache {
     bool operator==(const Key&) const noexcept = default;
   };
 
+  /// Lock-free probe of one shard's read index; the returned pointer is
+  /// stable (entries are node-based and never erased outside clear()).
   [[nodiscard]] const CachedVerdict* lookup(util::InternedName source,
                                             util::InternedName target,
                                             std::uint64_t options_fingerprint) noexcept;
@@ -70,15 +91,37 @@ class ConformanceCache {
                                            const reflect::TypeDescription& target,
                                            std::uint64_t options_fingerprint) noexcept;
 
+  /// Exclusive-locks one shard. Idempotent re-insertion of an equal
+  /// verdict (two threads completing the same check) is benign.
   void insert(util::InternedName source, util::InternedName target,
               std::uint64_t options_fingerprint, CachedVerdict verdict);
 
-  void clear() noexcept { entries_.clear(); }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  /// Erases every entry. NOT safe concurrently with readers that may still
+  /// hold pointers returned by lookup()/probe(); quiesce first.
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Aggregated counters across all shards (by value: shards tick their
+  /// own atomic counters, so there is no single struct to reference).
+  [[nodiscard]] CacheStats stats() const noexcept;
+
+  /// Per-shard counters — the observability hook for load-balance checks
+  /// and a future eviction/epoch story.
+  [[nodiscard]] CacheStats shard_stats(std::size_t shard) const noexcept;
+  [[nodiscard]] static constexpr std::size_t shard_count() noexcept { return kShardCount; }
+
+  void reset_stats() noexcept;
+
+  ConformanceCache() = default;
+  ~ConformanceCache();
+  ConformanceCache(const ConformanceCache&) = delete;
+  ConformanceCache& operator=(const ConformanceCache&) = delete;
 
  private:
+  static constexpr std::size_t kShardCount = 16;
+  static constexpr std::size_t kInitialSlots = 256;  // per shard, power of two
+
   struct KeyHash {
     [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
       return static_cast<std::size_t>(util::hash_combine(
@@ -87,8 +130,62 @@ class ConformanceCache {
     }
   };
 
-  std::unordered_map<Key, CachedVerdict, KeyHash> entries_;
-  CacheStats stats_;
+  struct ShardStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+  };
+
+  using MapEntry = std::pair<const Key, CachedVerdict>;
+
+  // One slot of the lock-free read index. The writer stores `entry` first,
+  // then publishes `tag` with release; a reader that observes the tag
+  // (acquire) therefore observes a fully written entry. tag==0 means
+  // empty, which terminates a reader's linear probe (no deletions).
+  struct Slot {
+    std::atomic<std::uint64_t> tag{0};
+    std::atomic<const MapEntry*> entry{nullptr};
+  };
+
+  struct Table {
+    explicit Table(std::size_t capacity) : mask(capacity - 1), slots(capacity) {}
+    std::size_t mask;
+    std::vector<Slot> slots;
+    std::size_t used = 0;  // writer-only, guarded by the shard mutex
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;  // writers exclusive; size() shared
+    std::unordered_map<Key, CachedVerdict, KeyHash> entries;
+    std::atomic<Table*> table{nullptr};
+    // Tables replaced by growth; still probe-able by in-flight readers, so
+    // they are only reclaimed at clear()/destruction (bounded: doubling
+    // means all retired tables together are smaller than the live one).
+    std::vector<Table*> retired;
+    ShardStats stats;
+  };
+
+  [[nodiscard]] static std::size_t shard_of(std::size_t h) noexcept {
+    // Use the high bits of a rescrambled hash: the low bits pick the index
+    // slot, so reusing them for shard choice would correlate the two.
+    // Widened first so the shift is defined even where size_t is 32 bits.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(h) * 0x9E3779B97F4A7C15ULL) >> 60) &
+           (kShardCount - 1);
+  }
+  [[nodiscard]] static std::uint64_t tag_of(std::size_t h) noexcept {
+    return h == 0 ? 1 : static_cast<std::uint64_t>(h);
+  }
+
+  /// Lock-free read of the shard's index; counts a hit when found, and a
+  /// miss only when `count_miss`.
+  [[nodiscard]] const CachedVerdict* read(Shard& shard, const Key& key, std::size_t h,
+                                          bool count_miss) noexcept;
+
+  /// Writer-side publication into the index (shard mutex held).
+  static void publish(Table& table, const MapEntry* entry) noexcept;
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace pti::conform

@@ -21,6 +21,16 @@
 // protocol's whole point). References to types the resolver cannot supply
 // are reported in CheckResult::missing_types so the transport layer can
 // fetch them and retry.
+//
+// Thread safety: a ConformanceChecker keeps all per-check state on the
+// stack (the Ctx of each top-level check), so concurrent check() /
+// conforms() calls on one shared checker are safe provided its resolver
+// is — a plain TypeRegistry is fully thread-safe; a Peer's
+// network-fetching resolver is not, so protocol-driven checks stay on
+// the peer's thread. The optional ConformanceCache is sharded with
+// lock-free reads and may be shared by any number of checkers/threads;
+// two threads racing the same uncached pair simply compute the same
+// verdict and the cache keeps one canonical entry (first write wins).
 #pragma once
 
 #include <memory>

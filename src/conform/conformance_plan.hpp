@@ -10,13 +10,22 @@
 // held by proxies), so copies share one refcounted payload and cost a
 // pointer bump — returning a cached verdict allocates nothing. The rare
 // mutation of a shared plan clones first.
+//
+// Thread safety: the payload refcount is a std::atomic, so distinct plan
+// objects sharing one payload may be copied, read and destroyed from any
+// number of threads concurrently — this is what lets many threads pull the
+// same cached verdict out of the (shared) ConformanceCache at once.
+// Mutating a *given* plan object (add_method etc.) is not synchronized and
+// must stay confined to one thread; the checker only mutates plans it has
+// not yet published.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pti::conform {
@@ -72,8 +81,27 @@ class ConformancePlan {
  public:
   ConformancePlan() = default;
   ConformancePlan(std::string source_type, std::string target_type, ConformanceKind kind)
-      : data_(std::make_shared<Data>(
-            Data{std::move(source_type), std::move(target_type), kind, {}, {}, {}})) {}
+      : data_(new Data(std::move(source_type), std::move(target_type), kind)) {}
+
+  ConformancePlan(const ConformancePlan& other) noexcept : data_(other.data_) {
+    if (data_ != nullptr) data_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  ConformancePlan(ConformancePlan&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)) {}
+  ConformancePlan& operator=(const ConformancePlan& other) noexcept {
+    if (other.data_ != nullptr) other.data_->refs.fetch_add(1, std::memory_order_relaxed);
+    release();
+    data_ = other.data_;
+    return *this;
+  }
+  ConformancePlan& operator=(ConformancePlan&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+    }
+    return *this;
+  }
+  ~ConformancePlan() { release(); }
 
   [[nodiscard]] const std::string& source_type() const noexcept {
     return data().source_type;
@@ -112,7 +140,22 @@ class ConformancePlan {
   }
 
  private:
+  /// Intrusive refcounted payload. The count is atomic so plan copies may
+  /// be created/destroyed concurrently across threads; the payload fields
+  /// themselves are immutable once the plan is shared (COW clones first).
   struct Data {
+    Data() = default;
+    Data(std::string source, std::string target, ConformanceKind k)
+        : source_type(std::move(source)), target_type(std::move(target)), kind(k) {}
+    Data(const Data& other)
+        : source_type(other.source_type),
+          target_type(other.target_type),
+          kind(other.kind),
+          methods(other.methods),
+          fields(other.fields),
+          ctors(other.ctors) {}
+
+    std::atomic<std::uint32_t> refs{1};
     std::string source_type;
     std::string target_type;
     ConformanceKind kind = ConformanceKind::Identity;
@@ -121,24 +164,37 @@ class ConformancePlan {
     std::vector<CtorMapping> ctors;
   };
 
+  void release() noexcept {
+    // acq_rel: the final decrement must observe every other thread's last
+    // use of the payload before deleting it.
+    if (data_ != nullptr && data_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete data_;
+    }
+    data_ = nullptr;
+  }
+
   [[nodiscard]] static const Data& empty_data() noexcept {
     static const Data empty;
     return empty;
   }
   [[nodiscard]] const Data& data() const noexcept {
-    return data_ ? *data_ : empty_data();
+    return data_ != nullptr ? *data_ : empty_data();
   }
-  /// Clones before writing when the payload is shared (or absent).
+  /// Clones before writing when the payload is shared (or absent). A count
+  /// of 1 means this object is the sole owner (acquire pairs with the
+  /// releasing decrement of the other owners), so in-place mutation is safe.
   [[nodiscard]] Data& mutable_data() {
-    if (!data_) {
-      data_ = std::make_shared<Data>();
-    } else if (data_.use_count() > 1) {
-      data_ = std::make_shared<Data>(*data_);
+    if (data_ == nullptr) {
+      data_ = new Data;
+    } else if (data_->refs.load(std::memory_order_acquire) > 1) {
+      Data* clone = new Data(*data_);
+      release();
+      data_ = clone;
     }
     return *data_;
   }
 
-  std::shared_ptr<Data> data_;
+  Data* data_ = nullptr;
 };
 
 }  // namespace pti::conform

@@ -22,6 +22,16 @@
 // protocol, on-demand description/code download, conformance checking and
 // dynamic proxies — is the machinery of the paper, reachable through the
 // accessors when finer control is needed.
+//
+// Thread safety: InteropSystem and InteropRuntime are single-threaded —
+// drive one simulated universe from one thread. The stores underneath
+// (SymbolTable, TypeRegistry, ConformanceCache) are themselves sharded
+// and thread-safe (see docs/ARCHITECTURE.md for the per-class contract),
+// so read-heavy work that bypasses the protocol — resolve() on a
+// runtime's registry, conformance checks through a checker whose
+// resolver is a plain TypeRegistry — may run on worker threads
+// concurrently with each other; only the protocol/network layers must
+// stay on the owning thread.
 #pragma once
 
 #include <functional>

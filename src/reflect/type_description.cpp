@@ -117,7 +117,12 @@ namespace {
 }  // namespace
 
 std::uint64_t TypeDescription::fingerprint() const noexcept {
-  if (fingerprint_.valid) return fingerprint_.value;
+  // Once-gate: concurrent readers of an immutable description may race
+  // here; each computes the same hash and the release store below pairs
+  // with this acquire load to publish it.
+  if (fingerprint_.valid.load(std::memory_order_acquire)) {
+    return fingerprint_.value.load(std::memory_order_relaxed);
+  }
   std::uint64_t h = util::fnv1a64("pti.fp");
   h = fp_byte(h, static_cast<std::uint8_t>(kind_));
   h = fp_string(h, name_);
@@ -144,8 +149,8 @@ std::uint64_t TypeDescription::fingerprint() const noexcept {
     h = fp_params(h, c.params);
     h = fp_byte(h, static_cast<std::uint8_t>(c.visibility));
   }
-  fingerprint_.value = h;
-  fingerprint_.valid = true;
+  fingerprint_.value.store(h, std::memory_order_relaxed);
+  fingerprint_.valid.store(true, std::memory_order_release);
   return h;
 }
 

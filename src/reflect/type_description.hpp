@@ -10,6 +10,7 @@
 // transport protocol needs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -100,7 +101,7 @@ class TypeDescription {
   [[nodiscard]] TypeKind kind() const noexcept { return kind_; }
   void set_kind(TypeKind k) noexcept {
     kind_ = k;
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   // --- structure --------------------------------------------------------
@@ -109,7 +110,7 @@ class TypeDescription {
   [[nodiscard]] const std::string& superclass() const noexcept { return superclass_; }
   void set_superclass(std::string s) {
     superclass_ = std::move(s);
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   [[nodiscard]] const std::vector<std::string>& interfaces() const noexcept {
@@ -117,7 +118,7 @@ class TypeDescription {
   }
   void add_interface(std::string name) {
     interfaces_.push_back(std::move(name));
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   [[nodiscard]] const std::vector<FieldDescription>& fields() const noexcept {
@@ -125,7 +126,7 @@ class TypeDescription {
   }
   void add_field(FieldDescription f) {
     fields_.push_back(std::move(f));
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   [[nodiscard]] const std::vector<MethodDescription>& methods() const noexcept {
@@ -133,7 +134,7 @@ class TypeDescription {
   }
   void add_method(MethodDescription m) {
     methods_.push_back(std::move(m));
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   [[nodiscard]] const std::vector<ConstructorDescription>& constructors() const noexcept {
@@ -141,7 +142,7 @@ class TypeDescription {
   }
   void add_constructor(ConstructorDescription c) {
     constructors_.push_back(std::move(c));
-    fingerprint_.valid = false;
+    fingerprint_.invalidate();
   }
 
   // --- provenance (optimistic transport, Section 6) ----------------------
@@ -180,15 +181,32 @@ class TypeDescription {
   /// simple name, supertypes, fields, methods, constructors — namespace and
   /// GUID excluded). Unequal fingerprints mean definitely-not-equal, so
   /// structural comparisons and registry dedup reject in O(1); computed
-  /// lazily and memoized until the structure next mutates.
+  /// lazily and memoized until the structure next mutates. Safe to call
+  /// from any number of threads on a description that is no longer being
+  /// mutated (the memo is guarded by an atomic once-flag); mutation
+  /// (add_field etc.) requires external synchronization as usual.
   [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
  private:
   /// Memoized fingerprint. Derived data: transparent to equality so the
   /// defaulted operator== still compares only the description itself.
+  /// The valid flag is a release/acquire once-gate so that concurrent
+  /// readers of an immutable (registered) description may race to compute
+  /// the fingerprint: both write the same value, and a reader that
+  /// observes valid==true (acquire) also observes the published value.
   struct FingerprintCache {
-    mutable std::uint64_t value = 0;
-    mutable bool valid = false;
+    mutable std::atomic<std::uint64_t> value{0};
+    mutable std::atomic<bool> valid{false};
+
+    FingerprintCache() noexcept = default;
+    FingerprintCache(const FingerprintCache& other) noexcept { *this = other; }
+    FingerprintCache& operator=(const FingerprintCache& other) noexcept {
+      const bool v = other.valid.load(std::memory_order_acquire);
+      value.store(other.value.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      valid.store(v, std::memory_order_release);
+      return *this;
+    }
+    void invalidate() noexcept { valid.store(false, std::memory_order_relaxed); }
     bool operator==(const FingerprintCache&) const noexcept { return true; }
   };
 

@@ -1,6 +1,7 @@
 #include "reflect/type_registry.hpp"
 
 #include <array>
+#include <mutex>
 
 #include "reflect/primitives.hpp"
 #include "reflect/reflect_error.hpp"
@@ -25,32 +26,42 @@ TypeRegistry::TypeRegistry() {
 
 const TypeDescription& TypeRegistry::add(TypeDescription description) {
   const util::InternedName key = description.name_id();
-  if (const auto it = by_name_.find(key); it != by_name_.end()) {
+  Shard& shard = shards_[shard_of(key)];
+  std::unique_lock shard_lock(shard.mutex);
+  if (const auto it = shard.by_name.find(key); it != shard.by_name.end()) {
     if (it->second.structurally_equal(description)) {
       return it->second;  // idempotent re-registration
     }
     throw ReflectError("type '" + description.qualified_name() +
                        "' already registered with a different structure");
   }
-  auto [it, inserted] = by_name_.emplace(key, std::move(description));
+  auto [it, inserted] = shard.by_name.emplace(key, std::move(description));
   const TypeDescription* stored = &it->second;
-  if (!stored->guid().is_nil()) {
-    by_guid_.emplace(stored->guid(), stored);
+  {
+    // Lock order shard -> aux (this is the only place both are held), so
+    // the secondary indexes become visible atomically with the name entry.
+    std::unique_lock aux_lock(aux_mutex_);
+    if (!stored->guid().is_nil()) {
+      by_guid_.emplace(stored->guid(), stored);
+    }
+    by_simple_name_[stored->simple_name_id()].push_back(stored);
+    insertion_order_.push_back(stored);
   }
-  by_simple_name_[stored->simple_name_id()].push_back(stored);
-  insertion_order_.push_back(stored);
+  size_.fetch_add(1, std::memory_order_relaxed);
   return *stored;
 }
 
 bool TypeRegistry::contains(std::string_view qualified_name) const noexcept {
   const util::InternedName id = util::SymbolTable::global().find(qualified_name);
-  return id.valid() && by_name_.find(id) != by_name_.end();
+  return find_by_id(id) != nullptr;
 }
 
 const TypeDescription* TypeRegistry::find_by_id(util::InternedName id) const noexcept {
   if (!id.valid()) return nullptr;
-  const auto it = by_name_.find(id);
-  return it == by_name_.end() ? nullptr : &it->second;
+  const Shard& shard = shards_[shard_of(id)];
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.by_name.find(id);
+  return it == shard.by_name.end() ? nullptr : &it->second;
 }
 
 const TypeDescription* TypeRegistry::resolve(std::string_view type_name,
@@ -69,6 +80,7 @@ const TypeDescription* TypeRegistry::resolve(std::string_view type_name,
     }
   }
   if (const util::InternedName simple = symbols.find(type_name); simple.valid()) {
+    std::shared_lock lock(aux_mutex_);
     if (const auto it = by_simple_name_.find(simple);
         it != by_simple_name_.end() && it->second.size() == 1) {
       return it->second.front();
@@ -82,11 +94,13 @@ const TypeDescription* TypeRegistry::find(std::string_view type_name) {
 }
 
 const TypeDescription* TypeRegistry::find_by_guid(const util::Guid& guid) const noexcept {
+  std::shared_lock lock(aux_mutex_);
   const auto it = by_guid_.find(guid);
   return it == by_guid_.end() ? nullptr : it->second;
 }
 
 std::vector<const TypeDescription*> TypeRegistry::user_types() const {
+  std::shared_lock lock(aux_mutex_);
   std::vector<const TypeDescription*> out;
   for (const TypeDescription* d : insertion_order_) {
     if (d->kind() != TypeKind::Primitive) out.push_back(d);

@@ -7,10 +7,22 @@
 // resolves member-type references (field types, parameter types) — which
 // is exactly where the protocol may need to fetch further descriptions
 // from the network (Peer overrides the resolver to do so).
+//
+// Thread safety: the registry is append-only and sharded. The id-keyed
+// description maps are split across 8 shards, each behind its own
+// std::shared_mutex, so resolve()/find_by_id() from concurrent checker
+// threads shared-lock one shard and never serialize against each other;
+// add() exclusive-locks only the target shard (plus a registry-wide aux
+// lock for the guid/simple-name indexes). Descriptions are stored in
+// node-based maps and never erased, so every returned TypeDescription*
+// stays valid for the registry's lifetime regardless of later add() calls.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -40,7 +52,8 @@ class TypeRegistry final : public TypeResolver {
 
   /// Registers a description under its qualified name. Re-registering a
   /// structurally equal description is a no-op; a conflicting structure
-  /// under the same name throws ReflectError.
+  /// under the same name throws ReflectError. Safe to call concurrently
+  /// with any other member (exclusive only within one shard).
   const TypeDescription& add(TypeDescription description);
 
   [[nodiscard]] bool contains(std::string_view qualified_name) const noexcept;
@@ -66,16 +79,42 @@ class TypeRegistry final : public TypeResolver {
   /// All registered non-primitive descriptions, in registration order.
   [[nodiscard]] std::vector<const TypeDescription*> user_types() const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of name shards (compile-time constant, exposed for tests).
+  [[nodiscard]] static constexpr std::size_t shard_count() noexcept { return kShardCount; }
 
  private:
+  static constexpr std::size_t kShardBits = 3;
+  static constexpr std::size_t kShardCount = 1u << kShardBits;
+
   // unordered_map is node-based, so description addresses are stable across
-  // rehash: descriptions are referred to by pointer across the library.
-  std::unordered_map<util::InternedName, TypeDescription> by_name_;
+  // rehash: descriptions are referred to by pointer across the library
+  // (and across threads — entries are never erased).
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<util::InternedName, TypeDescription> by_name;
+  };
+
+  [[nodiscard]] static std::size_t shard_of(util::InternedName id) noexcept {
+    // Top bits of the Fibonacci scramble: ids are sequential per symbol
+    // shard, so low bits would clump.
+    return static_cast<std::size_t>(
+        (id.value() * 0x9E3779B97F4A7C15ULL) >> (64 - kShardBits));
+  }
+
+  std::array<Shard, kShardCount> shards_;
+
+  // Secondary indexes, guarded together by aux_mutex_. Lock order is
+  // always shard -> aux (only add() holds both); readers take exactly one.
+  mutable std::shared_mutex aux_mutex_;
   std::unordered_map<util::Guid, const TypeDescription*> by_guid_;
   std::unordered_map<util::InternedName, std::vector<const TypeDescription*>>
       by_simple_name_;
   std::vector<const TypeDescription*> insertion_order_;
+  std::atomic<std::size_t> size_{0};
 };
 
 /// Builds the description of a primitive type (kind Primitive, shared

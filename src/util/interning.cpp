@@ -1,5 +1,8 @@
 #include "util/interning.hpp"
 
+#include <mutex>
+#include <stdexcept>
+
 #include "util/hash.hpp"
 #include "util/string_util.hpp"
 
@@ -25,23 +28,72 @@ namespace {
 
 }  // namespace
 
+SymbolTable::SymbolTable() = default;
+
+SymbolTable::~SymbolTable() {
+  for (Shard& shard : shards_) {
+    for (auto& chunk : shard.chunks) {
+      delete chunk.load(std::memory_order_relaxed);
+    }
+  }
+}
+
 SymbolTable& SymbolTable::global() {
   static SymbolTable table;
   return table;
 }
 
-InternedName SymbolTable::find_hashed(std::uint64_t h, std::string_view ns,
-                                      std::string_view name) const noexcept {
-  const auto it = index_.find(h);
-  if (it == index_.end()) return {};
-  for (const std::uint32_t id : it->second) {
-    if (folded_equals(entries_[id].folded, ns, name)) return InternedName(id);
+const SymbolTable::Entry& SymbolTable::entry_at(const Shard& shard,
+                                                std::uint32_t slot) const noexcept {
+  // The chunk pointer was stored before the slot was published via the
+  // shard count (release); callers established slot validity through an
+  // acquire load of that count or while holding the shard mutex, so a
+  // relaxed load here reads a fully constructed entry.
+  const Chunk* chunk = shard.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
+  return (*chunk)[slot & (kChunkSize - 1)];
+}
+
+InternedName SymbolTable::find_in_shard(const Shard& shard, std::size_t shard_idx,
+                                        std::uint64_t h, std::string_view ns,
+                                        std::string_view name) const noexcept {
+  const auto it = shard.index.find(h);
+  if (it == shard.index.end()) return {};
+  for (const std::uint32_t slot : it->second) {
+    if (folded_equals(entry_at(shard, slot).folded, ns, name)) {
+      return InternedName(make_id(shard_idx, slot));
+    }
   }
   return {};
 }
 
+InternedName SymbolTable::insert_locked(Shard& shard, std::size_t shard_idx,
+                                        std::uint64_t h, std::string&& folded) {
+  const std::uint32_t slot = shard.count.load(std::memory_order_relaxed);
+  if (slot >= kMaxChunks * kChunkSize) {
+    throw std::length_error("SymbolTable shard full");
+  }
+  const std::uint32_t chunk_idx = slot >> kChunkBits;
+  Chunk* chunk = shard.chunks[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    shard.chunks[chunk_idx].store(chunk, std::memory_order_relaxed);
+  }
+  Entry& entry = (*chunk)[slot & (kChunkSize - 1)];
+  entry.folded = std::move(folded);
+  entry.hash = h;
+  shard.index[h].push_back(slot);
+  // Publish: the entry (and its chunk pointer) become visible to lock-free
+  // readers only after this release store.
+  shard.count.store(slot + 1, std::memory_order_release);
+  return InternedName(make_id(shard_idx, slot));
+}
+
 InternedName SymbolTable::find(std::string_view s) const noexcept {
-  return find_hashed(fold_hash(s), {}, s);
+  const std::uint64_t h = fold_hash(s);
+  const std::size_t shard_idx = shard_of(h);
+  const Shard& shard = shards_[shard_idx];
+  std::shared_lock lock(shard.mutex);
+  return find_in_shard(shard, shard_idx, h, {}, s);
 }
 
 InternedName SymbolTable::find_qualified(std::string_view ns,
@@ -50,16 +102,28 @@ InternedName SymbolTable::find_qualified(std::string_view ns,
   std::uint64_t h = fold_hash(ns);
   h = fold_hash_char('.', h);
   h = fold_hash(name, h);
-  return find_hashed(h, ns, name);
+  const std::size_t shard_idx = shard_of(h);
+  const Shard& shard = shards_[shard_idx];
+  std::shared_lock lock(shard.mutex);
+  return find_in_shard(shard, shard_idx, h, ns, name);
 }
 
 InternedName SymbolTable::intern(std::string_view s) {
   const std::uint64_t h = fold_hash(s);
-  if (const InternedName id = find_hashed(h, {}, s); id.valid()) return id;
-  const auto id = static_cast<std::uint32_t>(entries_.size());
-  entries_.push_back(Entry{to_lower(s), h});
-  index_[h].push_back(id);
-  return InternedName(id);
+  const std::size_t shard_idx = shard_of(h);
+  Shard& shard = shards_[shard_idx];
+  {
+    std::shared_lock lock(shard.mutex);
+    if (const InternedName id = find_in_shard(shard, shard_idx, h, {}, s); id.valid()) {
+      return id;
+    }
+  }
+  std::unique_lock lock(shard.mutex);
+  // Re-probe: another thread may have interned `s` between the locks.
+  if (const InternedName id = find_in_shard(shard, shard_idx, h, {}, s); id.valid()) {
+    return id;
+  }
+  return insert_locked(shard, shard_idx, h, to_lower(s));
 }
 
 InternedName SymbolTable::intern_qualified(std::string_view ns, std::string_view name) {
@@ -67,26 +131,53 @@ InternedName SymbolTable::intern_qualified(std::string_view ns, std::string_view
   std::uint64_t h = fold_hash(ns);
   h = fold_hash_char('.', h);
   h = fold_hash(name, h);
-  if (const InternedName id = find_hashed(h, ns, name); id.valid()) return id;
+  const std::size_t shard_idx = shard_of(h);
+  Shard& shard = shards_[shard_idx];
+  {
+    std::shared_lock lock(shard.mutex);
+    if (const InternedName id = find_in_shard(shard, shard_idx, h, ns, name); id.valid()) {
+      return id;
+    }
+  }
+  std::unique_lock lock(shard.mutex);
+  if (const InternedName id = find_in_shard(shard, shard_idx, h, ns, name); id.valid()) {
+    return id;
+  }
   std::string folded;
   folded.reserve(ns.size() + 1 + name.size());
   folded += to_lower(ns);
   folded += '.';
   folded += to_lower(name);
-  const auto id = static_cast<std::uint32_t>(entries_.size());
-  entries_.push_back(Entry{std::move(folded), h});
-  index_[h].push_back(id);
-  return InternedName(id);
+  return insert_locked(shard, shard_idx, h, std::move(folded));
 }
 
 std::string_view SymbolTable::folded(InternedName id) const noexcept {
-  if (!id.valid() || id.value() >= entries_.size()) return {};
-  return entries_[id.value()].folded;
+  if (!id.valid()) return {};
+  const Shard& shard = shards_[id.value() & (kShardCount - 1)];
+  const std::uint32_t slot = id.value() >> kShardBits;
+  if (slot >= shard.count.load(std::memory_order_acquire)) return {};
+  return entry_at(shard, slot).folded;
 }
 
 std::uint64_t SymbolTable::hash(InternedName id) const noexcept {
-  if (!id.valid() || id.value() >= entries_.size()) return 0;
-  return entries_[id.value()].hash;
+  if (!id.valid()) return 0;
+  const Shard& shard = shards_[id.value() & (kShardCount - 1)];
+  const std::uint32_t slot = id.value() >> kShardBits;
+  if (slot >= shard.count.load(std::memory_order_acquire)) return 0;
+  return entry_at(shard, slot).hash;
+}
+
+std::size_t SymbolTable::size() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::size_t SymbolTable::shard_size(std::size_t shard) const noexcept {
+  if (shard >= kShardCount) return 0;
+  return shards_[shard].count.load(std::memory_order_acquire);
 }
 
 }  // namespace pti::util

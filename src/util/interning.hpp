@@ -15,11 +15,23 @@
 // and hashes the candidate on the fly and compares it character-by-character
 // against stored folded spellings. A name that was never interned cannot be
 // the key of anything, so a miss is an authoritative "unknown".
+//
+// Thread safety: the table is sharded 16 ways by folded hash. Each shard
+// stripes its probe index behind a std::shared_mutex (readers share,
+// interning writers exclude only their shard), while the entry storage is
+// append-only chunked memory published through atomics — so the by-id
+// accessors folded() and hash() are lock-free and wait-free, and
+// concurrent intern()/find() calls on distinct shards never contend at
+// all. Every member function is safe to call from any number of threads
+// concurrently; ids and folded() views are stable for the lifetime of the
+// table and are never invalidated by later interning.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -69,12 +81,22 @@ class InternedName {
   return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
 }
 
-/// Append-only table of case-folded names. Interning is amortized O(1);
-/// find() is O(1) with zero allocations. Ids are stable for the lifetime
-/// of the table and folded() views are never invalidated.
+/// Append-only, sharded table of case-folded names. Interning is amortized
+/// O(1); find() is O(1) with zero allocations. Ids are stable for the
+/// lifetime of the table and folded() views are never invalidated.
+///
+/// Concurrency contract:
+///  - intern()/intern_qualified(): safe from any thread; exclusive only
+///    within the target shard (striped locking).
+///  - find()/find_qualified(): safe from any thread; shared lock on one
+///    shard, zero allocations.
+///  - folded()/hash(): lock-free — they read the append-only chunk storage
+///    through acquire loads and never touch the shard index.
+///  - size(): lock-free, may transiently under-count concurrent interns.
 class SymbolTable {
  public:
-  SymbolTable() = default;
+  SymbolTable();
+  ~SymbolTable();
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
@@ -82,11 +104,15 @@ class SymbolTable {
   /// conformance cache and SimNetwork all share it so their ids agree.
   [[nodiscard]] static SymbolTable& global();
 
-  /// Folds `s` and returns its id, inserting on first sight.
+  /// Folds `s` and returns its id, inserting on first sight. Throws
+  /// std::length_error if the target shard is at capacity (~256K names
+  /// per shard, ~4M total) — far above current workloads; the hostile-peer
+  /// eviction story (ROADMAP) will replace the hard cap.
   InternedName intern(std::string_view s);
 
   /// Interns the qualified form "ns.name" (or just "name" when `ns` is
-  /// empty) without building the concatenation unless it is new.
+  /// empty) without building the concatenation unless it is new. Throws
+  /// like intern() at shard capacity.
   InternedName intern_qualified(std::string_view ns, std::string_view name);
 
   /// Id of `s` if it was ever interned; invalid otherwise. Never inserts,
@@ -97,27 +123,77 @@ class SymbolTable {
   [[nodiscard]] InternedName find_qualified(std::string_view ns,
                                             std::string_view name) const noexcept;
 
-  /// The stored folded spelling. Stable for the table's lifetime.
+  /// The stored folded spelling. Stable for the table's lifetime; safe to
+  /// call concurrently with interning (lock-free).
   [[nodiscard]] std::string_view folded(InternedName id) const noexcept;
 
-  /// The precomputed hash of the folded spelling.
+  /// The precomputed hash of the folded spelling. Lock-free.
   [[nodiscard]] std::uint64_t hash(InternedName id) const noexcept;
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Total interned names across all shards (may lag concurrent interns).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Number of shards (compile-time constant, exposed for stats/tests).
+  [[nodiscard]] static constexpr std::size_t shard_count() noexcept { return kShardCount; }
+
+  /// Names interned into shard `shard` so far — the per-shard occupancy
+  /// hook a future eviction/epoch story will build on.
+  [[nodiscard]] std::size_t shard_size(std::size_t shard) const noexcept;
 
  private:
+  // Ids interleave shards: id = (slot << kShardBits) | shard. The shard is
+  // picked from the folded hash, so both halves of the id are recoverable
+  // without any lookup.
+  static constexpr std::uint32_t kShardBits = 4;
+  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+  // Entry storage is chunked so a slot's address never moves: chunk
+  // pointers are published once and entries are written before the shard's
+  // size counter is bumped (release), which is what makes by-id reads
+  // lock-free. 256-entry chunks keep the first intern into a shard cheap;
+  // 1024 chunk slots x 16 shards cap the table at ~4M distinct names
+  // (intern throws std::length_error beyond that) while keeping the fixed
+  // footprint of an empty table to ~8KB per shard.
+  static constexpr std::uint32_t kChunkBits = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr std::uint32_t kMaxChunks = 1u << 10;  // 256K names per shard
+
   struct Entry {
     std::string folded;
     std::uint64_t hash = 0;
   };
+  using Chunk = std::array<Entry, kChunkSize>;
 
-  [[nodiscard]] InternedName find_hashed(std::uint64_t h, std::string_view ns,
-                                         std::string_view name) const noexcept;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // folded hash -> slots in this shard; guarded by `mutex`.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
+    // Append-only entry storage; readable without the mutex.
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+    std::atomic<std::uint32_t> count{0};
+  };
 
-  // Entries live in a deque so folded() views survive growth; the index
-  // buckets ids by folded hash (collisions resolved by folded compare).
-  std::deque<Entry> entries_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  [[nodiscard]] static constexpr std::size_t shard_of(std::uint64_t h) noexcept {
+    // xor-fold so shard choice uses more than the low bits of FNV.
+    return static_cast<std::size_t>((h ^ (h >> 32)) & (kShardCount - 1));
+  }
+  [[nodiscard]] static constexpr std::uint32_t make_id(std::size_t shard,
+                                                       std::uint32_t slot) noexcept {
+    return (slot << kShardBits) | static_cast<std::uint32_t>(shard);
+  }
+
+  /// Entry for a published slot of `shard`; requires slot < published count.
+  [[nodiscard]] const Entry& entry_at(const Shard& shard, std::uint32_t slot) const noexcept;
+
+  /// Probe under the caller-held shard lock (shared or exclusive).
+  [[nodiscard]] InternedName find_in_shard(const Shard& shard, std::size_t shard_idx,
+                                           std::uint64_t h, std::string_view ns,
+                                           std::string_view name) const noexcept;
+
+  /// Insert under the caller-held exclusive shard lock.
+  InternedName insert_locked(Shard& shard, std::size_t shard_idx, std::uint64_t h,
+                             std::string&& folded);
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace pti::util

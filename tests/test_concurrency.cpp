@@ -1,0 +1,277 @@
+// Multi-threaded stress tests for the sharded hot paths: SymbolTable
+// interning, TypeRegistry registration/resolution, the ConformanceCache
+// and full conformance checks hammered from N threads at once. These are
+// the tests a ThreadSanitizer build (-DPTI_SANITIZE=thread) must pass
+// race-free; single-threaded assertions at the end pin down the
+// functional invariants (same name -> same id, one stored description per
+// name, deterministic verdicts).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conform/conformance_cache.hpp"
+#include "conform/conformance_checker.hpp"
+#include "fixtures/sample_types.hpp"
+#include "reflect/domain.hpp"
+#include "reflect/type_registry.hpp"
+#include "util/interning.hpp"
+
+namespace {
+
+using namespace pti;
+
+constexpr int kThreads = 8;
+
+/// A minimal class description with one int32 field.
+[[nodiscard]] reflect::TypeDescription make_description(std::string ns, std::string name) {
+  reflect::TypeDescription d(std::move(ns), std::move(name), reflect::TypeKind::Class);
+  d.add_field({"value", "int32", reflect::Visibility::Private, false});
+  return d;
+}
+
+/// Runs `fn(thread_index)` on kThreads threads, releasing them together.
+template <typename Fn>
+void run_threads(Fn fn) {
+  std::barrier gate(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      fn(t);
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(ConcurrentSymbolTable, OverlappingInternsAgreeOnIds) {
+  util::SymbolTable table;
+  constexpr int kNames = 500;
+  // Every thread interns the same names (with per-thread case variations)
+  // plus a private set, interleaved with reads of already-interned ids.
+  std::array<std::array<util::InternedName, kNames>, kThreads> seen{};
+  run_threads([&](int t) {
+    for (int i = 0; i < kNames; ++i) {
+      const std::string shared = (t % 2 == 0 ? "ns.Shared" : "NS.shared") + std::to_string(i);
+      seen[t][i] = table.intern(shared);
+      const std::string private_name =
+          "ns.private." + std::to_string(t) + "." + std::to_string(i);
+      const util::InternedName mine = table.intern(private_name);
+      ASSERT_TRUE(mine.valid());
+      ASSERT_EQ(table.find(private_name), mine);
+      // Lock-free readback of something another thread may be publishing.
+      ASSERT_FALSE(table.folded(seen[t][i]).empty());
+      ASSERT_NE(table.hash(seen[t][i]), 0u);
+    }
+  });
+  // Case-insensitively equal names interned from different threads must
+  // have collapsed to a single id with the folded spelling stored once.
+  for (int i = 0; i < kNames; ++i) {
+    const util::InternedName id = seen[0][i];
+    for (int t = 1; t < kThreads; ++t) ASSERT_EQ(seen[t][i], id);
+    ASSERT_EQ(table.folded(id), "ns.shared" + std::to_string(i));
+  }
+  EXPECT_EQ(table.size(),
+            static_cast<std::size_t>(kNames + kThreads * kNames));
+}
+
+TEST(ConcurrentSymbolTable, QualifiedAndPlainProbesWhileInterning) {
+  util::SymbolTable table;
+  const util::InternedName fixed = table.intern_qualified("teamA", "Person");
+  run_threads([&](int t) {
+    if (t == 0) {
+      // Writer: keeps growing the table.
+      for (int i = 0; i < 4000; ++i) {
+        table.intern_qualified("grow", "T" + std::to_string(i));
+      }
+      return;
+    }
+    // Readers: allocation-free probes and by-id reads race the writer
+    // (bounded, not flag-spun: on a single-cpu box spinning readers would
+    // starve the writer for the whole timeslice).
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(table.find_qualified("TeamA", "PERSON"), fixed);
+      ASSERT_EQ(table.find("teama.person"), fixed);
+      ASSERT_FALSE(table.find("never.interned").valid());
+      ASSERT_EQ(table.folded(fixed), "teama.person");
+    }
+  });
+  EXPECT_EQ(table.size(), 4001u);
+}
+
+TEST(ConcurrentRegistry, ParallelRegistrationAndResolution) {
+  reflect::TypeRegistry registry;
+  constexpr int kTypesPerThread = 200;
+  run_threads([&](int t) {
+    for (int i = 0; i < kTypesPerThread; ++i) {
+      // Disjoint per-thread types.
+      registry.add(make_description(
+          "load", "Type" + std::to_string(t) + "_" + std::to_string(i)));
+      // One shared type every thread re-registers (idempotent
+      // re-registration must win the race).
+      registry.add(make_description("load", "Shared"));
+
+      // Resolve own earlier types while other threads register.
+      const std::string probe = "load.Type" + std::to_string(t) + "_" +
+                                std::to_string(i / 2);
+      ASSERT_NE(registry.find(probe), nullptr);
+      ASSERT_NE(registry.find("load.Shared"), nullptr);
+      ASSERT_NE(registry.resolve("int32", ""), nullptr);
+    }
+  });
+  // 8 primitives + per-thread types + the one shared type.
+  EXPECT_EQ(registry.size(),
+            8u + static_cast<std::size_t>(kThreads * kTypesPerThread) + 1u);
+  // The shared type collapsed to a single stored description.
+  const reflect::TypeDescription* shared = registry.find("load.Shared");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(registry.find("LOAD.SHARED"), shared);
+}
+
+TEST(ConcurrentRegistry, SimpleNameAndGuidLookupsDuringGrowth) {
+  reflect::Domain domain;
+  domain.load_assembly(fixtures::team_a_people());
+  reflect::TypeRegistry& registry = domain.registry();
+  const reflect::TypeDescription* person = registry.find("teamA.Person");
+  ASSERT_NE(person, nullptr);
+  run_threads([&](int t) {
+    for (int i = 0; i < 300; ++i) {
+      if (t == 0) {
+        registry.add(make_description("growth", "G" + std::to_string(i)));
+      } else {
+        // Unique simple-name match and guid lookup race the writer.
+        ASSERT_EQ(registry.resolve("Person", "elsewhere"), person);
+        ASSERT_EQ(registry.find_by_guid(person->guid()), person);
+        ASSERT_EQ(registry.find_by_id(person->name_id()), person);
+        ASSERT_FALSE(registry.user_types().empty());
+      }
+    }
+  });
+}
+
+TEST(ConcurrentCache, LookupInsertStatsStayCoherent) {
+  conform::ConformanceCache cache;
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  constexpr int kKeys = 128;
+  std::array<util::InternedName, kKeys> names;
+  for (int i = 0; i < kKeys; ++i) {
+    names[i] = symbols.intern("concache.K" + std::to_string(i));
+  }
+  std::atomic<std::uint64_t> observed_hits{0};
+  run_threads([&](int t) {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < kKeys; ++i) {
+        const auto src = names[i];
+        const auto dst = names[(i + 1) % kKeys];
+        if (const auto* v = cache.lookup(src, dst, 0)) {
+          ASSERT_TRUE(v->conformant);
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+        } else if (t % 2 == 0) {
+          cache.insert(src, dst, 0, conform::CachedVerdict{true, {}});
+        }
+      }
+    }
+  });
+  const conform::CacheStats total = cache.stats();
+  EXPECT_EQ(total.hits, observed_hits.load());
+  EXPECT_EQ(total.hits + total.misses,
+            static_cast<std::uint64_t>(kThreads) * 50u * kKeys);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  // Per-shard stats sum to the aggregate.
+  conform::CacheStats summed;
+  for (std::size_t s = 0; s < conform::ConformanceCache::shard_count(); ++s) {
+    const conform::CacheStats shard = cache.shard_stats(s);
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.insertions += shard.insertions;
+  }
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.insertions, total.insertions);
+}
+
+TEST(ConcurrentChecker, SharedCheckerConsistentVerdicts) {
+  reflect::Domain domain;
+  domain.load_assembly(fixtures::team_a_people());
+  domain.load_assembly(fixtures::team_b_people());
+  domain.load_assembly(fixtures::deep_type_chain("ca", 8));
+  domain.load_assembly(fixtures::deep_type_chain("cb", 8));
+  conform::ConformanceCache cache;
+  conform::ConformanceChecker checker(domain.registry(), {}, &cache);
+
+  const auto* a_person = domain.registry().find("teamA.Person");
+  const auto* b_person = domain.registry().find("teamB.Person");
+  const auto* chain_a = domain.registry().find("ca.T0");
+  const auto* chain_b = domain.registry().find("cb.T0");
+  const auto* account = domain.registry().find("int32");
+  ASSERT_NE(a_person, nullptr);
+  ASSERT_NE(b_person, nullptr);
+  ASSERT_NE(chain_a, nullptr);
+  ASSERT_NE(chain_b, nullptr);
+  ASSERT_NE(account, nullptr);
+
+  run_threads([&](int t) {
+    for (int i = 0; i < 200; ++i) {
+      // Cold and warm checks interleave across threads; every verdict must
+      // be the deterministic one.
+      ASSERT_TRUE(checker.conforms(*b_person, *a_person));
+      ASSERT_TRUE(checker.conforms(*chain_b, *chain_a));
+      ASSERT_FALSE(checker.conforms(*account, *a_person));
+      const conform::CheckResult full = checker.check(*b_person, *a_person);
+      ASSERT_TRUE(full.conformant);
+      ASSERT_NE(full.plan.find_method("getName", 0), nullptr);
+      if (t == 0 && i % 50 == 0) {
+        // A writer thread grows the registry mid-flight.
+        domain.registry().add(make_description("hotadd", "H" + std::to_string(i)));
+      }
+    }
+  });
+  const conform::CacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.insertions, 0u);
+}
+
+TEST(ConcurrentPlan, CopiesShareAtomicallyRefcountedPayload) {
+  reflect::Domain domain;
+  domain.load_assembly(fixtures::team_a_people());
+  domain.load_assembly(fixtures::team_b_people());
+  conform::ConformanceCache cache;
+  conform::ConformanceChecker checker(domain.registry(), {}, &cache);
+  const conform::CheckResult result = checker.check(
+      *domain.registry().find("teamB.Person"), *domain.registry().find("teamA.Person"));
+  ASSERT_TRUE(result.conformant);
+  const conform::ConformancePlan master = result.plan;
+
+  run_threads([&](int) {
+    for (int i = 0; i < 2000; ++i) {
+      conform::ConformancePlan copy = master;  // refcount bump
+      ASSERT_NE(copy.find_method("getName", 0), nullptr);
+      conform::ConformancePlan second = copy;
+      // COW: mutating a shared copy must not disturb other threads' reads.
+      second.add_field(conform::FieldMapping{"f", "g", "int32", "int32"});
+      ASSERT_NE(second.find_field("f"), nullptr);
+      ASSERT_EQ(copy.find_field("f"), nullptr);
+    }
+  });
+  EXPECT_EQ(master.find_field("f"), nullptr);
+  EXPECT_FALSE(master.methods().empty());
+}
+
+TEST(ConcurrentFingerprint, MemoizationRaceYieldsOneValue) {
+  reflect::TypeDescription description("fp", "Wide", reflect::TypeKind::Class);
+  for (int i = 0; i < 64; ++i) {
+    description.add_field({"f" + std::to_string(i), "int32",
+                           reflect::Visibility::Private, false});
+  }
+  std::array<std::uint64_t, kThreads> values{};
+  run_threads([&](int t) { values[t] = description.fingerprint(); });
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(values[t], values[0]);
+  EXPECT_EQ(values[0], description.fingerprint());
+}
+
+}  // namespace
