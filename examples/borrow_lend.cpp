@@ -26,12 +26,13 @@ int main() {
   pti::bl::Lender lender(shop, directory);
   pti::bl::Borrower borrower(office, directory);
 
-  // The shop lends two printers.
+  // The shop lends two printers (made through a v2 handle, resolved once).
+  const auto printer_a = shop.type("shopA.Printer");
   const Value p1[] = {Value("laser-1")};
   const Value p2[] = {Value("inkjet-2")};
-  auto laser = shop.make("shopA.Printer", p1);
+  auto laser = shop.make(printer_a, p1);
   lender.lend(laser);
-  lender.lend(shop.make("shopA.Printer", p2));
+  lender.lend(shop.make(printer_a, p2));
   std::printf("shop lent 2 printers (type shopA.Printer)\n");
 
   // The office borrows by ITS criterion type.

@@ -38,28 +38,34 @@ int main() {
   alice.publish_assembly(pti::fixtures::team_a_people());
   alice.publish_assembly(pti::fixtures::bank_accounts());
   bob.publish_assembly(pti::fixtures::team_b_people());
-  bob.subscribe("teamB.Person", [](const pti::transport::DeliveredObject&) {});
+  // Resolve each name to a TypeHandle once; every later make/subscribe is
+  // string-free (v2 API).
+  const auto person_a = alice.type("teamA.Person");
+  const auto address_a = alice.type("teamA.Address");
+  const auto account = alice.type("bank.Account");
+  auto sub =
+      bob.subscribe(bob.type("teamB.Person"), [](const pti::transport::DeliveredObject&) {});
 
   std::uint64_t bytes = 0, msgs = 0;
   std::printf("== optimistic protocol walk-through (Fig. 1) ==\n");
 
   // --- first push: the full five steps -----------------------------------
   const Value ada[] = {Value("Ada")};
-  auto person = alice.make("teamA.Person", ada);
+  auto person = alice.make(person_a, ada);
   const Value addr[] = {Value("Main St"), Value(std::int32_t{1015})};
-  person->set("address", Value(alice.make("teamA.Address", addr)));
+  person->set("address", Value(alice.make(address_a, addr)));
 
   (void)alice.send("bob", person);
   print_phase("push #1 (unknown type: steps 1-5)", system, bytes, msgs, bob.stats());
 
   // --- second push: descriptions and code are cached ----------------------
   const Value grace[] = {Value("Grace")};
-  (void)alice.send("bob", alice.make("teamA.Person", grace));
+  (void)alice.send("bob", alice.make(person_a, grace));
   print_phase("push #2 (cached: object + ack only)", system, bytes, msgs, bob.stats());
 
   // --- non-conformant push: rejected before any code download -------------
   const Value eve[] = {Value("Eve")};
-  (void)alice.send("bob", alice.make("bank.Account", eve));
+  (void)alice.send("bob", alice.make(account, eve));
   print_phase("push #3 (non-conformant: rejected)", system, bytes, msgs, bob.stats());
 
   // --- use the delivered objects through bob's own interface --------------

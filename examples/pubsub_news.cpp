@@ -98,6 +98,11 @@ int main() {
   // bloomberg's types.
   reader.offer_assembly(reuters_types());
 
+  // v2 handles: resolve each publisher's event type once.
+  const auto reuters_news = reuters.runtime().type("reuters.NewsFlash");
+  const auto bloomberg_news = bloomberg.runtime().type("bloomberg.NewsFlash");
+  const auto bloomberg_quote = bloomberg.runtime().type("bloomberg.StockQuote");
+
   reader.subscribe("reuters.NewsFlash",
                    [&](const pti::transport::DeliveredObject& event) {
                      auto& rt = reader.runtime();
@@ -109,14 +114,14 @@ int main() {
 
   // Reuters publishes its own events.
   const Value r1[] = {Value("Moon landing re-enacted"), Value(std::int32_t{7})};
-  auto report1 = reuters.publish(reuters.runtime().make("reuters.NewsFlash", r1));
+  auto report1 = reuters.publish(reuters.runtime().make(reuters_news, r1));
 
   // Bloomberg publishes a *differently shaped* news flash — delivered via
   // implicit structural conformance — and a stock quote — filtered out.
   const Value b1[] = {Value("Markets rally on middleware news"), Value(std::int32_t{9})};
-  auto report2 = bloomberg.publish(bloomberg.runtime().make("bloomberg.NewsFlash", b1));
+  auto report2 = bloomberg.publish(bloomberg.runtime().make(bloomberg_news, b1));
   const Value q1[] = {Value("PTI"), Value(42.0)};
-  auto report3 = bloomberg.publish(bloomberg.runtime().make("bloomberg.StockQuote", q1));
+  auto report3 = bloomberg.publish(bloomberg.runtime().make(bloomberg_quote, q1));
 
   std::printf("\npublish results (recipients/delivered): reuters %zu/%zu, "
               "bloomberg news %zu/%zu, bloomberg quote %zu/%zu\n",

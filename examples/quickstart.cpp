@@ -4,6 +4,11 @@
 // names (setName/getName vs setPersonName/getPersonName). With implicit
 // structural conformance, either implementation can be used as the other.
 //
+// The v2 API is handle-based: resolve a type name once with type(), then
+// pass the TypeHandle on every call — make/subscribe/check never re-hash
+// the name. (The string forms still work; see docs/API.md for the
+// migration guide.)
+//
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
@@ -18,12 +23,16 @@ int main() {
   auto& alice = system.create_runtime("alice");
   auto& bob = system.create_runtime("bob");
 
-  // Each team publishes its own types (metadata + code).
+  // Each team publishes its own types (metadata + code) and resolves the
+  // ones it works with to handles, once.
   alice.publish_assembly(pti::fixtures::team_a_people());  // getName/setName
   bob.publish_assembly(pti::fixtures::team_b_people());    // getPersonName/...
+  const auto person_a = alice.type("teamA.Person");
+  const auto person_b = bob.type("teamB.Person");
 
-  // Bob subscribes with HIS type. Alice has never seen it.
-  bob.subscribe("teamB.Person", [&](const pti::transport::DeliveredObject& event) {
+  // Bob subscribes with HIS type. Alice has never seen it. The returned
+  // Subscription deregisters the handler when it goes out of scope.
+  auto sub = bob.subscribe(person_b, [&](const pti::transport::DeliveredObject& event) {
     // The delivered object was a teamA.Person; `adapted` lets bob use it
     // through teamB's interface, renames included.
     const std::string name = bob.call(event.adapted, "getPersonName").as_string();
@@ -38,13 +47,14 @@ int main() {
   // Alice sends HER person by value. The optimistic protocol ships the
   // object, then the type description, then the code — each only on demand.
   const Value args[] = {Value("Ada")};
-  const auto ack = alice.send("bob", alice.make("teamA.Person", args));
+  const auto ack = alice.send("bob", alice.make(person_a, args));
 
   std::printf("delivered=%s matched_interest=%s\n", ack.delivered ? "yes" : "no",
               ack.detail.c_str());
+  // Conformance queries by handle are string-free; bob learned teamA.Person
+  // from the exchange above, so he can hold a handle to it now.
   std::printf("conformance verdict (teamA.Person -> teamB.Person): %s\n",
-              bob.check_conformance("teamA.Person", "teamB.Person").conformant
-                  ? "conformant"
-                  : "NOT conformant");
+              bob.conforms(bob.type("teamA.Person"), person_b) ? "conformant"
+                                                               : "NOT conformant");
   return ack.delivered ? 0 : 1;
 }

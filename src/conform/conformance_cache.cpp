@@ -48,6 +48,30 @@ const CachedVerdict* ConformanceCache::probe(const reflect::TypeDescription& sou
   return read(shards_[shard_of(h)], key, h, /*count_miss=*/false);
 }
 
+void ConformanceCache::probe_batch(std::span<const Key> keys,
+                                   const CachedVerdict** out) noexcept {
+  // Blocked two-pass probe: hash + prefetch first, then read. The prefetch
+  // pass issues the (independent) shard-table and slot loads for the whole
+  // block before any probe needs them, so distinct shards' cache lines
+  // stream in parallel.
+  constexpr std::size_t kBlock = 64;
+  std::size_t hashes[kBlock];
+  for (std::size_t base = 0; base < keys.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, keys.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t h = KeyHash{}(keys[base + i]);
+      hashes[i] = h;
+      if (const Table* table = shards_[shard_of(h)].table.load(std::memory_order_acquire)) {
+        __builtin_prefetch(&table->slots[h & table->mask], /*rw=*/0, /*locality=*/1);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t h = hashes[i];
+      out[base + i] = read(shards_[shard_of(h)], keys[base + i], h, /*count_miss=*/false);
+    }
+  }
+}
+
 void ConformanceCache::publish(Table& table, const MapEntry* entry) noexcept {
   const std::size_t h = KeyHash{}(entry->first);
   for (std::size_t i = h & table.mask;; i = (i + 1) & table.mask) {

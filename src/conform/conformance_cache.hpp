@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -90,6 +91,15 @@ class ConformanceCache {
   [[nodiscard]] const CachedVerdict* probe(const reflect::TypeDescription& source,
                                            const reflect::TypeDescription& target,
                                            std::uint64_t options_fingerprint) noexcept;
+
+  /// Batched lock-free probe: pass 1 hashes every key and prefetches its
+  /// shard's index slot, pass 2 probes — the independent shard/slot cache
+  /// lines are fetched in parallel instead of serially per lookup, which
+  /// is what amortizes cache-shard traffic for bulk conformance queries.
+  /// out[i] receives the verdict for keys[i] (nullptr when not cached).
+  /// Hit accounting matches probe(): hits count, misses do not (the
+  /// caller's fallback full check records the authoritative miss).
+  void probe_batch(std::span<const Key> keys, const CachedVerdict** out) noexcept;
 
   /// Exclusive-locks one shard. Idempotent re-insertion of an equal
   /// verdict (two threads completing the same check) is benign.

@@ -126,6 +126,41 @@ bool ConformanceChecker::conforms(const TypeDescription& source,
   return check(source, target).conformant;
 }
 
+void ConformanceChecker::conforms_batch(std::span<const DescPair> pairs,
+                                        std::span<bool> out) {
+  constexpr std::size_t kBlock = 64;
+  ConformanceCache::Key keys[kBlock];
+  const CachedVerdict* cached[kBlock];
+  for (std::size_t base = 0; base < pairs.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, pairs.size() - base);
+    if (cache_ != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& [source, target] = pairs[base + i];
+        keys[i] = ConformanceCache::Key{
+            source != nullptr ? source->name_id() : util::InternedName{},
+            target != nullptr ? target->name_id() : util::InternedName{}, options_fp_};
+      }
+      cache_->probe_batch(std::span<const ConformanceCache::Key>(keys, n), cached);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& [source, target] = pairs[base + i];
+        if (source == nullptr || target == nullptr) {
+          out[base + i] = false;
+        } else if (cached[i] != nullptr) {
+          out[base + i] = cached[i]->conformant;
+        } else {
+          out[base + i] = check(*source, *target).conformant;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& [source, target] = pairs[base + i];
+        out[base + i] =
+            source != nullptr && target != nullptr && check(*source, *target).conformant;
+      }
+    }
+  }
+}
+
 CheckResult ConformanceChecker::check_with_ctx(const TypeDescription& source,
                                                const TypeDescription& target, Ctx& ctx) {
   if (cache_ != nullptr) {

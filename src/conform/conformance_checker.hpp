@@ -34,6 +34,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -83,6 +84,17 @@ class ConformanceChecker {
   /// cache without materializing a CheckResult (zero heap allocations).
   [[nodiscard]] bool conforms(const reflect::TypeDescription& source,
                               const reflect::TypeDescription& target);
+
+  /// A (source, target) pair of an all-pairs verdict query. Null
+  /// descriptions are simply non-conformant.
+  using DescPair =
+      std::pair<const reflect::TypeDescription*, const reflect::TypeDescription*>;
+
+  /// Batched verdict-only checks: cached pairs are answered through one
+  /// shard-aware batched cache probe (ConformanceCache::probe_batch) with
+  /// zero allocations; misses fall back to full check()s. `out` must hold
+  /// at least pairs.size() verdicts.
+  void conforms_batch(std::span<const DescPair> pairs, std::span<bool> out);
 
   /// The paper's `equals()`: equivalence only (identity or structural
   /// equality), no subtyping, no implicit rule.

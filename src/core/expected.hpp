@@ -1,0 +1,170 @@
+// Expected<T> — the non-throwing result channel of the v2 public API.
+//
+// Every fallible InteropRuntime call has a `try_` variant returning
+// Expected<T, core::Error> instead of throwing; the throwing overloads are
+// thin wrappers that raise() the error (rethrowing the original library
+// exception when one was caught, so existing catch sites keep working
+// unchanged). An Error classifies the failure into an ErrorCode a caller
+// can branch on without string matching, keeps the human-readable message,
+// and retains the original exception for faithful rethrow.
+//
+// This is deliberately a minimal std::expected stand-in (the toolchain is
+// C++20): value-or-error variant storage, [[nodiscard]] everywhere, and
+// value() that rethrows the captured failure instead of a generic
+// bad_expected_access — which makes `return try_x(...).value();` an exact
+// reimplementation of the old throwing behavior.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/errors.hpp"
+
+namespace pti::core {
+
+/// Coarse classification of a failed public-API call.
+enum class ErrorCode : std::uint8_t {
+  UnknownType,    ///< name does not resolve in the local registry
+  UnknownPeer,    ///< recipient is not attached to the transport
+  InvalidHandle,  ///< an invalid (default-constructed) TypeHandle was passed
+  NonConformant,  ///< adaptation refused: source does not conform to target
+  Reflection,     ///< dynamic type-system misuse (missing member, bad args)
+  Conformance,    ///< conformance machinery failure
+  Serialization,  ///< malformed payloads or unknown encodings
+  Network,        ///< transport-level failure (drops, unreachable peers)
+  Protocol,       ///< optimistic-protocol failure
+  Remoting,       ///< failed remote invocation or dangling reference
+  Internal,       ///< anything else
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::UnknownType: return "unknown-type";
+    case ErrorCode::UnknownPeer: return "unknown-peer";
+    case ErrorCode::InvalidHandle: return "invalid-handle";
+    case ErrorCode::NonConformant: return "non-conformant";
+    case ErrorCode::Reflection: return "reflection";
+    case ErrorCode::Conformance: return "conformance";
+    case ErrorCode::Serialization: return "serialization";
+    case ErrorCode::Network: return "network";
+    case ErrorCode::Protocol: return "protocol";
+    case ErrorCode::Remoting: return "remoting";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+/// One failed call: classification + message (+ the original exception when
+/// the failure surfaced as a throw from a lower layer).
+struct Error {
+  ErrorCode code = ErrorCode::Internal;
+  std::string message;
+  std::exception_ptr cause;  ///< null when synthesized without a throw
+
+  /// Rethrows the original exception when one was captured; otherwise
+  /// throws pti::Error(message). This is what keeps the throwing overloads
+  /// byte-for-byte compatible with the pre-handle API.
+  [[noreturn]] void raise() const {
+    if (cause) std::rethrow_exception(cause);
+    throw pti::Error(message);
+  }
+
+  /// Classifies the in-flight exception (call from a catch block only).
+  [[nodiscard]] static Error from_current_exception() noexcept {
+    const std::exception_ptr cause = std::current_exception();
+    try {
+      throw;
+    } catch (const proxy::NonConformantError& e) {
+      return Error{ErrorCode::NonConformant, e.what(), cause};
+    } catch (const proxy::ProxyError& e) {
+      return Error{ErrorCode::Reflection, e.what(), cause};
+    } catch (const reflect::ReflectError& e) {
+      return Error{ErrorCode::Reflection, e.what(), cause};
+    } catch (const conform::ConformError& e) {
+      return Error{ErrorCode::Conformance, e.what(), cause};
+    } catch (const serial::SerialError& e) {
+      return Error{ErrorCode::Serialization, e.what(), cause};
+    } catch (const xml::XmlError& e) {
+      return Error{ErrorCode::Serialization, e.what(), cause};
+    } catch (const transport::NetworkError& e) {
+      return Error{ErrorCode::Network, e.what(), cause};
+    } catch (const transport::ProtocolError& e) {
+      return Error{ErrorCode::Protocol, e.what(), cause};
+    } catch (const transport::TransportError& e) {
+      return Error{ErrorCode::Network, e.what(), cause};
+    } catch (const remoting::RemotingError& e) {
+      return Error{ErrorCode::Remoting, e.what(), cause};
+    } catch (const std::exception& e) {
+      return Error{ErrorCode::Internal, e.what(), cause};
+    } catch (...) {
+      return Error{ErrorCode::Internal, "unknown failure", cause};
+    }
+  }
+};
+
+/// Value-or-Error result of a `try_` call.
+template <class T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return storage_.index() == 0; }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  /// The value, or raise()s the error (rethrowing the original exception).
+  [[nodiscard]] T& value() & {
+    if (!has_value()) error().raise();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    if (!has_value()) error().raise();
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!has_value()) error().raise();
+    return std::get<0>(std::move(storage_));
+  }
+
+  /// Unchecked access; only meaningful when has_value().
+  [[nodiscard]] T& operator*() noexcept { return std::get<0>(storage_); }
+  [[nodiscard]] const T& operator*() const noexcept { return std::get<0>(storage_); }
+  [[nodiscard]] T* operator->() noexcept { return &std::get<0>(storage_); }
+  [[nodiscard]] const T* operator->() const noexcept { return &std::get<0>(storage_); }
+
+  template <class U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return has_value() ? std::get<0>(storage_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
+  /// Only meaningful when !has_value().
+  [[nodiscard]] const Error& error() const noexcept { return std::get<1>(storage_); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Expected for calls that produce no value (e.g. try_unsubscribe).
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() noexcept = default;
+  Expected(Error error) : error_(std::move(error)), failed_(true) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return !failed_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  void value() const {
+    if (failed_) error_.raise();
+  }
+
+  [[nodiscard]] const Error& error() const noexcept { return error_; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace pti::core

@@ -1,31 +1,157 @@
 #include "core/interop.hpp"
 
+#include <algorithm>
+#include <array>
+
 namespace pti::core {
 
 using reflect::DynObject;
 using reflect::Value;
 
-InteropRuntime::InteropRuntime(std::string name, transport::SimNetwork& network,
+namespace {
+
+/// Error for a default-constructed / foreign handle, carrying the same
+/// exception the throwing path would raise.
+[[nodiscard]] Error invalid_handle_error(const char* call) {
+  std::string message = std::string("invalid TypeHandle passed to ") + call;
+  return Error{ErrorCode::InvalidHandle, message,
+               std::make_exception_ptr(reflect::ReflectError(std::move(message)))};
+}
+
+[[nodiscard]] Error unknown_type_error(std::string_view type_name,
+                                       const std::string& runtime) {
+  std::string message =
+      "type '" + std::string(type_name) + "' is not known to runtime '" + runtime + "'";
+  return Error{ErrorCode::UnknownType, message,
+               std::make_exception_ptr(reflect::ReflectError(std::move(message)))};
+}
+
+}  // namespace
+
+// --- Subscription ------------------------------------------------------------
+
+Subscription& Subscription::operator=(Subscription&& other) noexcept {
+  if (this != &other) {
+    unsubscribe();
+    runtime_ = std::exchange(other.runtime_, nullptr);
+    interest_ = other.interest_;
+    token_ = other.token_;
+  }
+  return *this;
+}
+
+void Subscription::unsubscribe() noexcept {
+  if (runtime_ != nullptr) {
+    runtime_->remove_handler(interest_, token_);
+    runtime_ = nullptr;
+  }
+}
+
+// --- InteropRuntime ----------------------------------------------------------
+
+InteropRuntime::InteropRuntime(std::string name, transport::Transport& network,
                                std::shared_ptr<transport::AssemblyHub> hub,
                                transport::PeerConfig config)
     : peer_(std::move(name), network, std::move(hub), std::move(config)),
       remoting_(peer_) {
-  peer_.set_delivery_handler([this](const transport::DeliveredObject& delivered) {
-    const auto [begin, end] = handlers_.equal_range(delivered.interest_type);
-    for (auto it = begin; it != end; ++it) it->second(delivered);
-  });
+  peer_.set_delivery_handler(
+      [this](const transport::DeliveredObject& delivered) { dispatch(delivered); });
 }
 
-void InteropRuntime::publish_assembly(std::shared_ptr<const reflect::Assembly> assembly) {
-  peer_.host_assembly(std::move(assembly));
+InteropRuntime::~InteropRuntime() {
+  // Drain the dispatch table before member destruction: a handler closure
+  // may own a Subscription whose destructor reenters remove_handler, which
+  // must find a valid (now empty) map — not one mid-destruction.
+  auto drained = std::move(handlers_);
+  handlers_.clear();
+  drained.clear();  // closures destruct here
+}
+
+// --- types & code ------------------------------------------------------------
+
+std::vector<TypeHandle> InteropRuntime::publish_assembly(
+    std::shared_ptr<const reflect::Assembly> assembly) {
+  return std::move(try_publish_assembly(std::move(assembly)).value());
+}
+
+Expected<std::vector<TypeHandle>> InteropRuntime::try_publish_assembly(
+    std::shared_ptr<const reflect::Assembly> assembly) {
+  try {
+    const std::shared_ptr<const reflect::Assembly> kept = assembly;
+    const std::vector<const reflect::TypeDescription*> registered =
+        peer_.host_assembly(std::move(assembly));
+    std::vector<TypeHandle> handles;
+    handles.reserve(kept->types().size());
+    if (registered.size() == kept->types().size()) {
+      // Fresh load: registration already produced every description.
+      for (const reflect::TypeDescription* d : registered) {
+        handles.push_back(TypeHandle{d->name_id(), d});
+      }
+    } else {
+      // Idempotent re-publish: resolve the already-registered names. A
+      // *different* assembly reusing a loaded assembly's name can carry
+      // types the registry never saw — report that instead of silently
+      // handing out invalid handles.
+      for (const auto& native : kept->types()) {
+        const TypeHandle handle = type(native->qualified_name());
+        if (!handle) {
+          const std::string message = "assembly '" + kept->name() +
+                                      "' was already loaded without type '" +
+                                      native->qualified_name() +
+                                      "' (different assembly, same name?)";
+          return Error{ErrorCode::UnknownType, message,
+                       std::make_exception_ptr(reflect::ReflectError(message))};
+        }
+        handles.push_back(handle);
+      }
+    }
+    return handles;
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+TypeHandle InteropRuntime::type(std::string_view name) noexcept {
+  const reflect::TypeDescription* d = peer_.domain().registry().find(name);
+  return d == nullptr ? TypeHandle{} : TypeHandle{d->name_id(), d};
+}
+
+Expected<TypeHandle> InteropRuntime::try_type(std::string_view name) {
+  const TypeHandle handle = type(name);
+  if (!handle) return unknown_type_error(name, peer_.name());
+  return handle;
+}
+
+// --- object lifecycle --------------------------------------------------------
+
+std::shared_ptr<DynObject> InteropRuntime::make(TypeHandle type, reflect::Args args) {
+  return peer_.domain().instantiate(type.description(), args);
 }
 
 std::shared_ptr<DynObject> InteropRuntime::make(std::string_view type_name,
                                                 reflect::Args args) {
-  const reflect::TypeDescription* d = peer_.domain().registry().find(type_name);
-  const std::string resolved =
-      d != nullptr ? d->qualified_name() : std::string(type_name);
-  return peer_.domain().instantiate(resolved, args);
+  const TypeHandle handle = type(type_name);
+  // Unknown names fall through to the domain so the error message (and
+  // exception type) of the v1 API is preserved exactly.
+  if (!handle) return peer_.domain().instantiate(type_name, args);
+  return make(handle, args);
+}
+
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_make(TypeHandle type,
+                                                              reflect::Args args) {
+  if (!type) return invalid_handle_error("make");
+  try {
+    return make(type, args);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_make(std::string_view type_name,
+                                                              reflect::Args args) {
+  const TypeHandle handle = type(type_name);
+  if (!handle) return unknown_type_error(type_name, peer_.name());
+  return try_make(handle, args);
 }
 
 Value InteropRuntime::call(const std::shared_ptr<DynObject>& object,
@@ -33,29 +159,159 @@ Value InteropRuntime::call(const std::shared_ptr<DynObject>& object,
   return peer_.proxies().invoke(object, method_name, args);
 }
 
+Expected<Value> InteropRuntime::try_call(const std::shared_ptr<DynObject>& object,
+                                         std::string_view method_name,
+                                         reflect::Args args) {
+  try {
+    return call(object, method_name, args);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+std::shared_ptr<DynObject> InteropRuntime::adapt(const std::shared_ptr<DynObject>& object,
+                                                 TypeHandle target_type) {
+  return peer_.proxies().wrap(object, target_type.description());
+}
+
 std::shared_ptr<DynObject> InteropRuntime::adapt(const std::shared_ptr<DynObject>& object,
                                                  std::string_view target_type) {
   return peer_.proxies().wrap(object, target_type);
 }
+
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_adapt(
+    const std::shared_ptr<DynObject>& object, TypeHandle target_type) {
+  if (!target_type) return invalid_handle_error("adapt");
+  try {
+    return adapt(object, target_type);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_adapt(
+    const std::shared_ptr<DynObject>& object, std::string_view target_type) {
+  const TypeHandle handle = type(target_type);
+  if (!handle) return unknown_type_error(target_type, peer_.name());
+  return try_adapt(object, handle);
+}
+
+// --- conformance -------------------------------------------------------------
 
 conform::CheckResult InteropRuntime::check_conformance(std::string_view source_type,
                                                        std::string_view target_type) {
   return peer_.checker().check(source_type, target_type);
 }
 
+Expected<conform::CheckResult> InteropRuntime::try_check_conformance(TypeHandle source,
+                                                                     TypeHandle target) {
+  if (!source || !target) return invalid_handle_error("check_conformance");
+  try {
+    return check_conformance(source, target);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+void InteropRuntime::check_conformance(std::span<const HandlePair> pairs,
+                                       std::span<bool> verdicts) {
+  // Translate handles to description pairs in fixed-size stack blocks, so
+  // arbitrarily large batches stay allocation-free end to end.
+  constexpr std::size_t kBlock = 64;
+  std::array<conform::ConformanceChecker::DescPair, kBlock> block;
+  for (std::size_t base = 0; base < pairs.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, pairs.size() - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      block[i] = {pairs[base + i].first.get(), pairs[base + i].second.get()};
+    }
+    peer_.checker().conforms_batch(std::span<const conform::ConformanceChecker::DescPair>(
+                                       block.data(), n),
+                                   verdicts.subspan(base, n));
+  }
+}
+
+std::vector<bool> InteropRuntime::check_conformance(std::span<const HandlePair> pairs) {
+  // std::vector<bool> packs bits, so it cannot back a span<bool>; run the
+  // batch through a stack block per chunk and flush into the result.
+  std::vector<bool> verdicts(pairs.size());
+  constexpr std::size_t kBlock = 64;
+  std::array<bool, kBlock> block;
+  for (std::size_t base = 0; base < pairs.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, pairs.size() - base);
+    check_conformance(pairs.subspan(base, n), std::span<bool>(block.data(), n));
+    for (std::size_t i = 0; i < n; ++i) verdicts[base + i] = block[i];
+  }
+  return verdicts;
+}
+
+// --- pass-by-value exchange --------------------------------------------------
+
+Subscription InteropRuntime::subscribe(TypeHandle interest, EventHandler handler) {
+  return std::move(try_subscribe(interest, std::move(handler)).value());
+}
+
+Expected<Subscription> InteropRuntime::try_subscribe(TypeHandle interest,
+                                                     EventHandler handler) {
+  if (!interest) return invalid_handle_error("subscribe");
+  if (!handler) {
+    return Error{ErrorCode::Internal, "subscribe requires a non-null handler",
+                 std::make_exception_ptr(
+                     transport::ProtocolError("subscribe requires a non-null handler"))};
+  }
+  try {
+    peer_.add_interest(interest.description());
+    return add_handler(interest.id(), std::move(handler));
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
 void InteropRuntime::subscribe(std::string_view type_name, EventHandler handler) {
-  peer_.add_interest(type_name);
-  const reflect::TypeDescription* d = peer_.domain().registry().find(type_name);
-  handlers_.emplace(d->qualified_name(), std::move(handler));
+  // v1 semantics: throws ProtocolError for unknown names, handler lives as
+  // long as the runtime.
+  const util::InternedName id = peer_.add_interest(type_name);
+  add_handler(id, std::move(handler)).release();
 }
 
 transport::PushAck InteropRuntime::send(std::string_view to,
                                         const std::shared_ptr<DynObject>& object) {
-  return peer_.send_object(to, object);
+  return try_send(to, object).value();
 }
+
+Expected<transport::PushAck> InteropRuntime::try_send(
+    std::string_view to, const std::shared_ptr<DynObject>& object) {
+  try {
+    return peer_.send_object(to, object);
+  } catch (...) {
+    Error error = Error::from_current_exception();
+    // Refine the transport's "unknown recipient" failure into the precise
+    // code without second-guessing its message or the v1 error ordering.
+    if (error.code == ErrorCode::Network && !peer_.network().is_attached(to)) {
+      error.code = ErrorCode::UnknownPeer;
+    }
+    return error;
+  }
+}
+
+// --- pass-by-reference -------------------------------------------------------
 
 std::uint64_t InteropRuntime::export_object(std::shared_ptr<DynObject> object) {
   return remoting_.export_object(std::move(object));
+}
+
+Expected<std::uint64_t> InteropRuntime::try_export_object(
+    std::shared_ptr<DynObject> object) {
+  try {
+    return export_object(std::move(object));
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+std::shared_ptr<DynObject> InteropRuntime::import_remote(std::string_view host,
+                                                         std::uint64_t object_id,
+                                                         TypeHandle type) {
+  return remoting_.import_ref(host, object_id, type.description());
 }
 
 std::shared_ptr<DynObject> InteropRuntime::import_remote(std::string_view host,
@@ -64,8 +320,113 @@ std::shared_ptr<DynObject> InteropRuntime::import_remote(std::string_view host,
   return remoting_.import_ref(host, object_id, type_name);
 }
 
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_import_remote(
+    std::string_view host, std::uint64_t object_id, TypeHandle type) {
+  if (!type) return invalid_handle_error("import_remote");
+  try {
+    return import_remote(host, object_id, type);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+Expected<std::shared_ptr<DynObject>> InteropRuntime::try_import_remote(
+    std::string_view host, std::uint64_t object_id, std::string_view type_name) {
+  try {
+    return import_remote(host, object_id, type_name);
+  } catch (...) {
+    return Error::from_current_exception();
+  }
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+void InteropRuntime::dispatch(const transport::DeliveredObject& delivered) {
+  const auto it = handlers_.find(delivered.interest_id);
+  if (it == handlers_.end()) return;
+  // Depth-guarded iteration: handlers may subscribe (std::list append, no
+  // invalidation) or unsubscribe (deferred via token=0) reentrantly.
+  struct DepthGuard {
+    InteropRuntime& runtime;
+    ~DepthGuard() {
+      if (--runtime.dispatch_depth_ != 0 || !runtime.sweep_pending_) return;
+      runtime.sweep_pending_ = false;
+      // Splice retired entries aside and erase empty map nodes FIRST, then
+      // let the closures destruct. A destructing closure may own a
+      // Subscription whose destructor reenters remove_handler; it must see
+      // a consistent map, not the node this sweep is iterating.
+      std::list<HandlerEntry> retired;
+      for (auto map_it = runtime.handlers_.begin(); map_it != runtime.handlers_.end();) {
+        auto& list = map_it->second;
+        for (auto entry_it = list.begin(); entry_it != list.end();) {
+          const auto next = std::next(entry_it);
+          if (entry_it->token == 0) retired.splice(retired.end(), list, entry_it);
+          entry_it = next;
+        }
+        map_it = list.empty() ? runtime.handlers_.erase(map_it) : ++map_it;
+      }
+      // `retired` destructs here, outside any container traversal.
+    }
+  };
+  ++dispatch_depth_;
+  DepthGuard guard{*this};
+  // Iterate a size snapshot: handlers subscribed during this dispatch are
+  // appended at the tail and must not see the in-flight event (and a
+  // self-resubscribing handler must not loop the walk forever).
+  std::size_t remaining = it->second.size();
+  for (auto entry_it = it->second.begin(); remaining > 0; ++entry_it, --remaining) {
+    if (entry_it->token != 0) entry_it->handler(delivered);
+  }
+}
+
+std::size_t InteropRuntime::handler_count(TypeHandle interest) const noexcept {
+  if (!interest) return 0;
+  const auto it = handlers_.find(interest.id());
+  if (it == handlers_.end()) return 0;
+  return static_cast<std::size_t>(std::count_if(
+      it->second.begin(), it->second.end(),
+      [](const HandlerEntry& entry) { return entry.token != 0; }));
+}
+
+Subscription InteropRuntime::add_handler(util::InternedName interest,
+                                         EventHandler handler) {
+  const std::uint64_t token = next_token_++;
+  handlers_[interest].push_back(HandlerEntry{token, std::move(handler)});
+  return Subscription{this, interest, token};
+}
+
+void InteropRuntime::remove_handler(util::InternedName interest,
+                                    std::uint64_t token) noexcept {
+  const auto it = handlers_.find(interest);
+  if (it == handlers_.end()) return;
+  for (auto entry_it = it->second.begin(); entry_it != it->second.end(); ++entry_it) {
+    if (entry_it->token == token) {
+      if (dispatch_depth_ > 0) {
+        // Mid-dispatch: retire in place, erase after the unwind.
+        entry_it->token = 0;
+        sweep_pending_ = true;
+      } else {
+        // Splice out, finish the map mutation, THEN destroy the closure:
+        // its destructor may own Subscriptions and reenter this function.
+        std::list<HandlerEntry> retired;
+        retired.splice(retired.end(), it->second, entry_it);
+        if (it->second.empty()) handlers_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+// --- InteropSystem -----------------------------------------------------------
+
 InteropSystem::InteropSystem(std::uint64_t seed)
-    : network_(seed), hub_(std::make_shared<transport::AssemblyHub>()) {}
+    : network_(transport::make_sim_network(seed)),
+      hub_(std::make_shared<transport::AssemblyHub>()) {}
+
+InteropSystem::InteropSystem(std::unique_ptr<transport::Transport> network)
+    : network_(std::move(network)), hub_(std::make_shared<transport::AssemblyHub>()) {
+  if (!network_) throw transport::TransportError("InteropSystem requires a transport");
+}
 
 InteropRuntime& InteropSystem::create_runtime(std::string name,
                                               transport::PeerConfig config) {
@@ -73,7 +434,7 @@ InteropRuntime& InteropSystem::create_runtime(std::string name,
     throw transport::TransportError("runtime '" + name + "' already exists");
   }
   auto runtime =
-      std::make_unique<InteropRuntime>(name, network_, hub_, std::move(config));
+      std::make_unique<InteropRuntime>(name, *network_, hub_, std::move(config));
   InteropRuntime& ref = *runtime;
   runtimes_.emplace(std::move(name), std::move(runtime));
   return ref;

@@ -1,7 +1,9 @@
 // The public API of the library: InteropSystem (the simulated distributed
 // universe) and InteropRuntime (one participant's middleware instance).
 //
-// This is the layer a downstream user programs against:
+// This is the layer a downstream user programs against. The v2 surface is
+// handle-based: resolve a name once, then hand the TypeHandle back on
+// every call — no per-call string hashing or case folding:
 //
 //   pti::core::InteropSystem system;
 //   auto& alice = system.create_runtime("alice");
@@ -10,18 +12,28 @@
 //   alice.publish_assembly(team_a_assembly);          // types + code
 //   bob.publish_assembly(team_b_assembly);
 //
-//   bob.subscribe("teamB.Person", [&](const auto& ev) {
+//   const auto person_b = bob.type("teamB.Person");   // resolve once
+//   auto sub = bob.subscribe(person_b, [&](const auto& ev) {
 //     // ev.adapted is usable as teamB.Person even though alice sent
 //     // a teamA.Person — implicit structural conformance at work.
 //     bob.call(ev.adapted, "getPersonName");
 //   });
 //
-//   alice.send("bob", alice.make("teamA.Person", {Value("Alice")}));
+//   const auto person_a = alice.type("teamA.Person");
+//   const Value args[] = {Value("Alice")};
+//   alice.send("bob", alice.make(person_a, args));
+//
+// Every fallible call also has a non-throwing `try_` variant returning
+// Expected<T, core::Error>; the throwing overloads are implemented on top
+// and rethrow the original library exception. The v1 string-based calls
+// remain as thin shims over the handle paths.
 //
 // Everything underneath — hybrid envelopes, the optimistic transport
 // protocol, on-demand description/code download, conformance checking and
 // dynamic proxies — is the machinery of the paper, reachable through the
-// accessors when finer control is needed.
+// accessors when finer control is needed. The network is consumed through
+// the abstract transport::Transport seam; InteropSystem defaults to the
+// deterministic SimNetwork but accepts any Transport implementation.
 //
 // Thread safety: InteropSystem and InteropRuntime are single-threaded —
 // drive one simulated universe from one thread. The stores underneath
@@ -34,28 +46,81 @@
 // stay on the owning thread.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/errors.hpp"
+#include "core/expected.hpp"
+#include "core/type_handle.hpp"
 #include "remoting/remoting.hpp"
 #include "transport/assembly_hub.hpp"
 #include "transport/peer.hpp"
-#include "transport/sim_network.hpp"
+#include "transport/transport.hpp"
 
 namespace pti::core {
 
 class InteropSystem;
+class InteropRuntime;
+
+/// RAII ownership of one registered event handler. Returned by the
+/// handle-based subscribe(); destroying (or unsubscribe()-ing) the token
+/// deregisters the handler. release() detaches the token instead, leaving
+/// the handler registered for the runtime's lifetime (the v1 semantics).
+/// A Subscription must not outlive the runtime that issued it.
+class Subscription {
+ public:
+  Subscription() noexcept = default;
+  Subscription(Subscription&& other) noexcept
+      : runtime_(std::exchange(other.runtime_, nullptr)),
+        interest_(other.interest_),
+        token_(other.token_) {}
+  Subscription& operator=(Subscription&& other) noexcept;
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { unsubscribe(); }
+
+  /// True while the handler is registered and owned by this token.
+  [[nodiscard]] bool active() const noexcept { return runtime_ != nullptr; }
+
+  /// Deregisters the handler now. Safe to call repeatedly, and safe from
+  /// inside a handler (removal is deferred until the dispatch unwinds).
+  void unsubscribe() noexcept;
+
+  /// Detaches without deregistering: the handler stays installed for the
+  /// runtime's lifetime and this token becomes inactive.
+  void release() noexcept { runtime_ = nullptr; }
+
+  /// Interned id of the subscribed interest (invalid when inactive).
+  [[nodiscard]] util::InternedName interest() const noexcept {
+    return runtime_ != nullptr ? interest_ : util::InternedName{};
+  }
+
+ private:
+  friend class InteropRuntime;
+  Subscription(InteropRuntime* runtime, util::InternedName interest,
+               std::uint64_t token) noexcept
+      : runtime_(runtime), interest_(interest), token_(token) {}
+
+  InteropRuntime* runtime_ = nullptr;
+  util::InternedName interest_{};
+  std::uint64_t token_ = 0;
+};
 
 class InteropRuntime {
  public:
-  InteropRuntime(std::string name, transport::SimNetwork& network,
+  InteropRuntime(std::string name, transport::Transport& network,
                  std::shared_ptr<transport::AssemblyHub> hub,
                  transport::PeerConfig config = {});
+  ~InteropRuntime();
   InteropRuntime(const InteropRuntime&) = delete;
   InteropRuntime& operator=(const InteropRuntime&) = delete;
 
@@ -63,38 +128,116 @@ class InteropRuntime {
 
   // --- types & code -------------------------------------------------------
   /// Loads an assembly locally and makes it downloadable by other peers.
-  void publish_assembly(std::shared_ptr<const reflect::Assembly> assembly);
+  /// Returns a handle per contained type, in the assembly's order.
+  std::vector<TypeHandle> publish_assembly(
+      std::shared_ptr<const reflect::Assembly> assembly);
+  [[nodiscard]] Expected<std::vector<TypeHandle>> try_publish_assembly(
+      std::shared_ptr<const reflect::Assembly> assembly);
+
+  /// Resolves a (possibly unqualified) type name once; the returned handle
+  /// makes every later call on it string-free. Invalid handle when the
+  /// name is unknown — this is the non-throwing lookup.
+  [[nodiscard]] TypeHandle type(std::string_view name) noexcept;
+  /// type() reporting ErrorCode::UnknownType instead of an invalid handle.
+  [[nodiscard]] Expected<TypeHandle> try_type(std::string_view name);
+
   [[nodiscard]] reflect::Domain& domain() noexcept { return peer_.domain(); }
 
   // --- object lifecycle ----------------------------------------------------
   /// Instantiates a locally loaded type.
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> make(TypeHandle type,
+                                                         reflect::Args args = {});
   [[nodiscard]] std::shared_ptr<reflect::DynObject> make(std::string_view type_name,
                                                          reflect::Args args = {});
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_make(
+      TypeHandle type, reflect::Args args = {});
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_make(
+      std::string_view type_name, reflect::Args args = {});
+
   /// Universal invocation (direct, dynamic proxy or remote reference).
   reflect::Value call(const std::shared_ptr<reflect::DynObject>& object,
                       std::string_view method_name, reflect::Args args = {});
+  [[nodiscard]] Expected<reflect::Value> try_call(
+      const std::shared_ptr<reflect::DynObject>& object, std::string_view method_name,
+      reflect::Args args = {});
+
   /// Adapts an object to a locally known target type (possibly a proxy).
   /// Throws proxy::NonConformantError if the types do not conform.
   [[nodiscard]] std::shared_ptr<reflect::DynObject> adapt(
+      const std::shared_ptr<reflect::DynObject>& object, TypeHandle target_type);
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> adapt(
       const std::shared_ptr<reflect::DynObject>& object, std::string_view target_type);
-  /// Conformance query between two known type names.
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_adapt(
+      const std::shared_ptr<reflect::DynObject>& object, TypeHandle target_type);
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_adapt(
+      const std::shared_ptr<reflect::DynObject>& object, std::string_view target_type);
+
+  // --- conformance ----------------------------------------------------------
+  /// Conformance query between two locally known types. The handle form is
+  /// the steady-state path: on a cache hit it is allocation-free up to the
+  /// returned CheckResult. Defined inline so the cached path costs exactly
+  /// the checker-level check (no extra call frame).
+  [[nodiscard]] conform::CheckResult check_conformance(TypeHandle source,
+                                                       TypeHandle target) {
+    return peer_.checker().check(source.description(), target.description());
+  }
   [[nodiscard]] conform::CheckResult check_conformance(std::string_view source_type,
                                                        std::string_view target_type);
+  [[nodiscard]] Expected<conform::CheckResult> try_check_conformance(TypeHandle source,
+                                                                     TypeHandle target);
+
+  /// Verdict-only query — the cheapest entry point (no CheckResult is
+  /// materialized; zero allocations on a cache hit). Invalid handles are
+  /// simply non-conformant.
+  [[nodiscard]] bool conforms(TypeHandle source, TypeHandle target) {
+    if (!source || !target) return false;
+    return peer_.checker().conforms(*source.get(), *target.get());
+  }
+
+  using HandlePair = std::pair<TypeHandle, TypeHandle>;
+  /// Batched verdict-only checks: probes the conformance cache for all
+  /// pairs shard-aware (hashes first, prefetches, then probes), amortizing
+  /// cache-shard traffic; misses fall back to full checks. `verdicts`
+  /// must be at least pairs.size() long. Zero allocations when all pairs
+  /// are cached.
+  void check_conformance(std::span<const HandlePair> pairs, std::span<bool> verdicts);
+  [[nodiscard]] std::vector<bool> check_conformance(std::span<const HandlePair> pairs);
 
   // --- pass-by-value exchange ----------------------------------------------
   using EventHandler = std::function<void(const transport::DeliveredObject&)>;
   /// Declares an interest in a local type and registers a callback fired
-  /// for every delivered object that conformed to it.
+  /// for every delivered object that conformed to it. The returned token
+  /// deregisters the handler on destruction (RAII) or unsubscribe().
+  [[nodiscard]] Subscription subscribe(TypeHandle interest, EventHandler handler);
+  [[nodiscard]] Expected<Subscription> try_subscribe(TypeHandle interest,
+                                                     EventHandler handler);
+  /// v1 shim: resolves the name and installs the handler for the runtime's
+  /// lifetime (no token).
   void subscribe(std::string_view type_name, EventHandler handler);
+
   /// Sends an object graph to another runtime (pass-by-value).
   transport::PushAck send(std::string_view to,
                           const std::shared_ptr<reflect::DynObject>& object);
+  [[nodiscard]] Expected<transport::PushAck> try_send(
+      std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
 
   // --- pass-by-reference ----------------------------------------------------
   /// Exports an object for remote invocation; returns its object id.
   std::uint64_t export_object(std::shared_ptr<reflect::DynObject> object);
-  /// Imports a remote reference (fetching the type description if needed).
+  [[nodiscard]] Expected<std::uint64_t> try_export_object(
+      std::shared_ptr<reflect::DynObject> object);
+
+  /// Imports a remote reference. The handle form requires the type to be
+  /// locally known already (that is what the handle proves) and skips the
+  /// description fetch; the string form fetches the description from the
+  /// host if needed.
   [[nodiscard]] std::shared_ptr<reflect::DynObject> import_remote(
+      std::string_view host, std::uint64_t object_id, TypeHandle type);
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> import_remote(
+      std::string_view host, std::uint64_t object_id, std::string_view type_name);
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_import_remote(
+      std::string_view host, std::uint64_t object_id, TypeHandle type);
+  [[nodiscard]] Expected<std::shared_ptr<reflect::DynObject>> try_import_remote(
       std::string_view host, std::uint64_t object_id, std::string_view type_name);
 
   // --- internals, exposed for tests/benchmarks/applications ----------------
@@ -104,19 +247,48 @@ class InteropRuntime {
   [[nodiscard]] conform::ConformanceChecker& checker() noexcept { return peer_.checker(); }
   [[nodiscard]] transport::ProtocolStats& stats() noexcept { return peer_.stats(); }
 
+  /// Delivery entry point: fans a delivered object out to the handlers
+  /// subscribed to its matched interest. Keyed on the interned interest id
+  /// — no string folding, no allocations. Public so benchmarks and tests
+  /// can drive dispatch without a network round trip.
+  void dispatch(const transport::DeliveredObject& delivered);
+
+  /// Handlers currently registered for an interest (tests/diagnostics).
+  [[nodiscard]] std::size_t handler_count(TypeHandle interest) const noexcept;
+
  private:
+  friend class Subscription;
+
+  struct HandlerEntry {
+    std::uint64_t token = 0;  ///< 0 marks an entry retired mid-dispatch
+    EventHandler handler;
+  };
+
+  Subscription add_handler(util::InternedName interest, EventHandler handler);
+  void remove_handler(util::InternedName interest, std::uint64_t token) noexcept;
+
   transport::Peer peer_;
   remoting::Remoting remoting_;
-  std::multimap<std::string, EventHandler, util::ICaseLess> handlers_;
+  /// Dispatch table: interned interest id -> handlers, in subscription
+  /// order. std::list so registration from inside a handler never
+  /// invalidates the iteration.
+  std::unordered_map<util::InternedName, std::list<HandlerEntry>> handlers_;
+  std::uint64_t next_token_ = 1;
+  int dispatch_depth_ = 0;
+  bool sweep_pending_ = false;
 };
 
-/// Owns the simulated universe: the network, the assembly hub and the
+/// Owns the simulated universe: the transport, the assembly hub and the
 /// runtimes attached to them.
 class InteropSystem {
  public:
+  /// A universe over the default deterministic SimNetwork.
   explicit InteropSystem(std::uint64_t seed = 42);
+  /// A universe over a caller-supplied transport — the seam future
+  /// async/multi-peer transports plug into.
+  explicit InteropSystem(std::unique_ptr<transport::Transport> network);
 
-  [[nodiscard]] transport::SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] transport::Transport& network() noexcept { return *network_; }
   [[nodiscard]] const std::shared_ptr<transport::AssemblyHub>& hub() const noexcept {
     return hub_;
   }
@@ -126,7 +298,7 @@ class InteropSystem {
   [[nodiscard]] std::vector<InteropRuntime*> runtimes();
 
  private:
-  transport::SimNetwork network_;
+  std::unique_ptr<transport::Transport> network_;
   std::shared_ptr<transport::AssemblyHub> hub_;
   std::map<std::string, std::unique_ptr<InteropRuntime>, util::ICaseLess> runtimes_;
 };

@@ -1,0 +1,77 @@
+// TypeHandle — resolved, interned identity of a type inside one runtime.
+//
+// The v1 API took type names as strings on every call, so a steady-state
+// caller paid a registry lookup (symbol-table probe + shard map probe) per
+// make/adapt/check/subscribe even though the name resolves to the same
+// description every time. A TypeHandle is that resolution done once: it
+// wraps the interned qualified-name id and the resolved description
+// pointer, so every later call is pointer/integer work only.
+//
+// Lifetime: handles are created by InteropRuntime::type() /
+// publish_assembly() and are valid for the lifetime of the runtime that
+// issued them (descriptions live in the runtime's append-only registry and
+// are never moved or erased). A handle must only be passed back to the
+// runtime it came from — runtimes have disjoint registries, and a handle
+// encodes a pointer into one of them. Default-constructed handles are
+// invalid; every API entry point checks and reports ErrorCode::InvalidHandle.
+#pragma once
+
+#include <string>
+
+#include "reflect/reflect_error.hpp"
+#include "reflect/type_description.hpp"
+#include "util/interning.hpp"
+
+namespace pti::core {
+
+class InteropRuntime;
+
+class TypeHandle {
+ public:
+  /// An invalid handle ("type unknown").
+  constexpr TypeHandle() noexcept = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return description_ != nullptr; }
+  [[nodiscard]] explicit constexpr operator bool() const noexcept { return valid(); }
+
+  /// Interned id of the case-folded qualified name. Only meaningful when
+  /// valid().
+  [[nodiscard]] constexpr util::InternedName id() const noexcept { return id_; }
+
+  /// The resolved description; nullptr when invalid.
+  [[nodiscard]] constexpr const reflect::TypeDescription* get() const noexcept {
+    return description_;
+  }
+
+  /// The resolved description. Throws ReflectError on an invalid handle.
+  [[nodiscard]] const reflect::TypeDescription& description() const {
+    if (description_ == nullptr) {
+      throw reflect::ReflectError("dereferencing an invalid TypeHandle");
+    }
+    return *description_;
+  }
+
+  /// Qualified name of the referenced type ("ns.Name"). Throws on invalid.
+  [[nodiscard]] std::string qualified_name() const {
+    return description().qualified_name();
+  }
+
+  /// Two handles are equal when they reference the same description in the
+  /// same runtime (ids alone can collide across runtimes: both sides may
+  /// intern the same spelling).
+  [[nodiscard]] friend constexpr bool operator==(const TypeHandle& a,
+                                                 const TypeHandle& b) noexcept {
+    return a.description_ == b.description_;
+  }
+
+ private:
+  friend class InteropRuntime;
+  constexpr TypeHandle(util::InternedName id,
+                       const reflect::TypeDescription* description) noexcept
+      : id_(id), description_(description) {}
+
+  util::InternedName id_{};
+  const reflect::TypeDescription* description_ = nullptr;
+};
+
+}  // namespace pti::core

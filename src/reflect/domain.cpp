@@ -8,16 +8,22 @@
 
 namespace pti::reflect {
 
-void Domain::load_assembly(std::shared_ptr<const Assembly> assembly,
-                           std::string_view download_path) {
+std::vector<const TypeDescription*> Domain::load_assembly(
+    std::shared_ptr<const Assembly> assembly, std::string_view download_path) {
   if (!assembly) throw ReflectError("cannot load a null assembly");
-  if (assemblies_.contains(assembly->name())) return;
+  if (assemblies_.contains(assembly->name())) return {};
 
+  std::vector<const TypeDescription*> registered;
+  registered.reserve(assembly->types().size());
   for (const auto& type : assembly->types()) {
-    registry_.add(introspect(*type, assembly->name(), download_path));
+    const TypeDescription& description =
+        registry_.add(introspect(*type, assembly->name(), download_path));
     natives_[type->qualified_name()] = type.get();
+    natives_by_id_[description.name_id()] = type.get();
+    registered.push_back(&description);
   }
   assemblies_.emplace(assembly->name(), std::move(assembly));
+  return registered;
 }
 
 bool Domain::has_assembly(std::string_view name) const noexcept {
@@ -41,6 +47,12 @@ const NativeType* Domain::find_native(std::string_view qualified_name) const noe
   return it == natives_.end() ? nullptr : it->second;
 }
 
+const NativeType* Domain::find_native(util::InternedName qualified_id) const noexcept {
+  if (!qualified_id.valid()) return nullptr;
+  const auto it = natives_by_id_.find(qualified_id);
+  return it == natives_by_id_.end() ? nullptr : it->second;
+}
+
 std::shared_ptr<DynObject> Domain::instantiate(std::string_view qualified_name,
                                                Args args) const {
   const NativeType* type = find_native(qualified_name);
@@ -49,6 +61,16 @@ std::shared_ptr<DynObject> Domain::instantiate(std::string_view qualified_name,
                        "' is not loaded in this domain (description-only or unknown)");
   }
   return type->instantiate(args);
+}
+
+std::shared_ptr<DynObject> Domain::instantiate(const TypeDescription& type,
+                                               Args args) const {
+  const NativeType* native = find_native(type.name_id());
+  if (native == nullptr) {
+    throw ReflectError("type '" + type.qualified_name() +
+                       "' is not loaded in this domain (description-only or unknown)");
+  }
+  return native->instantiate(args);
 }
 
 namespace {

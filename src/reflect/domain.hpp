@@ -11,10 +11,12 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "reflect/assembly.hpp"
 #include "reflect/type_registry.hpp"
+#include "util/interning.hpp"
 
 namespace pti::reflect {
 
@@ -29,9 +31,11 @@ class Domain {
 
   /// Loads an assembly: registers it as executable code and registers a
   /// description (with provenance) for each contained type. Idempotent for
-  /// the same assembly name.
-  void load_assembly(std::shared_ptr<const Assembly> assembly,
-                     std::string_view download_path = {});
+  /// the same assembly name. Returns the registered descriptions in the
+  /// assembly's type order (empty on the idempotent re-load), so callers
+  /// building handles need not re-resolve the names.
+  std::vector<const TypeDescription*> load_assembly(
+      std::shared_ptr<const Assembly> assembly, std::string_view download_path = {});
 
   [[nodiscard]] bool has_assembly(std::string_view name) const noexcept;
   [[nodiscard]] const Assembly* find_assembly(std::string_view name) const noexcept;
@@ -41,6 +45,10 @@ class Domain {
   /// code has not been loaded (description-only knowledge).
   [[nodiscard]] const NativeType* find_native(std::string_view qualified_name) const noexcept;
 
+  /// Id-keyed native lookup — the handle-based fast path: a single integer
+  /// hash probe, no case folding, no string compare.
+  [[nodiscard]] const NativeType* find_native(util::InternedName qualified_id) const noexcept;
+
   /// True when instances of the type can be created/invoked locally.
   [[nodiscard]] bool is_loaded(std::string_view qualified_name) const noexcept {
     return find_native(qualified_name) != nullptr;
@@ -49,6 +57,11 @@ class Domain {
   /// Creates an instance of a loaded type. Throws ReflectError when the
   /// type's code is not available.
   [[nodiscard]] std::shared_ptr<DynObject> instantiate(std::string_view qualified_name,
+                                                       Args args = {}) const;
+
+  /// instantiate() keyed on an already-resolved description (interned-id
+  /// native lookup; never re-hashes the name).
+  [[nodiscard]] std::shared_ptr<DynObject> instantiate(const TypeDescription& type,
                                                        Args args = {}) const;
 
   /// Invokes a method on an object whose type is loaded in this domain.
@@ -65,6 +78,8 @@ class Domain {
   TypeRegistry registry_;
   std::map<std::string, std::shared_ptr<const Assembly>, util::ICaseLess> assemblies_;
   std::map<std::string, const NativeType*, util::ICaseLess> natives_;
+  /// Same natives keyed by interned qualified-name id (handle fast path).
+  std::unordered_map<util::InternedName, const NativeType*> natives_by_id_;
 };
 
 }  // namespace pti::reflect

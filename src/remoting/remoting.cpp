@@ -51,6 +51,20 @@ std::shared_ptr<DynObject> Remoting::import_ref(std::string_view host_peer,
                           "'");
     }
   }
+  return import_ref(host_peer, object_id, *peer_.domain().registry().find(type_name));
+}
+
+std::shared_ptr<DynObject> Remoting::import_ref(std::string_view host_peer,
+                                                std::uint64_t object_id,
+                                                const reflect::TypeDescription& type) {
+  complete_description_closure(host_peer);
+  auto ref = DynObject::make(type.qualified_name(), util::Guid{});
+  ref->set(kRemotePeerField, Value(std::string(host_peer)));
+  ref->set(kRemoteIdField, Value(static_cast<std::int64_t>(object_id)));
+  return ref;
+}
+
+void Remoting::complete_description_closure(std::string_view host_peer) {
   for (int round = 0; round < 16; ++round) {
     std::vector<std::string> missing;
     for (const reflect::TypeDescription* d : peer_.domain().registry().user_types()) {
@@ -75,11 +89,6 @@ std::shared_ptr<DynObject> Remoting::import_ref(std::string_view host_peer,
       break;
     }
   }
-  const reflect::TypeDescription* d = peer_.domain().registry().find(type_name);
-  auto ref = DynObject::make(d->qualified_name(), util::Guid{});
-  ref->set(kRemotePeerField, Value(std::string(host_peer)));
-  ref->set(kRemoteIdField, Value(static_cast<std::int64_t>(object_id)));
-  return ref;
 }
 
 bool Remoting::is_remote_ref(const DynObject& obj) const noexcept {

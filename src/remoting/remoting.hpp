@@ -56,12 +56,23 @@ class Remoting final : public proxy::RemoteInvoker {
                                                                std::uint64_t object_id,
                                                                std::string_view type_name);
 
+  /// import_ref() for a type already resolved locally (the core layer's
+  /// handle-based path): skips the initial description fetch, but still
+  /// completes the referenced-description closure from the host.
+  [[nodiscard]] std::shared_ptr<reflect::DynObject> import_ref(
+      std::string_view host_peer, std::uint64_t object_id,
+      const reflect::TypeDescription& type);
+
   // --- proxy::RemoteInvoker -----------------------------------------------
   [[nodiscard]] bool is_remote_ref(const reflect::DynObject& obj) const noexcept override;
   reflect::Value invoke_remote(const reflect::DynObject& ref, std::string_view method_name,
                                reflect::Args args) override;
 
  private:
+  /// Fetches (bounded) every description transitively referenced by the
+  /// locally known user types but not yet resolvable, from `host_peer`.
+  void complete_description_closure(std::string_view host_peer);
+
   std::optional<transport::Message> handle(const transport::Message& request);
   transport::InvokeResponse handle_invoke(std::string_view from,
                                           const transport::InvokeRequest& request);

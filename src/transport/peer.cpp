@@ -30,7 +30,7 @@ namespace {
 
 }  // namespace
 
-Peer::Peer(std::string name, SimNetwork& network, std::shared_ptr<AssemblyHub> hub,
+Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hub,
            PeerConfig config)
     : name_(std::move(name)),
       network_(network),
@@ -54,23 +54,30 @@ Peer::~Peer() {
   network_.detach(name_);
 }
 
-void Peer::host_assembly(std::shared_ptr<const reflect::Assembly> assembly) {
+std::vector<const TypeDescription*> Peer::host_assembly(
+    std::shared_ptr<const reflect::Assembly> assembly) {
   if (!assembly) throw TransportError("cannot host a null assembly");
   const std::string path = "net://" + name_ + "/" + assembly->name();
   hub_->publish(assembly);
-  domain_.load_assembly(std::move(assembly), path);
+  return domain_.load_assembly(std::move(assembly), path);
 }
 
-void Peer::add_interest(std::string_view type_name) {
+util::InternedName Peer::add_interest(std::string_view type_name) {
   const TypeDescription* d = domain_.registry().find(type_name);
   if (d == nullptr) {
     throw ProtocolError("interest type '" + std::string(type_name) +
                         "' is not known to peer '" + name_ + "'");
   }
-  const std::string qualified = d->qualified_name();
-  if (std::find(interests_.begin(), interests_.end(), qualified) == interests_.end()) {
-    interests_.push_back(qualified);
+  return add_interest(*d);
+}
+
+util::InternedName Peer::add_interest(const TypeDescription& interest) {
+  const util::InternedName id = interest.name_id();
+  if (std::find(interest_ids_.begin(), interest_ids_.end(), id) == interest_ids_.end()) {
+    interests_.push_back(interest.qualified_name());
+    interest_ids_.push_back(id);
   }
+  return id;
 }
 
 std::string Peer::describe_type_xml(std::string_view type_name) const {
@@ -339,8 +346,10 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
   const TypeDescription* pushed =
       domain_.registry().find(envelope.types.front().type_name);
   std::string matched_interest;
-  for (const auto& interest_name : interests_) {
-    const TypeDescription* interest = domain_.registry().find(interest_name);
+  util::InternedName matched_id;
+  for (std::size_t i = 0; i < interests_.size(); ++i) {
+    const std::string& interest_name = interests_[i];
+    const TypeDescription* interest = domain_.registry().find_by_id(interest_ids_[i]);
     if (interest == nullptr) continue;
     const CheckResult result = check_with_fetch(*pushed, *interest, sender);
     if (!result.conformant) continue;
@@ -363,6 +372,7 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
     }
     if (accepted) {
       matched_interest = interest_name;
+      matched_id = interest_ids_[i];
       break;
     }
   }
@@ -396,6 +406,7 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
   domain_.fill_missing_fields(*delivered.object);
   delivered.adapted = proxies_.wrap(delivered.object, matched_interest);
   delivered.interest_type = matched_interest;
+  delivered.interest_id = matched_id;
   delivered.sender = sender;
   delivered_.push_back(delivered);
   ++stats_.objects_delivered;

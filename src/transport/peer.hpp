@@ -35,7 +35,8 @@
 #include "serial/object_serializer.hpp"
 #include "transport/assembly_hub.hpp"
 #include "transport/protocol_stats.hpp"
-#include "transport/sim_network.hpp"
+#include "transport/transport.hpp"
+#include "util/interning.hpp"
 
 namespace pti::transport {
 
@@ -70,12 +71,15 @@ struct DeliveredObject {
   std::shared_ptr<reflect::DynObject> object;   ///< the raw deserialized object
   std::shared_ptr<reflect::DynObject> adapted;  ///< usable as the interest type
   std::string interest_type;                    ///< which interest matched
+  /// Interned id of the matched interest's qualified name — the key the
+  /// core layer dispatches handlers on without touching the string.
+  util::InternedName interest_id;
   std::string sender;
 };
 
 class Peer {
  public:
-  Peer(std::string name, SimNetwork& network, std::shared_ptr<AssemblyHub> hub,
+  Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hub,
        PeerConfig config = {});
   ~Peer();
   Peer(const Peer&) = delete;
@@ -88,16 +92,22 @@ class Peer {
   [[nodiscard]] proxy::ProxyFactory& proxies() noexcept { return proxies_; }
   [[nodiscard]] ProtocolStats& stats() noexcept { return stats_; }
   [[nodiscard]] const PeerConfig& config() const noexcept { return config_; }
-  [[nodiscard]] SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] Transport& network() noexcept { return network_; }
   [[nodiscard]] serial::SerializerRegistry& serializers() noexcept { return serializers_; }
 
   /// Loads the assembly locally and hosts it for download by other peers
-  /// (descriptions get download path "net://<peer>/<assembly>").
-  void host_assembly(std::shared_ptr<const reflect::Assembly> assembly);
+  /// (descriptions get download path "net://<peer>/<assembly>"). Returns
+  /// the registered descriptions in assembly order (empty on re-host).
+  std::vector<const reflect::TypeDescription*> host_assembly(
+      std::shared_ptr<const reflect::Assembly> assembly);
 
   /// Declares a type of interest; the name must resolve in the local
-  /// registry (you subscribe with *your* type).
-  void add_interest(std::string_view type_name);
+  /// registry (you subscribe with *your* type). Returns the interned id of
+  /// the interest's qualified name (the dispatch key).
+  util::InternedName add_interest(std::string_view type_name);
+  /// Interest declared by an already-resolved local description — the
+  /// handle-based fast path (no registry lookup).
+  util::InternedName add_interest(const reflect::TypeDescription& interest);
   [[nodiscard]] const std::vector<std::string>& interests() const noexcept {
     return interests_;
   }
@@ -151,7 +161,7 @@ class Peer {
                    bool& any_download);
 
   std::string name_;
-  SimNetwork& network_;
+  Transport& network_;
   std::shared_ptr<AssemblyHub> hub_;
   PeerConfig config_;
 
@@ -162,6 +172,8 @@ class Peer {
   serial::SerializerRegistry serializers_;
 
   std::vector<std::string> interests_;
+  /// Interned qualified-name id of interests_[i] (parallel vector).
+  std::vector<util::InternedName> interest_ids_;
   std::vector<DeliveredObject> delivered_;
   DeliveryHandler on_delivery_;
   ExtraHandler extra_handler_;

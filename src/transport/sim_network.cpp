@@ -1,6 +1,12 @@
 #include "transport/sim_network.hpp"
 
+#include <memory>
+
 namespace pti::transport {
+
+std::unique_ptr<Transport> make_sim_network(std::uint64_t rng_seed) {
+  return std::make_unique<SimNetwork>(rng_seed);
+}
 
 void SimNetwork::attach(std::string_view name, Handler handler) {
   if (!handler) throw TransportError("cannot attach a null handler");

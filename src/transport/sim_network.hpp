@@ -1,4 +1,5 @@
-// Deterministic in-process network simulator.
+// Deterministic in-process network simulator — the first (and reference)
+// implementation of the transport::Transport seam.
 //
 // Substitutes for the paper's real testbed (two Windows hosts with .NET
 // remoting): peers attach under a name; send() routes a message to the
@@ -9,11 +10,11 @@
 //
 // Fault injection: a deterministic per-message drop schedule plus an
 // optional drop probability (seeded RNG) let tests exercise the protocol's
-// failure paths reproducibly.
+// failure paths reproducibly. These controls are simulator-specific and
+// intentionally NOT part of the Transport interface.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -21,6 +22,7 @@
 #include <unordered_map>
 
 #include "transport/message.hpp"
+#include "transport/transport.hpp"
 #include "transport/transport_error.hpp"
 #include "util/interning.hpp"
 #include "util/rng.hpp"
@@ -29,39 +31,25 @@
 
 namespace pti::transport {
 
-struct LinkConfig {
-  std::uint64_t latency_ns = 1'000'000;          ///< 1 ms one-way
-  double bandwidth_bytes_per_sec = 12'500'000.0;  ///< 100 Mbit/s
-  double drop_probability = 0.0;
-};
-
-struct NetStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t drops = 0;
-
-  void reset() noexcept { *this = {}; }
-};
-
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
-  /// A handler consumes a request and produces the response message.
-  using Handler = std::function<Message(const Message&)>;
-
   explicit SimNetwork(std::uint64_t rng_seed = 42) : rng_(rng_seed) {}
 
-  void attach(std::string_view name, Handler handler);
-  void detach(std::string_view name);
-  [[nodiscard]] bool is_attached(std::string_view name) const noexcept;
+  void attach(std::string_view name, Handler handler) override;
+  void detach(std::string_view name) override;
+  [[nodiscard]] bool is_attached(std::string_view name) const noexcept override;
 
   /// Synchronous exchange: charges the request, dispatches to the
   /// recipient, charges the response, returns it. Throws NetworkError on
   /// unknown recipients or injected drops.
-  Message send(const Message& request);
+  Message send(const Message& request) override;
 
-  void set_default_link(const LinkConfig& config) noexcept { default_link_ = config; }
+  void set_default_link(const LinkConfig& config) noexcept override {
+    default_link_ = config;
+  }
   /// Per-directed-link override ("from->to").
-  void set_link(std::string_view from, std::string_view to, const LinkConfig& config);
+  void set_link(std::string_view from, std::string_view to,
+                const LinkConfig& config) override;
 
   /// Deterministically drops the next `count` messages entering the network.
   void inject_drop_next(std::size_t count = 1) noexcept { forced_drops_ += count; }
@@ -71,9 +59,9 @@ class SimNetwork {
   /// a push) while the surrounding messages go through.
   void inject_drop_at(std::uint64_t nth) { scheduled_drops_.insert(seen_ + nth); }
 
-  [[nodiscard]] const NetStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
-  [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
+  void reset_stats() noexcept override { stats_.reset(); }
+  [[nodiscard]] util::SimClock& clock() noexcept override { return clock_; }
 
  private:
   [[nodiscard]] const LinkConfig& link_for(std::string_view from,

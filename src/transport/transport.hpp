@@ -1,0 +1,81 @@
+// Transport — the abstract message-passing seam between peers.
+//
+// A Transport routes request/response Message exchanges between named
+// endpoints and accounts for their cost. It is the interface every layer
+// above src/transport/ programs against: Peer, Remoting and the core
+// InteropSystem/InteropRuntime never name a concrete transport, so a
+// future async or multi-threaded transport plugs in underneath the whole
+// stack without touching it (the PR-2 stores underneath are already
+// thread-safe; this seam is where such a transport would attach).
+//
+// SimNetwork (sim_network.hpp) is the first implementation: the
+// deterministic in-process simulator standing in for the paper's testbed.
+// Simulator-only controls (fault injection, drop schedules) stay on the
+// concrete class; everything a protocol layer legitimately needs — send,
+// endpoint attachment, link cost configuration, traffic stats, the
+// virtual clock charged per traversal — is part of this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "transport/message.hpp"
+#include "util/sim_clock.hpp"
+
+namespace pti::transport {
+
+/// Cost model of one directed link: fixed latency plus bandwidth-
+/// proportional transmission time, and an optional loss rate.
+struct LinkConfig {
+  std::uint64_t latency_ns = 1'000'000;           ///< 1 ms one-way
+  double bandwidth_bytes_per_sec = 12'500'000.0;  ///< 100 Mbit/s
+  double drop_probability = 0.0;
+};
+
+/// Aggregate traffic counters — the quantity the optimistic protocol is
+/// designed to save.
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+
+  void reset() noexcept { *this = {}; }
+};
+
+class Transport {
+ public:
+  /// A handler consumes a request and produces the response message.
+  using Handler = std::function<Message(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers `handler` as the endpoint reachable under `name`.
+  virtual void attach(std::string_view name, Handler handler) = 0;
+  virtual void detach(std::string_view name) = 0;
+  [[nodiscard]] virtual bool is_attached(std::string_view name) const noexcept = 0;
+
+  /// Synchronous exchange: delivers the request to the recipient's handler
+  /// and returns its response, charging both traversals. Throws
+  /// NetworkError on unknown recipients or transmission failure.
+  virtual Message send(const Message& request) = 0;
+
+  /// Cost configuration: the default link and per-directed-link overrides.
+  virtual void set_default_link(const LinkConfig& config) noexcept = 0;
+  virtual void set_link(std::string_view from, std::string_view to,
+                        const LinkConfig& config) = 0;
+
+  [[nodiscard]] virtual const NetStats& stats() const noexcept = 0;
+  virtual void reset_stats() noexcept = 0;
+
+  /// The clock charged per message traversal. A simulated transport
+  /// advances virtual time; a real one would track elapsed wall time.
+  [[nodiscard]] virtual util::SimClock& clock() noexcept = 0;
+};
+
+/// Factory for the default simulated transport, so transport consumers
+/// (the core layer) never name the concrete SimNetwork type.
+[[nodiscard]] std::unique_ptr<Transport> make_sim_network(std::uint64_t rng_seed = 42);
+
+}  // namespace pti::transport

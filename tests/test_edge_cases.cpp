@@ -17,6 +17,7 @@
 #include "serial/soap_serializer.hpp"
 #include "serial/xml_object_serializer.hpp"
 #include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
 #include "xml/xml_parser.hpp"
 
 namespace pti {

@@ -8,6 +8,7 @@
 #include "remoting/remoting_error.hpp"
 #include "transport/assembly_hub.hpp"
 #include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
 
 namespace pti::remoting {
 namespace {
