@@ -6,13 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "core/interop.hpp"
 #include "fixtures/sample_types.hpp"
 #include "reflect/domain.hpp"
 #include "reflect/dyn_object.hpp"
 #include "reflect/value.hpp"
+#include "transport/async_transport.hpp"
 
 namespace pti::bench {
 
@@ -50,6 +54,57 @@ inline std::shared_ptr<reflect::DynObject> make_person_b(reflect::Domain& domain
                                  reflect::Value(std::int32_t{1007})};
   person->set("address", reflect::Value(domain.instantiate("teamB.Address", addr)));
   return person;
+}
+
+/// Shared universe for the concurrent full-protocol push benchmarks
+/// (bench_transport's BM_AsyncPushThroughput/BM_AsyncPushPipelined and
+/// bench_concurrent's BM_ConcurrentProtocolPush measure the same warmed
+/// steady state — this is the single definition of it): one InteropSystem
+/// over a 2-worker AsyncTransport, kPairs disjoint sender -> receiver
+/// pairs, types published, interests subscribed, caches warmed by one
+/// push each. Delivered-object retention is off — a server-shaped peer
+/// must not grow per push. `prefix` keeps the two binaries' peer/type
+/// names from colliding in the process-wide symbol table semantics-wise
+/// (each binary is its own process; the prefix just keeps logs readable).
+struct ConcurrentPushEnv {
+  static constexpr int kPairs = 4;
+  core::InteropSystem system;
+  std::array<core::InteropRuntime*, kPairs> senders{};
+  std::array<std::string, kPairs> receiver_names;
+  std::array<std::shared_ptr<reflect::DynObject>, kPairs> objects;
+
+  explicit ConcurrentPushEnv(const std::string& prefix)
+      : system(std::make_unique<transport::AsyncTransport>(
+            transport::AsyncTransportConfig{.workers = 2, .max_inbox = 256})) {
+    transport::PeerConfig config;
+    config.retain_delivered = false;
+    for (int p = 0; p < kPairs; ++p) {
+      const std::string ns = prefix + "ns" + std::to_string(p);
+      auto& sender = system.create_runtime(prefix + "s" + std::to_string(p), config);
+      auto& receiver = system.create_runtime(prefix + "r" + std::to_string(p), config);
+      (void)sender.publish_assembly(fixtures::wide_type(ns, "Event", 4, 4));
+      (void)receiver.publish_assembly(fixtures::wide_type(ns + "r", "Event", 4, 4));
+      receiver.subscribe(ns + "r.Event", [](const transport::DeliveredObject&) {});
+      senders[p] = &sender;
+      receiver_names[p] = prefix + "r" + std::to_string(p);
+      objects[p] = sender.make(ns + ".Event");
+      (void)sender.send(receiver_names[p], objects[p]);  // warm metadata + code
+    }
+  }
+};
+
+/// The measured loop shared by the concurrent push benchmarks: thread i
+/// drives pair i synchronously; inbound handling of distinct peers runs
+/// concurrently over the shared transport/stores.
+inline void run_concurrent_push(benchmark::State& state, ConcurrentPushEnv& env) {
+  const int pair = state.thread_index() % ConcurrentPushEnv::kPairs;
+  core::InteropRuntime& sender = *env.senders[pair];
+  const std::string& to = env.receiver_names[pair];
+  const auto& object = env.objects[pair];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sender.send(to, object));
+  }
+  state.SetItemsProcessed(state.iterations());
 }
 
 }  // namespace pti::bench

@@ -15,13 +15,17 @@
 // paying one shared-lock per lookup.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "conform/conformance_cache.hpp"
 #include "conform/conformance_checker.hpp"
+#include "core/interop.hpp"
 #include "reflect/type_registry.hpp"
+#include "transport/async_transport.hpp"
 #include "util/interning.hpp"
 
 namespace {
@@ -130,6 +134,25 @@ void BM_ConcurrentInternHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_ConcurrentInternHit)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// Full-stack concurrent pushes: one shared InteropSystem over the
+/// thread-pool AsyncTransport, each bench thread driving its own warmed
+/// sender->receiver pair. This is the whole protocol per item (envelope
+/// build, 2 messages, cached conformance, dispatch) — the end-to-end
+/// number the sharded stores and the atomic stats/clock exist for. The
+/// env + measured loop live in bench_common.hpp, shared with
+/// bench_transport's BM_AsyncPushThroughput.
+bench::ConcurrentPushEnv& transport_env() {
+  static bench::ConcurrentPushEnv e("c");
+  return e;
+}
+
+void BM_ConcurrentProtocolPush(benchmark::State& state) {
+  bench::paper_reference("E-conc: full protocol push over AsyncTransport",
+                         "aggregate end-to-end push throughput across threads");
+  bench::run_concurrent_push(state, transport_env());
+}
+BENCHMARK(BM_ConcurrentProtocolPush)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 }  // namespace
 

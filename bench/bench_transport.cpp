@@ -10,11 +10,22 @@
 //   * the rejection path: non-conformant pushes cost only descriptions,
 //     never code;
 //   * crossover: with one object per type, eager's single round trip can
-//     rival optimistic's extra requests — reuse is what pays.
+//     rival optimistic's extra requests — reuse is what pays;
+//   * concurrency: aggregate push throughput over the thread-pool-backed
+//     AsyncTransport as application threads are added (each thread drives
+//     its own sender->receiver pair of one shared universe), and the
+//     pipelining headroom of send_async over one-at-a-time sync pushes.
 #include <benchmark/benchmark.h>
+
+#include <array>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/interop.hpp"
+#include "transport/async_transport.hpp"
 
 namespace {
 
@@ -120,6 +131,48 @@ BENCHMARK(BM_ProtocolTypeDiversity)
     ->Args({1, 1})
     ->Args({1, 6})
     ->Args({1, 30});
+
+// --- concurrent pushes over AsyncTransport ------------------------------------
+
+/// The shared warmed universe (definition in bench_common.hpp — the same
+/// env backs bench_concurrent's BM_ConcurrentProtocolPush).
+bench::ConcurrentPushEnv& async_env() {
+  static bench::ConcurrentPushEnv e("a");
+  return e;
+}
+
+/// Aggregate synchronous push throughput: thread i drives pair i — the
+/// inbound protocol handling of distinct peers runs concurrently (shared
+/// state underneath: symbol table, hub, atomic stats, virtual clock).
+void BM_AsyncPushThroughput(benchmark::State& state) {
+  bench::paper_reference("E5-conc: concurrent pushes over AsyncTransport",
+                         "aggregate protocol throughput as peers are driven "
+                         "from more application threads");
+  bench::run_concurrent_push(state, async_env());
+}
+BENCHMARK(BM_AsyncPushThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// send_async pipelining: keep a window of in-flight pushes per thread
+/// instead of one synchronous exchange at a time.
+void BM_AsyncPushPipelined(benchmark::State& state) {
+  bench::ConcurrentPushEnv& e = async_env();
+  const int pair = state.thread_index() % bench::ConcurrentPushEnv::kPairs;
+  core::InteropRuntime& sender = *e.senders[pair];
+  const std::string& to = e.receiver_names[pair];
+  const auto& object = e.objects[pair];
+  constexpr int kWindow = 16;
+  std::vector<std::future<transport::PushAck>> in_flight;
+  in_flight.reserve(kWindow);
+  for (auto _ : state) {
+    for (int i = 0; i < kWindow; ++i) {
+      in_flight.push_back(sender.send_async(to, object));
+    }
+    for (auto& f : in_flight) benchmark::DoNotOptimize(f.get());
+    in_flight.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_AsyncPushPipelined)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 }  // namespace
 

@@ -59,9 +59,17 @@ InteropRuntime::InteropRuntime(std::string name, transport::Transport& network,
 }
 
 InteropRuntime::~InteropRuntime() {
-  // Drain the dispatch table before member destruction: a handler closure
-  // may own a Subscription whose destructor reenters remove_handler, which
-  // must find a valid (now empty) map — not one mid-destruction.
+  // Quiesce inbound delivery FIRST: on a concurrent transport a worker may
+  // be inside dispatch() — holding handlers_mutex_, iterating handlers_ —
+  // right now. detach() blocks until in-flight executions of the peer's
+  // handler finish and no new ones begin. peer_'s own destructor would do
+  // the same, but only after the members declared below it (the dispatch
+  // state) were already destroyed — too late.
+  peer_.network().detach(peer_.name());
+  // Then drain the dispatch table before member destruction: a handler
+  // closure may own a Subscription whose destructor reenters
+  // remove_handler, which must find a valid (now empty) map — not one
+  // mid-destruction.
   auto drained = std::move(handlers_);
   handlers_.clear();
   drained.clear();  // closures destruct here
@@ -278,6 +286,11 @@ transport::PushAck InteropRuntime::send(std::string_view to,
   return try_send(to, object).value();
 }
 
+std::future<transport::PushAck> InteropRuntime::send_async(
+    std::string_view to, const std::shared_ptr<DynObject>& object) {
+  return peer_.send_object_async(to, object);
+}
+
 Expected<transport::PushAck> InteropRuntime::try_send(
     std::string_view to, const std::shared_ptr<DynObject>& object) {
   try {
@@ -342,6 +355,11 @@ Expected<std::shared_ptr<DynObject>> InteropRuntime::try_import_remote(
 // --- dispatch ----------------------------------------------------------------
 
 void InteropRuntime::dispatch(const transport::DeliveredObject& delivered) {
+  // Per-runtime dispatch is serialized: transport workers delivering
+  // concurrently queue here, and a dispatching thread may reenter (the
+  // mutex is recursive), which keeps the depth-guarded sweep logic below
+  // effectively single-threaded.
+  std::scoped_lock dispatch_lock(handlers_mutex_);
   const auto it = handlers_.find(delivered.interest_id);
   if (it == handlers_.end()) return;
   // Depth-guarded iteration: handlers may subscribe (std::list append, no
@@ -381,6 +399,7 @@ void InteropRuntime::dispatch(const transport::DeliveredObject& delivered) {
 
 std::size_t InteropRuntime::handler_count(TypeHandle interest) const noexcept {
   if (!interest) return 0;
+  std::scoped_lock lock(handlers_mutex_);
   const auto it = handlers_.find(interest.id());
   if (it == handlers_.end()) return 0;
   return static_cast<std::size_t>(std::count_if(
@@ -390,6 +409,7 @@ std::size_t InteropRuntime::handler_count(TypeHandle interest) const noexcept {
 
 Subscription InteropRuntime::add_handler(util::InternedName interest,
                                          EventHandler handler) {
+  std::scoped_lock lock(handlers_mutex_);
   const std::uint64_t token = next_token_++;
   handlers_[interest].push_back(HandlerEntry{token, std::move(handler)});
   return Subscription{this, interest, token};
@@ -397,6 +417,7 @@ Subscription InteropRuntime::add_handler(util::InternedName interest,
 
 void InteropRuntime::remove_handler(util::InternedName interest,
                                     std::uint64_t token) noexcept {
+  std::scoped_lock lock(handlers_mutex_);
   const auto it = handlers_.find(interest);
   if (it == handlers_.end()) return;
   for (auto entry_it = it->second.begin(); entry_it != it->second.end(); ++entry_it) {
@@ -430,22 +451,38 @@ InteropSystem::InteropSystem(std::unique_ptr<transport::Transport> network)
 
 InteropRuntime& InteropSystem::create_runtime(std::string name,
                                               transport::PeerConfig config) {
-  if (runtimes_.contains(name)) {
-    throw transport::TransportError("runtime '" + name + "' already exists");
+  // Duplicate names are checked here, not just left to the transport's
+  // attach (which also throws): a third-party Transport that tolerated
+  // double-attach would otherwise let the loser of the emplace detach the
+  // ORIGINAL runtime's live endpoint when its fresh runtime is destroyed.
+  {
+    std::shared_lock lock(runtimes_mutex_);
+    if (runtimes_.contains(name)) {
+      throw transport::TransportError("runtime '" + name + "' already exists");
+    }
   }
+  // Built outside the map lock: the constructor attaches to the transport,
+  // which has its own synchronization.
   auto runtime =
       std::make_unique<InteropRuntime>(name, *network_, hub_, std::move(config));
-  InteropRuntime& ref = *runtime;
-  runtimes_.emplace(std::move(name), std::move(runtime));
-  return ref;
+  std::unique_lock lock(runtimes_mutex_);
+  const auto [it, inserted] = runtimes_.try_emplace(std::move(name), std::move(runtime));
+  if (!inserted) {
+    // Two racing create_runtime("same") calls: with a conforming transport
+    // the second constructor already threw at attach; refuse here too.
+    throw transport::TransportError("runtime '" + it->first + "' already exists");
+  }
+  return *it->second;
 }
 
 InteropRuntime* InteropSystem::find(std::string_view name) noexcept {
+  std::shared_lock lock(runtimes_mutex_);
   const auto it = runtimes_.find(name);
   return it == runtimes_.end() ? nullptr : it->second.get();
 }
 
 std::vector<InteropRuntime*> InteropSystem::runtimes() {
+  std::shared_lock lock(runtimes_mutex_);
   std::vector<InteropRuntime*> out;
   out.reserve(runtimes_.size());
   for (auto& [name, rt] : runtimes_) out.push_back(rt.get());

@@ -35,22 +35,35 @@
 // the abstract transport::Transport seam; InteropSystem defaults to the
 // deterministic SimNetwork but accepts any Transport implementation.
 //
-// Thread safety: InteropSystem and InteropRuntime are single-threaded —
-// drive one simulated universe from one thread. The stores underneath
-// (SymbolTable, TypeRegistry, ConformanceCache) are themselves sharded
-// and thread-safe (see docs/ARCHITECTURE.md for the per-class contract),
-// so read-heavy work that bypasses the protocol — resolve() on a
-// runtime's registry, conformance checks through a checker whose
-// resolver is a plain TypeRegistry — may run on worker threads
-// concurrently with each other; only the protocol/network layers must
-// stay on the owning thread.
+// Thread safety: steady-state traffic is concurrent — N runtimes on one
+// InteropSystem may send/send_async from M application threads while a
+// concurrent transport (transport::AsyncTransport) delivers inbound
+// requests on its workers; the stores underneath (SymbolTable,
+// TypeRegistry, ConformanceCache, Domain, AssemblyHub) are sharded or
+// guarded, protocol stats are atomic, and event dispatch is serialized
+// per runtime (handlers for one runtime never run concurrently with each
+// other, and subscribe/unsubscribe may race deliveries). Configuration
+// stays single-threaded: create runtimes, publish assemblies and install
+// the initial subscriptions before the traffic threads start.
+//
+// One rule follows from serialized dispatch: an event handler must not
+// perform a *synchronous* send to a runtime whose handlers may
+// synchronously send back — on a concurrent transport that is a classic
+// ABBA deadlock (each dispatch lock held while waiting for the other's).
+// Handlers that need to originate traffic use send_async, which only
+// enqueues. Under the single-threaded SimNetwork, synchronous replies
+// from handlers remain safe. See docs/ARCHITECTURE.md for the per-class
+// contract and docs/API.md for the AsyncTransport lifetime rules.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -221,6 +234,13 @@ class InteropRuntime {
   [[nodiscard]] Expected<transport::PushAck> try_send(
       std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
 
+  /// Non-blocking send over Transport::send_async: the future carries the
+  /// PushAck or the exception send() would have thrown. On a transport
+  /// without its own queueing (SimNetwork) the exchange completes
+  /// synchronously before this returns.
+  [[nodiscard]] std::future<transport::PushAck> send_async(
+      std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
+
   // --- pass-by-reference ----------------------------------------------------
   /// Exports an object for remote invocation; returns its object id.
   std::uint64_t export_object(std::shared_ptr<reflect::DynObject> object);
@@ -269,6 +289,11 @@ class InteropRuntime {
 
   transport::Peer peer_;
   remoting::Remoting remoting_;
+  /// Serializes dispatch and handler-table mutation. Recursive because
+  /// handlers may subscribe/unsubscribe/dispatch reentrantly on the
+  /// dispatching thread; concurrent deliveries from transport workers
+  /// queue up behind each other (per-runtime dispatch is serialized).
+  mutable std::recursive_mutex handlers_mutex_;
   /// Dispatch table: interned interest id -> handlers, in subscription
   /// order. std::list so registration from inside a handler never
   /// invalidates the iteration.
@@ -300,6 +325,8 @@ class InteropSystem {
  private:
   std::unique_ptr<transport::Transport> network_;
   std::shared_ptr<transport::AssemblyHub> hub_;
+  /// Guards the runtime map (create_runtime may race find()/runtimes()).
+  mutable std::shared_mutex runtimes_mutex_;
   std::map<std::string, std::unique_ptr<InteropRuntime>, util::ICaseLess> runtimes_;
 };
 

@@ -1,5 +1,6 @@
 #include "reflect/domain.hpp"
 
+#include <mutex>
 #include <set>
 
 #include "reflect/introspect.hpp"
@@ -11,6 +12,7 @@ namespace pti::reflect {
 std::vector<const TypeDescription*> Domain::load_assembly(
     std::shared_ptr<const Assembly> assembly, std::string_view download_path) {
   if (!assembly) throw ReflectError("cannot load a null assembly");
+  std::unique_lock lock(mutex_);
   if (assemblies_.contains(assembly->name())) return {};
 
   std::vector<const TypeDescription*> registered;
@@ -27,15 +29,18 @@ std::vector<const TypeDescription*> Domain::load_assembly(
 }
 
 bool Domain::has_assembly(std::string_view name) const noexcept {
+  std::shared_lock lock(mutex_);
   return assemblies_.find(name) != assemblies_.end();
 }
 
 const Assembly* Domain::find_assembly(std::string_view name) const noexcept {
+  std::shared_lock lock(mutex_);
   const auto it = assemblies_.find(name);
   return it == assemblies_.end() ? nullptr : it->second.get();
 }
 
 std::vector<const Assembly*> Domain::assemblies() const {
+  std::shared_lock lock(mutex_);
   std::vector<const Assembly*> out;
   out.reserve(assemblies_.size());
   for (const auto& [name, assembly] : assemblies_) out.push_back(assembly.get());
@@ -43,12 +48,14 @@ std::vector<const Assembly*> Domain::assemblies() const {
 }
 
 const NativeType* Domain::find_native(std::string_view qualified_name) const noexcept {
+  std::shared_lock lock(mutex_);
   const auto it = natives_.find(qualified_name);
   return it == natives_.end() ? nullptr : it->second;
 }
 
 const NativeType* Domain::find_native(util::InternedName qualified_id) const noexcept {
   if (!qualified_id.valid()) return nullptr;
+  std::shared_lock lock(mutex_);
   const auto it = natives_by_id_.find(qualified_id);
   return it == natives_by_id_.end() ? nullptr : it->second;
 }

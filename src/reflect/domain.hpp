@@ -5,10 +5,20 @@
 // introspects every contained NativeType and registers the resulting
 // descriptions; only then can instances of those types be created and
 // invoked locally.
+//
+// Thread safety: fully thread-safe. The registry is internally sharded
+// (PR 2); the assembly/native maps sit behind one shared_mutex —
+// load_assembly takes it exclusively, every lookup takes it shared. The
+// maps are append-only, so NativeType pointers handed out stay valid; two
+// threads racing to load the same assembly resolve to one load (the loser
+// sees the idempotent re-load and returns empty). instantiate()/invoke()
+// run concurrently; mutating one *given* DynObject stays the caller's
+// single-threaded business.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,6 +86,9 @@ class Domain {
 
  private:
   TypeRegistry registry_;
+  /// Guards the three maps below; they are append-only, so the NativeType
+  /// and Assembly pointers handed out survive the lock's release.
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<const Assembly>, util::ICaseLess> assemblies_;
   std::map<std::string, const NativeType*, util::ICaseLess> natives_;
   /// Same natives keyed by interned qualified-name id (handle fast path).

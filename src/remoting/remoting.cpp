@@ -27,12 +27,14 @@ Remoting::~Remoting() {
 
 std::uint64_t Remoting::export_object(std::shared_ptr<DynObject> object) {
   if (!object) throw RemotingError("cannot export a null object");
+  std::scoped_lock lock(exported_mutex_);
   const std::uint64_t id = next_id_++;
   exported_.emplace(id, std::move(object));
   return id;
 }
 
 void Remoting::unexport(std::uint64_t object_id) noexcept {
+  std::scoped_lock lock(exported_mutex_);
   exported_.erase(object_id);
 }
 
@@ -169,14 +171,19 @@ Value Remoting::invoke_remote(const DynObject& ref, std::string_view method_name
 InvokeResponse Remoting::handle_invoke(std::string_view from, const InvokeRequest& request) {
   InvokeResponse response;
   try {
-    const auto it = exported_.find(request.object_id);
-    if (it == exported_.end()) {
+    std::shared_ptr<DynObject> target;
+    {
+      std::scoped_lock lock(exported_mutex_);
+      const auto it = exported_.find(request.object_id);
+      if (it != exported_.end()) target = it->second;
+    }
+    if (!target) {
       throw RemotingError("no exported object with id " +
                           std::to_string(request.object_id));
     }
     const Value args_value = unmarshal(request.args_envelope, from);
     const Value::List& args = args_value.as_list();
-    Value result = peer_.proxies().invoke(it->second, request.method_name,
+    Value result = peer_.proxies().invoke(target, request.method_name,
                                           reflect::Args(args.data(), args.size()));
     // Results pass by value; strip any wrappers the local call produced.
     if (result.kind() == ValueKind::Object && result.as_object()) {

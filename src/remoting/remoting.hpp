@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,10 +44,15 @@ class Remoting final : public proxy::RemoteInvoker {
   Remoting& operator=(const Remoting&) = delete;
 
   // --- exporter side ------------------------------------------------------
-  /// Makes `object` remotely invokable; returns its object id.
+  /// Makes `object` remotely invokable; returns its object id. The export
+  /// table is guarded, so exports and inbound invocations may race (the
+  /// rest of a Remoting's configuration is single-threaded, like Peer's).
   std::uint64_t export_object(std::shared_ptr<reflect::DynObject> object);
   void unexport(std::uint64_t object_id) noexcept;
-  [[nodiscard]] std::size_t exported_count() const noexcept { return exported_.size(); }
+  [[nodiscard]] std::size_t exported_count() const noexcept {
+    std::scoped_lock lock(exported_mutex_);
+    return exported_.size();
+  }
 
   // --- importer side ------------------------------------------------------
   /// Builds a remote reference. Fetches the remote type's description from
@@ -83,6 +89,8 @@ class Remoting final : public proxy::RemoteInvoker {
                                          std::string_view counterpart);
 
   transport::Peer& peer_;
+  /// Guards exported_/next_id_ against concurrent exports + invocations.
+  mutable std::mutex exported_mutex_;
   std::map<std::uint64_t, std::shared_ptr<reflect::DynObject>> exported_;
   std::uint64_t next_id_ = 1;
 };

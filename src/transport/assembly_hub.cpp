@@ -1,21 +1,26 @@
 #include "transport/assembly_hub.hpp"
 
+#include <mutex>
+
 #include "transport/transport_error.hpp"
 
 namespace pti::transport {
 
 void AssemblyHub::publish(std::shared_ptr<const reflect::Assembly> assembly) {
   if (!assembly) throw TransportError("cannot publish a null assembly");
+  std::unique_lock lock(mutex_);
   assemblies_[assembly->name()] = std::move(assembly);
 }
 
 std::shared_ptr<const reflect::Assembly> AssemblyHub::fetch(
     std::string_view name) const noexcept {
+  std::shared_lock lock(mutex_);
   const auto it = assemblies_.find(name);
   return it == assemblies_.end() ? nullptr : it->second;
 }
 
 bool AssemblyHub::has(std::string_view name) const noexcept {
+  std::shared_lock lock(mutex_);
   return assemblies_.find(name) != assemblies_.end();
 }
 

@@ -8,10 +8,15 @@
 // the hub only after a successful CodeResponse. The substitution keeps
 // every protocol-visible behaviour (message sequence, byte counts, cache
 // effects) intact — only the mechanics of code transport are simulated.
+//
+// Thread safety: fully thread-safe (one shared_mutex; publish exclusive,
+// fetch/has shared). Assemblies are immutable once published, and the hub
+// never erases, so the shared_ptrs handed out stay valid.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -28,6 +33,7 @@ class AssemblyHub {
   [[nodiscard]] bool has(std::string_view name) const noexcept;
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<const reflect::Assembly>, util::ICaseLess>
       assemblies_;
 };

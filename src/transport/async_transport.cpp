@@ -1,0 +1,317 @@
+#include "transport/async_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "transport/transport_error.hpp"
+
+namespace pti::transport {
+
+namespace {
+
+/// Endpoints whose handler is executing on THIS thread, innermost last.
+/// Lets detach() recognize the reentrant case (handler detaching itself)
+/// where waiting for executing == 0 would deadlock.
+thread_local std::vector<const void*> tl_executing_here;
+
+[[nodiscard]] bool executing_here(const void* endpoint) noexcept {
+  return std::find(tl_executing_here.begin(), tl_executing_here.end(), endpoint) !=
+         tl_executing_here.end();
+}
+
+}  // namespace
+
+AsyncTransport::AsyncTransport(AsyncTransportConfig config)
+    : config_(config), rng_state_(config.rng_seed) {
+  if (config_.max_inbox == 0) {
+    throw TransportError("AsyncTransport needs max_inbox >= 1");
+  }
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AsyncTransport::~AsyncTransport() {
+  std::deque<Pending> orphaned;
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+    for (auto& [name, endpoint] : endpoints_) {
+      total_queued_ -= endpoint->inbox.size();
+      for (auto& pending : endpoint->inbox) orphaned.push_back(std::move(pending));
+      endpoint->inbox.clear();
+    }
+    endpoints_.clear();
+  }
+  work_cv_.notify_all();
+  state_cv_.notify_all();
+  const auto error = std::make_exception_ptr(
+      NetworkError("transport destroyed before the message was delivered"));
+  for (auto& pending : orphaned) complete(pending, Message{}, error);
+  for (auto& worker : workers_) worker.join();
+}
+
+void AsyncTransport::attach(std::string_view name, Handler handler) {
+  if (!handler) throw TransportError("cannot attach a null handler");
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->name = std::string(name);
+  endpoint->handler = std::make_shared<Handler>(std::move(handler));
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = endpoints_.emplace(endpoint->name, std::move(endpoint));
+  if (!inserted) {
+    throw TransportError("endpoint '" + std::string(name) +
+                         "' is already attached (detach it first)");
+  }
+}
+
+void AsyncTransport::detach(std::string_view name) {
+  std::shared_ptr<Endpoint> endpoint;
+  std::deque<Pending> orphaned;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) return;
+    endpoint = it->second;
+    total_queued_ -= endpoint->inbox.size();
+    orphaned.swap(endpoint->inbox);
+    endpoints_.erase(it);
+    state_cv_.notify_all();
+    // Quiescence guarantee: once detach returns, no handler execution is in
+    // flight, so the caller may destroy the handler's owner. The reentrant
+    // case (a handler detaching its own endpoint) cannot wait for itself;
+    // it returns immediately — no *new* delivery begins either way.
+    if (!executing_here(endpoint.get())) {
+      state_cv_.wait(lock, [&] { return endpoint->executing == 0; });
+    }
+  }
+  const auto error = std::make_exception_ptr(
+      NetworkError("endpoint '" + std::string(name) + "' detached before delivery"));
+  for (auto& pending : orphaned) complete(pending, Message{}, error);
+}
+
+bool AsyncTransport::is_attached(std::string_view name) const noexcept {
+  std::unique_lock lock(mutex_);
+  return endpoints_.find(name) != endpoints_.end();
+}
+
+void AsyncTransport::set_default_link(const LinkConfig& config) noexcept {
+  std::unique_lock lock(links_mutex_);
+  default_link_ = config;
+}
+
+void AsyncTransport::set_link(std::string_view from, std::string_view to,
+                              const LinkConfig& config) {
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  const std::uint64_t key = util::pair_key(symbols.intern(from), symbols.intern(to));
+  std::unique_lock lock(links_mutex_);
+  links_[key] = config;
+}
+
+LinkConfig AsyncTransport::link_for(std::string_view from, std::string_view to) const {
+  std::shared_lock lock(links_mutex_);
+  if (links_.empty()) return default_link_;
+  const util::SymbolTable& symbols = util::SymbolTable::global();
+  const util::InternedName from_id = symbols.find(from);
+  if (!from_id.valid()) return default_link_;
+  const util::InternedName to_id = symbols.find(to);
+  if (!to_id.valid()) return default_link_;
+  const auto it = links_.find(util::pair_key(from_id, to_id));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+double AsyncTransport::next_uniform() noexcept {
+  // One shared SplitMix64 stream: fetch_add hands every caller a distinct
+  // state, so concurrent draws never repeat a value.
+  std::uint64_t z =
+      rng_state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
+      0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool AsyncTransport::charge(const Message& message) {
+  const LinkConfig link = link_for(message.sender, message.recipient);
+  if (link.drop_probability > 0.0 && next_uniform() < link.drop_probability) {
+    ++stats_.drops;
+    return false;
+  }
+  charge_traversal(link, message.wire_size(), stats_, clock_);
+  return true;
+}
+
+Message AsyncTransport::exchange(const Handler& handler, const Message& request) {
+  if (!charge(request)) {
+    throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
+                       request.sender + "' to '" + request.recipient + "' was dropped");
+  }
+  Message response = handler(request);
+  address_response(request, response);
+  if (!charge(response)) {
+    throw NetworkError("response " + std::string(response.kind_name()) + " from '" +
+                       response.sender + "' was dropped");
+  }
+  return response;
+}
+
+Message AsyncTransport::send(const Message& request) {
+  std::shared_ptr<Endpoint> endpoint;
+  std::shared_ptr<Handler> handler;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = endpoints_.find(request.recipient);
+    if (it == endpoints_.end()) {
+      throw NetworkError("no peer attached as '" + request.recipient + "'");
+    }
+    endpoint = it->second;
+    handler = endpoint->handler;
+    ++endpoint->executing;
+    ++total_executing_;
+  }
+  tl_executing_here.push_back(endpoint.get());
+  struct Release {
+    AsyncTransport& transport;
+    Endpoint& endpoint;
+    ~Release() {
+      tl_executing_here.pop_back();
+      {
+        std::unique_lock lock(transport.mutex_);
+        --endpoint.executing;
+        --transport.total_executing_;
+      }
+      transport.state_cv_.notify_all();
+    }
+  } release{*this, *endpoint};
+  return exchange(*handler, request);
+}
+
+void AsyncTransport::complete(Pending& pending, Message response,
+                              std::exception_ptr error) {
+  // Completion runs on transport threads; a throwing callback must not
+  // take a worker (or the destructor) down with it.
+  try {
+    if (pending.callback) {
+      pending.callback(std::move(response), error);
+    } else if (error) {
+      pending.promise.set_exception(error);
+    } else {
+      pending.promise.set_value(std::move(response));
+    }
+  } catch (...) {
+  }
+}
+
+std::future<Message> AsyncTransport::send_async(Message request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<Message> future = pending.promise.get_future();
+  enqueue(std::move(pending));
+  return future;
+}
+
+void AsyncTransport::send_async(Message request, SendCallback on_complete) {
+  if (!on_complete) throw TransportError("send_async requires a completion callback");
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(on_complete);
+  enqueue(std::move(pending));
+}
+
+void AsyncTransport::enqueue(Pending pending) {
+  std::exception_ptr failure;
+  {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (shutdown_) {
+        failure = std::make_exception_ptr(NetworkError("transport is shutting down"));
+        break;
+      }
+      const auto it = endpoints_.find(pending.request.recipient);
+      if (it == endpoints_.end()) {
+        failure = std::make_exception_ptr(
+            NetworkError("no peer attached as '" + pending.request.recipient + "'"));
+        break;
+      }
+      const std::shared_ptr<Endpoint>& endpoint = it->second;
+      if (endpoint->inbox.size() < config_.max_inbox) {
+        endpoint->inbox.push_back(std::move(pending));
+        ++total_queued_;
+        ready_.push_back(endpoint);
+        work_cv_.notify_one();
+        return;
+      }
+      if (config_.overflow == AsyncTransportConfig::Overflow::Reject) {
+        failure = std::make_exception_ptr(
+            TransportError("backpressure: inbox of '" + pending.request.recipient +
+                           "' is full (" + std::to_string(config_.max_inbox) + ")"));
+        break;
+      }
+      if (!tl_executing_here.empty()) {
+        // Block policy, but the caller IS a handler execution (a worker or
+        // a sync-send frame): waiting for inbox space that only workers
+        // free would deadlock the pool. Fail fast instead — this is what
+        // makes "send_async from handlers only enqueues" a sound rule.
+        failure = std::make_exception_ptr(TransportError(
+            "backpressure: inbox of '" + pending.request.recipient +
+            "' is full and send_async was called from inside a handler "
+            "(blocking here would deadlock the worker pool)"));
+        break;
+      }
+      // Block until a worker frees inbox space (or the world changes).
+      state_cv_.wait(lock);
+    }
+  }
+  complete(pending, Message{}, failure);
+}
+
+void AsyncTransport::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !ready_.empty(); });
+    if (shutdown_) return;
+    const std::shared_ptr<Endpoint> endpoint = std::move(ready_.front());
+    ready_.pop_front();
+    if (endpoint->inbox.empty()) continue;  // flushed by a detach
+    Pending pending = std::move(endpoint->inbox.front());
+    endpoint->inbox.pop_front();
+    --total_queued_;
+    const std::shared_ptr<Handler> handler = endpoint->handler;
+    ++endpoint->executing;
+    ++total_executing_;
+    lock.unlock();
+    state_cv_.notify_all();  // inbox space freed; blocked senders may proceed
+
+    tl_executing_here.push_back(endpoint.get());
+    Message response;
+    std::exception_ptr error;
+    try {
+      response = exchange(*handler, pending.request);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    complete(pending, std::move(response), error);
+    tl_executing_here.pop_back();
+
+    lock.lock();
+    --endpoint->executing;
+    --total_executing_;
+    if (endpoint->executing == 0 || (total_executing_ == 0 && total_queued_ == 0)) {
+      state_cv_.notify_all();  // detach()/drain() waiters
+    }
+  }
+}
+
+void AsyncTransport::drain() {
+  std::unique_lock lock(mutex_);
+  state_cv_.wait(lock, [&] { return total_queued_ == 0 && total_executing_ == 0; });
+}
+
+std::size_t AsyncTransport::pending() const {
+  std::unique_lock lock(mutex_);
+  return total_queued_ + total_executing_;
+}
+
+}  // namespace pti::transport

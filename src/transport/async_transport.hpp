@@ -1,0 +1,170 @@
+// AsyncTransport — the thread-pool-backed implementation of the
+// transport::Transport seam (the last single-threaded slice of the stack
+// after PR 2 made the stores and PR 3 cut the interface).
+//
+// Shape:
+//   * every attached endpoint owns an inbox queue; send_async() enqueues
+//     the request and returns immediately (future or completion-callback);
+//     a pool of worker threads drains the inboxes and runs the endpoint
+//     handlers, so N peers process inbound traffic concurrently;
+//   * send() remains the synchronous exchange: it runs the recipient's
+//     handler inline on the calling thread (like SimNetwork), which keeps
+//     nested mid-protocol round trips deadlock-free no matter how few
+//     workers exist — a handler's sync sends never occupy a pool slot;
+//   * backpressure: each inbox holds at most `max_inbox` pending requests;
+//     an overflowing send_async either blocks until space frees (Block,
+//     the default — flow control) or fails the future/callback with
+//     TransportError (Reject). Block never applies to handler context:
+//     a send_async issued from inside a handler (or completion callback)
+//     fails fast on a full inbox instead of parking the worker on space
+//     only workers can free — so handlers may always send_async safely;
+//   * cost accounting is the same per-link latency/bandwidth model as
+//     SimNetwork, charged on a virtual clock with relaxed atomic advances:
+//     the final clock reading and byte counters are the deterministic sum
+//     of per-message costs regardless of thread interleaving.
+//
+// Lifetime rules (see docs/API.md):
+//   * attach() throws on a duplicate name; detach() blocks until in-flight
+//     executions of that endpoint's handler have finished — so returning
+//     from detach() makes destroying the handler's owner (a Peer) safe —
+//     unless called from inside that very handler, in which case it only
+//     marks the endpoint (no new deliveries) and returns;
+//   * queued-but-undelivered requests of a detached endpoint fail their
+//     futures/callbacks with NetworkError;
+//   * destroy the transport only after detaching (or destroying) the
+//     peers attached to it; the destructor fails whatever is still queued
+//     and joins the workers.
+//
+// Fault injection stays on SimNetwork: this transport is about real
+// concurrency, and probabilistic drops under racing threads would not be
+// schedule-deterministic anyway. Per-link drop_probability is honoured
+// (each message draws from one shared atomic RNG stream), but tests that
+// need a *specific* message killed should use SimNetwork's schedules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "transport/message.hpp"
+#include "transport/transport.hpp"
+#include "util/interning.hpp"
+#include "util/sim_clock.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::transport {
+
+struct AsyncTransportConfig {
+  /// Worker threads draining the endpoint inboxes.
+  std::size_t workers = 2;
+  /// Per-endpoint cap on queued (not yet executing) requests.
+  std::size_t max_inbox = 1024;
+  enum class Overflow : std::uint8_t {
+    Block,   ///< send_async waits for inbox space (flow control)
+    Reject,  ///< send_async fails the future/callback with TransportError
+  };
+  Overflow overflow = Overflow::Block;
+  /// Seed of the shared RNG stream behind per-link drop_probability.
+  std::uint64_t rng_seed = 42;
+};
+
+class AsyncTransport final : public Transport {
+ public:
+  explicit AsyncTransport(AsyncTransportConfig config = {});
+  ~AsyncTransport() override;
+  AsyncTransport(const AsyncTransport&) = delete;
+  AsyncTransport& operator=(const AsyncTransport&) = delete;
+
+  void attach(std::string_view name, Handler handler) override;
+  void detach(std::string_view name) override;
+  [[nodiscard]] bool is_attached(std::string_view name) const noexcept override;
+
+  Message send(const Message& request) override;
+
+  /// Enqueues into the recipient's inbox and returns immediately; a worker
+  /// performs the exchange. All failures — unknown recipient, drop,
+  /// rejected backpressure, detach before delivery — surface through the
+  /// future/callback, never as a throw from send_async itself.
+  [[nodiscard]] std::future<Message> send_async(Message request) override;
+  void send_async(Message request, SendCallback on_complete) override;
+
+  void set_default_link(const LinkConfig& config) noexcept override;
+  void set_link(std::string_view from, std::string_view to,
+                const LinkConfig& config) override;
+
+  [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
+  void reset_stats() noexcept override { stats_.reset(); }
+  [[nodiscard]] util::SimClock& clock() noexcept override { return clock_; }
+
+  /// Blocks until every inbox is empty and no handler is executing — the
+  /// quiescent point at which reading delivered()/stats() snapshots is
+  /// exact. Senders must have stopped submitting for this to terminate.
+  void drain();
+
+  /// Queued + executing exchanges right now (diagnostic).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Pending {
+    Message request;
+    std::promise<Message> promise;
+    SendCallback callback;  ///< used instead of the promise when non-null
+  };
+
+  // Detachment is encoded by erasure from endpoints_ (senders re-find by
+  // name; workers check the inbox), so the struct carries no flag for it.
+  struct Endpoint {
+    std::string name;
+    std::shared_ptr<Handler> handler;
+    std::deque<Pending> inbox;
+    std::size_t executing = 0;  ///< in-flight handler executions
+  };
+
+  /// Charges one traversal (stats + virtual clock); false when dropped.
+  bool charge(const Message& message);
+  [[nodiscard]] LinkConfig link_for(std::string_view from, std::string_view to) const;
+  [[nodiscard]] double next_uniform() noexcept;
+
+  /// The request/response exchange core shared by send() and the workers.
+  /// The handler is kept alive by the caller's shared_ptr copy.
+  Message exchange(const Handler& handler, const Message& request);
+
+  static void complete(Pending& pending, Message response, std::exception_ptr error);
+  void enqueue(Pending pending);
+  void worker_loop();
+
+  AsyncTransportConfig config_;
+
+  mutable std::mutex mutex_;  ///< guards endpoints_/ready_/counters/shutdown_
+  std::condition_variable work_cv_;   ///< wakes workers
+  std::condition_variable state_cv_;  ///< wakes backpressure/detach/drain waiters
+  std::map<std::string, std::shared_ptr<Endpoint>, util::ICaseLess> endpoints_;
+  std::deque<std::shared_ptr<Endpoint>> ready_;  ///< endpoints with queued work
+  std::size_t total_queued_ = 0;
+  std::size_t total_executing_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::shared_mutex links_mutex_;  ///< guards links_/default_link_
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
+  LinkConfig default_link_;
+
+  NetStats stats_;
+  util::SimClock clock_;
+  std::atomic<std::uint64_t> rng_state_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pti::transport

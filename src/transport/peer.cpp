@@ -1,6 +1,7 @@
 #include "transport/peer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "conform/baselines.hpp"
 #include "serial/typedesc_xml.hpp"
@@ -51,7 +52,12 @@ Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hu
 }
 
 Peer::~Peer() {
+  // A concurrent transport's detach blocks until in-flight executions of
+  // this peer's handler finish; then wait for our own outbound async-send
+  // completions (their callbacks capture `this`). Only after both
+  // quiescence points is member destruction safe.
   network_.detach(name_);
+  outbound_.wait_idle();
 }
 
 std::vector<const TypeDescription*> Peer::host_assembly(
@@ -73,11 +79,27 @@ util::InternedName Peer::add_interest(std::string_view type_name) {
 
 util::InternedName Peer::add_interest(const TypeDescription& interest) {
   const util::InternedName id = interest.name_id();
+  std::unique_lock lock(interests_mutex_);
   if (std::find(interest_ids_.begin(), interest_ids_.end(), id) == interest_ids_.end()) {
     interests_.push_back(interest.qualified_name());
     interest_ids_.push_back(id);
   }
   return id;
+}
+
+std::vector<std::string> Peer::interests() const {
+  std::shared_lock lock(interests_mutex_);
+  return interests_;
+}
+
+std::size_t Peer::delivered_count() const {
+  std::scoped_lock lock(delivered_mutex_);
+  return delivered_.size();
+}
+
+std::vector<DeliveredObject> Peer::delivered_snapshot() const {
+  std::scoped_lock lock(delivered_mutex_);
+  return delivered_;
 }
 
 std::string Peer::describe_type_xml(std::string_view type_name) const {
@@ -90,8 +112,7 @@ std::string Peer::describe_type_xml(std::string_view type_name) const {
   return serial::type_description_to_string(*d);
 }
 
-PushAck Peer::send_object(std::string_view to,
-                          const std::shared_ptr<DynObject>& object) {
+ObjectPush Peer::build_push(const std::shared_ptr<DynObject>& object) {
   if (!object) throw ProtocolError("cannot send a null object");
   // The wire carries real state, never proxy wrappers.
   const std::shared_ptr<DynObject> real = proxies_.unwrap(object);
@@ -136,17 +157,61 @@ PushAck Peer::send_object(std::string_view to,
       }
     }
   }
+  return push;
+}
 
-  const Message response =
-      network_.send(Message{name_, std::string(to), std::move(push)});
-  ++stats_.objects_sent;
-
+PushAck Peer::ack_from_response(const Message& response, std::string_view to) {
   if (const auto* ack = std::get_if<PushAck>(&response.payload)) return *ack;
   if (const auto* err = std::get_if<ErrorReply>(&response.payload)) {
     throw ProtocolError("push to '" + std::string(to) + "' failed: " + err->message);
   }
   throw ProtocolError("unexpected response to ObjectPush: " +
                       std::string(response.kind_name()));
+}
+
+PushAck Peer::send_object(std::string_view to,
+                          const std::shared_ptr<DynObject>& object) {
+  ObjectPush push = build_push(object);
+  const Message response =
+      network_.send(Message{name_, std::string(to), std::move(push)});
+  ++stats_.objects_sent;
+  return ack_from_response(response, to);
+}
+
+std::future<PushAck> Peer::send_object_async(std::string_view to,
+                                             const std::shared_ptr<DynObject>& object) {
+  ObjectPush push = build_push(object);
+  auto promise = std::make_shared<std::promise<PushAck>>();
+  std::future<PushAck> future = promise->get_future();
+  const std::string recipient(to);
+  outbound_.add();
+  try {
+    network_.send_async(
+        Message{name_, recipient, std::move(push)},
+        [this, promise, recipient](Message response, std::exception_ptr error) {
+          // `this` stays valid: ~Peer waits for outbound_ to drain, and
+          // the transport invokes every callback exactly once (failed/
+          // detached sends included).
+          struct Done {
+            OutboundTracker& tracker;
+            ~Done() { tracker.done(); }
+          } done{outbound_};
+          if (error) {
+            promise->set_exception(error);
+            return;
+          }
+          ++stats_.objects_sent;
+          try {
+            promise->set_value(ack_from_response(response, recipient));
+          } catch (...) {
+            promise->set_exception(std::current_exception());
+          }
+        });
+  } catch (...) {
+    outbound_.done();
+    throw;
+  }
+  return future;
 }
 
 Message Peer::handle(const Message& request) {
@@ -342,14 +407,21 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
 
   // Protocol step 3: conformance against the interest set, gated by the
   // configured matcher (the paper's rule by default, a Section 2 baseline
-  // otherwise).
+  // otherwise). Only the interned ids are snapshotted (no string copies
+  // on the receive path); the checks below — potentially fetching, hence
+  // slow — run without the lock, and the matched interest's name comes
+  // from its stored description.
   const TypeDescription* pushed =
       domain_.registry().find(envelope.types.front().type_name);
+  std::vector<util::InternedName> interest_snapshot;
+  {
+    std::shared_lock lock(interests_mutex_);
+    interest_snapshot = interest_ids_;
+  }
   std::string matched_interest;
   util::InternedName matched_id;
-  for (std::size_t i = 0; i < interests_.size(); ++i) {
-    const std::string& interest_name = interests_[i];
-    const TypeDescription* interest = domain_.registry().find_by_id(interest_ids_[i]);
+  for (const util::InternedName interest_id : interest_snapshot) {
+    const TypeDescription* interest = domain_.registry().find_by_id(interest_id);
     if (interest == nullptr) continue;
     const CheckResult result = check_with_fetch(*pushed, *interest, sender);
     if (!result.conformant) continue;
@@ -371,8 +443,8 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
       }
     }
     if (accepted) {
-      matched_interest = interest_name;
-      matched_id = interest_ids_[i];
+      matched_interest = interest->qualified_name();
+      matched_id = interest_id;
       break;
     }
   }
@@ -408,7 +480,10 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
   delivered.interest_type = matched_interest;
   delivered.interest_id = matched_id;
   delivered.sender = sender;
-  delivered_.push_back(delivered);
+  if (config_.retain_delivered) {
+    std::scoped_lock lock(delivered_mutex_);
+    delivered_.push_back(delivered);
+  }
   ++stats_.objects_delivered;
   if (on_delivery_) on_delivery_(delivered);
 

@@ -17,12 +17,29 @@
 // ever cross the wire. A Peer can also run in Eager mode (ships
 // descriptions + assemblies with every object), the baseline benchmark E5
 // compares against.
+//
+// Thread safety: a Peer tolerates concurrent *inbound* requests (a
+// concurrent transport delivers on worker threads) and concurrent
+// send_object()/send_object_async() calls from application threads — the
+// stores underneath (registry, symbol table, conformance cache, domain,
+// hub) are thread-safe, the stats are atomic, and the interest/delivered
+// lists are guarded here. Configuration stays single-threaded: call
+// add_interest / set_delivery_handler / set_extra_handler / host_assembly
+// before (or between, from one thread) traffic, not during it. The
+// delivery handler itself may run on any transport thread and must be
+// thread-safe. delivered() returns a reference that is only stable at
+// quiescent points; concurrent readers use delivered_count() /
+// delivered_snapshot().
 #pragma once
 
+#include <condition_variable>
 #include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -64,6 +81,10 @@ struct PeerConfig {
   bool use_conformance_cache = true;
   /// Cap on description-fetch rounds per conformance decision.
   std::size_t max_fetch_rounds = 16;
+  /// Keep every DeliveredObject in delivered() (the test/diagnostic
+  /// record). Long-running or benchmarked peers turn this off — the
+  /// delivery handler still fires per object, but nothing accumulates.
+  bool retain_delivered = true;
 };
 
 /// What the application receives when a pushed object matched an interest.
@@ -108,9 +129,8 @@ class Peer {
   /// Interest declared by an already-resolved local description — the
   /// handle-based fast path (no registry lookup).
   util::InternedName add_interest(const reflect::TypeDescription& interest);
-  [[nodiscard]] const std::vector<std::string>& interests() const noexcept {
-    return interests_;
-  }
+  /// Interests declared so far, in declaration order (snapshot).
+  [[nodiscard]] std::vector<std::string> interests() const;
 
   using DeliveryHandler = std::function<void(const DeliveredObject&)>;
   void set_delivery_handler(DeliveryHandler handler) { on_delivery_ = std::move(handler); }
@@ -120,10 +140,24 @@ class Peer {
   /// state). Throws NetworkError/ProtocolError on failure.
   PushAck send_object(std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
 
-  /// Objects delivered to this peer so far (most recent last).
+  /// Non-blocking variant over Transport::send_async: serialization
+  /// happens on the calling thread, the exchange on a transport thread.
+  /// The future carries the PushAck or the exception send_object would
+  /// have thrown. Under the synchronous fallback transports (SimNetwork)
+  /// the exchange completes before this returns. In-flight async sends
+  /// are tracked: ~Peer blocks until their completions have run, so the
+  /// futures always resolve and never touch a dead peer.
+  [[nodiscard]] std::future<PushAck> send_object_async(
+      std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
+
+  /// Objects delivered to this peer so far (most recent last). The
+  /// reference is stable only at quiescent points — while transport
+  /// threads are delivering, use delivered_count()/delivered_snapshot().
   [[nodiscard]] const std::vector<DeliveredObject>& delivered() const noexcept {
     return delivered_;
   }
+  [[nodiscard]] std::size_t delivered_count() const;
+  [[nodiscard]] std::vector<DeliveredObject> delivered_snapshot() const;
 
   /// Extension point: a hook that may consume messages before the standard
   /// protocol handler (the remoting layer installs itself here).
@@ -151,6 +185,13 @@ class Peer {
   [[nodiscard]] TypeInfoResponse handle_typeinfo(const TypeInfoRequest& request);
   [[nodiscard]] CodeResponse handle_code(const CodeRequest& request);
 
+  /// Serializes the object (and, in Eager mode, its metadata/code closure)
+  /// into the wire payload of a push.
+  [[nodiscard]] ObjectPush build_push(const std::shared_ptr<reflect::DynObject>& object);
+  /// Converts a push response into the PushAck (or throws like send_object).
+  [[nodiscard]] static PushAck ack_from_response(const Message& response,
+                                                 std::string_view to);
+
   /// Conformance with on-demand description fetching (protocol step 3).
   [[nodiscard]] conform::CheckResult check_with_fetch(
       const reflect::TypeDescription& source, const reflect::TypeDescription& target,
@@ -171,10 +212,42 @@ class Peer {
   proxy::ProxyFactory proxies_;
   serial::SerializerRegistry serializers_;
 
+  /// Guards interests_/interest_ids_ (shared: the per-push snapshot).
+  mutable std::shared_mutex interests_mutex_;
   std::vector<std::string> interests_;
   /// Interned qualified-name id of interests_[i] (parallel vector).
   std::vector<util::InternedName> interest_ids_;
+
+  /// Guards delivered_ (transport worker threads append concurrently).
+  mutable std::mutex delivered_mutex_;
   std::vector<DeliveredObject> delivered_;
+
+  /// Outbound async sends whose completion callback has not run yet.
+  /// ~Peer waits for zero — the callbacks capture `this` for the stats.
+  struct OutboundTracker {
+    std::mutex mutex;
+    std::condition_variable idle;
+    std::size_t in_flight = 0;
+
+    void add() {
+      std::scoped_lock lock(mutex);
+      ++in_flight;
+    }
+    void done() noexcept {
+      // Notify UNDER the mutex: the waiter in wait_idle may destroy this
+      // tracker the moment it re-acquires the lock and sees zero, so the
+      // notify must complete before the lock is released.
+      std::scoped_lock lock(mutex);
+      --in_flight;
+      idle.notify_all();
+    }
+    void wait_idle() {
+      std::unique_lock lock(mutex);
+      idle.wait(lock, [this] { return in_flight == 0; });
+    }
+  };
+  OutboundTracker outbound_;
+
   DeliveryHandler on_delivery_;
   ExtraHandler extra_handler_;
   ProtocolStats stats_;

@@ -1,28 +1,47 @@
 // Per-peer protocol counters — the observable quantities behind the
 // paper's "optimistic transport protocol saves network resources" claim.
+//
+// Counters are relaxed atomics (util::RelaxedCounter): with a concurrent
+// transport many worker threads bump one peer's stats at once, and tests
+// and monitors read them while traffic flows. Each counter is torn-free
+// and monotone; cross-counter consistency (e.g. delivered + rejected ==
+// received) holds at quiescent points — after the transport drained and
+// the sender threads joined.
 #pragma once
 
-#include <cstdint>
 #include <string>
+
+#include "util/atomic_counter.hpp"
 
 namespace pti::transport {
 
 struct ProtocolStats {
   // sender side
-  std::uint64_t objects_sent = 0;
-  std::uint64_t typeinfo_served = 0;
-  std::uint64_t code_served = 0;
+  util::RelaxedCounter objects_sent;
+  util::RelaxedCounter typeinfo_served;
+  util::RelaxedCounter code_served;
 
   // receiver side
-  std::uint64_t objects_received = 0;
-  std::uint64_t objects_delivered = 0;   ///< matched an interest, made usable
-  std::uint64_t objects_rejected = 0;    ///< no conformant interest — no code download
-  std::uint64_t typeinfo_requests = 0;   ///< description round trips initiated
-  std::uint64_t code_requests = 0;       ///< assembly downloads initiated
-  std::uint64_t typeinfo_cache_hits = 0; ///< pushes fully served from known descriptions
-  std::uint64_t code_cache_hits = 0;     ///< pushes needing no assembly download
+  util::RelaxedCounter objects_received;
+  util::RelaxedCounter objects_delivered;    ///< matched an interest, made usable
+  util::RelaxedCounter objects_rejected;     ///< no conformant interest — no code download
+  util::RelaxedCounter typeinfo_requests;    ///< description round trips initiated
+  util::RelaxedCounter code_requests;        ///< assembly downloads initiated
+  util::RelaxedCounter typeinfo_cache_hits;  ///< pushes fully served from known descriptions
+  util::RelaxedCounter code_cache_hits;      ///< pushes needing no assembly download
 
-  void reset() noexcept { *this = {}; }
+  void reset() noexcept {
+    objects_sent = 0;
+    typeinfo_served = 0;
+    code_served = 0;
+    objects_received = 0;
+    objects_delivered = 0;
+    objects_rejected = 0;
+    typeinfo_requests = 0;
+    code_requests = 0;
+    typeinfo_cache_hits = 0;
+    code_cache_hits = 0;
+  }
 
   [[nodiscard]] std::string summary() const;
 };

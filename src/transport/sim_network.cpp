@@ -10,7 +10,12 @@ std::unique_ptr<Transport> make_sim_network(std::uint64_t rng_seed) {
 
 void SimNetwork::attach(std::string_view name, Handler handler) {
   if (!handler) throw TransportError("cannot attach a null handler");
-  handlers_[std::string(name)] = std::move(handler);
+  const auto [it, inserted] =
+      handlers_.emplace(std::string(name), std::make_shared<Handler>(std::move(handler)));
+  if (!inserted) {
+    throw TransportError("endpoint '" + std::string(name) +
+                         "' is already attached (detach it first)");
+  }
 }
 
 void SimNetwork::detach(std::string_view name) {
@@ -26,6 +31,31 @@ void SimNetwork::set_link(std::string_view from, std::string_view to,
                           const LinkConfig& config) {
   util::SymbolTable& symbols = util::SymbolTable::global();
   links_[util::pair_key(symbols.intern(from), symbols.intern(to))] = config;
+}
+
+void SimNetwork::partition(std::string_view from, std::string_view to) {
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  partitions_.insert(util::pair_key(symbols.intern(from), symbols.intern(to)));
+}
+
+void SimNetwork::heal_partition(std::string_view from, std::string_view to) {
+  const util::SymbolTable& symbols = util::SymbolTable::global();
+  const util::InternedName from_id = symbols.find(from);
+  const util::InternedName to_id = symbols.find(to);
+  if (from_id.valid() && to_id.valid()) {
+    partitions_.erase(util::pair_key(from_id, to_id));
+  }
+}
+
+bool SimNetwork::is_partitioned(std::string_view from,
+                                std::string_view to) const noexcept {
+  if (partitions_.empty()) return false;
+  const util::SymbolTable& symbols = util::SymbolTable::global();
+  const util::InternedName from_id = symbols.find(from);
+  if (!from_id.valid()) return false;
+  const util::InternedName to_id = symbols.find(to);
+  if (!to_id.valid()) return false;
+  return partitions_.contains(util::pair_key(from_id, to_id));
 }
 
 const LinkConfig& SimNetwork::link_for(std::string_view from,
@@ -54,17 +84,16 @@ bool SimNetwork::charge(const Message& message) {
     ++stats_.drops;
     return false;
   }
+  if (is_partitioned(message.sender, message.recipient)) {
+    ++stats_.drops;
+    return false;
+  }
   const LinkConfig& link = link_for(message.sender, message.recipient);
   if (link.drop_probability > 0.0 && rng_.next_bool(link.drop_probability)) {
     ++stats_.drops;
     return false;
   }
-  const std::size_t size = message.wire_size();
-  ++stats_.messages;
-  stats_.bytes += size;
-  const auto transmit_ns = static_cast<std::uint64_t>(
-      static_cast<double>(size) / link.bandwidth_bytes_per_sec * 1e9);
-  clock_.advance_ns(link.latency_ns + transmit_ns);
+  charge_traversal(link, message.wire_size(), stats_, clock_);
   return true;
 }
 
@@ -73,13 +102,15 @@ Message SimNetwork::send(const Message& request) {
   if (it == handlers_.end()) {
     throw NetworkError("no peer attached as '" + request.recipient + "'");
   }
+  // Keep the handler alive across the call: the handler may detach itself
+  // (or another endpoint may detach it via a nested send) mid-execution.
+  const std::shared_ptr<Handler> handler = it->second;
   if (!charge(request)) {
     throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
                        request.sender + "' to '" + request.recipient + "' was dropped");
   }
-  Message response = it->second(request);
-  response.sender = request.recipient;
-  response.recipient = request.sender;
+  Message response = (*handler)(request);
+  address_response(request, response);
   if (!charge(response)) {
     throw NetworkError("response " + std::string(response.kind_name()) + " from '" +
                        response.sender + "' was dropped");

@@ -1,5 +1,5 @@
-// Deterministic in-process network simulator — the first (and reference)
-// implementation of the transport::Transport seam.
+// Deterministic in-process network simulator — the single-threaded
+// reference implementation of the transport::Transport seam.
 //
 // Substitutes for the paper's real testbed (two Windows hosts with .NET
 // remoting): peers attach under a name; send() routes a message to the
@@ -8,18 +8,25 @@
 // latency and bandwidth on a virtual clock and counting every byte — the
 // quantity the optimistic protocol is designed to save.
 //
-// Fault injection: a deterministic per-message drop schedule plus an
-// optional drop probability (seeded RNG) let tests exercise the protocol's
-// failure paths reproducibly. These controls are simulator-specific and
-// intentionally NOT part of the Transport interface.
+// Fault injection: a deterministic per-message drop schedule, an optional
+// drop probability (seeded RNG) and directed link partitions let tests
+// exercise the protocol's failure paths reproducibly. These controls are
+// simulator-specific and intentionally NOT part of the Transport
+// interface.
+//
+// Thread safety: none — SimNetwork is the deterministic single-threaded
+// simulator; drive it from one thread. transport::AsyncTransport is the
+// concurrent implementation.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "transport/message.hpp"
 #include "transport/transport.hpp"
@@ -59,6 +66,16 @@ class SimNetwork final : public Transport {
   /// a push) while the surrounding messages go through.
   void inject_drop_at(std::uint64_t nth) { scheduled_drops_.insert(seen_ + nth); }
 
+  /// Partitions the directed link from->to: every message on it is dropped
+  /// (and counted) until heal_partition(). Partition both directions to
+  /// model a full network split; one direction models an asymmetric fault
+  /// (requests arrive, responses vanish).
+  void partition(std::string_view from, std::string_view to);
+  void heal_partition(std::string_view from, std::string_view to);
+  void heal_all_partitions() noexcept { partitions_.clear(); }
+  [[nodiscard]] bool is_partitioned(std::string_view from,
+                                    std::string_view to) const noexcept;
+
   [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
   void reset_stats() noexcept override { stats_.reset(); }
   [[nodiscard]] util::SimClock& clock() noexcept override { return clock_; }
@@ -69,11 +86,15 @@ class SimNetwork final : public Transport {
   /// Charges one message traversal; returns false when it was dropped.
   bool charge(const Message& message);
 
-  std::map<std::string, Handler, util::ICaseLess> handlers_;
+  // Handlers are held by shared_ptr so detach() — even from inside the
+  // executing handler itself — never destroys a std::function mid-call;
+  // send() keeps the executing handler alive with a local copy.
+  std::map<std::string, std::shared_ptr<Handler>, util::ICaseLess> handlers_;
   // Keyed on pair_key(from, to) of interned peer names: charging a message
   // probes with two no-insert symbol lookups instead of concatenating four
   // lowered strings per send.
   std::unordered_map<std::uint64_t, LinkConfig> links_;
+  std::unordered_set<std::uint64_t> partitions_;
   LinkConfig default_link_;
   NetStats stats_;
   util::SimClock clock_;

@@ -1,0 +1,48 @@
+#include "transport/transport.hpp"
+
+#include "transport/transport_error.hpp"
+
+namespace pti::transport {
+
+void charge_traversal(const LinkConfig& link, std::size_t wire_bytes, NetStats& stats,
+                      util::SimClock& clock) noexcept {
+  ++stats.messages;
+  stats.bytes += wire_bytes;
+  const auto transmit_ns = static_cast<std::uint64_t>(
+      static_cast<double>(wire_bytes) / link.bandwidth_bytes_per_sec * 1e9);
+  clock.advance_ns(link.latency_ns + transmit_ns);
+}
+
+void address_response(const Message& request, Message& response) noexcept {
+  response.sender = request.recipient;
+  response.recipient = request.sender;
+}
+
+// Default fallback: the exchange happens synchronously on the calling
+// thread; only the result delivery takes the asynchronous shape. Concrete
+// transports with real queueing (AsyncTransport) override both overloads.
+
+std::future<Message> Transport::send_async(Message request) {
+  std::promise<Message> promise;
+  std::future<Message> future = promise.get_future();
+  try {
+    promise.set_value(send(request));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  return future;
+}
+
+void Transport::send_async(Message request, SendCallback on_complete) {
+  if (!on_complete) throw TransportError("send_async requires a completion callback");
+  Message response;
+  try {
+    response = send(request);
+  } catch (...) {
+    on_complete(Message{}, std::current_exception());
+    return;
+  }
+  on_complete(std::move(response), nullptr);
+}
+
+}  // namespace pti::transport

@@ -3,25 +3,38 @@
 // A Transport routes request/response Message exchanges between named
 // endpoints and accounts for their cost. It is the interface every layer
 // above src/transport/ programs against: Peer, Remoting and the core
-// InteropSystem/InteropRuntime never name a concrete transport, so a
-// future async or multi-threaded transport plugs in underneath the whole
-// stack without touching it (the PR-2 stores underneath are already
-// thread-safe; this seam is where such a transport would attach).
+// InteropSystem/InteropRuntime never name a concrete transport, so any
+// implementation plugs in underneath the whole stack without touching it.
 //
-// SimNetwork (sim_network.hpp) is the first implementation: the
-// deterministic in-process simulator standing in for the paper's testbed.
-// Simulator-only controls (fault injection, drop schedules) stay on the
-// concrete class; everything a protocol layer legitimately needs — send,
-// endpoint attachment, link cost configuration, traffic stats, the
-// virtual clock charged per traversal — is part of this interface.
+// Two implementations ship with the library:
+//   * SimNetwork (sim_network.hpp) — the deterministic single-threaded
+//     simulator standing in for the paper's testbed, with fault injection
+//     (drop schedules, partitions) for protocol-hardening tests;
+//   * AsyncTransport (async_transport.hpp) — a thread-pool-backed
+//     transport with per-endpoint inbox queues, non-blocking send_async,
+//     backpressure, and the same deterministic virtual-clock cost model.
+//
+// Endpoint contract (identical for every implementation):
+//   * attach() registers a handler under a name; attaching a name that is
+//     already attached throws TransportError — silent replacement hid
+//     misconfigured universes and made detach() ambiguous.
+//   * detach() unregisters the endpoint. It is safe to call while the
+//     endpoint's handler is executing — including from inside the handler
+//     itself — and after it returns no *new* deliveries to that name
+//     begin. A concurrent transport must keep the handler object alive
+//     until in-flight executions finish (see AsyncTransport for the
+//     blocking guarantees that make destroying the handler's owner safe).
+//     Detaching a name that is not attached is a no-op.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string_view>
 
 #include "transport/message.hpp"
+#include "util/atomic_counter.hpp"
 #include "util/sim_clock.hpp"
 
 namespace pti::transport {
@@ -35,13 +48,19 @@ struct LinkConfig {
 };
 
 /// Aggregate traffic counters — the quantity the optimistic protocol is
-/// designed to save.
+/// designed to save. Counters are relaxed atomics so concurrent transports
+/// can charge them from many threads; cross-field consistency is only
+/// guaranteed at quiescent points.
 struct NetStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t drops = 0;
+  util::RelaxedCounter messages;
+  util::RelaxedCounter bytes;
+  util::RelaxedCounter drops;
 
-  void reset() noexcept { *this = {}; }
+  void reset() noexcept {
+    messages = 0;
+    bytes = 0;
+    drops = 0;
+  }
 };
 
 class Transport {
@@ -49,9 +68,16 @@ class Transport {
   /// A handler consumes a request and produces the response message.
   using Handler = std::function<Message(const Message&)>;
 
+  /// Completion callback of an asynchronous exchange: exactly one of
+  /// `response` (on success) or `error` (the exception the synchronous
+  /// send() would have thrown) is meaningful; `error` is null on success.
+  using SendCallback = std::function<void(Message response, std::exception_ptr error)>;
+
   virtual ~Transport() = default;
 
-  /// Registers `handler` as the endpoint reachable under `name`.
+  /// Registers `handler` as the endpoint reachable under `name`. Throws
+  /// TransportError when `name` is already attached (see the endpoint
+  /// contract above).
   virtual void attach(std::string_view name, Handler handler) = 0;
   virtual void detach(std::string_view name) = 0;
   [[nodiscard]] virtual bool is_attached(std::string_view name) const noexcept = 0;
@@ -60,6 +86,18 @@ class Transport {
   /// and returns its response, charging both traversals. Throws
   /// NetworkError on unknown recipients or transmission failure.
   virtual Message send(const Message& request) = 0;
+
+  /// Non-blocking exchange: the returned future is fulfilled with the
+  /// response, or with the exception send() would have thrown. The default
+  /// implementation performs the exchange synchronously before returning —
+  /// a correct (if unpipelined) fallback that keeps simple transports like
+  /// SimNetwork working without their own queueing machinery.
+  [[nodiscard]] virtual std::future<Message> send_async(Message request);
+
+  /// Callback form of send_async. The callback may run on an arbitrary
+  /// transport thread (the calling thread under the default fallback) and
+  /// must not block it. Exactly one invocation per send.
+  virtual void send_async(Message request, SendCallback on_complete);
 
   /// Cost configuration: the default link and per-directed-link overrides.
   virtual void set_default_link(const LinkConfig& config) noexcept = 0;
@@ -77,5 +115,17 @@ class Transport {
 /// Factory for the default simulated transport, so transport consumers
 /// (the core layer) never name the concrete SimNetwork type.
 [[nodiscard]] std::unique_ptr<Transport> make_sim_network(std::uint64_t rng_seed = 42);
+
+/// Shared accounting core of the in-process transports: charges one
+/// successful traversal (message count, bytes, latency + transmission
+/// time on the virtual clock) per the link's cost model. Keeping this in
+/// one place is what keeps SimNetwork's and AsyncTransport's byte counts
+/// and clock charges comparable.
+void charge_traversal(const LinkConfig& link, std::size_t wire_bytes, NetStats& stats,
+                      util::SimClock& clock) noexcept;
+
+/// Addresses `response` back to the requester. The routing is derived
+/// from the request — a handler cannot spoof the response's endpoints.
+void address_response(const Message& request, Message& response) noexcept;
 
 }  // namespace pti::transport

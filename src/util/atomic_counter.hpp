@@ -1,0 +1,53 @@
+// RelaxedCounter — a copyable atomic event counter for stats structs.
+//
+// Stats aggregates (transport::NetStats, transport::ProtocolStats) started
+// life as plain uint64 fields read and written from one thread. With the
+// async transport, many worker threads bump the same counters while tests
+// and monitors read them, so each field becomes a relaxed atomic — but the
+// structs must stay copyable value types (benchmarks snapshot them by
+// assignment) and comparable against integer literals (EXPECT_EQ in the
+// test suites). This wrapper keeps both properties: it converts implicitly
+// to uint64_t and copies by load/store.
+//
+// Relaxed ordering is deliberate: counters are statistics, not
+// synchronization. A reader sees torn-free, monotone values; cross-field
+// consistency is only guaranteed at quiescent points (after joining the
+// threads that produced the traffic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pti::util {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter(std::uint64_t value = 0) noexcept : value_(value) {}
+  RelaxedCounter(const RelaxedCounter& other) noexcept : value_(other.get()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    value_.store(other.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return get(); }
+
+  std::uint64_t operator++() noexcept {
+    return value_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  RelaxedCounter& operator+=(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_;
+};
+
+}  // namespace pti::util

@@ -1,25 +1,46 @@
 // Virtual time for the simulated network. All protocol latencies are
 // expressed in virtual nanoseconds so simulations are deterministic and
 // independent of the host machine.
+//
+// Thread safety: advances are relaxed atomic read-modify-writes, so any
+// number of threads may charge time concurrently (the final reading is the
+// deterministic sum of all charges regardless of interleaving) and readers
+// never race writers. Ordering between a charge and other memory is the
+// caller's business — the clock only promises a torn-free monotone count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace pti::util {
 
 class SimClock {
  public:
-  [[nodiscard]] std::uint64_t now_ns() const noexcept { return now_ns_; }
+  SimClock() noexcept = default;
+  SimClock(const SimClock& other) noexcept : now_ns_(other.now_ns()) {}
+  SimClock& operator=(const SimClock& other) noexcept {
+    now_ns_.store(other.now_ns(), std::memory_order_relaxed);
+    return *this;
+  }
 
-  void advance_ns(std::uint64_t delta) noexcept { now_ns_ += delta; }
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  void advance_ns(std::uint64_t delta) noexcept {
+    now_ns_.fetch_add(delta, std::memory_order_relaxed);
+  }
 
   /// Moves the clock forward to `t` if `t` is in the future.
   void advance_to_ns(std::uint64_t t) noexcept {
-    if (t > now_ns_) now_ns_ = t;
+    std::uint64_t current = now_ns_.load(std::memory_order_relaxed);
+    while (t > current &&
+           !now_ns_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  std::uint64_t now_ns_ = 0;
+  std::atomic<std::uint64_t> now_ns_{0};
 };
 
 }  // namespace pti::util

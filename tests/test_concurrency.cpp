@@ -1,24 +1,30 @@
 // Multi-threaded stress tests for the sharded hot paths: SymbolTable
 // interning, TypeRegistry registration/resolution, the ConformanceCache
-// and full conformance checks hammered from N threads at once. These are
-// the tests a ThreadSanitizer build (-DPTI_SANITIZE=thread) must pass
-// race-free; single-threaded assertions at the end pin down the
-// functional invariants (same name -> same id, one stored description per
-// name, deterministic verdicts).
+// and full conformance checks hammered from N threads at once — plus the
+// full protocol stack: an 8-thread multi-peer push/subscribe storm over
+// transport::AsyncTransport. These are the tests a ThreadSanitizer build
+// (-DPTI_SANITIZE=thread) must pass race-free; single-threaded assertions
+// at the end pin down the functional invariants (same name -> same id,
+// one stored description per name, deterministic verdicts, conservation
+// of pushes: sent == received == delivered + rejected).
 #include <gtest/gtest.h>
 
 #include <array>
 #include <atomic>
 #include <barrier>
+#include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "conform/conformance_cache.hpp"
 #include "conform/conformance_checker.hpp"
+#include "core/interop.hpp"
 #include "fixtures/sample_types.hpp"
 #include "reflect/domain.hpp"
 #include "reflect/type_registry.hpp"
+#include "transport/async_transport.hpp"
 #include "util/interning.hpp"
 
 namespace {
@@ -260,6 +266,130 @@ TEST(ConcurrentPlan, CopiesShareAtomicallyRefcountedPayload) {
   });
   EXPECT_EQ(master.find_field("f"), nullptr);
   EXPECT_FALSE(master.methods().empty());
+}
+
+TEST(ConcurrentTransport, MultiPeerPushSubscribeStorm) {
+  // Four peers over one AsyncTransport, each hosting its own (structurally
+  // identical) event type and subscribed to it; 8 threads — two per peer —
+  // storm the universe with a mix of synchronous pushes, pipelined async
+  // pushes and subscribe/unsubscribe churn. Every push conforms, so the
+  // conservation law at the end is exact: every ack says delivered, every
+  // delivery fired a handler, and per-peer counters balance.
+  constexpr int kPeers = 4;
+  constexpr int kPushesPerThread = 24;
+
+  auto owned = std::make_unique<transport::AsyncTransport>(
+      transport::AsyncTransportConfig{.workers = 3, .max_inbox = 64});
+  transport::AsyncTransport& net = *owned;
+  core::InteropSystem system(std::move(owned));
+
+  std::array<core::InteropRuntime*, kPeers> peers{};
+  std::array<core::TypeHandle, kPeers> event_types{};
+  std::array<std::atomic<std::uint64_t>, kPeers> handled{};
+  for (int p = 0; p < kPeers; ++p) {
+    auto& runtime = system.create_runtime("storm" + std::to_string(p));
+    const auto handles = runtime.publish_assembly(
+        fixtures::wide_type("stormns" + std::to_string(p), "Event", 4, 4));
+    ASSERT_FALSE(handles.empty());
+    event_types[p] = handles.front();
+    runtime.subscribe("stormns" + std::to_string(p) + ".Event",
+                      [&handled, p](const transport::DeliveredObject&) {
+                        handled[p].fetch_add(1, std::memory_order_relaxed);
+                      });
+    peers[p] = &runtime;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kPeers> expected_deliveries{};
+  std::atomic<std::uint64_t> acked{0};
+  run_threads([&](int t) {
+    core::InteropRuntime& mine = *peers[t % kPeers];
+    const std::string my_type =
+        "stormns" + std::to_string(t % kPeers) + ".Event";
+    std::vector<std::pair<int, std::future<transport::PushAck>>> in_flight;
+    for (int i = 0; i < kPushesPerThread; ++i) {
+      const int target = (t % kPeers + 1 + (i % (kPeers - 1))) % kPeers;
+      const std::string target_name = "storm" + std::to_string(target);
+      auto object = mine.make(my_type);
+      if (i % 3 == 0) {
+        // Pipelined async push; reaped below.
+        in_flight.emplace_back(target, mine.send_async(target_name, object));
+      } else {
+        const transport::PushAck ack = mine.send(target_name, object);
+        ASSERT_TRUE(ack.delivered);
+        expected_deliveries[target].fetch_add(1, std::memory_order_relaxed);
+        acked.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Subscribe/unsubscribe churn races the deliveries hitting `mine`.
+      auto churn = mine.subscribe(event_types[t % kPeers],
+                                  [](const transport::DeliveredObject&) {});
+      churn.unsubscribe();
+    }
+    for (auto& [target, future] : in_flight) {
+      const transport::PushAck ack = future.get();
+      ASSERT_TRUE(ack.delivered);
+      expected_deliveries[target].fetch_add(1, std::memory_order_relaxed);
+      acked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  net.drain();
+
+  EXPECT_EQ(acked.load(), static_cast<std::uint64_t>(kThreads) * kPushesPerThread);
+  std::uint64_t total_delivered = 0;
+  for (int p = 0; p < kPeers; ++p) {
+    const auto expected = expected_deliveries[p].load();
+    EXPECT_EQ(handled[p].load(), expected) << "peer " << p;
+    EXPECT_EQ(peers[p]->peer().delivered_count(), expected) << "peer " << p;
+    EXPECT_EQ(peers[p]->stats().objects_received, expected) << "peer " << p;
+    EXPECT_EQ(peers[p]->stats().objects_delivered, expected) << "peer " << p;
+    EXPECT_EQ(peers[p]->stats().objects_rejected, 0u) << "peer " << p;
+    total_delivered += expected;
+  }
+  EXPECT_EQ(total_delivered, acked.load());
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(ConcurrentTransport, AsyncBackpressureUnderStorm) {
+  // A single slow-ish receiver with a tiny inbox and Block overflow: the
+  // storm must neither deadlock nor lose a message — every future resolves
+  // delivered, and the receiver saw exactly as many pushes as were sent.
+  auto owned = std::make_unique<transport::AsyncTransport>(
+      transport::AsyncTransportConfig{
+          .workers = 2,
+          .max_inbox = 2,
+          .overflow = transport::AsyncTransportConfig::Overflow::Block});
+  transport::AsyncTransport& net = *owned;
+  core::InteropSystem system(std::move(owned));
+  auto& receiver = system.create_runtime("sink");
+  (void)receiver.publish_assembly(fixtures::wide_type("sinkns", "Event", 2, 2));
+  receiver.subscribe("sinkns.Event", [](const transport::DeliveredObject&) {});
+
+  std::array<core::InteropRuntime*, kThreads> senders{};
+  for (int t = 0; t < kThreads; ++t) {
+    auto& runtime = system.create_runtime("src" + std::to_string(t));
+    (void)runtime.publish_assembly(
+        fixtures::wide_type("srcns" + std::to_string(t), "Event", 2, 2));
+    senders[t] = &runtime;
+  }
+
+  constexpr int kPushes = 16;
+  std::atomic<std::uint64_t> delivered{0};
+  run_threads([&](int t) {
+    core::InteropRuntime& mine = *senders[t];
+    const std::string my_type = "srcns" + std::to_string(t) + ".Event";
+    std::vector<std::future<transport::PushAck>> in_flight;
+    for (int i = 0; i < kPushes; ++i) {
+      in_flight.push_back(mine.send_async("sink", mine.make(my_type)));
+    }
+    for (auto& future : in_flight) {
+      if (future.get().delivered) delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  net.drain();
+  EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kThreads) * kPushes);
+  EXPECT_EQ(receiver.stats().objects_received,
+            static_cast<std::uint64_t>(kThreads) * kPushes);
+  EXPECT_EQ(receiver.stats().objects_delivered + receiver.stats().objects_rejected,
+            receiver.stats().objects_received);
 }
 
 TEST(ConcurrentFingerprint, MemoizationRaceYieldsOneValue) {

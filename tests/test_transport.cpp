@@ -1,10 +1,20 @@
 // Tests for the simulated network and the optimistic transport protocol
 // (Fig. 1): on-demand descriptions and code, caching, rejection without
-// code download, the eager baseline, and failure injection.
+// code download, the eager baseline, failure injection (drop schedules,
+// partitions, classified errors), the endpoint attach/detach contract,
+// and the thread-pool-backed AsyncTransport.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <semaphore>
+#include <thread>
+
+#include "core/interop.hpp"
 #include "fixtures/sample_types.hpp"
 #include "transport/assembly_hub.hpp"
+#include "transport/async_transport.hpp"
 #include "transport/peer.hpp"
 #include "transport/sim_network.hpp"
 #include "transport/transport_error.hpp"
@@ -393,6 +403,550 @@ TEST(EagerProtocol, CostsMoreBytesOnRepeatedPushes) {
   const auto eager_bytes = run(ProtocolMode::Eager);
   EXPECT_LT(optimistic_bytes, eager_bytes)
       << "optimistic=" << optimistic_bytes << " eager=" << eager_bytes;
+}
+
+// --- endpoint contract (attach/detach semantics) -----------------------------
+
+TEST(EndpointContract, DoubleAttachThrows) {
+  SimNetwork net;
+  net.attach("svc", [](const Message& m) {
+    return Message{"svc", m.sender, PushAck{true, "first"}};
+  });
+  EXPECT_THROW(net.attach("svc",
+                          [](const Message& m) {
+                            return Message{"svc", m.sender, PushAck{true, "second"}};
+                          }),
+               TransportError);
+  // Case-insensitive: endpoint names collide like type names do.
+  EXPECT_THROW(net.attach("SVC", [](const Message& m) { return m; }), TransportError);
+  // The original handler stayed in place and keeps working.
+  const Message reply = net.send(Message{"client", "svc", CodeRequest{"x"}});
+  EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "first");
+}
+
+TEST(EndpointContract, DetachUnknownNameIsNoop) {
+  SimNetwork net;
+  EXPECT_NO_THROW(net.detach("never-attached"));
+}
+
+TEST(EndpointContract, ReattachAfterDetachWorks) {
+  SimNetwork net;
+  net.attach("svc", [](const Message& m) {
+    return Message{"svc", m.sender, PushAck{true, "old"}};
+  });
+  net.detach("svc");
+  EXPECT_FALSE(net.is_attached("svc"));
+  net.attach("svc", [](const Message& m) {
+    return Message{"svc", m.sender, PushAck{true, "new"}};
+  });
+  const Message reply = net.send(Message{"client", "svc", CodeRequest{"x"}});
+  EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "new");
+}
+
+TEST(EndpointContract, DetachFromInsideOwnHandlerIsSafe) {
+  // A handler detaching its own endpoint mid-execution must complete the
+  // in-flight exchange (the std::function must not be destroyed under its
+  // own feet); afterwards the endpoint is gone.
+  SimNetwork net;
+  net.attach("ephemeral", [&net](const Message& m) {
+    net.detach("ephemeral");
+    return Message{"ephemeral", m.sender, PushAck{true, "last words"}};
+  });
+  const Message reply = net.send(Message{"client", "ephemeral", CodeRequest{"x"}});
+  EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "last words");
+  EXPECT_FALSE(net.is_attached("ephemeral"));
+  EXPECT_THROW((void)net.send(Message{"client", "ephemeral", CodeRequest{"x"}}),
+               NetworkError);
+}
+
+TEST(EndpointContract, NestedDetachOfExecutingHandlerIsSafe) {
+  // b's handler does a nested send to a, whose handler detaches b — while
+  // b's handler is still executing. b must finish its exchange unharmed.
+  SimNetwork net;
+  net.attach("a", [&net](const Message& m) {
+    net.detach("b");
+    return Message{"a", m.sender, PushAck{true, ""}};
+  });
+  net.attach("b", [&net](const Message& m) {
+    (void)net.send(Message{"b", "a", CodeRequest{"poison"}});
+    return Message{"b", m.sender, PushAck{true, "survived"}};
+  });
+  const Message reply = net.send(Message{"client", "b", CodeRequest{"x"}});
+  EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "survived");
+  EXPECT_FALSE(net.is_attached("b"));
+  EXPECT_TRUE(net.is_attached("a"));
+}
+
+// --- fault injection: drop schedules + partitions, classified errors ---------
+
+// One InteropSystem universe over a SimNetwork the test keeps a handle to,
+// so protocol steps can be killed deterministically and the public try_*
+// API's error classification checked end to end. First-push message order:
+//   1 ObjectPush  2 TypeInfoRequest  3 TypeInfoResponse  4 TypeInfoRequest
+//   (teamA.INamed)  5 TypeInfoResponse  6 CodeRequest  7 CodeResponse
+//   8 PushAck.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : net_ptr_(new SimNetwork()),
+        system_(std::unique_ptr<Transport>(net_ptr_)),
+        alice_(system_.create_runtime("alice")),
+        bob_(system_.create_runtime("bob")) {
+    (void)alice_.publish_assembly(fixtures::team_a_people());
+    (void)bob_.publish_assembly(fixtures::team_b_people());
+    bob_.subscribe("teamB.Person", [](const DeliveredObject&) {});
+  }
+
+  std::shared_ptr<DynObject> make_person(std::string_view name) {
+    const Value args[] = {Value(name)};
+    return alice_.make("teamA.Person", args);
+  }
+
+  SimNetwork& net() { return *net_ptr_; }
+
+  SimNetwork* net_ptr_;  // owned by system_
+  core::InteropSystem system_;
+  core::InteropRuntime& alice_;
+  core::InteropRuntime& bob_;
+};
+
+TEST_F(FaultInjectionTest, DroppedPushClassifiesAsNetworkError) {
+  net().inject_drop_next(1);
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::Network);
+  // The push never arrived: the receiver saw nothing.
+  EXPECT_EQ(bob_.stats().objects_received, 0u);
+  EXPECT_EQ(net().stats().drops, 1u);
+  // Recovery: the next push completes the whole flow.
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+}
+
+TEST_F(FaultInjectionTest, DroppedTypeInfoRequestAbortsAndRecovers) {
+  net().inject_drop_at(2);  // bob's step-2 TypeInfoRequest
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  // bob caught the network failure mid-protocol and answered with an
+  // ErrorReply, which surfaces at alice as a protocol-level error.
+  EXPECT_EQ(result.error().code, core::ErrorCode::Protocol);
+  EXPECT_EQ(bob_.stats().objects_received, 1u);
+  EXPECT_EQ(bob_.stats().objects_delivered, 0u);
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 1u);  // initiated, then dropped
+  EXPECT_EQ(net().stats().drops, 1u);
+
+  // Retry: nothing was cached by the aborted attempt, so the full dance
+  // (2 description round trips + 1 code download) runs and succeeds.
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 3u);
+  EXPECT_EQ(bob_.stats().code_requests, 1u);
+  EXPECT_EQ(bob_.stats().objects_delivered, 1u);
+}
+
+TEST_F(FaultInjectionTest, DroppedTypeInfoResponseAbortsAndRecovers) {
+  net().inject_drop_at(3);  // alice's step-3 TypeInfoResponse
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::Protocol);
+  // alice served the description even though it never arrived (the pushed
+  // person has no address set, so the envelope carries one type).
+  EXPECT_EQ(alice_.stats().typeinfo_served, 1u);
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 1u);
+  EXPECT_FALSE(bob_.domain().has_assembly("teamA.people"));
+
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 3u);
+}
+
+TEST_F(FaultInjectionTest, DroppedCodeRequestAbortsWithoutCodeAndRecovers) {
+  net().inject_drop_at(6);  // bob's step-4 CodeRequest
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::Protocol);
+  // Conformance was decided (descriptions arrived), the download died.
+  EXPECT_EQ(bob_.stats().typeinfo_requests, 2u);
+  EXPECT_EQ(bob_.stats().code_requests, 1u);
+  EXPECT_FALSE(bob_.domain().has_assembly("teamA.people"));
+  EXPECT_EQ(bob_.stats().objects_delivered, 0u);
+
+  // Retry: descriptions are cached now; only the code download repeats.
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+  EXPECT_EQ(bob_.stats().typeinfo_cache_hits, 1u);
+  EXPECT_EQ(bob_.stats().code_requests, 2u);
+  EXPECT_TRUE(bob_.domain().has_assembly("teamA.people"));
+}
+
+TEST_F(FaultInjectionTest, FullPartitionDropsThePushItself) {
+  net().partition("alice", "bob");
+  net().partition("bob", "alice");
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::Network);
+  EXPECT_EQ(bob_.stats().objects_received, 0u);
+  EXPECT_EQ(net().stats().drops, 1u);
+
+  net().heal_all_partitions();
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+}
+
+TEST_F(FaultInjectionTest, AsymmetricPartitionKillsTheReturnPath) {
+  // Requests reach bob, every bob->alice message vanishes: bob's step-2
+  // request dies first, his ErrorReply dies too — alice sees the network
+  // failure directly.
+  net().partition("bob", "alice");
+  const auto result = alice_.try_send("bob", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::Network);
+  EXPECT_EQ(bob_.stats().objects_received, 1u);
+  EXPECT_EQ(bob_.stats().objects_delivered, 0u);
+  EXPECT_EQ(net().stats().drops, 2u);  // TypeInfoRequest + ErrorReply
+
+  net().heal_partition("bob", "alice");
+  EXPECT_TRUE(alice_.send("bob", make_person("Y")).delivered);
+  // The universe converged despite the outage: later pushes are all-cache.
+  EXPECT_TRUE(alice_.send("bob", make_person("Z")).delivered);
+  EXPECT_EQ(bob_.stats().typeinfo_cache_hits, 1u);
+  EXPECT_EQ(bob_.stats().code_cache_hits, 1u);
+}
+
+TEST_F(FaultInjectionTest, PartitionToUnknownPeerStillClassifiesUnknownPeer) {
+  const auto result = alice_.try_send("ghost", make_person("X"));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, core::ErrorCode::UnknownPeer);
+}
+
+// --- AsyncTransport ----------------------------------------------------------
+
+namespace async_helpers {
+
+/// An AsyncTransport echo endpoint answering every request with a PushAck.
+void attach_echo(Transport& net, std::string name) {
+  net.attach(name, [name](const Message& m) {
+    return Message{name, m.sender, PushAck{true, "ok"}};
+  });
+}
+
+}  // namespace async_helpers
+
+TEST(AsyncTransportTest, SyncSendRoutesAndChargesDeterministically) {
+  AsyncTransport net({.workers = 2});
+  async_helpers::attach_echo(net, "echo");
+  net.set_default_link({.latency_ns = 1'000'000, .bandwidth_bytes_per_sec = 1e12});
+  const Message reply = net.send(Message{"client", "echo", CodeRequest{"x"}});
+  EXPECT_TRUE(std::get<PushAck>(reply.payload).delivered);
+  EXPECT_EQ(reply.sender, "echo");
+  EXPECT_EQ(reply.recipient, "client");
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_GT(net.stats().bytes, 0u);
+  // Virtual-clock determinism: both traversals charged exactly 1 ms
+  // latency plus negligible transmission time at 1 TB/s.
+  EXPECT_GE(net.clock().now_ns(), 2'000'000u);
+  EXPECT_LT(net.clock().now_ns(), 2'100'000u);
+}
+
+TEST(AsyncTransportTest, DoubleAttachThrows) {
+  AsyncTransport net({.workers = 1});
+  async_helpers::attach_echo(net, "svc");
+  EXPECT_THROW(async_helpers::attach_echo(net, "SVC"), TransportError);
+}
+
+TEST(AsyncTransportTest, FutureFormDeliversTheResponse) {
+  AsyncTransport net({.workers = 2});
+  async_helpers::attach_echo(net, "echo");
+  std::future<Message> future = net.send_async(Message{"client", "echo", CodeRequest{"x"}});
+  const Message reply = future.get();
+  EXPECT_TRUE(std::get<PushAck>(reply.payload).delivered);
+  EXPECT_EQ(reply.recipient, "client");
+  net.drain();
+  EXPECT_EQ(net.stats().messages, 2u);
+}
+
+TEST(AsyncTransportTest, CallbackFormRunsOnCompletion) {
+  AsyncTransport net({.workers = 2});
+  async_helpers::attach_echo(net, "echo");
+  std::promise<bool> delivered;
+  net.send_async(Message{"client", "echo", CodeRequest{"x"}},
+                 [&delivered](Message response, std::exception_ptr error) {
+                   delivered.set_value(!error &&
+                                       std::get<PushAck>(response.payload).delivered);
+                 });
+  EXPECT_TRUE(delivered.get_future().get());
+}
+
+TEST(AsyncTransportTest, UnknownRecipientFailsTheFuture) {
+  AsyncTransport net({.workers = 1});
+  std::future<Message> future = net.send_async(Message{"a", "ghost", CodeRequest{"x"}});
+  EXPECT_THROW((void)future.get(), NetworkError);
+  EXPECT_THROW((void)net.send(Message{"a", "ghost", CodeRequest{"x"}}), NetworkError);
+}
+
+TEST(AsyncTransportTest, BackpressureRejectPolicyFailsOverflow) {
+  AsyncTransport net({.workers = 1,
+                      .max_inbox = 1,
+                      .overflow = AsyncTransportConfig::Overflow::Reject});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  net.attach("slow", [&](const Message& m) {
+    started.release();
+    gate_open.wait();
+    return Message{"slow", m.sender, PushAck{true, ""}};
+  });
+  // First request occupies the single worker...
+  auto f1 = net.send_async(Message{"c", "slow", CodeRequest{"1"}});
+  started.acquire();
+  // ...second fills the inbox, third overflows.
+  auto f2 = net.send_async(Message{"c", "slow", CodeRequest{"2"}});
+  auto f3 = net.send_async(Message{"c", "slow", CodeRequest{"3"}});
+  EXPECT_THROW((void)f3.get(), TransportError);
+  gate.set_value();
+  EXPECT_TRUE(std::get<PushAck>(f1.get().payload).delivered);
+  EXPECT_TRUE(std::get<PushAck>(f2.get().payload).delivered);
+}
+
+TEST(AsyncTransportTest, BackpressureBlockPolicyWaitsForSpace) {
+  AsyncTransport net({.workers = 1,
+                      .max_inbox = 1,
+                      .overflow = AsyncTransportConfig::Overflow::Block});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  net.attach("slow", [&](const Message& m) {
+    started.release();
+    gate_open.wait();
+    return Message{"slow", m.sender, PushAck{true, ""}};
+  });
+  auto f1 = net.send_async(Message{"c", "slow", CodeRequest{"1"}});
+  started.acquire();  // worker busy, inbox empty
+  auto f2 = net.send_async(Message{"c", "slow", CodeRequest{"2"}});  // inbox full now
+  // The third send_async must block until the worker frees inbox space.
+  std::thread blocked([&net] {
+    auto f3 = net.send_async(Message{"c", "slow", CodeRequest{"3"}});
+    EXPECT_TRUE(std::get<PushAck>(f3.get().payload).delivered);
+  });
+  gate.set_value();
+  blocked.join();
+  EXPECT_TRUE(std::get<PushAck>(f1.get().payload).delivered);
+  EXPECT_TRUE(std::get<PushAck>(f2.get().payload).delivered);
+  net.drain();
+  EXPECT_EQ(net.stats().messages, 6u);
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(AsyncTransportTest, HandlerContextSendAsyncFailsFastInsteadOfDeadlocking) {
+  // Block-policy backpressure must not apply to sends issued from inside
+  // a handler: with one worker executing that handler, waiting for inbox
+  // space only workers can free would deadlock the whole pool. The
+  // handler-context send fails fast with TransportError instead.
+  AsyncTransport net({.workers = 1,
+                      .max_inbox = 1,
+                      .overflow = AsyncTransportConfig::Overflow::Block});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> filled;
+  std::shared_future<void> filled_ready = filled.get_future().share();
+  net.attach("b", [](const Message& m) {
+    return Message{"b", m.sender, PushAck{true, "b-ok"}};
+  });
+  net.attach("a", [&](const Message& m) {
+    started.release();
+    filled_ready.wait();  // b's inbox is full now; the sole worker is here
+    auto nested = net.send_async(Message{"a", "b", CodeRequest{"nested"}});
+    bool rejected = false;
+    try {
+      (void)nested.get();
+    } catch (const TransportError&) {
+      rejected = true;
+    }
+    return Message{"a", m.sender, PushAck{rejected, "handler-send"}};
+  });
+
+  auto to_a = net.send_async(Message{"c", "a", CodeRequest{"go"}});
+  started.acquire();
+  auto to_b = net.send_async(Message{"c", "b", CodeRequest{"fill"}});  // inbox full
+  filled.set_value();
+  EXPECT_TRUE(std::get<PushAck>(to_a.get().payload).delivered)
+      << "nested handler send must have been rejected, not blocked";
+  EXPECT_TRUE(std::get<PushAck>(to_b.get().payload).delivered);
+  net.drain();
+}
+
+TEST(AsyncTransportTest, DetachBlocksUntilInFlightHandlerFinishes) {
+  AsyncTransport net({.workers = 2});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  std::atomic<bool> handler_finished{false};
+  net.attach("slow", [&](const Message& m) {
+    started.release();
+    gate_open.wait();
+    handler_finished.store(true);
+    return Message{"slow", m.sender, PushAck{true, ""}};
+  });
+  auto f1 = net.send_async(Message{"c", "slow", CodeRequest{"1"}});
+  started.acquire();  // the handler is executing now
+  std::atomic<bool> detach_returned{false};
+  std::thread detacher([&] {
+    net.detach("slow");
+    // The quiescence guarantee: when detach returns, no execution is in
+    // flight — the handler observably ran to completion first.
+    EXPECT_TRUE(handler_finished.load());
+    detach_returned.store(true);
+  });
+  // New deliveries stop immediately even while detach waits.
+  while (net.is_attached("slow")) std::this_thread::yield();
+  auto f2 = net.send_async(Message{"c", "slow", CodeRequest{"2"}});
+  EXPECT_THROW((void)f2.get(), NetworkError);
+  EXPECT_FALSE(detach_returned.load());
+  gate.set_value();
+  detacher.join();
+  EXPECT_TRUE(std::get<PushAck>(f1.get().payload).delivered);
+}
+
+TEST(AsyncTransportTest, DetachFailsQueuedRequests) {
+  AsyncTransport net({.workers = 1});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  net.attach("slow", [&](const Message& m) {
+    started.release();
+    gate_open.wait();
+    return Message{"slow", m.sender, PushAck{true, ""}};
+  });
+  auto executing = net.send_async(Message{"c", "slow", CodeRequest{"1"}});
+  started.acquire();
+  auto queued = net.send_async(Message{"c", "slow", CodeRequest{"2"}});
+  std::thread detacher([&net] { net.detach("slow"); });
+  while (net.is_attached("slow")) std::this_thread::yield();
+  gate.set_value();
+  detacher.join();
+  EXPECT_TRUE(std::get<PushAck>(executing.get().payload).delivered);
+  EXPECT_THROW((void)queued.get(), NetworkError);  // detached before delivery
+}
+
+TEST(AsyncTransportTest, DetachFromInsideOwnHandlerReturnsImmediately) {
+  AsyncTransport net({.workers = 1});
+  net.attach("ephemeral", [&net](const Message& m) {
+    net.detach("ephemeral");  // reentrant: must not wait for itself
+    return Message{"ephemeral", m.sender, PushAck{true, "last words"}};
+  });
+  const Message reply = net.send(Message{"client", "ephemeral", CodeRequest{"x"}});
+  EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "last words");
+  EXPECT_FALSE(net.is_attached("ephemeral"));
+}
+
+TEST(AsyncTransportTest, FullProtocolRunsOverAsyncTransport) {
+  // The whole Fig. 1 flow — including the nested mid-protocol round trips
+  // the receiver's handler makes — over the concurrent transport, both
+  // through the sync path and through send_object_async futures.
+  auto hub = std::make_shared<AssemblyHub>();
+  AsyncTransport net({.workers = 2});
+  Peer alice("alice", net, hub);
+  Peer bob("bob", net, hub);
+  alice.host_assembly(fixtures::team_a_people());
+  bob.host_assembly(fixtures::team_b_people());
+  bob.add_interest("teamB.Person");
+
+  const Value args[] = {Value("Sync")};
+  const PushAck sync_ack =
+      alice.send_object("bob", alice.domain().instantiate("teamA.Person", args));
+  EXPECT_TRUE(sync_ack.delivered);
+  EXPECT_EQ(sync_ack.detail, "teamB.Person");
+
+  std::vector<std::future<PushAck>> pending;
+  for (int i = 0; i < 4; ++i) {
+    const Value async_args[] = {Value("Async" + std::to_string(i))};
+    pending.push_back(alice.send_object_async(
+        "bob", alice.domain().instantiate("teamA.Person", async_args)));
+  }
+  for (auto& f : pending) EXPECT_TRUE(f.get().delivered);
+  net.drain();
+  EXPECT_EQ(bob.delivered_count(), 5u);
+  EXPECT_EQ(bob.stats().objects_delivered, 5u);
+  EXPECT_EQ(alice.stats().objects_sent, 5u);
+  // Metadata/code crossed the wire once; later pushes were all-cache.
+  EXPECT_EQ(bob.stats().code_requests, 1u);
+  EXPECT_EQ(bob.stats().typeinfo_cache_hits, 4u);
+  // The delivered objects are usable as bob's own type.
+  const auto snapshot = bob.delivered_snapshot();
+  ASSERT_EQ(snapshot.size(), 5u);
+  EXPECT_EQ(
+      bob.proxies().invoke(snapshot.front().adapted, "getPersonName", {}).as_string(),
+      "Sync");
+}
+
+TEST(AsyncTransportTest, DestroyingSenderWithInFlightAsyncSendIsSafe) {
+  // The completion callback of send_object_async touches the sending peer
+  // (stats); ~Peer must therefore wait for outstanding completions. Pin
+  // it: destroy the sender while its push sits behind a blocked worker —
+  // the future must still resolve and nothing may touch freed memory.
+  auto hub = std::make_shared<AssemblyHub>();
+  AsyncTransport net({.workers = 1});
+  std::counting_semaphore<8> started(0);
+  std::promise<void> gate;
+  std::shared_future<void> gate_open = gate.get_future().share();
+  net.attach("wall", [&](const Message& m) {
+    started.release();
+    gate_open.wait();
+    return Message{"wall", m.sender, PushAck{true, ""}};
+  });
+
+  Peer bob("bob", net, hub);
+  bob.host_assembly(fixtures::team_b_people());
+  bob.add_interest("teamB.Person");
+
+  std::future<PushAck> pending;
+  std::thread destroyer;
+  {
+    Peer alice("alice", net, hub);
+    alice.host_assembly(fixtures::team_a_people());
+    const Value args[] = {Value("Warm")};
+    // Warm bob first (sync, runs inline): the queued push below must not
+    // need alice's endpoint for descriptions after she is gone.
+    ASSERT_TRUE(
+        alice.send_object("bob", alice.domain().instantiate("teamA.Person", args))
+            .delivered);
+    const Value ghost_args[] = {Value("Ghost")};
+    auto person = alice.domain().instantiate("teamA.Person", ghost_args);
+    // Occupy the only worker, then queue alice's push behind it.
+    auto blocker = net.send_async(Message{"c", "wall", CodeRequest{"x"}});
+    started.acquire();
+    pending = alice.send_object_async("bob", person);
+    // ~Peer (alice) must block on the outstanding completion; unblock the
+    // worker from another thread so destruction can finish.
+    destroyer = std::thread([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      gate.set_value();
+    });
+    (void)blocker;
+  }  // alice destroyed here — after her completion ran
+  destroyer.join();
+  EXPECT_TRUE(pending.get().delivered);
+  EXPECT_EQ(bob.delivered_count(), 2u);
+}
+
+TEST(AsyncTransportTest, SystemUniverseOverAsyncTransport) {
+  auto owned = std::make_unique<AsyncTransport>(AsyncTransportConfig{.workers = 2});
+  AsyncTransport& net = *owned;
+  core::InteropSystem system(std::move(owned));
+  auto& sender = system.create_runtime("sender");
+  auto& receiver = system.create_runtime("receiver");
+  (void)sender.publish_assembly(fixtures::team_a_people());
+  (void)receiver.publish_assembly(fixtures::team_b_people());
+  std::atomic<int> events{0};
+  const auto person_b = receiver.type("teamB.Person");
+  auto sub = receiver.subscribe(person_b, [&](const DeliveredObject&) { ++events; });
+
+  std::vector<std::future<PushAck>> pending;
+  for (int i = 0; i < 8; ++i) {
+    const Value args[] = {Value("P" + std::to_string(i))};
+    pending.push_back(sender.send_async("receiver", sender.make("teamA.Person", args)));
+  }
+  int delivered = 0;
+  for (auto& f : pending) delivered += f.get().delivered ? 1 : 0;
+  net.drain();
+  EXPECT_EQ(delivered, 8);
+  EXPECT_EQ(events.load(), 8);
+  EXPECT_EQ(receiver.peer().delivered_count(), 8u);
+  EXPECT_EQ(receiver.stats().objects_received, 8u);
 }
 
 // --- assembly hub -------------------------------------------------------------

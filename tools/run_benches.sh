@@ -3,7 +3,7 @@
 # BENCH_<name>.json at the repo root — the bench trajectory consumed by
 # ROADMAP.md's performance notes. Usage:
 #
-#   tools/run_benches.sh                # conformance + typedesc + concurrent + api (hot paths)
+#   tools/run_benches.sh                # conformance + typedesc + concurrent + api + transport
 #   tools/run_benches.sh all            # every bench binary
 #   BENCH_MIN_TIME=0.5 tools/run_benches.sh
 set -euo pipefail
@@ -16,7 +16,7 @@ MIN_TIME=${BENCH_MIN_TIME:-0.2}
 if [[ "${1:-}" == "all" ]]; then
   BENCHES=(conformance typedesc concurrent api envelope invocation object_serial transport ablation)
 else
-  BENCHES=(conformance typedesc concurrent api)
+  BENCHES=(conformance typedesc concurrent api transport)
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full local gate in one command: builds the debug and tsan presets,
+# runs ctest on both, then the clang-format check. Usage:
+#
+#   tools/run_checks.sh          # everything (what CI would run)
+#   FAST=1 tools/run_checks.sh   # tsan ctest restricted to the concurrency-
+#                                # sensitive suites (transport/concurrency/
+#                                # fuzz) — the ones instrumentation is for
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== [1/5] configure + build: debug preset =="
+cmake --preset debug > /dev/null
+cmake --build --preset debug
+
+echo "== [2/5] ctest: debug preset =="
+ctest --preset debug
+
+echo "== [3/5] configure + build: tsan preset =="
+cmake --preset tsan > /dev/null
+cmake --build --preset tsan
+
+echo "== [4/5] ctest: tsan preset =="
+if [[ "${FAST:-0}" == "1" ]]; then
+  ctest --preset tsan -R 'test_concurrency|test_transport|test_protocol_fuzz'
+else
+  ctest --preset tsan
+fi
+
+echo "== [5/5] clang-format gate =="
+tools/check_format.sh
+
+echo "run_checks: ALL GREEN"
