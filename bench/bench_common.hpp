@@ -73,9 +73,15 @@ struct ConcurrentPushEnv {
   std::array<std::string, kPairs> receiver_names;
   std::array<std::shared_ptr<reflect::DynObject>, kPairs> objects;
 
-  explicit ConcurrentPushEnv(const std::string& prefix)
-      : system(std::make_unique<transport::AsyncTransport>(
-            transport::AsyncTransportConfig{.workers = 2, .max_inbox = 256})) {
+  /// Default transport: the 2-worker AsyncTransport. Pass any other
+  /// Transport (e.g. SocketTransport) to measure the same warmed protocol
+  /// workload over it.
+  explicit ConcurrentPushEnv(const std::string& prefix,
+                             std::unique_ptr<transport::Transport> transport = nullptr)
+      : system(transport ? std::move(transport)
+                         : std::make_unique<transport::AsyncTransport>(
+                               transport::AsyncTransportConfig{.workers = 2,
+                                                               .max_inbox = 256})) {
     transport::PeerConfig config;
     config.retain_delivered = false;
     for (int p = 0; p < kPairs; ++p) {

@@ -25,7 +25,9 @@
 
 #include "bench_common.hpp"
 #include "core/interop.hpp"
+#include "serial/frame_codec.hpp"
 #include "transport/async_transport.hpp"
+#include "transport/socket_transport.hpp"
 
 namespace {
 
@@ -173,6 +175,87 @@ void BM_AsyncPushPipelined(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kWindow);
 }
 BENCHMARK(BM_AsyncPushPipelined)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+// --- the real wire: FrameCodec + SocketTransport ------------------------------
+
+/// Frame encode+decode cost for a representative ObjectPush (the dominant
+/// protocol message): the pure serialization tax of the socket path.
+void BM_FrameCodecRoundTrip(benchmark::State& state) {
+  bench::paper_reference("wire: FrameCodec + loopback sockets",
+                         "the serialized path the paper's protocol takes "
+                         "between real peers");
+  const serial::FrameCodec codec;
+  transport::ObjectPush push;
+  push.envelope.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+  const transport::Message message{"sender", "receiver", std::move(push)};
+  std::size_t frame_bytes = 0;
+  for (auto _ : state) {
+    const auto frame = codec.encode(message);
+    frame_bytes = frame.size();
+    benchmark::DoNotOptimize(codec.decode(frame));
+  }
+  state.counters["frame_bytes"] = static_cast<double>(frame_bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * frame_bytes));
+}
+BENCHMARK(BM_FrameCodecRoundTrip)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// One minimal framed exchange over loopback TCP (request out, response
+/// back through a pooled connection): the wire's round-trip floor, before
+/// any protocol work sits on top.
+void BM_SocketRawExchange(benchmark::State& state) {
+  transport::SocketTransport net;
+  net.attach("echo", [](const transport::Message& request) {
+    transport::Message response;
+    response.payload = transport::PushAck{true, ""};
+    transport::address_response(request, response);
+    return response;
+  });
+  const transport::Message ping{"caller", "echo", transport::PushAck{true, "ping"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.send(ping));
+  }
+  state.SetItemsProcessed(state.iterations());
+  net.detach("echo");
+}
+BENCHMARK(BM_SocketRawExchange);
+
+/// The shared warmed universe over SocketTransport: every push (and every
+/// nested protocol round trip) is framed bytes on loopback TCP.
+bench::ConcurrentPushEnv& socket_env() {
+  static bench::ConcurrentPushEnv e("sk",
+                                    std::make_unique<transport::SocketTransport>());
+  return e;
+}
+
+/// Full-protocol push throughput over real sockets — the socket-path twin
+/// of BM_AsyncPushThroughput (same warmed pairs, same conformance work;
+/// the delta is serialization + kernel round trips).
+void BM_SocketPushThroughput(benchmark::State& state) {
+  bench::run_concurrent_push(state, socket_env());
+}
+BENCHMARK(BM_SocketPushThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+/// send_async pipelining over sockets: a window of in-flight pushes per
+/// thread served by the outbound worker pool.
+void BM_SocketPushPipelined(benchmark::State& state) {
+  bench::ConcurrentPushEnv& e = socket_env();
+  const int pair = state.thread_index() % bench::ConcurrentPushEnv::kPairs;
+  core::InteropRuntime& sender = *e.senders[pair];
+  const std::string& to = e.receiver_names[pair];
+  const auto& object = e.objects[pair];
+  constexpr int kWindow = 16;
+  std::vector<std::future<transport::PushAck>> in_flight;
+  in_flight.reserve(kWindow);
+  for (auto _ : state) {
+    for (int i = 0; i < kWindow; ++i) {
+      in_flight.push_back(sender.send_async(to, object));
+    }
+    for (auto& f : in_flight) benchmark::DoNotOptimize(f.get());
+    in_flight.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_SocketPushPipelined)->Threads(1)->Threads(2)->UseRealTime();
 
 }  // namespace
 

@@ -7,10 +7,13 @@
 //   ├── conform::ConformError    conformance machinery misuse
 //   │   └── conform::AmbiguityError
 //   ├── serial::SerialError      malformed payloads, unknown encodings
+//   │   └── serial::FrameError   rejected wire frames (carries a FrameFault:
+//   │                            truncated / bad-magic / bad-version /
+//   │                            unknown-kind / oversized / corrupt)
 //   ├── proxy::ProxyError        invocation through missing mappings
 //   │   └── proxy::NonConformantError
 //   ├── transport::TransportError
-//   │   ├── transport::NetworkError   drops, unknown recipients
+//   │   ├── transport::NetworkError   drops, unknown recipients, dead sockets
 //   │   └── transport::ProtocolError  optimistic-protocol failures
 //   └── remoting::RemotingError  failed remote invocations
 #pragma once

@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <string_view>
+
 #include "util/error.hpp"
 
 namespace pti::serial {
@@ -7,6 +11,45 @@ namespace pti::serial {
 class SerialError : public Error {
  public:
   using Error::Error;
+};
+
+/// Why a wire frame was rejected by serial::FrameCodec. Decoding is strict:
+/// every malformed input maps to exactly one fault, never a crash or a
+/// partially-constructed message.
+enum class FrameFault : std::uint8_t {
+  Truncated,    ///< fewer bytes than the header (or its length field) promises
+  BadMagic,     ///< the first four bytes are not "PTIF"
+  BadVersion,   ///< protocol version this codec does not speak
+  UnknownKind,  ///< kind byte names no Message payload variant
+  Oversized,    ///< declared body length exceeds the configured frame limit
+  Corrupt,      ///< body bytes do not parse as the declared kind (or trail junk)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FrameFault fault) noexcept {
+  switch (fault) {
+    case FrameFault::Truncated: return "truncated";
+    case FrameFault::BadMagic: return "bad-magic";
+    case FrameFault::BadVersion: return "bad-version";
+    case FrameFault::UnknownKind: return "unknown-kind";
+    case FrameFault::Oversized: return "oversized";
+    case FrameFault::Corrupt: return "corrupt";
+  }
+  return "corrupt";
+}
+
+/// A frame failed to encode or decode. Carries the FrameFault so transports
+/// and tests can branch on the rejection class without string matching; the
+/// public API classifies it as core::ErrorCode::Serialization.
+class FrameError : public SerialError {
+ public:
+  FrameError(FrameFault fault, const std::string& message)
+      : SerialError("frame " + std::string(to_string(fault)) + ": " + message),
+        fault_(fault) {}
+
+  [[nodiscard]] FrameFault fault() const noexcept { return fault_; }
+
+ private:
+  FrameFault fault_;
 };
 
 }  // namespace pti::serial

@@ -1,0 +1,688 @@
+#include "transport/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <variant>
+
+#include "transport/transport_error.hpp"
+
+namespace pti::transport {
+
+namespace {
+
+/// Endpoints whose handler is executing on THIS thread, innermost last —
+/// lets detach() recognize the reentrant case (handler detaching itself)
+/// where waiting for executing == 0 would deadlock.
+thread_local std::vector<const void*> tl_executing_here;
+
+/// True on this transport's own threads (reader/outbound workers). A
+/// Block-policy send_async from one of them must fail fast on a full
+/// queue instead of parking a thread that the queue needs to drain.
+thread_local bool tl_transport_thread = false;
+
+[[nodiscard]] bool executing_here(const void* endpoint) noexcept {
+  return std::find(tl_executing_here.begin(), tl_executing_here.end(), endpoint) !=
+         tl_executing_here.end();
+}
+
+/// Fault-frame reason prefixes: the responding side classifies the failure
+/// so the requesting side rethrows the right exception type.
+constexpr std::string_view kNetworkFault = "network|";
+constexpr std::string_view kTransportFault = "transport|";
+
+/// A transport-level fault travels as an *unaddressed* ErrorReply frame.
+/// Real responses are always addressed by address_response(), so an empty
+/// sender+recipient cannot be produced by a handler exchange.
+[[nodiscard]] bool is_fault(const Message& message) noexcept {
+  return message.sender.empty() && message.recipient.empty() &&
+         std::holds_alternative<ErrorReply>(message.payload);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> encode_fault(const serial::FrameCodec& codec,
+                                                     std::string_view prefix,
+                                                     std::string_view reason) {
+  Message fault;
+  fault.payload = ErrorReply{std::string(prefix) + std::string(reason)};
+  return codec.encode(fault);
+}
+
+[[noreturn]] void raise_fault(const ErrorReply& fault) {
+  const std::string& reason = fault.message;
+  if (reason.starts_with(kNetworkFault)) {
+    throw NetworkError(reason.substr(kNetworkFault.size()));
+  }
+  if (reason.starts_with(kTransportFault)) {
+    throw TransportError(reason.substr(kTransportFault.size()));
+  }
+  throw TransportError(reason);
+}
+
+enum class ReadStatus { Ok, Eof, Error };
+
+/// Reads exactly n bytes (retrying partial reads and EINTR). Eof means the
+/// peer closed before the first byte; a close mid-buffer reports Error.
+ReadStatus read_exact(int fd, std::uint8_t* buffer, std::size_t n) noexcept {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buffer + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return got == 0 ? ReadStatus::Eof : ReadStatus::Error;
+    if (errno == EINTR) continue;
+    return ReadStatus::Error;
+  }
+  return ReadStatus::Ok;
+}
+
+/// Reads a header-declared body in bounded chunks, growing the buffer
+/// only as bytes actually arrive — a hostile header cannot commit
+/// max_body_bytes of memory up front by declaring a body it never sends.
+[[nodiscard]] bool read_body_bytes(int fd, std::vector<std::uint8_t>& body,
+                                   std::size_t n) {
+  constexpr std::size_t kChunk = 256 * 1024;
+  body.clear();
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t step = std::min(kChunk, n - got);
+    body.resize(got + step);
+    if (read_exact(fd, body.data() + got, step) != ReadStatus::Ok) return false;
+    got += step;
+  }
+  return true;
+}
+
+/// Writes all n bytes; MSG_NOSIGNAL keeps a closed peer from raising
+/// SIGPIPE (the failure surfaces as an error return instead).
+[[nodiscard]] bool write_all(int fd, const std::uint8_t* buffer, std::size_t n) noexcept {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buffer + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+[[nodiscard]] sockaddr_in loopback_address(std::uint16_t port) noexcept {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportConfig config)
+    : config_(config), codec_(config.frame_limits), rng_state_(config.rng_seed) {
+  if (config_.max_outbound == 0) {
+    throw TransportError("SocketTransport needs max_outbound >= 1");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw TransportError(std::string("cannot create listening socket: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback_address(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("cannot listen on 127.0.0.1:" + std::to_string(config_.port) +
+                         ": " + reason);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  const std::size_t workers = std::max<std::size_t>(1, config_.async_workers);
+  outbound_workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    outbound_workers_.emplace_back([this] { outbound_worker_loop(); });
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  // 1. Stop the outbound side: raise shutdown *under the queue mutex* (a
+  //    worker between its predicate check and blocking would otherwise
+  //    miss the notification and sleep forever), wake + join the
+  //    workers, then fail whatever they never picked up.
+  {
+    std::unique_lock lock(outbound_mutex_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  outbound_cv_.notify_all();
+  for (auto& worker : outbound_workers_) worker.join();
+  std::deque<OutboundRequest> orphaned;
+  {
+    std::unique_lock lock(outbound_mutex_);
+    orphaned.swap(outbound_);
+  }
+  const auto error = std::make_exception_ptr(
+      NetworkError("transport destroyed before the message was delivered"));
+  for (auto& outbound : orphaned) complete(outbound, Message{}, error);
+
+  // 2. Stop accepting: closing the listener wakes the blocked accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  accept_thread_.join();
+
+  // 3. Kick every live inbound connection so its reader thread unblocks,
+  //    then join them (each closes its own fd on the way out).
+  {
+    std::unique_lock lock(conn_mutex_);
+    for (const ServerConnection& connection : connections_) {
+      if (connection.fd >= 0) ::shutdown(connection.fd, SHUT_RDWR);
+    }
+  }
+  for (auto& connection : connections_) {
+    if (connection.reader.joinable()) connection.reader.join();
+  }
+
+  // 4. Drop the idle client connections.
+  std::unique_lock lock(pool_mutex_);
+  for (auto& [port, fds] : idle_connections_) {
+    for (const int fd : fds) ::close(fd);
+  }
+  idle_connections_.clear();
+}
+
+void SocketTransport::add_route(std::string_view peer, std::uint16_t port) {
+  std::unique_lock lock(routes_mutex_);
+  routes_[std::string(peer)] = port;
+}
+
+void SocketTransport::remove_route(std::string_view peer) {
+  std::unique_lock lock(routes_mutex_);
+  const auto it = routes_.find(peer);
+  if (it != routes_.end()) routes_.erase(it);
+}
+
+void SocketTransport::attach(std::string_view name, Handler handler) {
+  if (!handler) throw TransportError("cannot attach a null handler");
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->name = std::string(name);
+  endpoint->handler = std::make_shared<Handler>(std::move(handler));
+  std::unique_lock lock(endpoints_mutex_);
+  const auto [it, inserted] = endpoints_.emplace(endpoint->name, std::move(endpoint));
+  if (!inserted) {
+    throw TransportError("endpoint '" + std::string(name) +
+                         "' is already attached (detach it first)");
+  }
+}
+
+void SocketTransport::detach(std::string_view name) {
+  std::unique_lock lock(endpoints_mutex_);
+  const auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) return;
+  const std::shared_ptr<Endpoint> endpoint = it->second;
+  endpoints_.erase(it);
+  // Quiescence guarantee: once detach returns, no handler execution is in
+  // flight, so the caller may destroy the handler's owner. The reentrant
+  // case (a handler detaching its own endpoint) cannot wait for itself;
+  // no *new* delivery begins either way.
+  if (!executing_here(endpoint.get())) {
+    endpoints_cv_.wait(lock, [&] { return endpoint->executing == 0; });
+  }
+}
+
+bool SocketTransport::is_attached(std::string_view name) const noexcept {
+  std::unique_lock lock(endpoints_mutex_);
+  return endpoints_.find(name) != endpoints_.end();
+}
+
+void SocketTransport::set_default_link(const LinkConfig& config) noexcept {
+  std::unique_lock lock(links_mutex_);
+  default_link_ = config;
+}
+
+void SocketTransport::set_link(std::string_view from, std::string_view to,
+                               const LinkConfig& config) {
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  const std::uint64_t key = util::pair_key(symbols.intern(from), symbols.intern(to));
+  std::unique_lock lock(links_mutex_);
+  links_[key] = config;
+}
+
+LinkConfig SocketTransport::link_for(std::string_view from, std::string_view to) const {
+  std::shared_lock lock(links_mutex_);
+  if (links_.empty()) return default_link_;
+  const util::SymbolTable& symbols = util::SymbolTable::global();
+  const util::InternedName from_id = symbols.find(from);
+  if (!from_id.valid()) return default_link_;
+  const util::InternedName to_id = symbols.find(to);
+  if (!to_id.valid()) return default_link_;
+  const auto it = links_.find(util::pair_key(from_id, to_id));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+double SocketTransport::next_uniform() noexcept {
+  std::uint64_t z =
+      rng_state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
+      0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool SocketTransport::charge(const Message& message) {
+  const LinkConfig link = link_for(message.sender, message.recipient);
+  if (link.drop_probability > 0.0 && next_uniform() < link.drop_probability) {
+    ++stats_.drops;
+    return false;
+  }
+  charge_traversal(link, message.wire_size(), stats_, clock_);
+  return true;
+}
+
+std::uint16_t SocketTransport::resolve_port(const std::string& recipient) const {
+  {
+    std::shared_lock lock(routes_mutex_);
+    const auto it = routes_.find(recipient);
+    if (it != routes_.end()) return it->second;
+  }
+  {
+    std::unique_lock lock(endpoints_mutex_);
+    if (endpoints_.find(recipient) != endpoints_.end()) return port_;
+  }
+  throw NetworkError("no peer attached as '" + recipient + "'");
+}
+
+int SocketTransport::dial(std::uint16_t dest_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw NetworkError(std::string("cannot create socket: ") + std::strerror(errno));
+  }
+  const sockaddr_in addr = loopback_address(dest_port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    throw NetworkError("cannot connect to 127.0.0.1:" + std::to_string(dest_port) +
+                       ": " + reason);
+  }
+  set_nodelay(fd);
+  ++socket_stats_.connections_dialed;
+  return fd;
+}
+
+int SocketTransport::checkout_connection(std::uint16_t dest_port) {
+  {
+    std::unique_lock lock(pool_mutex_);
+    auto& idle = idle_connections_[dest_port];
+    while (!idle.empty()) {
+      const int fd = idle.back();
+      idle.pop_back();
+      // Liveness probe: an idle connection must have nothing to read. EOF
+      // or stray bytes mean the server closed (or desynced) it — discard.
+      std::uint8_t probe = 0;
+      const ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return fd;
+      ::close(fd);
+    }
+  }
+  return dial(dest_port);
+}
+
+void SocketTransport::return_connection(std::uint16_t dest_port, int fd) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
+  }
+  std::unique_lock lock(pool_mutex_);
+  idle_connections_[dest_port].push_back(fd);
+}
+
+Message SocketTransport::exchange_over_wire(const Message& request,
+                                            std::uint16_t dest_port) {
+  const std::vector<std::uint8_t> frame = codec_.encode(request);
+  const int fd = checkout_connection(dest_port);
+  struct FdGuard {
+    int fd;
+    bool armed = true;
+    ~FdGuard() {
+      if (armed) ::close(fd);
+    }
+  } guard{fd};
+
+  if (!write_all(fd, frame.data(), frame.size())) {
+    throw NetworkError("connection to 127.0.0.1:" + std::to_string(dest_port) +
+                       " failed while sending " + request.kind_name());
+  }
+  ++socket_stats_.frames_sent;
+  socket_stats_.wire_bytes_sent += frame.size();
+
+  std::array<std::uint8_t, serial::FrameCodec::kHeaderSize> header_bytes{};
+  if (read_exact(fd, header_bytes.data(), header_bytes.size()) != ReadStatus::Ok) {
+    throw NetworkError("connection closed before a response to " +
+                       std::string(request.kind_name()) + " arrived (response dropped?)");
+  }
+  const serial::FrameCodec::Header header = codec_.decode_header(header_bytes);
+  std::vector<std::uint8_t> body;
+  if (!read_body_bytes(fd, body, header.body_bytes)) {
+    throw NetworkError("connection closed mid-response to " +
+                       std::string(request.kind_name()));
+  }
+  ++socket_stats_.frames_received;
+  socket_stats_.wire_bytes_received += header_bytes.size() + body.size();
+  Message response = codec_.decode_body(header, body);
+
+  if (is_fault(response)) {
+    // Fault frames may follow a desynced stream; never pool the connection.
+    raise_fault(std::get<ErrorReply>(response.payload));
+  }
+  guard.armed = false;
+  return_connection(dest_port, fd);
+  return response;
+}
+
+Message SocketTransport::send(const Message& request) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    throw TransportError("transport is shutting down");
+  }
+  const std::uint16_t dest_port = resolve_port(request.recipient);
+  if (!charge(request)) {
+    throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
+                       request.sender + "' to '" + request.recipient + "' was dropped");
+  }
+  return exchange_over_wire(request, dest_port);
+}
+
+std::vector<std::uint8_t> SocketTransport::serve_request(Message request) {
+  std::shared_ptr<Endpoint> endpoint;
+  std::shared_ptr<Handler> handler;
+  {
+    std::unique_lock lock(endpoints_mutex_);
+    const auto it = endpoints_.find(request.recipient);
+    if (it == endpoints_.end()) {
+      return encode_fault(codec_, kNetworkFault,
+                          "no peer attached as '" + request.recipient + "'");
+    }
+    endpoint = it->second;
+    handler = endpoint->handler;
+    ++endpoint->executing;
+    ++total_executing_;
+  }
+
+  tl_executing_here.push_back(endpoint.get());
+  Message response;
+  std::string handler_fault;
+  try {
+    response = (*handler)(request);
+    address_response(request, response);
+  } catch (const std::exception& e) {
+    handler_fault = "handler for '" + request.recipient + "' failed: " + e.what();
+  } catch (...) {
+    handler_fault = "handler for '" + request.recipient + "' failed";
+  }
+  tl_executing_here.pop_back();
+  {
+    std::unique_lock lock(endpoints_mutex_);
+    --endpoint->executing;
+    --total_executing_;
+  }
+  endpoints_cv_.notify_all();
+
+  if (!handler_fault.empty()) {
+    return encode_fault(codec_, kTransportFault, handler_fault);
+  }
+  if (!charge(response)) {
+    return {};  // response dropped: the caller closes the connection
+  }
+  try {
+    return codec_.encode(response);
+  } catch (const serial::FrameError& e) {
+    return encode_fault(codec_, kTransportFault,
+                        "response to " + std::string(request.kind_name()) +
+                            " is not encodable: " + e.what());
+  }
+}
+
+void SocketTransport::reap_finished_connections() {
+  // A reader marks its entry fd = -1 (under conn_mutex_) as its very last
+  // locked action before returning, so a -1 entry's thread is exiting or
+  // gone: joining it outside the lock cannot block on conn_mutex_.
+  std::vector<ServerConnection> finished;
+  {
+    std::unique_lock lock(conn_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if (it->fd < 0) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection.reader.joinable()) connection.reader.join();
+  }
+}
+
+void SocketTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or unrecoverable
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    // Reap past connections' reader threads so a long-lived transport
+    // serving churning clients doesn't accumulate one finished thread
+    // per connection ever accepted.
+    reap_finished_connections();
+    set_nodelay(fd);
+    ++socket_stats_.connections_accepted;
+    // Register the entry before the reader runs (it is spawned under the
+    // same lock): a short-lived connection must find its own entry to
+    // mark reapable, never a later connection that reused the fd number.
+    std::unique_lock lock(conn_mutex_);
+    connections_.push_back(ServerConnection{fd, {}});
+    connections_.back().reader = std::thread([this, fd] { connection_loop(fd); });
+  }
+}
+
+void SocketTransport::connection_loop(int fd) {
+  tl_transport_thread = true;
+  for (;;) {
+    std::array<std::uint8_t, serial::FrameCodec::kHeaderSize> header_bytes{};
+    if (read_exact(fd, header_bytes.data(), header_bytes.size()) != ReadStatus::Ok) {
+      break;  // clean close between frames, or a failure — either way done
+    }
+    serial::FrameCodec::Header header;
+    std::vector<std::uint8_t> body;
+    Message request;
+    try {
+      header = codec_.decode_header(header_bytes);
+      if (!read_body_bytes(fd, body, header.body_bytes)) break;
+      ++socket_stats_.frames_received;
+      socket_stats_.wire_bytes_received += header_bytes.size() + body.size();
+      request = codec_.decode_body(header, body);
+    } catch (const serial::FrameError& e) {
+      // A malformed frame leaves the stream position untrustworthy: report
+      // the fault, then close the connection rather than resynchronize.
+      const std::vector<std::uint8_t> fault =
+          encode_fault(codec_, kTransportFault, e.what());
+      // Counters bump before the write: the requester may act on the
+      // response the instant the syscall delivers it, and a post-write
+      // bump could lag behind a stats reader on the requesting thread.
+      ++socket_stats_.frames_sent;
+      socket_stats_.wire_bytes_sent += fault.size();
+      (void)write_all(fd, fault.data(), fault.size());
+      break;
+    }
+
+    const std::vector<std::uint8_t> response = serve_request(std::move(request));
+    if (response.empty()) break;  // response dropped: close so the peer notices
+    ++socket_stats_.frames_sent;
+    socket_stats_.wire_bytes_sent += response.size();
+    if (!write_all(fd, response.data(), response.size())) break;
+  }
+  std::unique_lock lock(conn_mutex_);
+  ::close(fd);
+  // Marking fd = -1 is this thread's last locked action: it tells the
+  // reaper (and the destructor's shutdown sweep) that the fd is dead and
+  // the thread is safe to join.
+  for (ServerConnection& connection : connections_) {
+    if (connection.fd == fd) {
+      connection.fd = -1;
+      break;
+    }
+  }
+}
+
+void SocketTransport::complete(OutboundRequest& outbound, Message response,
+                               std::exception_ptr error) {
+  // Completion runs on transport threads; a throwing callback must not
+  // take a worker (or the destructor) down with it.
+  try {
+    if (outbound.callback) {
+      outbound.callback(std::move(response), error);
+    } else if (error) {
+      outbound.promise.set_exception(error);
+    } else {
+      outbound.promise.set_value(std::move(response));
+    }
+  } catch (...) {
+  }
+}
+
+void SocketTransport::enqueue_outbound(OutboundRequest outbound) {
+  std::exception_ptr failure;
+  {
+    std::unique_lock lock(outbound_mutex_);
+    for (;;) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        failure = std::make_exception_ptr(NetworkError("transport is shutting down"));
+        break;
+      }
+      if (outbound_.size() < config_.max_outbound) {
+        outbound_.push_back(std::move(outbound));
+        // notify_all: the CV is shared with drain() and backpressure
+        // waiters, and notify_one could hand the wakeup to a waiter
+        // whose predicate is false.
+        outbound_cv_.notify_all();
+        return;
+      }
+      if (config_.overflow == SocketTransportConfig::Overflow::Reject) {
+        failure = std::make_exception_ptr(
+            TransportError("backpressure: outbound queue is full (" +
+                           std::to_string(config_.max_outbound) + ")"));
+        break;
+      }
+      if (tl_transport_thread) {
+        // Block policy, but the caller IS a transport thread (a reader
+        // running a handler, or an outbound worker's completion
+        // callback): waiting for queue space that only these threads
+        // free would deadlock. Fail fast instead.
+        failure = std::make_exception_ptr(TransportError(
+            "backpressure: outbound queue is full and send_async was called "
+            "from a transport thread (blocking here would deadlock)"));
+        break;
+      }
+      outbound_cv_.wait(lock);
+    }
+  }
+  complete(outbound, Message{}, failure);
+}
+
+std::future<Message> SocketTransport::send_async(Message request) {
+  OutboundRequest outbound;
+  outbound.request = std::move(request);
+  std::future<Message> future = outbound.promise.get_future();
+  enqueue_outbound(std::move(outbound));
+  return future;
+}
+
+void SocketTransport::send_async(Message request, SendCallback on_complete) {
+  if (!on_complete) throw TransportError("send_async requires a completion callback");
+  OutboundRequest outbound;
+  outbound.request = std::move(request);
+  outbound.callback = std::move(on_complete);
+  enqueue_outbound(std::move(outbound));
+}
+
+void SocketTransport::outbound_worker_loop() {
+  tl_transport_thread = true;
+  std::unique_lock lock(outbound_mutex_);
+  for (;;) {
+    outbound_cv_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) || !outbound_.empty();
+    });
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    OutboundRequest outbound = std::move(outbound_.front());
+    outbound_.pop_front();
+    ++outbound_executing_;
+    lock.unlock();
+    outbound_cv_.notify_all();  // queue space freed; blocked senders proceed
+
+    Message response;
+    std::exception_ptr error;
+    try {
+      response = send(outbound.request);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    complete(outbound, std::move(response), error);
+
+    lock.lock();
+    --outbound_executing_;
+    if (outbound_.empty() && outbound_executing_ == 0) {
+      outbound_cv_.notify_all();  // drain() waiters
+    }
+  }
+}
+
+void SocketTransport::drain() {
+  for (;;) {
+    {
+      std::unique_lock lock(outbound_mutex_);
+      outbound_cv_.wait(lock,
+                        [&] { return outbound_.empty() && outbound_executing_ == 0; });
+    }
+    {
+      std::unique_lock lock(endpoints_mutex_);
+      endpoints_cv_.wait(lock, [&] { return total_executing_ == 0; });
+    }
+    // A handler finishing above may have enqueued more outbound work;
+    // only a pass that finds both sides idle without waiting is quiescent.
+    std::unique_lock outbound_lock(outbound_mutex_);
+    std::unique_lock endpoints_lock(endpoints_mutex_);
+    if (outbound_.empty() && outbound_executing_ == 0 && total_executing_ == 0) return;
+  }
+}
+
+std::size_t SocketTransport::pending() const {
+  std::unique_lock outbound_lock(outbound_mutex_);
+  std::unique_lock endpoints_lock(endpoints_mutex_);
+  return outbound_.size() + outbound_executing_ + total_executing_;
+}
+
+}  // namespace pti::transport

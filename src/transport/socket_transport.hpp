@@ -1,0 +1,259 @@
+// SocketTransport — the real network implementation of the
+// transport::Transport seam: every Message is serialized by
+// serial::FrameCodec and crosses a loopback TCP connection as bytes, then
+// is decoded and dispatched on the receiving side. This is the first path
+// through the stack where the protocol's on-the-wire contract — not just
+// its in-memory API — is exercised end to end.
+//
+// Shape:
+//   * each transport owns one listening socket on 127.0.0.1 (port 0 picks
+//     an ephemeral port; port() tells you which). An accept thread hands
+//     every inbound connection to its own reader thread, which reads
+//     frames, decodes them, runs the recipient endpoint's handler inline,
+//     and writes the encoded response back on the same connection;
+//   * send() is the synchronous exchange: it checks out an idle client
+//     connection to the destination (or dials a new one), writes the
+//     request frame, and blocks reading the response frame. A connection
+//     carries at most one in-flight exchange, so no correlation ids are
+//     needed and nested mid-protocol round trips (a handler send()ing from
+//     a reader thread) simply use another connection;
+//   * send_async() enqueues onto a small pool of outbound worker threads
+//     that run the same synchronous exchange; all failures surface through
+//     the future/callback, never as a throw — same contract as
+//     AsyncTransport, including backpressure: the queue holds at most
+//     `max_outbound` pending requests, an overflowing send_async either
+//     blocks for space (Block, the default) or fails the future/callback
+//     (Reject), and Block never applies on a transport thread (a handler
+//     or completion callback fails fast instead of deadlocking the
+//     threads that drain the queue);
+//   * routing: a recipient resolves to (in order) an explicit add_route()
+//     address, then the transport's own listener when the endpoint is
+//     attached locally. Local recipients are NOT short-circuited
+//     in-process — their messages cross the loopback wire like everyone
+//     else's, which is what makes single-instance tests exercise the real
+//     serialized path;
+//   * cost accounting: the same per-link latency/bandwidth model as
+//     SimNetwork/AsyncTransport, charged on the virtual clock against the
+//     modelled wire_size() (so byte counts stay comparable across
+//     transports); the *actual* framed bytes moved through the socket are
+//     tracked separately in socket_stats(). The requester charges the
+//     request, the responder charges the response — on a single instance
+//     the totals are identical to SimNetwork's; across instances each
+//     transport counts what it transmits. Per-link drop_probability is
+//     honoured: a dropped request fails before any byte is written, a
+//     dropped response closes the connection instead of answering.
+//
+// Endpoint contract (pinned by tests/test_socket_transport.cpp, identical
+// to AsyncTransport): attach() throws on a duplicate name; detach() blocks
+// until in-flight executions of that endpoint's handler finish (reentrant
+// self-detach returns immediately), after which destroying the handler's
+// owner is safe.
+//
+// Error marshalling: C++ exception objects cannot cross a wire. A handler
+// exception or transport-level failure on the responding side comes back
+// as a reserved *unaddressed* ErrorReply frame (empty sender/recipient —
+// unforgeable, since every real response is addressed by
+// address_response()), which the requesting side rethrows as
+// NetworkError/TransportError. Peer-level protocol errors are unaffected:
+// Peer::handle already returns addressed ErrorReply messages in-band.
+//
+// Scope: the listener binds 127.0.0.1 only — this transport is the
+// loopback/same-host deployment of the stack, not an internet-facing
+// server (no TLS, no auth). FrameCodec's strict decoding plus FrameLimits
+// keep a malformed or hostile byte stream from crashing the process: a
+// connection that sends garbage gets a fault frame and is closed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "serial/frame_codec.hpp"
+#include "transport/message.hpp"
+#include "transport/transport.hpp"
+#include "util/atomic_counter.hpp"
+#include "util/interning.hpp"
+#include "util/sim_clock.hpp"
+#include "util/string_util.hpp"
+
+namespace pti::transport {
+
+struct SocketTransportConfig {
+  /// Listening port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads serving send_async's outbound queue.
+  std::size_t async_workers = 2;
+  /// Cap on queued (not yet executing) send_async requests — the same
+  /// overload protection AsyncTransport's max_inbox provides.
+  std::size_t max_outbound = 1024;
+  enum class Overflow : std::uint8_t {
+    Block,   ///< send_async waits for queue space (flow control)
+    Reject,  ///< send_async fails the future/callback with TransportError
+  };
+  Overflow overflow = Overflow::Block;
+  /// Decode-side caps handed to the FrameCodec.
+  serial::FrameLimits frame_limits{};
+  /// Seed of the shared RNG stream behind per-link drop_probability.
+  std::uint64_t rng_seed = 42;
+  /// Listen backlog of the accept socket.
+  int backlog = 64;
+};
+
+/// Real-byte traffic counters (framed bytes through the sockets), kept
+/// separate from NetStats so the modelled cost numbers stay comparable
+/// with SimNetwork/AsyncTransport while the true wire volume is visible.
+struct SocketStats {
+  util::RelaxedCounter connections_accepted;
+  util::RelaxedCounter connections_dialed;
+  util::RelaxedCounter frames_sent;
+  util::RelaxedCounter frames_received;
+  util::RelaxedCounter wire_bytes_sent;
+  util::RelaxedCounter wire_bytes_received;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportConfig config = {});
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// The port the listener actually bound (resolves ephemeral port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Routes `peer` to a remote transport's listener. Subsequent sends to
+  /// `peer` dial 127.0.0.1:`port` instead of this transport's own
+  /// listener. Replaces any previous route for the name.
+  void add_route(std::string_view peer, std::uint16_t port);
+  void remove_route(std::string_view peer);
+
+  void attach(std::string_view name, Handler handler) override;
+  void detach(std::string_view name) override;
+  [[nodiscard]] bool is_attached(std::string_view name) const noexcept override;
+
+  Message send(const Message& request) override;
+
+  [[nodiscard]] std::future<Message> send_async(Message request) override;
+  void send_async(Message request, SendCallback on_complete) override;
+
+  void set_default_link(const LinkConfig& config) noexcept override;
+  void set_link(std::string_view from, std::string_view to,
+                const LinkConfig& config) override;
+
+  [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
+  void reset_stats() noexcept override { stats_.reset(); }
+  [[nodiscard]] util::SimClock& clock() noexcept override { return clock_; }
+
+  [[nodiscard]] const SocketStats& socket_stats() const noexcept { return socket_stats_; }
+
+  /// Blocks until the outbound queue is empty and no handler is executing
+  /// — the quiescent point for reading stats/delivered snapshots. Senders
+  /// must have stopped submitting for this to terminate.
+  void drain();
+
+  /// Outbound queued + executing handler count right now (diagnostic).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  struct Endpoint {
+    std::string name;
+    std::shared_ptr<Handler> handler;
+    std::size_t executing = 0;  ///< in-flight handler executions
+  };
+
+  struct OutboundRequest {
+    Message request;
+    std::promise<Message> promise;
+    SendCallback callback;  ///< used instead of the promise when non-null
+  };
+
+  /// Resolves the destination listener port for a recipient name; throws
+  /// NetworkError when the name has no route and is not attached locally.
+  [[nodiscard]] std::uint16_t resolve_port(const std::string& recipient) const;
+
+  /// One synchronous framed exchange over a pooled connection.
+  Message exchange_over_wire(const Message& request, std::uint16_t dest_port);
+
+  /// Server side of one decoded request: dispatch + respond. Returns the
+  /// encoded response frame, or empty when the response was dropped (the
+  /// caller closes the connection).
+  [[nodiscard]] std::vector<std::uint8_t> serve_request(Message request);
+
+  /// Charges one traversal (modelled stats + virtual clock); false when
+  /// the per-link drop probability fired.
+  bool charge(const Message& message);
+  [[nodiscard]] LinkConfig link_for(std::string_view from, std::string_view to) const;
+  [[nodiscard]] double next_uniform() noexcept;
+
+  [[nodiscard]] int dial(std::uint16_t dest_port);
+  [[nodiscard]] int checkout_connection(std::uint16_t dest_port);
+  void return_connection(std::uint16_t dest_port, int fd);
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void outbound_worker_loop();
+  void enqueue_outbound(OutboundRequest outbound);
+  /// Joins reader threads whose connection already closed (called from
+  /// the accept loop so long-lived transports don't accumulate one
+  /// finished thread per past connection).
+  void reap_finished_connections();
+  static void complete(OutboundRequest& outbound, Message response,
+                       std::exception_ptr error);
+
+  SocketTransportConfig config_;
+  serial::FrameCodec codec_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  mutable std::mutex endpoints_mutex_;  ///< guards endpoints_
+  std::condition_variable endpoints_cv_;  ///< wakes detach()/drain() waiters
+  std::map<std::string, std::shared_ptr<Endpoint>, util::ICaseLess> endpoints_;
+  std::size_t total_executing_ = 0;
+
+  mutable std::shared_mutex routes_mutex_;  ///< guards routes_
+  std::map<std::string, std::uint16_t, util::ICaseLess> routes_;
+
+  mutable std::mutex pool_mutex_;  ///< guards idle_connections_
+  std::unordered_map<std::uint16_t, std::vector<int>> idle_connections_;
+
+  mutable std::mutex outbound_mutex_;  ///< guards outbound_/outbound workers
+  std::condition_variable outbound_cv_;
+  std::deque<OutboundRequest> outbound_;
+  std::size_t outbound_executing_ = 0;
+
+  /// One inbound connection: its fd (-1 once the reader closed it, which
+  /// also marks the thread reapable) and the reader thread serving it.
+  struct ServerConnection {
+    int fd = -1;
+    std::thread reader;
+  };
+  mutable std::mutex conn_mutex_;  ///< guards connections_
+  std::vector<ServerConnection> connections_;
+
+  mutable std::shared_mutex links_mutex_;  ///< guards links_/default_link_
+  std::unordered_map<std::uint64_t, LinkConfig> links_;
+  LinkConfig default_link_;
+
+  NetStats stats_;
+  SocketStats socket_stats_;
+  util::SimClock clock_;
+  std::atomic<std::uint64_t> rng_state_;
+  std::atomic<bool> shutdown_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> outbound_workers_;
+};
+
+}  // namespace pti::transport

@@ -6,13 +6,18 @@
 // InteropSystem/InteropRuntime never name a concrete transport, so any
 // implementation plugs in underneath the whole stack without touching it.
 //
-// Two implementations ship with the library:
+// Three implementations ship with the library:
 //   * SimNetwork (sim_network.hpp) — the deterministic single-threaded
 //     simulator standing in for the paper's testbed, with fault injection
 //     (drop schedules, partitions) for protocol-hardening tests;
 //   * AsyncTransport (async_transport.hpp) — a thread-pool-backed
 //     transport with per-endpoint inbox queues, non-blocking send_async,
-//     backpressure, and the same deterministic virtual-clock cost model.
+//     backpressure, and the same deterministic virtual-clock cost model;
+//   * SocketTransport (socket_transport.hpp) — the real wire: every
+//     message is serialized by serial::FrameCodec and crosses loopback
+//     TCP as length-prefixed binary frames, with the same cost model
+//     charged on the modelled sizes and the true framed bytes counted
+//     separately.
 //
 // Endpoint contract (identical for every implementation):
 //   * attach() registers a handler under a name; attaching a name that is

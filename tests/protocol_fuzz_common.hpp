@@ -1,0 +1,256 @@
+// Shared generators of the randomized protocol sweeps: random type graphs,
+// derived interest sets and value plans, drawn deterministically from a
+// caller-owned RNG. Used by
+//   * tests/test_protocol_fuzz.cpp — eager vs optimistic must agree over
+//     one transport (SimNetwork);
+//   * tests/test_socket_transport.cpp — the same rounds must produce
+//     identical verdicts/contents over SocketTransport (real serialized
+//     frames on loopback TCP) as over SimNetwork.
+//
+// Everything here is pure generation: the only state is the RNG the caller
+// passes in, so two universes fed the same drawn round see byte-identical
+// inputs.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reflect/assembly.hpp"
+#include "reflect/type_builder.hpp"
+#include "reflect/value.hpp"
+#include "transport/peer.hpp"
+#include "util/rng.hpp"
+
+namespace pti::fuzz {
+
+inline constexpr const char* kScalarTypes[] = {"int32", "int64", "string"};
+
+struct Member {
+  std::string name;
+  std::string type;  ///< scalar type name
+};
+
+/// The sender-side shape: scalar fields (each with a same-named getter)
+/// and optionally a nested child object with its own scalar fields.
+struct Schema {
+  std::vector<Member> fields;
+  bool has_child = false;
+  std::vector<Member> child_fields;
+};
+
+inline Schema random_schema(util::Rng& rng) {
+  Schema schema;
+  const std::size_t field_count = 1 + rng.next_below(4);
+  for (std::size_t i = 0; i < field_count; ++i) {
+    schema.fields.push_back({"f" + std::to_string(i), kScalarTypes[rng.next_below(3)]});
+  }
+  schema.has_child = rng.next_bool(0.5);
+  if (schema.has_child) {
+    const std::size_t child_count = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < child_count; ++i) {
+      schema.child_fields.push_back(
+          {"c" + std::to_string(i), kScalarTypes[rng.next_below(3)]});
+    }
+  }
+  return schema;
+}
+
+inline void add_getter(reflect::TypeBuilder& builder, const std::string& field,
+                       const std::string& type) {
+  builder.method("get_" + field, type, {},
+                 [field](reflect::DynObject& self, reflect::Args) {
+                   return self.get(field);
+                 });
+}
+
+/// The sender's assembly: "<ns>.Thing" (+ "<ns>.Child"), fields + getters.
+inline std::shared_ptr<const reflect::Assembly> sender_assembly(const std::string& ns,
+                                                                const Schema& schema) {
+  auto assembly = std::make_shared<reflect::Assembly>(ns + ".gen");
+  if (schema.has_child) {
+    reflect::TypeBuilder child(ns, "Child");
+    for (const Member& m : schema.child_fields) {
+      child.field(m.name, m.type);
+      add_getter(child, m.name, m.type);
+    }
+    assembly->add_type(child.build());
+  }
+  reflect::TypeBuilder thing(ns, "Thing");
+  for (const Member& m : schema.fields) {
+    thing.field(m.name, m.type);
+    add_getter(thing, m.name, m.type);
+  }
+  if (schema.has_child) {
+    const std::string child_type = ns + ".Child";
+    thing.field("child", child_type);
+    add_getter(thing, "child", child_type);
+  }
+  assembly->add_type(thing.build());
+  return assembly;
+}
+
+/// How the receiver's interest relates to the sender's shape.
+enum class InterestMode { Copy, Subset, Mutated };
+
+/// The receiver's assembly: a method-only "<ns>.Thing" (the simple name
+/// must token-conform to the sender's — the checker's name aspect) whose
+/// getters are derived from the sender's schema per `mode`; child getters
+/// mirror the sender's child through the receiver's own "<ns>.Child".
+inline std::shared_ptr<const reflect::Assembly> receiver_assembly(
+    const std::string& ns, const Schema& schema, InterestMode mode, util::Rng& rng) {
+  auto assembly = std::make_shared<reflect::Assembly>(ns + ".gen");
+  if (schema.has_child) {
+    reflect::TypeBuilder child(ns, "Child");
+    for (const Member& m : schema.child_fields) add_getter(child, m.name, m.type);
+    assembly->add_type(child.build());
+  }
+
+  std::vector<Member> getters = schema.fields;
+  if (mode == InterestMode::Subset) {
+    // Keep a random nonempty prefix-rotation of the getters.
+    const std::size_t keep = 1 + rng.next_below(getters.size());
+    const std::size_t start = rng.next_below(getters.size());
+    std::vector<Member> kept;
+    for (std::size_t i = 0; i < keep; ++i) {
+      kept.push_back(getters[(start + i) % getters.size()]);
+    }
+    getters = std::move(kept);
+  } else if (mode == InterestMode::Mutated) {
+    Member& victim = getters[rng.next_below(getters.size())];
+    if (rng.next_bool(0.5)) {
+      // A token-disjoint getter name: "get_zz<k>" shares no token with any
+      // sender getter "get_f<j>" beyond "get", so the member-name rule
+      // (token subset) cannot realize it. A mere prefix would not do —
+      // "get_nope_f0" still token-subsumes "get_f0".
+      victim.name = "zz" + std::to_string(rng.next_below(1000));
+    } else {
+      // Swap to a structurally incompatible scalar return type.
+      victim.type = victim.type == "string" ? "int32" : "string";
+    }
+  }
+
+  reflect::TypeBuilder thing(ns, "Thing");
+  for (const Member& m : getters) add_getter(thing, m.name, m.type);
+  if (schema.has_child) {
+    add_getter(thing, "child", ns + ".Child");
+  }
+  assembly->add_type(thing.build());
+  return assembly;
+}
+
+/// The concrete values of one object graph, drawn once per round so every
+/// universe sends byte-identical state.
+struct ValuePlan {
+  std::vector<std::pair<std::string, reflect::Value>> fields;
+  std::vector<std::pair<std::string, reflect::Value>> child_fields;
+};
+
+inline ValuePlan random_values(const Schema& schema, util::Rng& rng) {
+  const auto scalar = [&rng](const std::string& type, std::size_t salt) {
+    using reflect::Value;
+    if (type == "int32") return Value(static_cast<std::int32_t>(rng.next_below(100000)));
+    if (type == "int64") return Value(static_cast<std::int64_t>(rng.next_u64() >> 8));
+    return Value("v" + std::to_string(salt) + "_" + std::to_string(rng.next_below(1000)));
+  };
+  ValuePlan plan;
+  std::size_t salt = 0;
+  for (const Member& m : schema.fields) {
+    plan.fields.emplace_back(m.name, scalar(m.type, salt++));
+  }
+  for (const Member& m : schema.child_fields) {
+    plan.child_fields.emplace_back(m.name, scalar(m.type, salt++));
+  }
+  return plan;
+}
+
+/// Instantiates the schema's object graph in the sender's domain with the
+/// plan's values.
+inline std::shared_ptr<reflect::DynObject> make_object(transport::Peer& sender,
+                                                       const std::string& ns,
+                                                       const Schema& schema,
+                                                       const ValuePlan& plan) {
+  auto thing = sender.domain().instantiate(ns + ".Thing");
+  for (const auto& [name, value] : plan.fields) thing->set(name, value);
+  if (schema.has_child) {
+    auto child = sender.domain().instantiate(ns + ".Child");
+    for (const auto& [name, value] : plan.child_fields) child->set(name, value);
+    thing->set("child", reflect::Value(std::move(child)));
+  }
+  return thing;
+}
+
+inline void expect_same_value(const reflect::Value& actual, const reflect::Value& expected,
+                              const std::string& where) {
+  ASSERT_EQ(actual.kind(), expected.kind()) << where;
+  switch (expected.kind()) {
+    case reflect::ValueKind::Int32:
+      EXPECT_EQ(actual.as_int32(), expected.as_int32()) << where;
+      break;
+    case reflect::ValueKind::Int64:
+      EXPECT_EQ(actual.as_int64(), expected.as_int64()) << where;
+      break;
+    case reflect::ValueKind::String:
+      EXPECT_EQ(actual.as_string(), expected.as_string()) << where;
+      break;
+    default:
+      FAIL() << "unexpected value kind in " << where;
+  }
+}
+
+/// One fully-drawn protocol round: everything both universes need to run
+/// the identical push. Drawing consumes the RNG exactly once per round, so
+/// a fixed seed pins the whole sweep.
+struct Round {
+  Schema schema;
+  InterestMode mode = InterestMode::Copy;
+  bool with_decoy = false;
+  std::shared_ptr<const reflect::Assembly> sender_code;
+  std::shared_ptr<const reflect::Assembly> receiver_code;
+  std::shared_ptr<const reflect::Assembly> decoy_code;  ///< null without decoy
+  std::string sender_ns, receiver_ns, decoy_ns;
+  ValuePlan values;
+};
+
+inline Round draw_round(int index, const std::string& tag, util::Rng& rng) {
+  Round round;
+  round.sender_ns = tag + "s" + std::to_string(index);
+  round.receiver_ns = tag + "r" + std::to_string(index);
+  round.decoy_ns = tag + "d" + std::to_string(index);
+  round.schema = random_schema(rng);
+  round.mode = static_cast<InterestMode>(rng.next_below(3));
+  round.with_decoy = rng.next_bool(0.33);
+  round.sender_code = sender_assembly(round.sender_ns, round.schema);
+  round.receiver_code = receiver_assembly(round.receiver_ns, round.schema, round.mode, rng);
+  // Decoy interest: an unrelated shape that should never steal a match
+  // from the derived interest (it is checked first, though — order is
+  // part of what must agree across protocols and transports).
+  const Schema decoy_schema{{{"unrelated", "string"}, {"other", "int64"}}, false, {}};
+  round.decoy_code =
+      round.with_decoy ? sender_assembly(round.decoy_ns, decoy_schema) : nullptr;
+  round.values = random_values(round.schema, rng);
+  return round;
+}
+
+/// Hosts the round's assemblies and interests on a fresh sender/receiver
+/// pair, runs the push, and reports (ack, delivered snapshot).
+inline void run_round(const Round& round, transport::Peer& sender,
+                      transport::Peer& receiver, transport::PushAck& ack,
+                      std::vector<transport::DeliveredObject>& delivered) {
+  sender.host_assembly(round.sender_code);
+  receiver.host_assembly(round.receiver_code);
+  if (round.decoy_code) {
+    receiver.host_assembly(round.decoy_code);
+    receiver.add_interest(round.decoy_ns + ".Thing");
+  }
+  receiver.add_interest(round.receiver_ns + ".Thing");
+  const auto object = make_object(sender, round.sender_ns, round.schema, round.values);
+  ack = sender.send_object(receiver.name(), object);
+  delivered = receiver.delivered_snapshot();
+}
+
+}  // namespace pti::fuzz

@@ -6,7 +6,9 @@
 // copy, a subset, or a mutation of the sender's shape — and occasionally
 // unrelated decoys). The same push then runs through two fresh universes:
 // one pair of Optimistic peers (the paper's protocol) and one pair of
-// Eager peers (everything ships up front).
+// Eager peers (everything ships up front). Generators live in
+// tests/protocol_fuzz_common.hpp, shared with the SocketTransport
+// equivalence sweep in test_socket_transport.cpp.
 //
 // Properties asserted per round:
 //   * the two protocols agree on accept/reject, and on WHICH interest
@@ -27,8 +29,7 @@
 #include <string>
 #include <vector>
 
-#include "reflect/assembly.hpp"
-#include "reflect/type_builder.hpp"
+#include "protocol_fuzz_common.hpp"
 #include "transport/assembly_hub.hpp"
 #include "transport/peer.hpp"
 #include "transport/sim_network.hpp"
@@ -37,11 +38,8 @@
 namespace pti {
 namespace {
 
-using reflect::Args;
-using reflect::Assembly;
-using reflect::DynObject;
-using reflect::TypeBuilder;
-using reflect::Value;
+using fuzz::InterestMode;
+using fuzz::Round;
 using transport::AssemblyHub;
 using transport::DeliveredObject;
 using transport::Peer;
@@ -52,120 +50,6 @@ using transport::SimNetwork;
 
 constexpr std::uint64_t kSweepSeed = 0xF00DD00DULL;
 constexpr int kRounds = 48;
-
-const char* const kScalarTypes[] = {"int32", "int64", "string"};
-
-struct Member {
-  std::string name;
-  std::string type;  ///< scalar type name
-};
-
-/// The sender-side shape: scalar fields (each with a same-named getter)
-/// and optionally a nested child object with its own scalar fields.
-struct Schema {
-  std::vector<Member> fields;
-  bool has_child = false;
-  std::vector<Member> child_fields;
-};
-
-Schema random_schema(util::Rng& rng) {
-  Schema schema;
-  const std::size_t field_count = 1 + rng.next_below(4);
-  for (std::size_t i = 0; i < field_count; ++i) {
-    schema.fields.push_back(
-        {"f" + std::to_string(i), kScalarTypes[rng.next_below(3)]});
-  }
-  schema.has_child = rng.next_bool(0.5);
-  if (schema.has_child) {
-    const std::size_t child_count = 1 + rng.next_below(3);
-    for (std::size_t i = 0; i < child_count; ++i) {
-      schema.child_fields.push_back(
-          {"c" + std::to_string(i), kScalarTypes[rng.next_below(3)]});
-    }
-  }
-  return schema;
-}
-
-void add_getter(TypeBuilder& builder, const std::string& field, const std::string& type) {
-  builder.method("get_" + field, type, {},
-                 [field](DynObject& self, Args) { return self.get(field); });
-}
-
-/// The sender's assembly: "<ns>.Thing" (+ "<ns>.Child"), fields + getters.
-std::shared_ptr<const Assembly> sender_assembly(const std::string& ns,
-                                                const Schema& schema) {
-  auto assembly = std::make_shared<Assembly>(ns + ".gen");
-  if (schema.has_child) {
-    TypeBuilder child(ns, "Child");
-    for (const Member& m : schema.child_fields) {
-      child.field(m.name, m.type);
-      add_getter(child, m.name, m.type);
-    }
-    assembly->add_type(child.build());
-  }
-  TypeBuilder thing(ns, "Thing");
-  for (const Member& m : schema.fields) {
-    thing.field(m.name, m.type);
-    add_getter(thing, m.name, m.type);
-  }
-  if (schema.has_child) {
-    const std::string child_type = ns + ".Child";
-    thing.field("child", child_type);
-    add_getter(thing, "child", child_type);
-  }
-  assembly->add_type(thing.build());
-  return assembly;
-}
-
-/// How the receiver's interest relates to the sender's shape.
-enum class InterestMode { Copy, Subset, Mutated };
-
-/// The receiver's assembly: a method-only "<ns>.Thing" (the simple name
-/// must token-conform to the sender's — the checker's name aspect) whose
-/// getters are derived from the sender's schema per `mode`; child getters
-/// mirror the sender's child through the receiver's own "<ns>.Child".
-std::shared_ptr<const Assembly> receiver_assembly(const std::string& ns,
-                                                  const Schema& schema,
-                                                  InterestMode mode, util::Rng& rng) {
-  auto assembly = std::make_shared<Assembly>(ns + ".gen");
-  if (schema.has_child) {
-    TypeBuilder child(ns, "Child");
-    for (const Member& m : schema.child_fields) add_getter(child, m.name, m.type);
-    assembly->add_type(child.build());
-  }
-
-  std::vector<Member> getters = schema.fields;
-  if (mode == InterestMode::Subset) {
-    // Keep a random nonempty prefix-rotation of the getters.
-    const std::size_t keep = 1 + rng.next_below(getters.size());
-    const std::size_t start = rng.next_below(getters.size());
-    std::vector<Member> kept;
-    for (std::size_t i = 0; i < keep; ++i) {
-      kept.push_back(getters[(start + i) % getters.size()]);
-    }
-    getters = std::move(kept);
-  } else if (mode == InterestMode::Mutated) {
-    Member& victim = getters[rng.next_below(getters.size())];
-    if (rng.next_bool(0.5)) {
-      // A token-disjoint getter name: "get_zz<k>" shares no token with any
-      // sender getter "get_f<j>" beyond "get", so the member-name rule
-      // (token subset) cannot realize it. A mere prefix would not do —
-      // "get_nope_f0" still token-subsumes "get_f0".
-      victim.name = "zz" + std::to_string(rng.next_below(1000));
-    } else {
-      // Swap to a structurally incompatible scalar return type.
-      victim.type = victim.type == "string" ? "int32" : "string";
-    }
-  }
-
-  TypeBuilder thing(ns, "Thing");
-  for (const Member& m : getters) add_getter(thing, m.name, m.type);
-  if (schema.has_child) {
-    add_getter(thing, "child", ns + ".Child");
-  }
-  assembly->add_type(thing.build());
-  return assembly;
-}
 
 /// One universe: a fresh network, hub and sender/receiver peer pair.
 struct Universe {
@@ -179,102 +63,20 @@ struct Universe {
         receiver("receiver", net, hub, PeerConfig{.mode = mode}) {}
 };
 
-/// The concrete values of one object graph, drawn once per round so both
-/// universes send byte-identical state.
-struct ValuePlan {
-  std::vector<std::pair<std::string, Value>> fields;
-  std::vector<std::pair<std::string, Value>> child_fields;
-};
-
-ValuePlan random_values(const Schema& schema, util::Rng& rng) {
-  const auto scalar = [&rng](const std::string& type, std::size_t salt) {
-    if (type == "int32") return Value(static_cast<std::int32_t>(rng.next_below(100000)));
-    if (type == "int64") return Value(static_cast<std::int64_t>(rng.next_u64() >> 8));
-    return Value("v" + std::to_string(salt) + "_" + std::to_string(rng.next_below(1000)));
-  };
-  ValuePlan plan;
-  std::size_t salt = 0;
-  for (const Member& m : schema.fields) {
-    plan.fields.emplace_back(m.name, scalar(m.type, salt++));
-  }
-  for (const Member& m : schema.child_fields) {
-    plan.child_fields.emplace_back(m.name, scalar(m.type, salt++));
-  }
-  return plan;
-}
-
-/// Instantiates the schema's object graph in the sender's domain with the
-/// plan's values.
-std::shared_ptr<DynObject> make_object(Peer& sender, const std::string& ns,
-                                       const Schema& schema, const ValuePlan& plan) {
-  auto thing = sender.domain().instantiate(ns + ".Thing");
-  for (const auto& [name, value] : plan.fields) thing->set(name, value);
-  if (schema.has_child) {
-    auto child = sender.domain().instantiate(ns + ".Child");
-    for (const auto& [name, value] : plan.child_fields) child->set(name, value);
-    thing->set("child", Value(std::move(child)));
-  }
-  return thing;
-}
-
-void expect_same_value(const Value& actual, const Value& expected, const std::string& where) {
-  ASSERT_EQ(actual.kind(), expected.kind()) << where;
-  switch (expected.kind()) {
-    case reflect::ValueKind::Int32:
-      EXPECT_EQ(actual.as_int32(), expected.as_int32()) << where;
-      break;
-    case reflect::ValueKind::Int64:
-      EXPECT_EQ(actual.as_int64(), expected.as_int64()) << where;
-      break;
-    case reflect::ValueKind::String:
-      EXPECT_EQ(actual.as_string(), expected.as_string()) << where;
-      break;
-    default:
-      FAIL() << "unexpected value kind in " << where;
-  }
-}
-
 TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
   util::Rng rng(kSweepSeed);
   int accepted = 0;
   int rejected = 0;
 
-  for (int round = 0; round < kRounds; ++round) {
-    const std::string sns = "fzs" + std::to_string(round);
-    const std::string rns = "fzr" + std::to_string(round);
-    const Schema schema = random_schema(rng);
-    const auto mode = static_cast<InterestMode>(rng.next_below(3));
-    const bool with_decoy = rng.next_bool(0.33);
-
-    const auto sender_code = sender_assembly(sns, schema);
-    const auto receiver_code = receiver_assembly(rns, schema, mode, rng);
-    // Decoy interest: an unrelated shape that should never steal a match
-    // from the derived interest (it is checked first, though — order is
-    // part of what must agree across the protocols).
-    const std::string dns = "fzd" + std::to_string(round);
-    const Schema decoy_schema{{{"unrelated", "string"}, {"other", "int64"}}, false, {}};
-    const auto decoy_code =
-        with_decoy ? sender_assembly(dns, decoy_schema) : nullptr;
-
-    // The object's values are drawn once so both universes send byte-
-    // identical state.
-    const ValuePlan values = random_values(schema, rng);
+  for (int index = 0; index < kRounds; ++index) {
+    const Round round = fuzz::draw_round(index, "fz", rng);
 
     const auto run = [&](ProtocolMode protocol, PushAck& ack,
                          std::vector<DeliveredObject>& delivered,
                          transport::ProtocolStats& receiver_stats,
                          transport::NetStats& net_stats) {
       Universe universe(protocol);
-      universe.sender.host_assembly(sender_code);
-      universe.receiver.host_assembly(receiver_code);
-      if (decoy_code) {
-        universe.receiver.host_assembly(decoy_code);
-        universe.receiver.add_interest(dns + ".Thing");
-      }
-      universe.receiver.add_interest(rns + ".Thing");
-      const auto object = make_object(universe.sender, sns, schema, values);
-      ack = universe.sender.send_object("receiver", object);
-      delivered = universe.receiver.delivered_snapshot();
+      fuzz::run_round(round, universe.sender, universe.receiver, ack, delivered);
       receiver_stats = universe.receiver.stats();
       net_stats = universe.net.stats();
     };
@@ -291,8 +93,8 @@ TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
         optimistic_stats, optimistic_net);
     run(ProtocolMode::Eager, eager_ack, eager_delivered, eager_stats, eager_net);
 
-    const std::string context = "round " + std::to_string(round) + " (mode " +
-                                std::to_string(static_cast<int>(mode)) + ")";
+    const std::string context = "round " + std::to_string(index) + " (mode " +
+                                std::to_string(static_cast<int>(round.mode)) + ")";
 
     // Property 1: agreement on the verdict and the matched interest.
     ASSERT_EQ(optimistic_ack.delivered, eager_ack.delivered) << context;
@@ -306,11 +108,11 @@ TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
       ASSERT_EQ(eager_delivered.size(), 1u) << context;
       // Property 2: both universes delivered identical contents — the
       // values that were sent.
-      for (const auto& [field, sent] : values.fields) {
-        expect_same_value(optimistic_delivered.front().object->get(field), sent,
-                          context + " optimistic field " + field);
-        expect_same_value(eager_delivered.front().object->get(field), sent,
-                          context + " eager field " + field);
+      for (const auto& [field, sent] : round.values.fields) {
+        fuzz::expect_same_value(optimistic_delivered.front().object->get(field), sent,
+                                context + " optimistic field " + field);
+        fuzz::expect_same_value(eager_delivered.front().object->get(field), sent,
+                                context + " eager field " + field);
       }
     } else {
       ++rejected;
@@ -337,23 +139,24 @@ TEST(ProtocolFuzz, AdaptedViewAnswersGettersWithSentValues) {
   for (int round = 0; round < 8; ++round) {
     const std::string sns = "fzvs" + std::to_string(round);
     const std::string rns = "fzvr" + std::to_string(round);
-    const Schema schema = random_schema(rng);
-    const auto sender_code = sender_assembly(sns, schema);
-    const auto receiver_code = receiver_assembly(rns, schema, InterestMode::Copy, rng);
+    const fuzz::Schema schema = fuzz::random_schema(rng);
+    const auto sender_code = fuzz::sender_assembly(sns, schema);
+    const auto receiver_code =
+        fuzz::receiver_assembly(rns, schema, InterestMode::Copy, rng);
 
     Universe universe(ProtocolMode::Optimistic);
     universe.sender.host_assembly(sender_code);
     universe.receiver.host_assembly(receiver_code);
     universe.receiver.add_interest(rns + ".Thing");
-    const ValuePlan values = random_values(schema, rng);
-    const auto object = make_object(universe.sender, sns, schema, values);
+    const fuzz::ValuePlan values = fuzz::random_values(schema, rng);
+    const auto object = fuzz::make_object(universe.sender, sns, schema, values);
     const PushAck ack = universe.sender.send_object("receiver", object);
     ASSERT_TRUE(ack.delivered) << "copy-mode round " << round << " must conform";
 
     const auto delivered = universe.receiver.delivered_snapshot();
     ASSERT_EQ(delivered.size(), 1u);
     for (const auto& [field, sent] : values.fields) {
-      expect_same_value(
+      fuzz::expect_same_value(
           universe.receiver.proxies().invoke(delivered.front().adapted, "get_" + field, {}),
           sent, "getter get_" + field + " in round " + std::to_string(round));
     }

@@ -1,0 +1,490 @@
+// transport::SocketTransport — real framed bytes over loopback TCP.
+//
+// Four layers of pinning:
+//   * the endpoint contract shared by every Transport implementation:
+//     double-attach throws, detach blocks on in-flight handlers (reentrant
+//     self-detach returns), unknown recipients fail with NetworkError;
+//   * wire behavior only a real socket has: handler exceptions marshalled
+//     back as transport faults, hostile raw bytes answered with a fault
+//     frame and a closed connection, cross-instance routing where nested
+//     protocol round trips flow between two listeners;
+//   * cost-model parity: modelled NetStats/clock charges are identical to
+//     SimNetwork's for the same traffic, while socket_stats() counts the
+//     real framed bytes;
+//   * protocol equivalence: the fixed-seed fuzz rounds (shared generators
+//     in protocol_fuzz_common.hpp) must produce identical accept/reject
+//     verdicts, matched interests, delivered contents and modelled byte
+//     counts over SocketTransport as over SimNetwork, in both Optimistic
+//     and Eager modes.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/interop.hpp"
+#include "protocol_fuzz_common.hpp"
+#include "serial/frame_codec.hpp"
+#include "transport/assembly_hub.hpp"
+#include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
+#include "transport/socket_transport.hpp"
+#include "transport/transport_error.hpp"
+#include "util/rng.hpp"
+
+namespace pti {
+namespace {
+
+using transport::AssemblyHub;
+using transport::DeliveredObject;
+using transport::LinkConfig;
+using transport::Message;
+using transport::NetworkError;
+using transport::Peer;
+using transport::PeerConfig;
+using transport::ProtocolMode;
+using transport::PushAck;
+using transport::SimNetwork;
+using transport::SocketTransport;
+using transport::SocketTransportConfig;
+using transport::TransportError;
+
+Message ping(std::string sender, std::string recipient, std::string detail = "ping") {
+  return Message{std::move(sender), std::move(recipient),
+                 transport::PushAck{true, std::move(detail)}};
+}
+
+// --- endpoint contract --------------------------------------------------------
+
+TEST(SocketTransport, ExchangesCrossTheRealWire) {
+  SocketTransport net;
+  net.attach("echo", [](const Message& request) {
+    Message response;
+    response.payload = transport::PushAck{
+        true, "echo:" + std::get<transport::PushAck>(request.payload).detail};
+    return response;
+  });
+
+  const Message response = net.send(ping("caller", "echo", "hello"));
+  EXPECT_EQ(std::get<transport::PushAck>(response.payload).detail, "echo:hello");
+  EXPECT_EQ(response.sender, "echo");
+  EXPECT_EQ(response.recipient, "caller");
+
+  // The exchange really crossed the socket: one request + one response
+  // frame in each direction, with their header+body bytes counted.
+  EXPECT_EQ(net.socket_stats().frames_sent.get(), 2u);
+  EXPECT_EQ(net.socket_stats().frames_received.get(), 2u);
+  EXPECT_GT(net.socket_stats().wire_bytes_sent.get(),
+            2 * serial::FrameCodec::kHeaderSize);
+  EXPECT_GE(net.socket_stats().connections_accepted.get(), 1u);
+  net.detach("echo");
+}
+
+TEST(SocketTransport, UnknownRecipientThrowsNetworkError) {
+  SocketTransport net;
+  EXPECT_THROW((void)net.send(ping("caller", "nobody")), NetworkError);
+}
+
+TEST(SocketTransport, DoubleAttachThrows) {
+  SocketTransport net;
+  net.attach("peer", [](const Message&) { return Message{}; });
+  EXPECT_THROW(net.attach("peer", [](const Message&) { return Message{}; }),
+               TransportError);
+  EXPECT_THROW(net.attach("PEER", [](const Message&) { return Message{}; }),
+               TransportError);  // endpoint names are case-insensitive
+  net.detach("peer");
+  EXPECT_FALSE(net.is_attached("peer"));
+  net.attach("peer", [](const Message&) { return Message{}; });  // reattach ok
+  net.detach("peer");
+}
+
+TEST(SocketTransport, DetachBlocksUntilInFlightHandlerFinishes) {
+  SocketTransport net;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  std::atomic<bool> handler_done{false};
+
+  net.attach("slow", [&](const Message& request) {
+    {
+      std::unique_lock lock(mutex);
+      entered = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    handler_done.store(true);
+    Message response;
+    response.payload = transport::PushAck{true, "done"};
+    address_response(request, response);
+    return response;
+  });
+
+  auto future = net.send_async(ping("caller", "slow"));
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return entered; });
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::unique_lock lock(mutex);
+    release = true;
+    cv.notify_all();
+  });
+  net.detach("slow");  // must block until the handler above returns
+  EXPECT_TRUE(handler_done.load());
+  releaser.join();
+  (void)future.get();
+}
+
+TEST(SocketTransport, ReentrantSelfDetachReturnsImmediately) {
+  SocketTransport net;
+  net.attach("self", [&net](const Message& request) {
+    net.detach("self");  // must not deadlock waiting for itself
+    Message response;
+    response.payload = transport::PushAck{true, "detached"};
+    address_response(request, response);
+    return response;
+  });
+  const Message response = net.send(ping("caller", "self"));
+  EXPECT_EQ(std::get<transport::PushAck>(response.payload).detail, "detached");
+  EXPECT_FALSE(net.is_attached("self"));
+}
+
+TEST(SocketTransport, HandlerExceptionsAreMarshalledBack) {
+  SocketTransport net;
+  net.attach("thrower", [](const Message&) -> Message {
+    throw std::runtime_error("kaboom");
+  });
+  try {
+    (void)net.send(ping("caller", "thrower"));
+    FAIL() << "handler exception did not surface";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("kaboom"), std::string::npos) << e.what();
+  }
+  // The transport survives: the endpoint still answers after a fault.
+  net.attach("healthy", [](const Message& request) {
+    Message response;
+    response.payload = transport::PushAck{true, "ok"};
+    address_response(request, response);
+    return response;
+  });
+  EXPECT_TRUE(
+      std::get<transport::PushAck>(net.send(ping("caller", "healthy")).payload).delivered);
+  net.detach("thrower");
+  net.detach("healthy");
+}
+
+TEST(SocketTransport, SendAsyncFailuresSurfaceThroughTheFuture) {
+  SocketTransport net;
+  auto future = net.send_async(ping("caller", "nobody"));
+  EXPECT_THROW((void)future.get(), NetworkError);
+
+  std::promise<std::string> callback_result;
+  net.send_async(ping("caller", "nobody"),
+                 [&](Message, std::exception_ptr error) {
+                   try {
+                     std::rethrow_exception(error);
+                   } catch (const NetworkError& e) {
+                     callback_result.set_value(e.what());
+                   } catch (...) {
+                     callback_result.set_value("wrong exception type");
+                   }
+                 });
+  EXPECT_NE(callback_result.get_future().get().find("nobody"), std::string::npos);
+  net.drain();
+}
+
+TEST(SocketTransport, SendAsyncDeliversConcurrently) {
+  SocketTransport net(SocketTransportConfig{.async_workers = 3});
+  std::atomic<int> handled{0};
+  net.attach("sink", [&](const Message& request) {
+    ++handled;
+    Message response;
+    response.payload = transport::PushAck{true, "ok"};
+    address_response(request, response);
+    return response;
+  });
+  std::vector<std::future<Message>> in_flight;
+  for (int i = 0; i < 32; ++i) in_flight.push_back(net.send_async(ping("caller", "sink")));
+  for (auto& future : in_flight) {
+    EXPECT_TRUE(std::get<transport::PushAck>(future.get().payload).delivered);
+  }
+  EXPECT_EQ(handled.load(), 32);
+  net.drain();
+  EXPECT_EQ(net.pending(), 0u);
+  net.detach("sink");
+}
+
+TEST(SocketTransport, RejectBackpressureFailsOverflowingSendAsync) {
+  SocketTransport net(SocketTransportConfig{
+      .async_workers = 1,
+      .max_outbound = 1,
+      .overflow = SocketTransportConfig::Overflow::Reject});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  net.attach("slow", [&](const Message& request) {
+    std::unique_lock lock(mutex);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    Message response;
+    response.payload = transport::PushAck{true, "ok"};
+    address_response(request, response);
+    return response;
+  });
+
+  // #1 occupies the single worker (its handler is gated); #2 fills the
+  // 1-slot queue; #3 must be rejected with TransportError, not block.
+  auto first = net.send_async(ping("caller", "slow"));
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return entered; });
+  }
+  auto second = net.send_async(ping("caller", "slow"));
+  auto third = net.send_async(ping("caller", "slow"));
+  EXPECT_THROW((void)third.get(), TransportError);
+
+  {
+    std::unique_lock lock(mutex);
+    release = true;
+    cv.notify_all();
+  }
+  EXPECT_TRUE(std::get<transport::PushAck>(first.get().payload).delivered);
+  EXPECT_TRUE(std::get<transport::PushAck>(second.get().payload).delivered);
+  net.drain();
+  net.detach("slow");
+}
+
+// --- wire-only behavior -------------------------------------------------------
+
+TEST(SocketTransport, HostileBytesGetAFaultFrameAndAClosedConnection) {
+  SocketTransport net;
+  net.attach("victim", [](const Message&) { return Message{}; });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(net.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  // One header's worth of garbage (exactly 10 bytes, so no unread input
+  // lingers to turn the close into an RST): not a valid header, so the
+  // transport must answer with a fault frame and close — never crash or
+  // hang.
+  const std::uint8_t garbage[10] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6};
+  ASSERT_EQ(::send(fd, garbage, sizeof garbage, 0), static_cast<ssize_t>(sizeof garbage));
+
+  std::vector<std::uint8_t> reply(4096);
+  std::size_t got = 0;
+  for (;;) {
+    const ssize_t r = ::recv(fd, reply.data() + got, reply.size() - got, 0);
+    if (r <= 0) break;  // connection closed after the fault frame
+    got += static_cast<std::size_t>(r);
+  }
+  ::close(fd);
+
+  ASSERT_GT(got, serial::FrameCodec::kHeaderSize);
+  const serial::FrameCodec codec;
+  const Message fault = codec.decode(std::span(reply.data(), got));
+  const auto& error = std::get<transport::ErrorReply>(fault.payload);
+  EXPECT_NE(error.message.find("bad-magic"), std::string::npos) << error.message;
+
+  // And the transport still serves well-formed traffic afterwards.
+  net.attach("alive", [](const Message& request) {
+    Message response;
+    response.payload = transport::PushAck{true, "alive"};
+    address_response(request, response);
+    return response;
+  });
+  EXPECT_TRUE(
+      std::get<transport::PushAck>(net.send(ping("caller", "alive")).payload).delivered);
+  net.detach("victim");
+  net.detach("alive");
+}
+
+TEST(SocketTransport, DropProbabilityDropsBeforeAnyByteMoves) {
+  SocketTransport net;
+  net.attach("peer", [](const Message&) { return Message{}; });
+  net.set_link("caller", "peer", LinkConfig{.drop_probability = 1.0});
+  EXPECT_THROW((void)net.send(ping("caller", "peer")), NetworkError);
+  EXPECT_EQ(net.stats().drops.get(), 1u);
+  EXPECT_EQ(net.socket_stats().frames_sent.get(), 0u);  // dropped pre-wire
+  net.detach("peer");
+}
+
+TEST(SocketTransport, CrossInstanceRoutingRunsTheFullProtocol) {
+  // Two transports = two listeners; each peer lives on its own instance,
+  // exactly like two processes sharing only routes. The optimistic push
+  // makes bob's handler issue nested TypeInfoRequest/CodeRequest round
+  // trips back to alice — every one of them a framed exchange between the
+  // two listeners.
+  SocketTransport net_a;
+  SocketTransport net_b;
+  net_a.add_route("bob", net_b.port());
+  net_b.add_route("alice", net_a.port());
+
+  auto hub = std::make_shared<AssemblyHub>();
+  Peer alice("alice", net_a, hub, PeerConfig{.mode = ProtocolMode::Optimistic});
+  Peer bob("bob", net_b, hub, PeerConfig{.mode = ProtocolMode::Optimistic});
+
+  util::Rng rng(0xD15C0ULL);
+  const fuzz::Schema schema = fuzz::random_schema(rng);
+  alice.host_assembly(fuzz::sender_assembly("xinsA", schema));
+  bob.host_assembly(fuzz::receiver_assembly("xinsB", schema, fuzz::InterestMode::Copy, rng));
+  bob.add_interest("xinsB.Thing");
+
+  const fuzz::ValuePlan values = fuzz::random_values(schema, rng);
+  const auto object = fuzz::make_object(alice, "xinsA", schema, values);
+  const PushAck ack = alice.send_object("bob", object);
+  ASSERT_TRUE(ack.delivered) << ack.detail;
+
+  const auto delivered = bob.delivered_snapshot();
+  ASSERT_EQ(delivered.size(), 1u);
+  for (const auto& [field, sent] : values.fields) {
+    fuzz::expect_same_value(delivered.front().object->get(field), sent,
+                            "cross-instance field " + field);
+  }
+  // Both instances moved real frames: alice's transport dialed bob's and
+  // vice versa (nested description fetches flow bob -> alice).
+  EXPECT_GT(net_a.socket_stats().frames_sent.get(), 0u);
+  EXPECT_GT(net_b.socket_stats().frames_sent.get(), 0u);
+  EXPECT_GT(net_b.socket_stats().connections_dialed.get(), 0u);
+}
+
+TEST(SocketTransport, WorksUnderneathThePublicApi) {
+  core::InteropSystem system(std::make_unique<SocketTransport>());
+  core::InteropRuntime& sender = system.create_runtime("api-sender");
+  core::InteropRuntime& receiver = system.create_runtime("api-receiver");
+
+  util::Rng rng(0xAB1EULL);
+  const fuzz::Schema schema = fuzz::random_schema(rng);
+  sender.publish_assembly(fuzz::sender_assembly("sockapiS", schema));
+  receiver.publish_assembly(
+      fuzz::receiver_assembly("sockapiR", schema, fuzz::InterestMode::Copy, rng));
+
+  std::atomic<int> deliveries{0};
+  auto subscription = receiver.subscribe(receiver.type("sockapiR.Thing"),
+                                         [&](const DeliveredObject&) { ++deliveries; });
+
+  const fuzz::ValuePlan values = fuzz::random_values(schema, rng);
+  auto object = sender.make("sockapiS.Thing");
+  for (const auto& [field, value] : values.fields) object->set(field, value);
+  if (schema.has_child) {
+    auto child = sender.make("sockapiS.Child");
+    for (const auto& [field, value] : values.child_fields) child->set(field, value);
+    object->set("child", reflect::Value(std::move(child)));
+  }
+
+  const PushAck ack = sender.send("api-receiver", object);
+  EXPECT_TRUE(ack.delivered) << ack.detail;
+  EXPECT_EQ(deliveries.load(), 1);
+
+  const PushAck async_ack = sender.send_async("api-receiver", object).get();
+  EXPECT_TRUE(async_ack.delivered) << async_ack.detail;
+  EXPECT_EQ(deliveries.load(), 2);
+}
+
+// --- equivalence with SimNetwork ---------------------------------------------
+
+constexpr std::uint64_t kSweepSeed = 0x50CCE7F00DULL;
+constexpr int kSweepRounds = 24;
+
+template <class Transport>
+struct Universe {
+  Transport net;
+  std::shared_ptr<AssemblyHub> hub = std::make_shared<AssemblyHub>();
+  Peer sender;
+  Peer receiver;
+
+  explicit Universe(ProtocolMode mode)
+      : sender("sender", net, hub, PeerConfig{.mode = mode}),
+        receiver("receiver", net, hub, PeerConfig{.mode = mode}) {}
+};
+
+/// The acceptance pin: the same fixed-seed fuzz rounds, over loopback
+/// sockets and over the in-process simulator, must be indistinguishable at
+/// the protocol level — verdict, matched interest, delivered contents, and
+/// the modelled cost accounting.
+void run_equivalence_sweep(ProtocolMode mode, const char* tag) {
+  util::Rng rng(kSweepSeed);
+  int accepted = 0;
+  for (int index = 0; index < kSweepRounds; ++index) {
+    const fuzz::Round round = fuzz::draw_round(index, tag, rng);
+
+    PushAck sim_ack;
+    PushAck socket_ack;
+    std::vector<DeliveredObject> sim_delivered;
+    std::vector<DeliveredObject> socket_delivered;
+
+    Universe<SimNetwork> sim_universe(mode);
+    fuzz::run_round(round, sim_universe.sender, sim_universe.receiver, sim_ack,
+                    sim_delivered);
+    Universe<SocketTransport> socket_universe(mode);
+    fuzz::run_round(round, socket_universe.sender, socket_universe.receiver, socket_ack,
+                    socket_delivered);
+
+    const std::string context = std::string(tag) + " round " + std::to_string(index);
+
+    // Identical verdict and matched interest.
+    ASSERT_EQ(socket_ack.delivered, sim_ack.delivered) << context;
+    EXPECT_EQ(socket_ack.detail, sim_ack.detail) << context;
+
+    // Identical delivered contents.
+    ASSERT_EQ(socket_delivered.size(), sim_delivered.size()) << context;
+    if (socket_ack.delivered) {
+      ++accepted;
+      ASSERT_EQ(socket_delivered.size(), 1u) << context;
+      EXPECT_EQ(socket_delivered.front().interest_type,
+                sim_delivered.front().interest_type)
+          << context;
+      for (const auto& [field, sent] : round.values.fields) {
+        fuzz::expect_same_value(socket_delivered.front().object->get(field), sent,
+                                context + " socket field " + field);
+      }
+    }
+
+    // Identical modelled accounting: same messages, same wire_size bytes,
+    // same virtual-clock reading — the socket path charges the exact cost
+    // model the simulator does (real framed bytes are socket_stats()).
+    EXPECT_EQ(socket_universe.net.stats().messages.get(),
+              sim_universe.net.stats().messages.get())
+        << context;
+    EXPECT_EQ(socket_universe.net.stats().bytes.get(),
+              sim_universe.net.stats().bytes.get())
+        << context;
+    EXPECT_EQ(socket_universe.net.clock().now_ns(), sim_universe.net.clock().now_ns())
+        << context;
+    EXPECT_GE(socket_universe.net.socket_stats().frames_sent.get(),
+              sim_universe.net.stats().messages.get())
+        << context;
+  }
+  EXPECT_GT(accepted, 0) << "sweep degenerated: nothing conformed";
+  EXPECT_LT(accepted, kSweepRounds) << "sweep degenerated: everything conformed";
+}
+
+TEST(SocketTransportEquivalence, OptimisticProtocolMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Optimistic, "sko");
+}
+
+TEST(SocketTransportEquivalence, EagerProtocolMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Eager, "ske");
+}
+
+}  // namespace
+}  // namespace pti

@@ -29,6 +29,10 @@ fi
 
 mapfile -t files < <(find src tests bench examples tools \
   \( -name '*.cpp' -o -name '*.hpp' \) -type f | sort)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: FAILED — file list is empty (directory layout changed?)"
+  exit 1
+fi
 echo "check_format: ${#files[@]} files with $($CLANG_FORMAT --version)"
 
 if [[ "${FIX:-0}" == "1" ]]; then

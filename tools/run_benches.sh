@@ -5,6 +5,9 @@
 #
 #   tools/run_benches.sh                # conformance + typedesc + concurrent + api + transport
 #   tools/run_benches.sh all            # every bench binary
+#   tools/run_benches.sh --smoke        # CI mode: every binary, tiny iteration
+#                                       # counts, JSON validated, nothing at the
+#                                       # repo root overwritten
 #   BENCH_MIN_TIME=0.5 tools/run_benches.sh
 set -euo pipefail
 
@@ -12,9 +15,22 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 MIN_TIME=${BENCH_MIN_TIME:-0.2}
+SMOKE=0
 
-if [[ "${1:-}" == "all" ]]; then
-  BENCHES=(conformance typedesc concurrent api envelope invocation object_serial transport ablation)
+# The single source of truth for "every bench binary" — both `all` and
+# `--smoke` use it, so a new bench cannot be added to one and silently
+# escape the other.
+ALL_BENCHES=(conformance typedesc concurrent api envelope invocation object_serial transport ablation)
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  # Smoke mode exists so bench code cannot bit-rot: every binary must run
+  # end to end and emit parseable JSON, at iteration counts small enough
+  # for a CI job. Results are scratch — they never touch BENCH_*.json.
+  SMOKE=1
+  MIN_TIME=0.01
+  BENCHES=("${ALL_BENCHES[@]}")
+elif [[ "${1:-}" == "all" ]]; then
+  BENCHES=("${ALL_BENCHES[@]}")
 else
   BENCHES=(conformance typedesc concurrent api transport)
 fi
@@ -24,6 +40,31 @@ targets=()
 for b in "${BENCHES[@]}"; do targets+=("bench_$b"); done
 cmake --build "$BUILD_DIR" -j --target "${targets[@]}"
 
+OUT_DIR=.
+if [[ "$SMOKE" == "1" ]]; then
+  OUT_DIR=$(mktemp -d)
+  trap 'rm -rf "$OUT_DIR"' EXIT
+fi
+
+# Validates that a bench emitted well-formed JSON with a nonempty
+# "benchmarks" array. Prefers python3; falls back to a structural grep so
+# minimal images still get a (weaker) check.
+check_json() {
+  local file=$1
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$file" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+benches = doc.get("benchmarks")
+if not isinstance(benches, list) or not benches:
+    sys.exit(f"{sys.argv[1]}: no benchmarks recorded")
+EOF
+  else
+    grep -q '"benchmarks"' "$file" && grep -q '"name"' "$file"
+  fi
+}
+
 # Console table for the human; the JSON trajectory file is written by the
 # library itself (the "# paper: ..." banners only go to stdout, so the JSON
 # stays clean).
@@ -31,8 +72,20 @@ for b in "${BENCHES[@]}"; do
   echo "== bench_$b =="
   "$BUILD_DIR/bench_$b" \
     --benchmark_min_time="$MIN_TIME" \
-    --benchmark_out="BENCH_$b.json" \
+    --benchmark_out="$OUT_DIR/BENCH_$b.json" \
     --benchmark_out_format=json
+  if [[ "$SMOKE" == "1" ]]; then
+    if check_json "$OUT_DIR/BENCH_$b.json"; then
+      echo "run_benches: PASS bench_$b (valid JSON)"
+    else
+      echo "run_benches: FAIL bench_$b (invalid or empty JSON)"
+      exit 1
+    fi
+  fi
 done
 
-echo "Wrote: $(ls BENCH_*.json | tr '\n' ' ')"
+if [[ "$SMOKE" == "1" ]]; then
+  echo "run_benches: SMOKE GREEN (${#BENCHES[@]} binaries)"
+else
+  echo "Wrote: $(ls BENCH_*.json | tr '\n' ' ')"
+fi

@@ -1,36 +1,70 @@
 #!/usr/bin/env bash
-# The full local gate in one command: builds the debug and tsan presets,
-# runs ctest on both, then the clang-format check. Usage:
+# The full gate in one command — the same stages CI runs, fail-fast, with
+# one PASS/FAIL summary line per stage and a distinct exit code per stage
+# so automation can tell *what* broke without parsing logs. Usage:
 #
-#   tools/run_checks.sh          # everything (what CI would run)
-#   FAST=1 tools/run_checks.sh   # tsan ctest restricted to the concurrency-
-#                                # sensitive suites (transport/concurrency/
-#                                # fuzz) — the ones instrumentation is for
+#   tools/run_checks.sh            # everything (what CI runs)
+#   FAST=1 tools/run_checks.sh     # tsan ctest restricted to the concurrency-
+#                                  # sensitive suites (transport/concurrency/
+#                                  # fuzz/socket) — the ones instrumentation
+#                                  # is for
+#   ASAN=1 tools/run_checks.sh     # also build + run the asan preset
 #
-# Exits nonzero on the first failing stage.
-set -euo pipefail
+# Parallelism: CMAKE_BUILD_PARALLEL_LEVEL and CTEST_PARALLEL_LEVEL are
+# honored when set (otherwise the presets' defaults apply).
+#
+# Exit codes (fail-fast: the first failing stage's code is returned):
+#   10 debug configure/build   20 debug ctest
+#   30 tsan  configure/build   40 tsan  ctest
+#   50 asan  configure/build   60 asan  ctest    (ASAN=1 only)
+#   70 clang-format gate
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] configure + build: debug preset =="
-cmake --preset debug > /dev/null
-cmake --build --preset debug
-
-echo "== [2/5] ctest: debug preset =="
-ctest --preset debug
-
-echo "== [3/5] configure + build: tsan preset =="
-cmake --preset tsan > /dev/null
-cmake --build --preset tsan
-
-echo "== [4/5] ctest: tsan preset =="
-if [[ "${FAST:-0}" == "1" ]]; then
-  ctest --preset tsan -R 'test_concurrency|test_transport|test_protocol_fuzz'
-else
-  ctest --preset tsan
+BUILD_JOBS=()
+if [[ -n "${CMAKE_BUILD_PARALLEL_LEVEL:-}" ]]; then
+  BUILD_JOBS=(-j "$CMAKE_BUILD_PARALLEL_LEVEL")
+fi
+CTEST_JOBS=()
+if [[ -n "${CTEST_PARALLEL_LEVEL:-}" ]]; then
+  CTEST_JOBS=(-j "$CTEST_PARALLEL_LEVEL")
 fi
 
-echo "== [5/5] clang-format gate =="
-tools/check_format.sh
+# stage <exit-code> <name> <command...>: runs the command, prints exactly
+# one "run_checks: PASS/FAIL <name>" line, exits with <exit-code> on
+# failure (fail-fast).
+stage() {
+  local code=$1 name=$2
+  shift 2
+  echo "== ${name} =="
+  if "$@"; then
+    echo "run_checks: PASS ${name}"
+  else
+    echo "run_checks: FAIL ${name} (exit code ${code})"
+    exit "${code}"
+  fi
+}
+
+build_preset() {
+  local preset=$1
+  cmake --preset "${preset}" > /dev/null && \
+    cmake --build --preset "${preset}" "${BUILD_JOBS[@]}"
+}
+
+TSAN_FILTER=()
+if [[ "${FAST:-0}" == "1" ]]; then
+  TSAN_FILTER=(-R 'test_concurrency|test_transport|test_protocol_fuzz|test_socket_transport|test_frame_codec')
+fi
+
+stage 10 "configure + build: debug preset" build_preset debug
+stage 20 "ctest: debug preset" ctest --preset debug "${CTEST_JOBS[@]}"
+stage 30 "configure + build: tsan preset" build_preset tsan
+stage 40 "ctest: tsan preset" ctest --preset tsan "${CTEST_JOBS[@]}" "${TSAN_FILTER[@]}"
+if [[ "${ASAN:-0}" == "1" ]]; then
+  stage 50 "configure + build: asan preset" build_preset asan
+  stage 60 "ctest: asan preset" ctest --preset asan "${CTEST_JOBS[@]}"
+fi
+stage 70 "clang-format gate" tools/check_format.sh
 
 echo "run_checks: ALL GREEN"
