@@ -27,7 +27,17 @@ using util::ByteWriter;
 
 constexpr std::size_t kKindCount = std::variant_size_v<MessagePayload>;
 
-void write_string_list(ByteWriter& out, const std::vector<std::string>& list) {
+/// Mirrors the decoder's element cap: a list every conforming peer is
+/// guaranteed to reject as Oversized must fail fast at encode, not as a
+/// confusing remote fault plus a torn-down connection.
+void write_string_list(ByteWriter& out, const std::vector<std::string>& list,
+                       const FrameLimits& limits) {
+  if (list.size() > limits.max_list_elements) {
+    throw FrameError(FrameFault::Oversized,
+                     "list of " + std::to_string(list.size()) +
+                         " elements exceeds the " +
+                         std::to_string(limits.max_list_elements) + "-element limit");
+  }
   out.write_varint(list.size());
   for (const std::string& s : list) out.write_string(s);
 }
@@ -55,21 +65,24 @@ std::vector<std::string> read_string_list(ByteReader& in, const FrameLimits& lim
 
 struct BodyWriter {
   ByteWriter& out;
+  const FrameLimits& limits;
 
   void operator()(const ObjectPush& m) const {
     out.write_bytes(m.envelope);
-    write_string_list(out, m.eager_descriptions_xml);
-    write_string_list(out, m.eager_assembly_names);
+    write_string_list(out, m.eager_descriptions_xml, limits);
+    write_string_list(out, m.eager_assembly_names, limits);
     out.write_varint(m.eager_assembly_bytes);
   }
   void operator()(const PushAck& m) const {
     out.write_bool(m.delivered);
     out.write_string(m.detail);
   }
-  void operator()(const TypeInfoRequest& m) const { write_string_list(out, m.type_names); }
+  void operator()(const TypeInfoRequest& m) const {
+    write_string_list(out, m.type_names, limits);
+  }
   void operator()(const TypeInfoResponse& m) const {
-    write_string_list(out, m.descriptions_xml);
-    write_string_list(out, m.unknown);
+    write_string_list(out, m.descriptions_xml, limits);
+    write_string_list(out, m.unknown, limits);
   }
   void operator()(const CodeRequest& m) const { out.write_string(m.assembly_name); }
   void operator()(const CodeResponse& m) const {
@@ -163,7 +176,7 @@ std::vector<std::uint8_t> FrameCodec::encode(const Message& message) const {
   body.reserve(message.sender.size() + message.recipient.size() + 64);
   body.write_string(message.sender);
   body.write_string(message.recipient);
-  std::visit(BodyWriter{body}, message.payload);
+  std::visit(BodyWriter{body, limits_}, message.payload);
   // The header's length field is a u32, so 0xFFFFFFFF caps the encodable
   // body regardless of how far FrameLimits was loosened — silently
   // truncating the declared length would desync the whole stream.

@@ -73,7 +73,9 @@ class FrameCodec {
   [[nodiscard]] const FrameLimits& limits() const noexcept { return limits_; }
 
   /// Serializes `message` into one complete frame (header + body).
-  /// Throws FrameError{Oversized} when the body exceeds the limit.
+  /// Throws FrameError{Oversized} when the body exceeds max_body_bytes or
+  /// a list exceeds max_list_elements — the same caps the decoder
+  /// enforces, so anything encode() accepts every conforming peer decodes.
   [[nodiscard]] std::vector<std::uint8_t> encode(const transport::Message& message) const;
 
   /// Decodes exactly one complete frame. Throws FrameError on any

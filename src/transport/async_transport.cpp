@@ -22,7 +22,7 @@ thread_local std::vector<const void*> tl_executing_here;
 }  // namespace
 
 AsyncTransport::AsyncTransport(AsyncTransportConfig config)
-    : config_(config), rng_state_(config.rng_seed) {
+    : config_(config), link_model_(config.rng_seed) {
   if (config_.max_inbox == 0) {
     throw TransportError("AsyncTransport needs max_inbox >= 1");
   }
@@ -55,6 +55,7 @@ AsyncTransport::~AsyncTransport() {
 
 void AsyncTransport::attach(std::string_view name, Handler handler) {
   if (!handler) throw TransportError("cannot attach a null handler");
+  if (name.empty()) throw TransportError("endpoint name cannot be empty");
   auto endpoint = std::make_shared<Endpoint>();
   endpoint->name = std::string(name);
   endpoint->handler = std::make_shared<Handler>(std::move(handler));
@@ -97,50 +98,16 @@ bool AsyncTransport::is_attached(std::string_view name) const noexcept {
 }
 
 void AsyncTransport::set_default_link(const LinkConfig& config) noexcept {
-  std::unique_lock lock(links_mutex_);
-  default_link_ = config;
+  link_model_.set_default_link(config);
 }
 
 void AsyncTransport::set_link(std::string_view from, std::string_view to,
                               const LinkConfig& config) {
-  util::SymbolTable& symbols = util::SymbolTable::global();
-  const std::uint64_t key = util::pair_key(symbols.intern(from), symbols.intern(to));
-  std::unique_lock lock(links_mutex_);
-  links_[key] = config;
-}
-
-LinkConfig AsyncTransport::link_for(std::string_view from, std::string_view to) const {
-  std::shared_lock lock(links_mutex_);
-  if (links_.empty()) return default_link_;
-  const util::SymbolTable& symbols = util::SymbolTable::global();
-  const util::InternedName from_id = symbols.find(from);
-  if (!from_id.valid()) return default_link_;
-  const util::InternedName to_id = symbols.find(to);
-  if (!to_id.valid()) return default_link_;
-  const auto it = links_.find(util::pair_key(from_id, to_id));
-  return it == links_.end() ? default_link_ : it->second;
-}
-
-double AsyncTransport::next_uniform() noexcept {
-  // One shared SplitMix64 stream: fetch_add hands every caller a distinct
-  // state, so concurrent draws never repeat a value.
-  std::uint64_t z =
-      rng_state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
-      0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<double>(z >> 11) * 0x1.0p-53;
+  link_model_.set_link(from, to, config);
 }
 
 bool AsyncTransport::charge(const Message& message) {
-  const LinkConfig link = link_for(message.sender, message.recipient);
-  if (link.drop_probability > 0.0 && next_uniform() < link.drop_probability) {
-    ++stats_.drops;
-    return false;
-  }
-  charge_traversal(link, message.wire_size(), stats_, clock_);
-  return true;
+  return link_model_.charge(message, stats_, clock_);
 }
 
 Message AsyncTransport::exchange(const Handler& handler, const Message& request) {

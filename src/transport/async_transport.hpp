@@ -50,17 +50,15 @@
 #include <string>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
-#include <shared_mutex>
 
+#include "transport/link_cost_model.hpp"
 #include "transport/message.hpp"
 #include "transport/transport.hpp"
-#include "util/interning.hpp"
 #include "util/sim_clock.hpp"
 #include "util/string_util.hpp"
 
@@ -134,8 +132,6 @@ class AsyncTransport final : public Transport {
 
   /// Charges one traversal (stats + virtual clock); false when dropped.
   bool charge(const Message& message);
-  [[nodiscard]] LinkConfig link_for(std::string_view from, std::string_view to) const;
-  [[nodiscard]] double next_uniform() noexcept;
 
   /// The request/response exchange core shared by send() and the workers.
   /// The handler is kept alive by the caller's shared_ptr copy.
@@ -156,13 +152,9 @@ class AsyncTransport final : public Transport {
   std::size_t total_executing_ = 0;
   bool shutdown_ = false;
 
-  mutable std::shared_mutex links_mutex_;  ///< guards links_/default_link_
-  std::unordered_map<std::uint64_t, LinkConfig> links_;
-  LinkConfig default_link_;
-
+  LinkCostModel link_model_;
   NetStats stats_;
   util::SimClock clock_;
-  std::atomic<std::uint64_t> rng_state_;
 
   std::vector<std::thread> workers_;
 };

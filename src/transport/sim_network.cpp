@@ -10,6 +10,7 @@ std::unique_ptr<Transport> make_sim_network(std::uint64_t rng_seed) {
 
 void SimNetwork::attach(std::string_view name, Handler handler) {
   if (!handler) throw TransportError("cannot attach a null handler");
+  if (name.empty()) throw TransportError("endpoint name cannot be empty");
   const auto [it, inserted] =
       handlers_.emplace(std::string(name), std::make_shared<Handler>(std::move(handler)));
   if (!inserted) {

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <variant>
 
@@ -47,11 +49,30 @@ constexpr std::string_view kTransportFault = "transport|";
          std::holds_alternative<ErrorReply>(message.payload);
 }
 
+/// Fault reasons embed strings the remote peer controls (a decoded
+/// recipient name, a handler's e.what()), so they are bounded here: an
+/// unbounded reason near max_body_bytes would make the fault frame itself
+/// throw FrameError{Oversized}, turning a hostile-but-valid request into
+/// an exception on the reader thread instead of a reply. The cap leaves
+/// 128 bytes of body budget for the prefix, the truncation marker and the
+/// frame's own string/length overhead; together with the constructor's
+/// kMinBodyBytes floor this makes fault frames encodable under every
+/// constructible FrameLimits — the invariant the client's stale-pool
+/// retry rests on.
 [[nodiscard]] std::vector<std::uint8_t> encode_fault(const serial::FrameCodec& codec,
                                                      std::string_view prefix,
                                                      std::string_view reason) {
+  const std::size_t cap =
+      std::min<std::size_t>(4096, codec.limits().max_body_bytes - 128);
+  std::string text(prefix);
+  if (reason.size() > cap) {
+    text.append(reason.substr(0, cap));
+    text.append("...[truncated]");
+  } else {
+    text.append(reason);
+  }
   Message fault;
-  fault.payload = ErrorReply{std::string(prefix) + std::string(reason)};
+  fault.payload = ErrorReply{std::move(text)};
   return codec.encode(fault);
 }
 
@@ -70,34 +91,39 @@ enum class ReadStatus { Ok, Eof, Error };
 
 /// Reads exactly n bytes (retrying partial reads and EINTR). Eof means the
 /// peer closed before the first byte; a close mid-buffer reports Error.
-ReadStatus read_exact(int fd, std::uint8_t* buffer, std::size_t n) noexcept {
+ReadStatus read_exact(int fd, std::uint8_t* buffer, std::size_t n,
+                      std::size_t* received = nullptr) noexcept {
   std::size_t got = 0;
+  ReadStatus status = ReadStatus::Ok;
   while (got < n) {
     const ssize_t r = ::recv(fd, buffer + got, n - got, 0);
     if (r > 0) {
       got += static_cast<std::size_t>(r);
       continue;
     }
-    if (r == 0) return got == 0 ? ReadStatus::Eof : ReadStatus::Error;
-    if (errno == EINTR) continue;
-    return ReadStatus::Error;
+    if (r < 0 && errno == EINTR) continue;
+    status = (r == 0 && got == 0) ? ReadStatus::Eof : ReadStatus::Error;
+    break;
   }
-  return ReadStatus::Ok;
+  if (received) *received = got;
+  return status;
 }
 
 /// Reads a header-declared body in bounded chunks, growing the buffer
 /// only as bytes actually arrive — a hostile header cannot commit
 /// max_body_bytes of memory up front by declaring a body it never sends.
 [[nodiscard]] bool read_body_bytes(int fd, std::vector<std::uint8_t>& body,
-                                   std::size_t n) {
+                                   std::size_t n, std::size_t& received) {
   constexpr std::size_t kChunk = 256 * 1024;
   body.clear();
-  std::size_t got = 0;
-  while (got < n) {
-    const std::size_t step = std::min(kChunk, n - got);
-    body.resize(got + step);
-    if (read_exact(fd, body.data() + got, step) != ReadStatus::Ok) return false;
-    got += step;
+  received = 0;
+  while (received < n) {
+    const std::size_t step = std::min(kChunk, n - received);
+    body.resize(received + step);
+    std::size_t step_got = 0;
+    const ReadStatus status = read_exact(fd, body.data() + received, step, &step_got);
+    received += step_got;
+    if (status != ReadStatus::Ok) return false;
   }
   return true;
 }
@@ -134,9 +160,19 @@ void set_nodelay(int fd) noexcept {
 }  // namespace
 
 SocketTransport::SocketTransport(SocketTransportConfig config)
-    : config_(config), codec_(config.frame_limits), rng_state_(config.rng_seed) {
+    : config_(config), codec_(config.frame_limits), link_model_(config.rng_seed) {
   if (config_.max_outbound == 0) {
     throw TransportError("SocketTransport needs max_outbound >= 1");
+  }
+  // Fault frames (a prefix + bounded reason) must always be encodable —
+  // the protocol never closes a served request's connection with zero
+  // response bytes, and a body budget too small to hold a fault would
+  // break that. 256 bytes also comfortably fits every fixed-size message.
+  static constexpr std::size_t kMinBodyBytes = 256;
+  if (config_.frame_limits.max_body_bytes < kMinBodyBytes) {
+    throw TransportError("SocketTransport needs frame_limits.max_body_bytes >= " +
+                         std::to_string(kMinBodyBytes) +
+                         " (fault frames must stay encodable)");
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -185,10 +221,13 @@ SocketTransport::~SocketTransport() {
       NetworkError("transport destroyed before the message was delivered"));
   for (auto& outbound : orphaned) complete(outbound, Message{}, error);
 
-  // 2. Stop accepting: closing the listener wakes the blocked accept().
+  // 2. Stop accepting: shutdown() wakes the blocked accept(); the fd is
+  //    closed only after the join so the accept thread can never call
+  //    accept() on a closed descriptor number that a concurrent dial (or
+  //    another transport) may already have reused.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
   accept_thread_.join();
+  ::close(listen_fd_);
 
   // 3. Kick every live inbound connection so its reader thread unblocks,
   //    then join them (each closes its own fd on the way out).
@@ -223,6 +262,12 @@ void SocketTransport::remove_route(std::string_view peer) {
 
 void SocketTransport::attach(std::string_view name, Handler handler) {
   if (!handler) throw TransportError("cannot attach a null handler");
+  if (name.empty()) {
+    // The empty name is reserved: transport faults travel as *unaddressed*
+    // ErrorReply frames, and an endpoint named "" could mint addressed
+    // responses that collide with that shape (see is_fault).
+    throw TransportError("endpoint name cannot be empty");
+  }
   auto endpoint = std::make_shared<Endpoint>();
   endpoint->name = std::string(name);
   endpoint->handler = std::make_shared<Handler>(std::move(handler));
@@ -255,48 +300,16 @@ bool SocketTransport::is_attached(std::string_view name) const noexcept {
 }
 
 void SocketTransport::set_default_link(const LinkConfig& config) noexcept {
-  std::unique_lock lock(links_mutex_);
-  default_link_ = config;
+  link_model_.set_default_link(config);
 }
 
 void SocketTransport::set_link(std::string_view from, std::string_view to,
                                const LinkConfig& config) {
-  util::SymbolTable& symbols = util::SymbolTable::global();
-  const std::uint64_t key = util::pair_key(symbols.intern(from), symbols.intern(to));
-  std::unique_lock lock(links_mutex_);
-  links_[key] = config;
-}
-
-LinkConfig SocketTransport::link_for(std::string_view from, std::string_view to) const {
-  std::shared_lock lock(links_mutex_);
-  if (links_.empty()) return default_link_;
-  const util::SymbolTable& symbols = util::SymbolTable::global();
-  const util::InternedName from_id = symbols.find(from);
-  if (!from_id.valid()) return default_link_;
-  const util::InternedName to_id = symbols.find(to);
-  if (!to_id.valid()) return default_link_;
-  const auto it = links_.find(util::pair_key(from_id, to_id));
-  return it == links_.end() ? default_link_ : it->second;
-}
-
-double SocketTransport::next_uniform() noexcept {
-  std::uint64_t z =
-      rng_state_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
-      0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<double>(z >> 11) * 0x1.0p-53;
+  link_model_.set_link(from, to, config);
 }
 
 bool SocketTransport::charge(const Message& message) {
-  const LinkConfig link = link_for(message.sender, message.recipient);
-  if (link.drop_probability > 0.0 && next_uniform() < link.drop_probability) {
-    ++stats_.drops;
-    return false;
-  }
-  charge_traversal(link, message.wire_size(), stats_, clock_);
-  return true;
+  return link_model_.charge(message, stats_, clock_);
 }
 
 std::uint16_t SocketTransport::resolve_port(const std::string& recipient) const {
@@ -329,7 +342,7 @@ int SocketTransport::dial(std::uint16_t dest_port) {
   return fd;
 }
 
-int SocketTransport::checkout_connection(std::uint16_t dest_port) {
+int SocketTransport::checkout_connection(std::uint16_t dest_port, bool& pooled) {
   {
     std::unique_lock lock(pool_mutex_);
     auto& idle = idle_connections_[dest_port];
@@ -340,10 +353,14 @@ int SocketTransport::checkout_connection(std::uint16_t dest_port) {
       // or stray bytes mean the server closed (or desynced) it — discard.
       std::uint8_t probe = 0;
       const ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return fd;
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pooled = true;
+        return fd;
+      }
       ::close(fd);
     }
   }
+  pooled = false;
   return dial(dest_port);
 }
 
@@ -358,45 +375,93 @@ void SocketTransport::return_connection(std::uint16_t dest_port, int fd) {
 
 Message SocketTransport::exchange_over_wire(const Message& request,
                                             std::uint16_t dest_port) {
-  const std::vector<std::uint8_t> frame = codec_.encode(request);
-  const int fd = checkout_connection(dest_port);
-  struct FdGuard {
-    int fd;
-    bool armed = true;
-    ~FdGuard() {
-      if (armed) ::close(fd);
+  std::vector<std::uint8_t> frame;
+  try {
+    frame = codec_.encode(request);
+  } catch (const serial::FrameError& e) {
+    // The seam's throw set is NetworkError/TransportError; an unencodable
+    // request (body or list over FrameLimits) must not leak FrameError
+    // out of send(), mirroring the undecodable-response translation below.
+    throw TransportError("request " + std::string(request.kind_name()) +
+                         " is not encodable: " + e.what());
+  }
+  for (;;) {
+    bool pooled = false;
+    const int fd = checkout_connection(dest_port, pooled);
+    struct FdGuard {
+      int fd;
+      bool armed = true;
+      ~FdGuard() {
+        if (armed) ::close(fd);
+      }
+    } guard{fd};
+
+    // A pooled connection can die between checkout's liveness probe and
+    // its use here (the server closing it races with checkout). The server
+    // never closes a connection with zero response bytes after reading a
+    // request (served, dropped and faulting requests all answer with at
+    // least a fault frame), so a close before the first response byte
+    // proves the request was never served: the stale connection is
+    // discarded and the exchange retried on another (the pool is finite;
+    // once it drains, checkout dials fresh). Only a failure on a freshly
+    // dialed connection — or one mid-response, where a retry could
+    // re-execute the handler — is reported.
+    if (!write_all(fd, frame.data(), frame.size())) {
+      if (pooled) continue;
+      throw NetworkError("connection to 127.0.0.1:" + std::to_string(dest_port) +
+                         " failed while sending " + request.kind_name());
     }
-  } guard{fd};
+    ++socket_stats_.frames_sent;
+    socket_stats_.wire_bytes_sent += frame.size();
 
-  if (!write_all(fd, frame.data(), frame.size())) {
-    throw NetworkError("connection to 127.0.0.1:" + std::to_string(dest_port) +
-                       " failed while sending " + request.kind_name());
-  }
-  ++socket_stats_.frames_sent;
-  socket_stats_.wire_bytes_sent += frame.size();
+    std::array<std::uint8_t, serial::FrameCodec::kHeaderSize> header_bytes{};
+    std::size_t header_got = 0;
+    const ReadStatus header_status =
+        read_exact(fd, header_bytes.data(), header_bytes.size(), &header_got);
+    // Received bytes are counted before decoding (and before the failure
+    // paths): they moved over the wire whether or not they parse.
+    socket_stats_.wire_bytes_received += header_got;
+    if (header_status != ReadStatus::Ok) {
+      // Retry only a *clean* zero-byte close (Eof): every deliberate
+      // server close after reading a request first writes at least a
+      // fault frame, so a clean FIN with no response bytes proves the
+      // request was never served. An abort (ECONNRESET and friends) gives
+      // no such proof — the server may have died mid-handler — so it is
+      // reported, never retried.
+      if (pooled && header_status == ReadStatus::Eof) continue;
+      throw NetworkError("connection closed before a response to " +
+                         std::string(request.kind_name()) +
+                         " arrived (response dropped?)");
+    }
+    Message response;
+    try {
+      const serial::FrameCodec::Header header = codec_.decode_header(header_bytes);
+      std::vector<std::uint8_t> body;
+      std::size_t body_got = 0;
+      const bool body_ok = read_body_bytes(fd, body, header.body_bytes, body_got);
+      socket_stats_.wire_bytes_received += body_got;  // partial reads count too
+      if (!body_ok) {
+        throw NetworkError("connection closed mid-response to " +
+                           std::string(request.kind_name()));
+      }
+      ++socket_stats_.frames_received;
+      response = codec_.decode_body(header, body);
+    } catch (const serial::FrameError& e) {
+      // The peer is not speaking our protocol (version skew, corruption):
+      // surface it through the documented transport error family instead
+      // of leaking serial::FrameError out of send().
+      throw NetworkError("undecodable response frame from 127.0.0.1:" +
+                         std::to_string(dest_port) + ": " + e.what());
+    }
 
-  std::array<std::uint8_t, serial::FrameCodec::kHeaderSize> header_bytes{};
-  if (read_exact(fd, header_bytes.data(), header_bytes.size()) != ReadStatus::Ok) {
-    throw NetworkError("connection closed before a response to " +
-                       std::string(request.kind_name()) + " arrived (response dropped?)");
+    if (is_fault(response)) {
+      // Fault frames may follow a desynced stream; never pool the connection.
+      raise_fault(std::get<ErrorReply>(response.payload));
+    }
+    guard.armed = false;
+    return_connection(dest_port, fd);
+    return response;
   }
-  const serial::FrameCodec::Header header = codec_.decode_header(header_bytes);
-  std::vector<std::uint8_t> body;
-  if (!read_body_bytes(fd, body, header.body_bytes)) {
-    throw NetworkError("connection closed mid-response to " +
-                       std::string(request.kind_name()));
-  }
-  ++socket_stats_.frames_received;
-  socket_stats_.wire_bytes_received += header_bytes.size() + body.size();
-  Message response = codec_.decode_body(header, body);
-
-  if (is_fault(response)) {
-    // Fault frames may follow a desynced stream; never pool the connection.
-    raise_fault(std::get<ErrorReply>(response.payload));
-  }
-  guard.armed = false;
-  return_connection(dest_port, fd);
-  return response;
 }
 
 Message SocketTransport::send(const Message& request) {
@@ -450,7 +515,14 @@ std::vector<std::uint8_t> SocketTransport::serve_request(Message request) {
     return encode_fault(codec_, kTransportFault, handler_fault);
   }
   if (!charge(response)) {
-    return {};  // response dropped: the caller closes the connection
+    // The modelled response drop answers with an unaddressed fault (same
+    // wording as SimNetwork's drop error) instead of a silent close:
+    // "connection closed with zero response bytes" must stay unambiguous
+    // proof that the request was never served, because
+    // exchange_over_wire's stale-pool retry re-sends exactly in that case.
+    return encode_fault(codec_, kNetworkFault,
+                        "response " + std::string(response.kind_name()) + " from '" +
+                            response.sender + "' was dropped");
   }
   try {
     return codec_.encode(response);
@@ -485,9 +557,17 @@ void SocketTransport::reap_finished_connections() {
 
 void SocketTransport::accept_loop() {
   for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource pressure must not kill the listener for the
+        // transport's whole lifetime; back off briefly and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       return;  // listener closed (shutdown) or unrecoverable
     }
     if (shutdown_.load(std::memory_order_acquire)) {
@@ -503,17 +583,45 @@ void SocketTransport::accept_loop() {
     // Register the entry before the reader runs (it is spawned under the
     // same lock): a short-lived connection must find its own entry to
     // mark reapable, never a later connection that reused the fd number.
-    std::unique_lock lock(conn_mutex_);
-    connections_.push_back(ServerConnection{fd, {}});
-    connections_.back().reader = std::thread([this, fd] { connection_loop(fd); });
+    bool spawned = true;
+    {
+      std::unique_lock lock(conn_mutex_);
+      connections_.push_back(ServerConnection{fd, {}});
+      try {
+        connections_.back().reader = std::thread([this, fd] { connection_loop(fd); });
+      } catch (const std::system_error&) {
+        // Thread creation failed under the same resource pressure the
+        // accept() path above survives — an unhandled throw here would
+        // std::terminate the process off the accept thread. Drop this
+        // one connection and keep listening.
+        connections_.pop_back();
+        spawned = false;
+      }
+    }
+    if (!spawned) {
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   }
 }
 
 void SocketTransport::connection_loop(int fd) {
   tl_transport_thread = true;
+  // True when a fully-read request got no (complete) reply onto the wire:
+  // the close below must then abort (RST) instead of sending a clean FIN,
+  // because the client's stale-pool retry reads "clean FIN, zero response
+  // bytes" as proof the request was never served.
+  bool served_without_reply = false;
   for (;;) {
     std::array<std::uint8_t, serial::FrameCodec::kHeaderSize> header_bytes{};
-    if (read_exact(fd, header_bytes.data(), header_bytes.size()) != ReadStatus::Ok) {
+    std::size_t header_got = 0;
+    const ReadStatus header_status =
+        read_exact(fd, header_bytes.data(), header_bytes.size(), &header_got);
+    // Received bytes are counted before decoding (partial reads included):
+    // they moved over the wire whether or not they parse, and a hostile
+    // stream must not undercount.
+    socket_stats_.wire_bytes_received += header_got;
+    if (header_status != ReadStatus::Ok) {
       break;  // clean close between frames, or a failure — either way done
     }
     serial::FrameCodec::Header header;
@@ -521,29 +629,68 @@ void SocketTransport::connection_loop(int fd) {
     Message request;
     try {
       header = codec_.decode_header(header_bytes);
-      if (!read_body_bytes(fd, body, header.body_bytes)) break;
+      std::size_t body_got = 0;
+      const bool body_ok = read_body_bytes(fd, body, header.body_bytes, body_got);
+      socket_stats_.wire_bytes_received += body_got;  // partial reads count too
+      if (!body_ok) break;
       ++socket_stats_.frames_received;
-      socket_stats_.wire_bytes_received += header_bytes.size() + body.size();
       request = codec_.decode_body(header, body);
     } catch (const serial::FrameError& e) {
       // A malformed frame leaves the stream position untrustworthy: report
       // the fault, then close the connection rather than resynchronize.
-      const std::vector<std::uint8_t> fault =
-          encode_fault(codec_, kTransportFault, e.what());
-      // Counters bump before the write: the requester may act on the
-      // response the instant the syscall delivers it, and a post-write
-      // bump could lag behind a stats reader on the requesting thread.
-      ++socket_stats_.frames_sent;
-      socket_stats_.wire_bytes_sent += fault.size();
-      (void)write_all(fd, fault.data(), fault.size());
+      try {
+        const std::vector<std::uint8_t> fault =
+            encode_fault(codec_, kTransportFault, e.what());
+        // Counters bump before the write: the requester may act on the
+        // response the instant the syscall delivers it, and a post-write
+        // bump could lag behind a stats reader on the requesting thread.
+        ++socket_stats_.frames_sent;
+        socket_stats_.wire_bytes_sent += fault.size();
+        (void)write_all(fd, fault.data(), fault.size());
+      } catch (...) {
+        // Even the fault frame is unencodable (pathologically small
+        // FrameLimits): closing the connection is the whole report.
+      }
       break;
     }
 
-    const std::vector<std::uint8_t> response = serve_request(std::move(request));
-    if (response.empty()) break;  // response dropped: close so the peer notices
+    std::vector<std::uint8_t> response;
+    try {
+      response = serve_request(std::move(request));
+    } catch (...) {
+      // serve_request is total by construction (faults are bounded and
+      // handler exceptions are caught inside it), but an escaped exception
+      // here would std::terminate the process off this reader thread.
+      // Attempt a minimal fault first — the handler may already have run,
+      // so a zero-byte clean close would wrongly license the peer's
+      // stale-pool retry into re-executing it.
+      bool fault_written = false;
+      try {
+        const std::vector<std::uint8_t> fault =
+            encode_fault(codec_, kTransportFault, "request handling failed");
+        ++socket_stats_.frames_sent;
+        socket_stats_.wire_bytes_sent += fault.size();
+        fault_written = write_all(fd, fault.data(), fault.size());
+      } catch (...) {
+      }
+      served_without_reply = !fault_written;
+      break;
+    }
     ++socket_stats_.frames_sent;
     socket_stats_.wire_bytes_sent += response.size();
-    if (!write_all(fd, response.data(), response.size())) break;
+    if (!write_all(fd, response.data(), response.size())) {
+      // The handler ran but its reply could not be written (e.g. resource
+      // pressure, not just a vanished client): never let this look like a
+      // clean never-served close.
+      served_without_reply = true;
+      break;
+    }
+  }
+  if (served_without_reply) {
+    // Linger-zero close sends RST: the client observes an abort, which
+    // the stale-pool retry is forbidden to retry, instead of a clean FIN.
+    const linger hard{.l_onoff = 1, .l_linger = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
   }
   std::unique_lock lock(conn_mutex_);
   ::close(fd);

@@ -41,7 +41,11 @@
 //     the totals are identical to SimNetwork's; across instances each
 //     transport counts what it transmits. Per-link drop_probability is
 //     honoured: a dropped request fails before any byte is written, a
-//     dropped response closes the connection instead of answering.
+//     dropped response answers with an unaddressed fault frame (worded
+//     like SimNetwork's drop error) — the server never closes a served
+//     request's connection with zero response bytes, which is what lets
+//     the client retry a pooled connection that died before any response
+//     byte arrived without ever re-executing a handler.
 //
 // Endpoint contract (pinned by tests/test_socket_transport.cpp, identical
 // to AsyncTransport): attach() throws on a duplicate name; detach() blocks
@@ -81,10 +85,10 @@
 #include <shared_mutex>
 
 #include "serial/frame_codec.hpp"
+#include "transport/link_cost_model.hpp"
 #include "transport/message.hpp"
 #include "transport/transport.hpp"
 #include "util/atomic_counter.hpp"
-#include "util/interning.hpp"
 #include "util/sim_clock.hpp"
 #include "util/string_util.hpp"
 
@@ -186,19 +190,20 @@ class SocketTransport final : public Transport {
   /// One synchronous framed exchange over a pooled connection.
   Message exchange_over_wire(const Message& request, std::uint16_t dest_port);
 
-  /// Server side of one decoded request: dispatch + respond. Returns the
-  /// encoded response frame, or empty when the response was dropped (the
-  /// caller closes the connection).
+  /// Server side of one decoded request: dispatch + respond. Always
+  /// returns a non-empty encoded frame — a dropped or unencodable
+  /// response becomes a fault frame. Never close a served request's
+  /// connection with zero response bytes: the client's stale-pool retry
+  /// treats that as proof the request was never served.
   [[nodiscard]] std::vector<std::uint8_t> serve_request(Message request);
 
   /// Charges one traversal (modelled stats + virtual clock); false when
   /// the per-link drop probability fired.
   bool charge(const Message& message);
-  [[nodiscard]] LinkConfig link_for(std::string_view from, std::string_view to) const;
-  [[nodiscard]] double next_uniform() noexcept;
 
   [[nodiscard]] int dial(std::uint16_t dest_port);
-  [[nodiscard]] int checkout_connection(std::uint16_t dest_port);
+  /// Pops an idle pooled connection (sets `pooled`) or dials a fresh one.
+  [[nodiscard]] int checkout_connection(std::uint16_t dest_port, bool& pooled);
   void return_connection(std::uint16_t dest_port, int fd);
 
   void accept_loop();
@@ -242,14 +247,10 @@ class SocketTransport final : public Transport {
   mutable std::mutex conn_mutex_;  ///< guards connections_
   std::vector<ServerConnection> connections_;
 
-  mutable std::shared_mutex links_mutex_;  ///< guards links_/default_link_
-  std::unordered_map<std::uint64_t, LinkConfig> links_;
-  LinkConfig default_link_;
-
+  LinkCostModel link_model_;
   NetStats stats_;
   SocketStats socket_stats_;
   util::SimClock clock_;
-  std::atomic<std::uint64_t> rng_state_;
   std::atomic<bool> shutdown_{false};
 
   std::thread accept_thread_;

@@ -22,7 +22,10 @@
 // Endpoint contract (identical for every implementation):
 //   * attach() registers a handler under a name; attaching a name that is
 //     already attached throws TransportError — silent replacement hid
-//     misconfigured universes and made detach() ambiguous.
+//     misconfigured universes and made detach() ambiguous. The empty name
+//     is rejected everywhere: it is reserved by the wire protocol, where
+//     an *unaddressed* message (empty sender and recipient) marks a
+//     transport-level fault frame that no endpoint may be able to forge.
 //   * detach() unregisters the endpoint. It is safe to call while the
 //     endpoint's handler is executing — including from inside the handler
 //     itself — and after it returns no *new* deliveries to that name

@@ -249,6 +249,16 @@ TEST(FrameCodec, ListElementCountCapIsEnforced) {
   // At or under the cap, the same codec decodes fine.
   const FrameCodec roomy(FrameLimits{.max_list_elements = 8});
   EXPECT_EQ(roomy.encode(roomy.decode(frame)), frame);
+
+  // Encode-side symmetry: a list every conforming peer is guaranteed to
+  // reject refuses to encode in the first place — fail fast locally, not
+  // as a remote fault after crossing the wire.
+  try {
+    (void)capped.encode({"a", "b", request});
+    FAIL() << "over-cap list encoded";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.fault(), FrameFault::Oversized);
+  }
 }
 
 TEST(FrameCodec, FixedSeedBitFlipCorpusNeverCrashes) {

@@ -98,6 +98,9 @@ TEST(SocketTransport, UnknownRecipientThrowsNetworkError) {
 
 TEST(SocketTransport, DoubleAttachThrows) {
   SocketTransport net;
+  // The empty name is reserved for unaddressed transport fault frames.
+  EXPECT_THROW(net.attach("", [](const Message&) { return Message{}; }),
+               TransportError);
   net.attach("peer", [](const Message&) { return Message{}; });
   EXPECT_THROW(net.attach("peer", [](const Message&) { return Message{}; }),
                TransportError);
@@ -305,6 +308,11 @@ TEST(SocketTransport, HostileBytesGetAFaultFrameAndAClosedConnection) {
   const auto& error = std::get<transport::ErrorReply>(fault.payload);
   EXPECT_NE(error.message.find("bad-magic"), std::string::npos) << error.message;
 
+  // The garbage header bytes moved over the wire, so they count — hostile
+  // streams must not undercount wire_bytes_received just because they
+  // never decode.
+  EXPECT_EQ(net.socket_stats().wire_bytes_received.get(), sizeof garbage);
+
   // And the transport still serves well-formed traffic afterwards.
   net.attach("alive", [](const Message& request) {
     Message response;
@@ -318,6 +326,81 @@ TEST(SocketTransport, HostileBytesGetAFaultFrameAndAClosedConnection) {
   net.detach("alive");
 }
 
+TEST(SocketTransport, OversizedFaultReasonsAreTruncatedNotFatal) {
+  // Regression: a valid frame whose recipient string nearly fills the body
+  // budget used to make the "no peer attached" fault reason exceed
+  // max_body_bytes, so encoding the fault threw FrameError{Oversized} on
+  // the reader thread (outside any catch) and std::terminate()d the
+  // process. The reason must be truncated and the fault still delivered.
+  SocketTransportConfig server_config;
+  server_config.frame_limits.max_body_bytes = 4096;
+  SocketTransport server(server_config);
+  SocketTransport client;
+
+  const std::string huge_name(4000, 'r');  // decodes fine, faults oversized
+  client.add_route(huge_name, server.port());
+  try {
+    (void)client.send(ping("caller", huge_name));
+    FAIL() << "unknown recipient did not surface";
+  } catch (const NetworkError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no peer attached"), std::string::npos)
+        << what.substr(0, 120);
+    EXPECT_NE(what.find("[truncated]"), std::string::npos) << what.substr(0, 120);
+    EXPECT_LT(what.size(), server_config.frame_limits.max_body_bytes);
+  }
+
+  // The reader thread survived: the server still answers new exchanges.
+  server.attach("alive", [](const Message& request) {
+    Message response;
+    response.payload = transport::PushAck{true, "alive"};
+    address_response(request, response);
+    return response;
+  });
+  client.add_route("alive", server.port());
+  EXPECT_TRUE(
+      std::get<transport::PushAck>(client.send(ping("caller", "alive")).payload)
+          .delivered);
+}
+
+TEST(SocketTransport, UndecodableResponseSurfacesAsNetworkError) {
+  // A fake "server" that answers any request with garbage bytes: send()
+  // must classify that through the documented wire-failure family
+  // (NetworkError), never leak serial::FrameError through the seam.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t fake_port = ntohs(addr.sin_port);
+
+  std::thread fake_server([listener] {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    std::uint8_t request[512];
+    (void)::recv(fd, request, sizeof request, 0);  // swallow the request
+    const std::uint8_t garbage[10] = {'n', 'o', 'p', 'e', 0, 0, 0, 0, 0, 0};
+    (void)::send(fd, garbage, sizeof garbage, 0);
+    ::close(fd);
+  });
+
+  SocketTransport net;
+  net.add_route("impostor", fake_port);
+  try {
+    (void)net.send(ping("caller", "impostor"));
+    FAIL() << "garbage response did not surface";
+  } catch (const NetworkError& e) {
+    EXPECT_NE(std::string(e.what()).find("undecodable"), std::string::npos) << e.what();
+  }
+  fake_server.join();
+  ::close(listener);
+}
+
 TEST(SocketTransport, DropProbabilityDropsBeforeAnyByteMoves) {
   SocketTransport net;
   net.attach("peer", [](const Message&) { return Message{}; });
@@ -325,6 +408,36 @@ TEST(SocketTransport, DropProbabilityDropsBeforeAnyByteMoves) {
   EXPECT_THROW((void)net.send(ping("caller", "peer")), NetworkError);
   EXPECT_EQ(net.stats().drops.get(), 1u);
   EXPECT_EQ(net.socket_stats().frames_sent.get(), 0u);  // dropped pre-wire
+  net.detach("peer");
+}
+
+TEST(SocketTransport, DroppedResponseFaultsInsteadOfSilentClose) {
+  SocketTransport net;
+  std::atomic<int> served{0};
+  net.attach("peer", [&](const Message& request) {
+    ++served;
+    Message response;
+    response.payload = transport::PushAck{true, "ok"};
+    address_response(request, response);
+    return response;
+  });
+
+  // Warm the connection pool with one successful exchange, then drop every
+  // response. A served request whose response is dropped must answer with
+  // a fault frame, never a silent close: a zero-byte close on a pooled
+  // connection means "never served" to the client's stale-pool retry, so a
+  // silent close here would re-execute the handler.
+  EXPECT_TRUE(
+      std::get<transport::PushAck>(net.send(ping("caller", "peer")).payload).delivered);
+  net.set_link("peer", "caller", LinkConfig{.drop_probability = 1.0});
+  try {
+    (void)net.send(ping("caller", "peer"));
+    FAIL() << "dropped response did not surface";
+  } catch (const NetworkError& e) {
+    EXPECT_NE(std::string(e.what()).find("was dropped"), std::string::npos) << e.what();
+  }
+  EXPECT_EQ(served.load(), 2);  // exactly once per send — no retry re-execution
+  EXPECT_EQ(net.stats().drops.get(), 1u);
   net.detach("peer");
 }
 

@@ -419,6 +419,9 @@ TEST(EndpointContract, DoubleAttachThrows) {
                TransportError);
   // Case-insensitive: endpoint names collide like type names do.
   EXPECT_THROW(net.attach("SVC", [](const Message& m) { return m; }), TransportError);
+  // The empty name is reserved by the wire protocol (unaddressed messages
+  // mark transport faults) — rejected by every implementation.
+  EXPECT_THROW(net.attach("", [](const Message& m) { return m; }), TransportError);
   // The original handler stayed in place and keeps working.
   const Message reply = net.send(Message{"client", "svc", CodeRequest{"x"}});
   EXPECT_EQ(std::get<PushAck>(reply.payload).detail, "first");
@@ -647,6 +650,7 @@ TEST(AsyncTransportTest, DoubleAttachThrows) {
   AsyncTransport net({.workers = 1});
   async_helpers::attach_echo(net, "svc");
   EXPECT_THROW(async_helpers::attach_echo(net, "SVC"), TransportError);
+  EXPECT_THROW(async_helpers::attach_echo(net, ""), TransportError);
 }
 
 TEST(AsyncTransportTest, FutureFormDeliversTheResponse) {
