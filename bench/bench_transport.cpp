@@ -235,6 +235,62 @@ void BM_SocketPushThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SocketPushThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
+/// Generous budgets: every admission dimension armed, none ever tripped
+/// during a bench run (the token bucket's burst depth is 1 TiB), so the
+/// benches below measure the pure per-exchange governance tax.
+transport::PeerQuotaConfig generous_quotas() {
+  return transport::PeerQuotaConfig{.bytes_per_sec = 1,
+                                    .burst_bytes = 1ULL << 40,
+                                    .max_inflight = 64,
+                                    .max_frame_bytes = 1ULL << 20,
+                                    .max_new_names = 1ULL << 20};
+}
+
+/// Quota-overhead twin of BM_SocketRawExchange: the same minimal framed
+/// exchange with per-peer admission (frame cap, token bucket, inflight
+/// slot, name budget) on the serve path — the delta between the two is
+/// the wire-floor cost of resource governance.
+void BM_SocketRawExchangeQuota(benchmark::State& state) {
+  transport::SocketTransport net;
+  net.peer_quotas()->set_default(generous_quotas());
+  net.attach("echo", [](const transport::Message& request) {
+    transport::Message response;
+    response.payload = transport::PushAck{true, ""};
+    transport::address_response(request, response);
+    return response;
+  });
+  const transport::Message ping{"caller", "echo", transport::PushAck{true, "ping"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.send(ping));
+  }
+  state.SetItemsProcessed(state.iterations());
+  net.detach("echo");
+}
+BENCHMARK(BM_SocketRawExchangeQuota);
+
+/// The warmed socket universe with quotas armed on every exchange.
+bench::ConcurrentPushEnv& socket_quota_env() {
+  static bench::ConcurrentPushEnv& env = []() -> bench::ConcurrentPushEnv& {
+    static bench::ConcurrentPushEnv e("sq",
+                                      std::make_unique<transport::SocketTransport>());
+    e.system.network().peer_quotas()->set_default(generous_quotas());
+    return e;
+  }();
+  return env;
+}
+
+/// Full-protocol push throughput with admission checks live — the
+/// acceptance gate for the governance work is this staying within 5% of
+/// BM_SocketPushThroughput.
+void BM_SocketPushThroughputQuota(benchmark::State& state) {
+  bench::run_concurrent_push(state, socket_quota_env());
+}
+BENCHMARK(BM_SocketPushThroughputQuota)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
 /// send_async pipelining over sockets: a window of in-flight pushes per
 /// thread served by the outbound worker pool.
 void BM_SocketPushPipelined(benchmark::State& state) {

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "util/epoch.hpp"
+
 namespace pti::conform {
 
 ConformanceCache::~ConformanceCache() {
@@ -24,7 +26,14 @@ const CachedVerdict* ConformanceCache::read(Shard& shard, const Key& key, std::s
       const MapEntry* entry = table->slots[i].entry.load(std::memory_order_acquire);
       if (entry != nullptr && entry->first == key) {
         shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
-        return &entry->second;
+        // Refresh the recency stamp, but only when it moved: repeat hits
+        // within one tick stay pure loads so the node's cache line keeps
+        // shared state across reader cores.
+        const std::uint32_t tick = tick_.load(std::memory_order_relaxed);
+        if (entry->second.last_use.load(std::memory_order_relaxed) != tick) {
+          entry->second.last_use.store(tick, std::memory_order_relaxed);
+        }
+        return &entry->second.verdict;
       }
     }
   }
@@ -113,6 +122,77 @@ void ConformanceCache::insert(util::InternedName source, util::InternedName targ
   }
 }
 
+void ConformanceCache::swap_index_locked(Shard& shard, Table* fresh,
+                                         util::EpochManager& em) {
+  Table* old = shard.table.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) em.retire(old);
+  for (Table* t : shard.retired) em.retire(t);
+  shard.retired.clear();
+}
+
+void ConformanceCache::clear(util::EpochManager& em) {
+  using NodeHandle = EntryMap::node_type;
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    // Unpublish the index first so no reader entering after the swap can
+    // reach a node we are about to retire; readers already probing the old
+    // table are pinned and keep it (and the nodes) alive until reclaim.
+    swap_index_locked(shard, nullptr, em);
+    while (!shard.entries.empty()) {
+      auto handle = shard.entries.extract(shard.entries.begin());
+      em.retire(new NodeHandle(std::move(handle)));
+      shard.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::uint32_t ConformanceCache::advance_tick() noexcept {
+  return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t ConformanceCache::evict_cold(util::EpochManager& em,
+                                         std::uint32_t min_idle_ticks,
+                                         std::size_t max_evict) {
+  using NodeHandle = EntryMap::node_type;
+  const std::uint32_t tick = tick_.load(std::memory_order_relaxed);
+  std::size_t evicted = 0;
+  for (Shard& shard : shards_) {
+    if (evicted >= max_evict) break;
+    std::unique_lock lock(shard.mutex);
+    std::size_t shard_evicted = 0;
+    for (auto it = shard.entries.begin();
+         it != shard.entries.end() && evicted < max_evict;) {
+      const std::uint32_t idle =
+          tick - it->second.last_use.load(std::memory_order_relaxed);
+      if (idle < min_idle_ticks) {
+        ++it;
+        continue;
+      }
+      const auto next = std::next(it);
+      em.retire(new NodeHandle(shard.entries.extract(it)));
+      it = next;
+      ++shard_evicted;
+      ++evicted;
+    }
+    if (shard_evicted == 0) continue;
+    shard.stats.evictions.fetch_add(shard_evicted, std::memory_order_relaxed);
+    // Rebuild the read index over the survivors: the old table still
+    // references the extracted nodes, so it must be replaced wholesale
+    // (tags have no tombstones) — and a rebuilt index is also what makes
+    // a recycled interned id unable to alias an evicted key.
+    Table* fresh = nullptr;
+    if (!shard.entries.empty()) {
+      std::size_t capacity = kInitialSlots;
+      while (shard.entries.size() * 5 > capacity * 3) capacity *= 2;
+      fresh = new Table(capacity);
+      for (const MapEntry& entry : shard.entries) publish(*fresh, &entry);
+      fresh->used = shard.entries.size();
+    }
+    swap_index_locked(shard, fresh, em);
+  }
+  return evicted;
+}
+
 void ConformanceCache::clear() noexcept {
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mutex);
@@ -141,6 +221,7 @@ CacheStats ConformanceCache::stats() const noexcept {
     out.hits += s.hits;
     out.misses += s.misses;
     out.insertions += s.insertions;
+    out.evictions += s.evictions;
   }
   return out;
 }
@@ -152,6 +233,7 @@ CacheStats ConformanceCache::shard_stats(std::size_t shard) const noexcept {
   out.hits = s.hits.load(std::memory_order_relaxed);
   out.misses = s.misses.load(std::memory_order_relaxed);
   out.insertions = s.insertions.load(std::memory_order_relaxed);
+  out.evictions = s.evictions.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -160,6 +242,7 @@ void ConformanceCache::reset_stats() noexcept {
     shard.stats.hits.store(0, std::memory_order_relaxed);
     shard.stats.misses.store(0, std::memory_order_relaxed);
     shard.stats.insertions.store(0, std::memory_order_relaxed);
+    shard.stats.evictions.store(0, std::memory_order_relaxed);
   }
 }
 

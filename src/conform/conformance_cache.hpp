@@ -22,9 +22,17 @@
 // concurrent operation), which is what makes publishing them to lock-free
 // readers sound; a reader racing an index grow may transiently miss a
 // fresh key, which only costs a benign recompute + idempotent re-insert.
-// Per-shard hit/miss/insertion counters are atomics. clear() is the only
-// eraser and requires external quiescence (no concurrent readers holding
-// pointers).
+// Per-shard hit/miss/insertion counters are atomics.
+//
+// Reclamation: plain clear() requires external quiescence (no concurrent
+// readers holding pointers). The epoch-era paths — evict_cold() and
+// clear(EpochManager&) — are safe against concurrent readers that bracket
+// their lookups in an EpochManager::Pin: evicted map nodes and replaced
+// read-index tables are retired, not freed, and only reclaimed once every
+// pin that could reference them has released. evict_cold() REBUILDS the
+// shard's read index after extracting cold entries, so post-eviction
+// probes can never hit an evicted key (important: keys hold interned ids,
+// and an evicted id may be recycled for a different name).
 #pragma once
 
 #include <array>
@@ -48,6 +56,7 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
 
   [[nodiscard]] double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -110,6 +119,25 @@ class ConformanceCache {
   /// hold pointers returned by lookup()/probe(); quiesce first.
   void clear() noexcept;
 
+  /// Epoch-era clear: erases every entry but retires the map nodes and
+  /// index tables through `em` instead of freeing them, so readers that
+  /// hold an EpochManager::Pin around their lookup()/probe() may run
+  /// concurrently — pointers they already obtained stay valid until their
+  /// pin releases and the epoch advances.
+  void clear(util::EpochManager& em);
+
+  /// Advances the usage clock one tick and returns the new tick. Lookup
+  /// hits stamp their entry; evict_cold() measures idleness in ticks.
+  std::uint32_t advance_tick() noexcept;
+
+  /// Evicts up to `max_evict` entries not hit for at least
+  /// `min_idle_ticks` ticks. Safe against concurrent PINNED readers (see
+  /// clear(em)); shards whose entries were evicted get a freshly rebuilt
+  /// read index, with the old table and the evicted nodes retired through
+  /// `em`. Returns the number of entries evicted.
+  std::size_t evict_cold(util::EpochManager& em, std::uint32_t min_idle_ticks,
+                         std::size_t max_evict);
+
   [[nodiscard]] std::size_t size() const noexcept;
 
   /// Aggregated counters across all shards (by value: shards tick their
@@ -144,9 +172,20 @@ class ConformanceCache {
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
   };
 
-  using MapEntry = std::pair<const Key, CachedVerdict>;
+  // Map node payload: the verdict plus its recency stamp. The stamp is
+  // mutable+atomic so lock-free read hits can refresh it; nodes are never
+  // moved once emplaced (node-based map), so the atomic never relocates.
+  struct Node {
+    explicit Node(CachedVerdict v) : verdict(std::move(v)) {}
+    CachedVerdict verdict;
+    mutable std::atomic<std::uint32_t> last_use{0};
+  };
+
+  using MapEntry = std::pair<const Key, Node>;
+  using EntryMap = std::unordered_map<Key, Node, KeyHash>;
 
   // One slot of the lock-free read index. The writer stores `entry` first,
   // then publishes `tag` with release; a reader that observes the tag
@@ -166,11 +205,12 @@ class ConformanceCache {
 
   struct Shard {
     mutable std::shared_mutex mutex;  // writers exclusive; size() shared
-    std::unordered_map<Key, CachedVerdict, KeyHash> entries;
+    EntryMap entries;
     std::atomic<Table*> table{nullptr};
     // Tables replaced by growth; still probe-able by in-flight readers, so
-    // they are only reclaimed at clear()/destruction (bounded: doubling
-    // means all retired tables together are smaller than the live one).
+    // they are only reclaimed at clear()/destruction or handed to the
+    // EpochManager by the epoch-era paths (bounded: doubling means all
+    // retired tables together are smaller than the live one).
     std::vector<Table*> retired;
     ShardStats stats;
   };
@@ -195,7 +235,13 @@ class ConformanceCache {
   /// Writer-side publication into the index (shard mutex held).
   static void publish(Table& table, const MapEntry* entry) noexcept;
 
+  /// Swaps in `fresh` (may be nullptr) as the shard's read index and
+  /// retires the old and previously retired tables through `em` (shard
+  /// mutex held).
+  static void swap_index_locked(Shard& shard, Table* fresh, util::EpochManager& em);
+
   std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint32_t> tick_{1};
 };
 
 }  // namespace pti::conform

@@ -36,6 +36,7 @@ enum class ErrorCode : std::uint8_t {
   Network,        ///< transport-level failure (drops, unreachable peers)
   Protocol,       ///< optimistic-protocol failure
   Remoting,       ///< failed remote invocation or dangling reference
+  ResourceExhausted,  ///< a quota or hard cap was hit (peer budget, table cap)
   Internal,       ///< anything else
 };
 
@@ -51,6 +52,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::Network: return "network";
     case ErrorCode::Protocol: return "protocol";
     case ErrorCode::Remoting: return "remoting";
+    case ErrorCode::ResourceExhausted: return "resource-exhausted";
     case ErrorCode::Internal: return "internal";
   }
   return "internal";
@@ -96,6 +98,8 @@ struct Error {
       return Error{ErrorCode::Network, e.what(), cause};
     } catch (const remoting::RemotingError& e) {
       return Error{ErrorCode::Remoting, e.what(), cause};
+    } catch (const pti::ResourceExhaustedError& e) {
+      return Error{ErrorCode::ResourceExhausted, e.what(), cause};
     } catch (const std::exception& e) {
       return Error{ErrorCode::Internal, e.what(), cause};
     } catch (...) {

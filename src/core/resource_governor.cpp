@@ -1,0 +1,98 @@
+#include "core/resource_governor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "conform/conformance_cache.hpp"
+#include "reflect/type_registry.hpp"
+
+namespace pti::core {
+
+ResourceGovernor::ResourceGovernor(GovernorConfig config, util::EpochManager& em)
+    : config_(config), em_(em) {
+  config_.min_idle_ticks = std::max<std::uint32_t>(1, config_.min_idle_ticks);
+}
+
+ResourceGovernor::~ResourceGovernor() { stop(); }
+
+void ResourceGovernor::watch(reflect::TypeRegistry& registry) {
+  std::lock_guard lock(mutex_);
+  if (std::find(registries_.begin(), registries_.end(), &registry) ==
+      registries_.end()) {
+    registries_.push_back(&registry);
+  }
+}
+
+void ResourceGovernor::watch(conform::ConformanceCache& cache) {
+  std::lock_guard lock(mutex_);
+  if (std::find(caches_.begin(), caches_.end(), &cache) == caches_.end()) {
+    caches_.push_back(&cache);
+  }
+}
+
+void ResourceGovernor::add_veto(std::function<bool(util::InternedName)> veto) {
+  std::lock_guard lock(mutex_);
+  vetoes_.push_back(std::move(veto));
+}
+
+bool ResourceGovernor::in_use(util::InternedName id) const {
+  // Callers hold mutex_ (sweep does); the lists are stable underneath.
+  for (const reflect::TypeRegistry* registry : registries_) {
+    if (registry->references(id)) return true;
+  }
+  for (const auto& veto : vetoes_) {
+    if (veto && veto(id)) return true;
+  }
+  return false;
+}
+
+SweepReport ResourceGovernor::sweep() {
+  std::lock_guard lock(mutex_);
+  SweepReport report;
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  symbols.advance_tick();
+  for (conform::ConformanceCache* cache : caches_) {
+    cache->advance_tick();
+    report.cache_evicted +=
+        cache->evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep);
+  }
+  report.names_evicted =
+      symbols.evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep,
+                         [this](util::InternedName id) { return in_use(id); });
+  report.reclaimed = em_.try_reclaim();
+  report.epoch = em_.epoch();
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  return report;
+}
+
+void ResourceGovernor::start(std::chrono::milliseconds period) {
+  std::lock_guard lock(run_mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  sweeper_ = std::thread([this, period] {
+    std::unique_lock lock(run_mutex_);
+    while (!stopping_) {
+      if (stop_cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+      lock.unlock();
+      sweep();
+      lock.lock();
+    }
+  });
+}
+
+void ResourceGovernor::stop() {
+  std::thread sweeper;
+  {
+    std::lock_guard lock(run_mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    sweeper = std::move(sweeper_);
+  }
+  stop_cv_.notify_all();
+  if (sweeper.joinable()) sweeper.join();
+  std::lock_guard lock(run_mutex_);
+  running_ = false;
+}
+
+}  // namespace pti::core

@@ -93,6 +93,13 @@ const TypeDescription* TypeRegistry::find(std::string_view type_name) {
   return resolve(type_name, "");
 }
 
+bool TypeRegistry::references(util::InternedName id) const noexcept {
+  if (!id.valid()) return false;
+  if (find_by_id(id) != nullptr) return true;
+  std::shared_lock lock(aux_mutex_);
+  return by_simple_name_.find(id) != by_simple_name_.end();
+}
+
 const TypeDescription* TypeRegistry::find_by_guid(const util::Guid& guid) const noexcept {
   std::shared_lock lock(aux_mutex_);
   const auto it = by_guid_.find(guid);

@@ -76,6 +76,14 @@ class TypeRegistry final : public TypeResolver {
   /// Identity lookup.
   [[nodiscard]] const TypeDescription* find_by_guid(const util::Guid& guid) const noexcept;
 
+  /// True when the interned id is referenced by any registered description
+  /// — as its qualified-name key or its simple-name index entry. This is
+  /// the eviction veto the resource governor passes to
+  /// SymbolTable::evict_cold(): a registry name may never be evicted (the
+  /// registry is append-only and keys its maps by id), while a transient
+  /// intern nothing references may.
+  [[nodiscard]] bool references(util::InternedName id) const noexcept;
+
   /// All registered non-primitive descriptions, in registration order.
   [[nodiscard]] std::vector<const TypeDescription*> user_types() const;
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "transport/transport_error.hpp"
+#include "util/epoch.hpp"
 
 namespace pti::transport {
 
@@ -111,6 +112,19 @@ bool AsyncTransport::charge(const Message& message) {
 }
 
 Message AsyncTransport::exchange(const Handler& handler, const Message& request) {
+  // Epoch pin spanning admission + handler: everything this exchange reads
+  // from the lock-free stores stays valid even while a ResourceGovernor
+  // sweeps (see util/epoch.hpp).
+  const util::EpochManager::Pin pin(util::EpochManager::global());
+  PeerQuotaTable::InflightGuard inflight;
+  if (quotas_.enabled()) {
+    // Admission before any charge or handler work. The guard spans the
+    // handler execution, so max_inflight counts exchanges actually
+    // running, whichever path (sync send or worker) carried them here.
+    quotas_.admit_frame(request.sender, request.wire_size(), clock_.now_ns());
+    inflight = quotas_.acquire_inflight(request.sender);
+    quotas_.charge_new_names(request.sender, count_new_names(request));
+  }
   if (!charge(request)) {
     throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
                        request.sender + "' to '" + request.recipient + "' was dropped");

@@ -58,6 +58,7 @@
 
 #include "transport/link_cost_model.hpp"
 #include "transport/message.hpp"
+#include "transport/peer_quota.hpp"
 #include "transport/transport.hpp"
 #include "util/sim_clock.hpp"
 #include "util/string_util.hpp"
@@ -101,6 +102,18 @@ class AsyncTransport final : public Transport {
   void set_default_link(const LinkConfig& config) noexcept override;
   void set_link(std::string_view from, std::string_view to,
                 const LinkConfig& config) override;
+
+  /// Hostile-peer governance: enforced in the exchange core, so both the
+  /// synchronous path and the worker-drained inboxes reject identically.
+  /// Violations surface as pti::ResourceExhaustedError — thrown from
+  /// send(), failing the future/callback for send_async().
+  void set_default_peer_quota(const PeerQuotaConfig& config) override {
+    quotas_.set_default(config);
+  }
+  void set_peer_quota(std::string_view peer, const PeerQuotaConfig& config) override {
+    quotas_.set_quota(peer, config);
+  }
+  [[nodiscard]] PeerQuotaTable* peer_quotas() noexcept override { return &quotas_; }
 
   [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
   void reset_stats() noexcept override { stats_.reset(); }
@@ -153,6 +166,7 @@ class AsyncTransport final : public Transport {
   bool shutdown_ = false;
 
   LinkCostModel link_model_;
+  PeerQuotaTable quotas_;
   NetStats stats_;
   util::SimClock clock_;
 

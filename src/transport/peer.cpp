@@ -6,6 +6,7 @@
 #include "conform/baselines.hpp"
 #include "serial/typedesc_xml.hpp"
 #include "serial/xml_object_serializer.hpp"
+#include "transport/peer_quota.hpp"
 #include "transport/transport_error.hpp"
 #include "util/string_util.hpp"
 
@@ -28,6 +29,13 @@ namespace {
   const std::size_t slash = path.find('/');
   return slash == std::string_view::npos ? path : path.substr(0, slash);
 }
+
+/// ErrorReply classification prefix for quota rejections. Peer-level
+/// errors travel in-band as addressed ErrorReply messages; this prefix is
+/// what lets the requesting side rethrow the typed ResourceExhaustedError
+/// instead of a generic ProtocolError — the in-band mirror of the socket
+/// transport's "resource|" fault-frame prefix.
+constexpr std::string_view kResourceReplyPrefix = "resource-exhausted: ";
 
 }  // namespace
 
@@ -163,6 +171,11 @@ ObjectPush Peer::build_push(const std::shared_ptr<DynObject>& object) {
 PushAck Peer::ack_from_response(const Message& response, std::string_view to) {
   if (const auto* ack = std::get_if<PushAck>(&response.payload)) return *ack;
   if (const auto* err = std::get_if<ErrorReply>(&response.payload)) {
+    if (util::starts_with(err->message, kResourceReplyPrefix)) {
+      throw pti::ResourceExhaustedError(
+          "push to '" + std::string(to) + "' rejected: " +
+          err->message.substr(kResourceReplyPrefix.size()));
+    }
     throw ProtocolError("push to '" + std::string(to) + "' failed: " + err->message);
   }
   throw ProtocolError("unexpected response to ObjectPush: " +
@@ -231,6 +244,9 @@ Message Peer::handle(const Message& request) {
     return Message{name_, request.sender,
                    ErrorReply{std::string("peer '") + name_ + "' cannot handle " +
                               request.kind_name()}};
+  } catch (const pti::ResourceExhaustedError& e) {
+    return Message{name_, request.sender,
+                   ErrorReply{std::string(kResourceReplyPrefix) + e.what()}};
   } catch (const Error& e) {
     return Message{name_, request.sender, ErrorReply{e.what()}};
   }
@@ -279,9 +295,28 @@ std::size_t Peer::fetch_descriptions(std::string_view from, std::vector<std::str
     throw ProtocolError("unexpected response to TypeInfoRequest: " +
                         std::string(response.kind_name()));
   }
-  std::size_t registered = 0;
+  std::vector<TypeDescription> parsed;
+  parsed.reserve(info->descriptions_xml.size());
   for (const auto& xml_text : info->descriptions_xml) {
-    domain_.registry().add(serial::type_description_from_string(xml_text));
+    parsed.push_back(serial::type_description_from_string(xml_text));
+  }
+  // Registry-boundary name governance: registering a description makes its
+  // name permanent (TypeRegistry is append-only), so before anything is
+  // added the supplying peer's distinct-name budget is charged for every
+  // description we do not already hold. Over budget, the whole batch is
+  // refused (ResourceExhaustedError) and nothing sticks — the transient
+  // interns the parse created stay cold and reclaimable by eviction.
+  if (PeerQuotaTable* quotas = network_.peer_quotas();
+      quotas != nullptr && quotas->enabled()) {
+    std::size_t fresh = 0;
+    for (const auto& d : parsed) {
+      if (domain_.registry().find_by_id(d.name_id()) == nullptr) ++fresh;
+    }
+    quotas->charge_new_names(from, fresh);
+  }
+  std::size_t registered = 0;
+  for (auto& d : parsed) {
+    domain_.registry().add(std::move(d));
     ++registered;
   }
   return registered;

@@ -1,4 +1,5 @@
 #include "transport/sim_network.hpp"
+#include "util/epoch.hpp"
 
 #include <memory>
 
@@ -106,6 +107,19 @@ Message SimNetwork::send(const Message& request) {
   // Keep the handler alive across the call: the handler may detach itself
   // (or another endpoint may detach it via a nested send) mid-execution.
   const std::shared_ptr<Handler> handler = it->second;
+  // Epoch pin spanning admission + handler: everything this exchange reads
+  // from the lock-free stores stays valid even while a ResourceGovernor
+  // sweeps (see util/epoch.hpp).
+  const util::EpochManager::Pin pin(util::EpochManager::global());
+  PeerQuotaTable::InflightGuard inflight;
+  if (quotas_.enabled()) {
+    // Admission before any charge or handler work: an over-budget sender
+    // costs the admission check, nothing more. Violations propagate as
+    // pti::ResourceExhaustedError straight to the (in-process) caller.
+    quotas_.admit_frame(request.sender, request.wire_size(), clock_.now_ns());
+    inflight = quotas_.acquire_inflight(request.sender);
+    quotas_.charge_new_names(request.sender, count_new_names(request));
+  }
   if (!charge(request)) {
     throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
                        request.sender + "' to '" + request.recipient + "' was dropped");

@@ -29,6 +29,7 @@
 #include <unordered_set>
 
 #include "transport/message.hpp"
+#include "transport/peer_quota.hpp"
 #include "transport/transport.hpp"
 #include "transport/transport_error.hpp"
 #include "util/interning.hpp"
@@ -46,10 +47,20 @@ class SimNetwork final : public Transport {
   void detach(std::string_view name) override;
   [[nodiscard]] bool is_attached(std::string_view name) const noexcept override;
 
-  /// Synchronous exchange: charges the request, dispatches to the
-  /// recipient, charges the response, returns it. Throws NetworkError on
-  /// unknown recipients or injected drops.
+  /// Synchronous exchange: admits the request against the sender's quota,
+  /// charges it, dispatches to the recipient, charges the response,
+  /// returns it. Throws NetworkError on unknown recipients or injected
+  /// drops and pti::ResourceExhaustedError on quota rejection.
   Message send(const Message& request) override;
+
+  /// Hostile-peer governance (shared PeerQuotaTable semantics).
+  void set_default_peer_quota(const PeerQuotaConfig& config) override {
+    quotas_.set_default(config);
+  }
+  void set_peer_quota(std::string_view peer, const PeerQuotaConfig& config) override {
+    quotas_.set_quota(peer, config);
+  }
+  [[nodiscard]] PeerQuotaTable* peer_quotas() noexcept override { return &quotas_; }
 
   void set_default_link(const LinkConfig& config) noexcept override {
     default_link_ = config;
@@ -96,6 +107,7 @@ class SimNetwork final : public Transport {
   std::unordered_map<std::uint64_t, LinkConfig> links_;
   std::unordered_set<std::uint64_t> partitions_;
   LinkConfig default_link_;
+  PeerQuotaTable quotas_;
   NetStats stats_;
   util::SimClock clock_;
   util::Rng rng_;

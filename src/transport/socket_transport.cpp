@@ -16,6 +16,7 @@
 #include <variant>
 
 #include "transport/transport_error.hpp"
+#include "util/epoch.hpp"
 
 namespace pti::transport {
 
@@ -40,6 +41,7 @@ thread_local bool tl_transport_thread = false;
 /// so the requesting side rethrows the right exception type.
 constexpr std::string_view kNetworkFault = "network|";
 constexpr std::string_view kTransportFault = "transport|";
+constexpr std::string_view kResourceFault = "resource|";
 
 /// A transport-level fault travels as an *unaddressed* ErrorReply frame.
 /// Real responses are always addressed by address_response(), so an empty
@@ -83,6 +85,12 @@ constexpr std::string_view kTransportFault = "transport|";
   }
   if (reason.starts_with(kTransportFault)) {
     throw TransportError(reason.substr(kTransportFault.size()));
+  }
+  if (reason.starts_with(kResourceFault)) {
+    // Quota rejection on the serving side: re-raise with the same
+    // classification (core::ErrorCode::ResourceExhausted) the in-process
+    // transports throw, so callers branch identically on any transport.
+    throw pti::ResourceExhaustedError(reason.substr(kResourceFault.size()));
   }
   throw TransportError(reason);
 }
@@ -160,7 +168,12 @@ void set_nodelay(int fd) noexcept {
 }  // namespace
 
 SocketTransport::SocketTransport(SocketTransportConfig config)
-    : config_(config), codec_(config.frame_limits), link_model_(config.rng_seed) {
+    : config_(config),
+      codec_(config.frame_limits),
+      link_model_(config.rng_seed),
+      // Decorrelated from the drop stream so enabling backoff jitter never
+      // perturbs which messages a drop_probability test kills.
+      dial_rng_(config.rng_seed ^ 0x9E3779B97F4A7C15ULL) {
   if (config_.max_outbound == 0) {
     throw TransportError("SocketTransport needs max_outbound >= 1");
   }
@@ -326,20 +339,50 @@ std::uint16_t SocketTransport::resolve_port(const std::string& recipient) const 
 }
 
 int SocketTransport::dial(std::uint16_t dest_port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    throw NetworkError(std::string("cannot create socket: ") + std::strerror(errno));
-  }
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, config_.connect_attempts);
+  std::uint64_t backoff_us = std::max<std::uint64_t>(1, config_.connect_backoff_initial_us);
   const sockaddr_in addr = loopback_address(dest_port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string reason = std::strerror(errno);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      throw NetworkError(std::string("cannot create socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0) {
+      set_nodelay(fd);
+      ++socket_stats_.connections_dialed;
+      return fd;
+    }
+    const int saved_errno = errno;
+    const std::string reason = std::strerror(saved_errno);
     ::close(fd);
-    throw NetworkError("cannot connect to 127.0.0.1:" + std::to_string(dest_port) +
-                       ": " + reason);
+    // Only transient refusals retry: ECONNREFUSED (listener not accepting
+    // yet — e.g. the destination transport is still starting) and EAGAIN
+    // (kernel ephemeral-resource pressure). Anything else — unreachable
+    // network, bad address — fails the same dial() would have before.
+    const bool transient = saved_errno == ECONNREFUSED || saved_errno == EAGAIN;
+    if (!transient || attempt >= max_attempts ||
+        shutdown_.load(std::memory_order_acquire)) {
+      throw NetworkError("cannot connect to 127.0.0.1:" + std::to_string(dest_port) +
+                         ": " + reason +
+                         (attempt > 1 ? " (after " + std::to_string(attempt) +
+                                            " attempts)"
+                                      : std::string{}));
+    }
+    ++socket_stats_.connect_retries;
+    // Capped exponential backoff with up to +50% SplitMix jitter, so a
+    // herd of clients dialing a restarting server spreads out instead of
+    // re-colliding on the same schedule.
+    std::uint64_t z = dial_rng_.fetch_add(0x9E3779B97F4A7C15ULL,
+                                          std::memory_order_relaxed) +
+                      0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    const std::uint64_t jitter_us = backoff_us == 0 ? 0 : z % (backoff_us / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us + jitter_us));
+    backoff_us = std::min(backoff_us * 2, std::max<std::uint64_t>(
+                                              1, config_.connect_backoff_max_us));
   }
-  set_nodelay(fd);
-  ++socket_stats_.connections_dialed;
-  return fd;
 }
 
 int SocketTransport::checkout_connection(std::uint16_t dest_port, bool& pooled) {
@@ -468,6 +511,10 @@ Message SocketTransport::send(const Message& request) {
   if (shutdown_.load(std::memory_order_acquire)) {
     throw TransportError("transport is shutting down");
   }
+  // Epoch pin for the whole exchange: the link-cost model and routing read
+  // interned names lock-free, and a ResourceGovernor may be sweeping
+  // concurrently (see util/epoch.hpp).
+  const util::EpochManager::Pin pin(util::EpochManager::global());
   const std::uint16_t dest_port = resolve_port(request.recipient);
   if (!charge(request)) {
     throw NetworkError("message " + std::string(request.kind_name()) + " from '" +
@@ -477,6 +524,24 @@ Message SocketTransport::send(const Message& request) {
 }
 
 std::vector<std::uint8_t> SocketTransport::serve_request(Message request) {
+  // Epoch pin spanning admission + handler: everything this request reads
+  // from the lock-free stores stays valid even while a ResourceGovernor
+  // sweeps (see util/epoch.hpp).
+  const util::EpochManager::Pin pin(util::EpochManager::global());
+  // Hostile-peer admission runs before the endpoint lookup and handler: a
+  // peer over budget costs this check and one bounded fault frame,
+  // nothing more. The in-flight slot is held for the whole service of the
+  // request (guard scope spans the handler execution below).
+  PeerQuotaTable::InflightGuard inflight;
+  if (quotas_.enabled()) {
+    try {
+      quotas_.admit_frame(request.sender, request.wire_size(), clock_.now_ns());
+      inflight = quotas_.acquire_inflight(request.sender);
+      quotas_.charge_new_names(request.sender, count_new_names(request));
+    } catch (const pti::ResourceExhaustedError& e) {
+      return encode_fault(codec_, kResourceFault, e.what());
+    }
+  }
   std::shared_ptr<Endpoint> endpoint;
   std::shared_ptr<Handler> handler;
   {

@@ -87,6 +87,7 @@
 #include "serial/frame_codec.hpp"
 #include "transport/link_cost_model.hpp"
 #include "transport/message.hpp"
+#include "transport/peer_quota.hpp"
 #include "transport/transport.hpp"
 #include "util/atomic_counter.hpp"
 #include "util/sim_clock.hpp"
@@ -113,6 +114,15 @@ struct SocketTransportConfig {
   std::uint64_t rng_seed = 42;
   /// Listen backlog of the accept socket.
   int backlog = 64;
+  /// Client connect attempts per dial: transient failures (ECONNREFUSED —
+  /// the listener not accepting yet — and EAGAIN) are retried with capped
+  /// exponential backoff + jitter up to this many attempts, then reported
+  /// as NetworkError. 1 disables retrying.
+  std::uint32_t connect_attempts = 4;
+  /// First retry backoff; doubles per attempt up to the cap below (the
+  /// drawn jitter adds up to half the current backoff).
+  std::uint64_t connect_backoff_initial_us = 1'000;
+  std::uint64_t connect_backoff_max_us = 50'000;
 };
 
 /// Real-byte traffic counters (framed bytes through the sockets), kept
@@ -121,6 +131,7 @@ struct SocketTransportConfig {
 struct SocketStats {
   util::RelaxedCounter connections_accepted;
   util::RelaxedCounter connections_dialed;
+  util::RelaxedCounter connect_retries;  ///< transient-failure redials
   util::RelaxedCounter frames_sent;
   util::RelaxedCounter frames_received;
   util::RelaxedCounter wire_bytes_sent;
@@ -155,6 +166,19 @@ class SocketTransport final : public Transport {
   void set_default_link(const LinkConfig& config) noexcept override;
   void set_link(std::string_view from, std::string_view to,
                 const LinkConfig& config) override;
+
+  /// Hostile-peer governance, enforced server-side in serve_request()
+  /// before the handler runs; a rejection crosses back as an unforgeable
+  /// "resource|" fault frame that the requesting side rethrows as
+  /// pti::ResourceExhaustedError. Identity is the decoded frame's
+  /// declarative sender field (authentication is the ROADMAP's TLS item).
+  void set_default_peer_quota(const PeerQuotaConfig& config) override {
+    quotas_.set_default(config);
+  }
+  void set_peer_quota(std::string_view peer, const PeerQuotaConfig& config) override {
+    quotas_.set_quota(peer, config);
+  }
+  [[nodiscard]] PeerQuotaTable* peer_quotas() noexcept override { return &quotas_; }
 
   [[nodiscard]] const NetStats& stats() const noexcept override { return stats_; }
   void reset_stats() noexcept override { stats_.reset(); }
@@ -248,8 +272,10 @@ class SocketTransport final : public Transport {
   std::vector<ServerConnection> connections_;
 
   LinkCostModel link_model_;
+  PeerQuotaTable quotas_;
   NetStats stats_;
   SocketStats socket_stats_;
+  std::atomic<std::uint64_t> dial_rng_;  ///< backoff-jitter SplitMix stream
   util::SimClock clock_;
   std::atomic<bool> shutdown_{false};
 

@@ -33,6 +33,16 @@ std::future<Message> Transport::send_async(Message request) {
   return future;
 }
 
+// Governance defaults: transports that do not enforce quotas accept the
+// configuration silently (so callers can set policy before choosing a
+// transport) and expose no table.
+
+void Transport::set_default_peer_quota(const PeerQuotaConfig&) {}
+
+void Transport::set_peer_quota(std::string_view, const PeerQuotaConfig&) {}
+
+PeerQuotaTable* Transport::peer_quotas() noexcept { return nullptr; }
+
 void Transport::send_async(Message request, SendCallback on_complete) {
   if (!on_complete) throw TransportError("send_async requires a completion callback");
   Message response;

@@ -55,6 +55,42 @@ struct LinkConfig {
   double drop_probability = 0.0;
 };
 
+/// Per-peer resource budget — the hostile-peer governance knobs enforced
+/// at the transport seam (admission of inbound frames) and at the
+/// registry boundary (distinct-name budget). Zero means "unlimited" for
+/// every field, so a default-constructed config governs nothing.
+///
+/// Enforcement points (see PeerQuotaTable in peer_quota.hpp):
+///  * max_frame_bytes  — an inbound message whose wire size exceeds this
+///    is rejected before its handler runs.
+///  * bytes_per_sec / burst_bytes — token bucket over the transport's
+///    virtual clock; a frame is admitted only when the peer's accumulated
+///    byte allowance covers it. burst_bytes of 0 defaults the bucket
+///    depth to one second of rate.
+///  * max_inflight     — concurrent exchanges the peer may have executing.
+///  * max_new_names    — distinct type names the peer may cause the local
+///    SymbolTable/TypeRegistry to intern, cumulatively; the backstop that
+///    keeps a name-flooding peer from growing process-lifetime state.
+///
+/// Every violation surfaces as pti::ResourceExhaustedError, classified
+/// core::ErrorCode::ResourceExhausted, and crosses the wire as an
+/// unforgeable "resource|" fault frame.
+struct PeerQuotaConfig {
+  std::uint64_t bytes_per_sec = 0;   ///< token-bucket refill rate (0 = off)
+  std::uint64_t burst_bytes = 0;     ///< bucket depth (0 = 1s of rate)
+  std::uint32_t max_inflight = 0;    ///< concurrent exchanges (0 = off)
+  std::uint64_t max_frame_bytes = 0; ///< per-message wire-size cap (0 = off)
+  std::uint64_t max_new_names = 0;   ///< cumulative interned-name budget (0 = off)
+
+  /// True when at least one field actually constrains something.
+  [[nodiscard]] bool limits_anything() const noexcept {
+    return bytes_per_sec != 0 || max_inflight != 0 || max_frame_bytes != 0 ||
+           max_new_names != 0;
+  }
+};
+
+class PeerQuotaTable;
+
 /// Aggregate traffic counters — the quantity the optimistic protocol is
 /// designed to save. Counters are relaxed atomics so concurrent transports
 /// can charge them from many threads; cross-field consistency is only
@@ -111,6 +147,19 @@ class Transport {
   virtual void set_default_link(const LinkConfig& config) noexcept = 0;
   virtual void set_link(std::string_view from, std::string_view to,
                         const LinkConfig& config) = 0;
+
+  /// Hostile-peer governance: quota applied to peers without a per-peer
+  /// override, and per-peer overrides. The defaults are no-ops so
+  /// transports (and test doubles) that do not govern resources need not
+  /// care; the three shipped implementations all enforce via a shared
+  /// PeerQuotaTable. Peer identity is the declarative `sender` field of
+  /// the request — authenticating it is the ROADMAP's TLS/auth item.
+  virtual void set_default_peer_quota(const PeerQuotaConfig& config);
+  virtual void set_peer_quota(std::string_view peer, const PeerQuotaConfig& config);
+  /// The enforcing table, or nullptr when this transport does not govern.
+  /// Upper layers (Peer) use it to charge the distinct-name budget at the
+  /// registry boundary.
+  [[nodiscard]] virtual PeerQuotaTable* peer_quotas() noexcept;
 
   [[nodiscard]] virtual const NetStats& stats() const noexcept = 0;
   virtual void reset_stats() noexcept = 0;

@@ -1,0 +1,123 @@
+#include "util/epoch.hpp"
+
+namespace pti::util {
+
+// kIdle marks a slot with no live pin; idle slots never constrain
+// min_pinned(). Slots outlive every pin (they are only freed with the
+// manager), so a reclaimer may always dereference the all-slots list.
+namespace {
+constexpr std::uint64_t kIdle = UINT64_MAX;
+}  // namespace
+
+struct EpochSlot {
+  std::atomic<std::uint64_t> epoch{kIdle};
+  EpochSlot* next_all = nullptr;            // all-slots list, immutable once pushed
+  std::atomic<EpochSlot*> next_free{nullptr};  // Treiber free-stack link
+};
+
+EpochManager::~EpochManager() {
+  // No pins can be live at destruction; free everything unconditionally.
+  for (const Retired& r : retired_) r.deleter(r.object);
+  EpochSlot* slot = all_slots_.load(std::memory_order_acquire);
+  while (slot != nullptr) {
+    EpochSlot* next = slot->next_all;
+    delete slot;
+    slot = next;
+  }
+}
+
+EpochManager& EpochManager::global() {
+  static EpochManager manager;
+  return manager;
+}
+
+EpochSlot* EpochManager::acquire_slot() noexcept {
+  // Pop a free slot; allocate one the first few times. seq_cst on the
+  // epoch store is deliberate: the pin must be globally visible before the
+  // reader's first load from the protected structure, or a concurrent
+  // reclaimer could miss it.
+  EpochSlot* slot = free_slots_.load(std::memory_order_acquire);
+  while (slot != nullptr) {
+    EpochSlot* next = slot->next_free.load(std::memory_order_relaxed);
+    if (free_slots_.compare_exchange_weak(slot, next, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      slot->epoch.store(epoch_.load(std::memory_order_relaxed), std::memory_order_seq_cst);
+      return slot;
+    }
+  }
+  auto* fresh = new EpochSlot();
+  fresh->epoch.store(epoch_.load(std::memory_order_relaxed), std::memory_order_seq_cst);
+  EpochSlot* head = all_slots_.load(std::memory_order_relaxed);
+  do {
+    fresh->next_all = head;
+  } while (!all_slots_.compare_exchange_weak(head, fresh, std::memory_order_acq_rel,
+                                             std::memory_order_relaxed));
+  return fresh;
+}
+
+void EpochManager::release_slot(EpochSlot* slot) noexcept {
+  slot->epoch.store(kIdle, std::memory_order_seq_cst);
+  EpochSlot* head = free_slots_.load(std::memory_order_relaxed);
+  do {
+    slot->next_free.store(head, std::memory_order_relaxed);
+  } while (!free_slots_.compare_exchange_weak(head, slot, std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+}
+
+std::uint64_t EpochManager::min_pinned() const noexcept {
+  std::uint64_t min = epoch_.load(std::memory_order_seq_cst);
+  for (const EpochSlot* slot = all_slots_.load(std::memory_order_acquire); slot != nullptr;
+       slot = slot->next_all) {
+    const std::uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+    if (e < min) min = e;  // kIdle is UINT64_MAX, never the minimum
+  }
+  return min;
+}
+
+void EpochManager::retire(void* object, void (*deleter)(void*)) {
+  const std::uint64_t stamp = epoch_.load(std::memory_order_seq_cst);
+  std::lock_guard lock(retired_mutex_);
+  retired_.push_back(Retired{object, deleter, stamp});
+}
+
+std::uint64_t EpochManager::advance() noexcept {
+  return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+}
+
+std::size_t EpochManager::try_reclaim() {
+  advance();
+  const std::uint64_t safe_before = min_pinned();
+  std::vector<Retired> free_now;
+  {
+    std::lock_guard lock(retired_mutex_);
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->epoch < safe_before) {
+        free_now.push_back(*it);
+      } else {
+        *keep++ = *it;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  // Deleters run outside the lock: they may be arbitrarily expensive and
+  // must not block concurrent retire() calls.
+  for (const Retired& r : free_now) r.deleter(r.object);
+  reclaimed_.fetch_add(free_now.size(), std::memory_order_relaxed);
+  return free_now.size();
+}
+
+bool EpochManager::quiescent() const noexcept {
+  for (const EpochSlot* slot = all_slots_.load(std::memory_order_acquire); slot != nullptr;
+       slot = slot->next_all) {
+    if (slot->epoch.load(std::memory_order_seq_cst) != kIdle) return false;
+  }
+  return true;
+}
+
+std::size_t EpochManager::retired_count() const {
+  std::lock_guard lock(retired_mutex_);
+  return retired_.size();
+}
+
+}  // namespace pti::util

@@ -1,0 +1,131 @@
+// Epoch-based reclamation for the lock-free-reader stores.
+//
+// SymbolTable and ConformanceCache publish stable pointers (folded-name
+// views, verdict entries, read-index tables) to readers that hold no lock.
+// Evicting a cold entry therefore cannot free its memory immediately: a
+// reader that loaded the pointer a moment earlier may still be using it.
+// The EpochManager closes that gap with the classic three-step discipline:
+//
+//   1. PIN    — a reader brackets each operation that may hold such
+//               pointers in an EpochManager::Pin (RAII). Pinning publishes
+//               the global epoch the operation started in.
+//   2. RETIRE — an evictor first unlinks the object from every index (so
+//               no NEW reader can reach it), then hands it to retire(),
+//               stamped with the current global epoch.
+//   3. RECLAIM— try_reclaim() advances the epoch and frees every retired
+//               object whose stamp is older than the oldest pinned epoch:
+//               every reader that could have seen the object has since
+//               unpinned, so the free provably races with no one.
+//
+// Pins are per-operation/per-message, never per-lookup: the 19ns cached
+// conformance check stays pin-free because pinning requires a sequentially
+// consistent store (an x86 StoreLoad fence) that would dwarf it. The
+// contract is therefore: code that calls lookup()/folded() WITHOUT a pin
+// must not run concurrently with evict_cold()/clear(em) on the same store —
+// exactly the quiescent-point rule the ResourceGovernor enforces by
+// sweeping from a governor thread while workers pin around message
+// handling.
+//
+// Slots are handed out per-Pin from a lock-free Treiber stack, so threads
+// never register and thread churn (a soak harness attaching hundreds of
+// short-lived peers) cannot leak per-thread state: the slot count is
+// bounded by the maximum number of CONCURRENT pins ever observed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pti::util {
+
+struct EpochSlot;  // one pin's published epoch; defined in epoch.cpp
+
+class EpochManager {
+ public:
+  EpochManager() = default;
+  ~EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The process-wide manager. The global SymbolTable and per-peer
+  /// conformance caches all retire through it so one sweep covers them.
+  [[nodiscard]] static EpochManager& global();
+
+  /// RAII reader pin: publishes the current epoch for the duration of an
+  /// operation that may hold pointers into an epoch-protected store.
+  class Pin {
+   public:
+    explicit Pin(EpochManager& em) noexcept : em_(em), slot_(em.acquire_slot()) {}
+    ~Pin() { em_.release_slot(slot_); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    EpochManager& em_;
+    EpochSlot* slot_;
+  };
+
+  /// Hands `object` to the manager for deferred destruction via `deleter`.
+  /// Call only AFTER unlinking it from every reader-reachable index.
+  void retire(void* object, void (*deleter)(void*));
+
+  /// Typed convenience: retire(p) deletes p at a safe epoch.
+  template <class T>
+  void retire(T* object) {
+    retire(static_cast<void*>(object), [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Bumps the global epoch; returns the new value. try_reclaim() advances
+  /// on its own, so explicit calls are only needed in tests.
+  std::uint64_t advance() noexcept;
+
+  /// Advances the epoch, then frees every retired object stamped before
+  /// the oldest currently pinned epoch (all of them when nothing is
+  /// pinned). Returns how many objects were freed. Safe to call from any
+  /// thread, concurrently with pins and retires.
+  std::size_t try_reclaim();
+
+  /// True when no Pin is live — the quiescent-point predicate.
+  [[nodiscard]] bool quiescent() const noexcept;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Retired-but-not-yet-freed object count (observability / test hook).
+  [[nodiscard]] std::size_t retired_count() const;
+  /// Total objects freed over the manager's lifetime.
+  [[nodiscard]] std::uint64_t reclaimed_total() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Pin;
+
+  [[nodiscard]] EpochSlot* acquire_slot() noexcept;
+  void release_slot(EpochSlot* slot) noexcept;
+
+  /// Oldest epoch published by a live pin, or the current epoch when no
+  /// pin is live. Retired objects stamped strictly before this are free.
+  [[nodiscard]] std::uint64_t min_pinned() const noexcept;
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> reclaimed_{0};
+
+  // All slots ever created (singly linked via next_all, push-only); free
+  // slots additionally sit on the Treiber free stack (next_free).
+  std::atomic<EpochSlot*> all_slots_{nullptr};
+  std::atomic<EpochSlot*> free_slots_{nullptr};
+
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace pti::util

@@ -13,4 +13,15 @@ class Error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A governed resource ran out: an interning shard hit its hard cap, or a
+/// peer exhausted one of its quotas (bytes/sec, in-flight exchanges, frame
+/// size, distinct-name budget). Lives at the root of the hierarchy because
+/// both util (SymbolTable) and transport (PeerQuotaTable) raise it, and
+/// util cannot depend on transport. Classified as
+/// core::ErrorCode::ResourceExhausted.
+class ResourceExhaustedError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace pti

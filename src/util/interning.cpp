@@ -1,8 +1,9 @@
 #include "util/interning.hpp"
 
 #include <mutex>
-#include <stdexcept>
 
+#include "util/epoch.hpp"
+#include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/string_util.hpp"
 
@@ -32,8 +33,13 @@ SymbolTable::SymbolTable() = default;
 
 SymbolTable::~SymbolTable() {
   for (Shard& shard : shards_) {
-    for (auto& chunk : shard.chunks) {
-      delete chunk.load(std::memory_order_relaxed);
+    for (auto& chunk_ptr : shard.chunks) {
+      Chunk* chunk = chunk_ptr.load(std::memory_order_relaxed);
+      if (chunk == nullptr) continue;
+      for (Entry& entry : *chunk) {
+        delete entry.name.load(std::memory_order_relaxed);
+      }
+      delete chunk;
     }
   }
 }
@@ -45,11 +51,16 @@ SymbolTable& SymbolTable::global() {
 
 const SymbolTable::Entry& SymbolTable::entry_at(const Shard& shard,
                                                 std::uint32_t slot) const noexcept {
-  // The chunk pointer was stored before the slot was published via the
-  // shard count (release); callers established slot validity through an
-  // acquire load of that count or while holding the shard mutex, so a
-  // relaxed load here reads a fully constructed entry.
+  // The chunk pointer was stored before the slot was first published;
+  // callers established slot validity through an acquire load of the shard
+  // count or while holding the shard mutex, so a relaxed load here reads a
+  // fully constructed chunk.
   const Chunk* chunk = shard.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
+  return (*chunk)[slot & (kChunkSize - 1)];
+}
+
+SymbolTable::Entry& SymbolTable::entry_at(Shard& shard, std::uint32_t slot) noexcept {
+  Chunk* chunk = shard.chunks[slot >> kChunkBits].load(std::memory_order_relaxed);
   return (*chunk)[slot & (kChunkSize - 1)];
 }
 
@@ -58,8 +69,18 @@ InternedName SymbolTable::find_in_shard(const Shard& shard, std::size_t shard_id
                                         std::string_view name) const noexcept {
   const auto it = shard.index.find(h);
   if (it == shard.index.end()) return {};
+  const std::uint32_t tick = tick_.load(std::memory_order_relaxed);
   for (const std::uint32_t slot : it->second) {
-    if (folded_equals(entry_at(shard, slot).folded, ns, name)) {
+    const Entry& entry = entry_at(shard, slot);
+    // Indexed slots always carry a live name: eviction unlinks from the
+    // index (under this same lock) before clearing the pointer.
+    const std::string* stored = entry.name.load(std::memory_order_acquire);
+    if (stored != nullptr && folded_equals(*stored, ns, name)) {
+      // Store-only-if-different keeps repeat hits within one tick from
+      // bouncing the cache line between readers.
+      if (entry.last_use.load(std::memory_order_relaxed) != tick) {
+        entry.last_use.store(tick, std::memory_order_relaxed);
+      }
       return InternedName(make_id(shard_idx, slot));
     }
   }
@@ -68,23 +89,42 @@ InternedName SymbolTable::find_in_shard(const Shard& shard, std::size_t shard_id
 
 InternedName SymbolTable::insert_locked(Shard& shard, std::size_t shard_idx,
                                         std::uint64_t h, std::string&& folded) {
-  const std::uint32_t slot = shard.count.load(std::memory_order_relaxed);
-  if (slot >= kMaxChunks * kChunkSize) {
-    throw std::length_error("SymbolTable shard full");
+  std::uint32_t slot;
+  if (!shard.free_slots.empty()) {
+    // Recycle an evicted slot: its chunk already exists and its previous
+    // string is on the epoch retire list (or already freed).
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+  } else {
+    slot = shard.count.load(std::memory_order_relaxed);
+    if (slot >= kMaxChunks * kChunkSize) {
+      throw pti::ResourceExhaustedError(
+          "SymbolTable shard " + std::to_string(shard_idx) + " full (" +
+          std::to_string(kMaxChunks * kChunkSize) +
+          " names): interned-name budget exhausted");
+    }
+    const std::uint32_t chunk_idx = slot >> kChunkBits;
+    Chunk* chunk = shard.chunks[chunk_idx].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new Chunk();
+      shard.chunks[chunk_idx].store(chunk, std::memory_order_relaxed);
+    }
   }
-  const std::uint32_t chunk_idx = slot >> kChunkBits;
-  Chunk* chunk = shard.chunks[chunk_idx].load(std::memory_order_relaxed);
-  if (chunk == nullptr) {
-    chunk = new Chunk();
-    shard.chunks[chunk_idx].store(chunk, std::memory_order_relaxed);
-  }
-  Entry& entry = (*chunk)[slot & (kChunkSize - 1)];
-  entry.folded = std::move(folded);
-  entry.hash = h;
+  Entry& entry = entry_at(shard, slot);
+  entry.hash.store(h, std::memory_order_relaxed);
+  entry.last_use.store(tick_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  // Publish: hash before name (release) so a lock-free reader that sees
+  // the name pointer sees its hash; the index insert below is what makes
+  // the slot findable, and it happens under the exclusive shard lock.
+  entry.name.store(new std::string(std::move(folded)), std::memory_order_release);
   shard.index[h].push_back(slot);
-  // Publish: the entry (and its chunk pointer) become visible to lock-free
-  // readers only after this release store.
-  shard.count.store(slot + 1, std::memory_order_release);
+  shard.live.fetch_add(1, std::memory_order_relaxed);
+  // High-water publication for fresh slots: by-id readers bound-check
+  // against this count.
+  const std::uint32_t count = shard.count.load(std::memory_order_relaxed);
+  if (slot >= count) {
+    shard.count.store(slot + 1, std::memory_order_release);
+  }
   return InternedName(make_id(shard_idx, slot));
 }
 
@@ -156,7 +196,8 @@ std::string_view SymbolTable::folded(InternedName id) const noexcept {
   const Shard& shard = shards_[id.value() & (kShardCount - 1)];
   const std::uint32_t slot = id.value() >> kShardBits;
   if (slot >= shard.count.load(std::memory_order_acquire)) return {};
-  return entry_at(shard, slot).folded;
+  const std::string* name = entry_at(shard, slot).name.load(std::memory_order_acquire);
+  return name != nullptr ? std::string_view(*name) : std::string_view{};
 }
 
 std::uint64_t SymbolTable::hash(InternedName id) const noexcept {
@@ -164,20 +205,71 @@ std::uint64_t SymbolTable::hash(InternedName id) const noexcept {
   const Shard& shard = shards_[id.value() & (kShardCount - 1)];
   const std::uint32_t slot = id.value() >> kShardBits;
   if (slot >= shard.count.load(std::memory_order_acquire)) return 0;
-  return entry_at(shard, slot).hash;
+  const Entry& entry = entry_at(shard, slot);
+  // Acquire on the name pointer orders the hash load after the writer's
+  // hash-then-name publication, so a reused slot never yields a stale mix.
+  if (entry.name.load(std::memory_order_acquire) == nullptr) return 0;
+  return entry.hash.load(std::memory_order_relaxed);
 }
 
 std::size_t SymbolTable::size() const noexcept {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    total += shard.count.load(std::memory_order_acquire);
+    total += shard.live.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 std::size_t SymbolTable::shard_size(std::size_t shard) const noexcept {
   if (shard >= kShardCount) return 0;
-  return shards_[shard].count.load(std::memory_order_acquire);
+  return shards_[shard].live.load(std::memory_order_relaxed);
+}
+
+std::uint32_t SymbolTable::advance_tick() noexcept {
+  return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t SymbolTable::evict_cold(EpochManager& em, std::uint32_t min_idle_ticks,
+                                    std::size_t max_evict,
+                                    const std::function<bool(InternedName)>& in_use) {
+  if (max_evict == 0) return 0;
+  const std::uint32_t tick = tick_.load(std::memory_order_relaxed);
+  std::size_t evicted = 0;
+  for (std::size_t shard_idx = 0; shard_idx < kShardCount && evicted < max_evict;
+       ++shard_idx) {
+    Shard& shard = shards_[shard_idx];
+    std::unique_lock lock(shard.mutex);
+    for (auto bucket = shard.index.begin();
+         bucket != shard.index.end() && evicted < max_evict;) {
+      std::vector<std::uint32_t>& slots = bucket->second;
+      for (std::size_t i = 0; i < slots.size() && evicted < max_evict;) {
+        const std::uint32_t slot = slots[i];
+        Entry& entry = entry_at(shard, slot);
+        // Unsigned wrap-safe idleness; entries stamped this tick are hot.
+        const std::uint32_t idle = tick - entry.last_use.load(std::memory_order_relaxed);
+        const InternedName id(make_id(shard_idx, slot));
+        if (idle < min_idle_ticks || (in_use && in_use(id))) {
+          ++i;
+          continue;
+        }
+        // Unlink first (no new reader can reach the slot), then retire the
+        // string for deferred free, then clear the publication pointer so
+        // by-id reads see "evicted". Pinned readers that already loaded
+        // the string pointer stay valid until the epoch advances past
+        // their pin.
+        slots[i] = slots.back();
+        slots.pop_back();
+        const std::string* name = entry.name.load(std::memory_order_relaxed);
+        entry.name.store(nullptr, std::memory_order_release);
+        em.retire(const_cast<std::string*>(name));
+        shard.free_slots.push_back(slot);
+        shard.live.fetch_sub(1, std::memory_order_relaxed);
+        ++evicted;
+      }
+      bucket = slots.empty() ? shard.index.erase(bucket) : std::next(bucket);
+    }
+  }
+  return evicted;
 }
 
 }  // namespace pti::util

@@ -19,12 +19,21 @@
 // Thread safety: the table is sharded 16 ways by folded hash. Each shard
 // stripes its probe index behind a std::shared_mutex (readers share,
 // interning writers exclude only their shard), while the entry storage is
-// append-only chunked memory published through atomics — so the by-id
-// accessors folded() and hash() are lock-free and wait-free, and
-// concurrent intern()/find() calls on distinct shards never contend at
-// all. Every member function is safe to call from any number of threads
-// concurrently; ids and folded() views are stable for the lifetime of the
-// table and are never invalidated by later interning.
+// chunked memory whose slots each publish a heap-allocated folded string
+// through an atomic pointer — so the by-id accessors folded() and hash()
+// are lock-free, and concurrent intern()/find() calls on distinct shards
+// never contend at all.
+//
+// Reclamation (hostile-peer governance): ids and folded() views are stable
+// until a name is explicitly evicted via evict_cold(), which (1) unlinks
+// the slot from the probe index under the exclusive shard lock, (2) hands
+// the folded string to a util::EpochManager retire list, and (3) recycles
+// the slot for later interns. Lock-free readers that may overlap an
+// eviction must bracket their use of folded() views in an
+// EpochManager::Pin; callers that evict are responsible for only evicting
+// names that no long-lived structure (registry, link table) still
+// references — recency (`last_use` ticks) plus an `in_use` predicate is
+// how the ResourceGovernor approximates that.
 #pragma once
 
 #include <array>
@@ -41,6 +50,8 @@
 #include "util/string_util.hpp"
 
 namespace pti::util {
+
+class EpochManager;
 
 /// FNV-1a over the case-folded characters of `s`, continuing from `seed` —
 /// the hash of the folded form without materializing it.
@@ -81,17 +92,21 @@ class InternedName {
   return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
 }
 
-/// Append-only, sharded table of case-folded names. Interning is amortized
-/// O(1); find() is O(1) with zero allocations. Ids are stable for the
-/// lifetime of the table and folded() views are never invalidated.
+/// Sharded table of case-folded names. Interning is amortized O(1); find()
+/// is O(1) with zero allocations. Ids are stable until explicitly evicted.
 ///
 /// Concurrency contract:
 ///  - intern()/intern_qualified(): safe from any thread; exclusive only
 ///    within the target shard (striped locking).
 ///  - find()/find_qualified(): safe from any thread; shared lock on one
 ///    shard, zero allocations.
-///  - folded()/hash(): lock-free — they read the append-only chunk storage
-///    through acquire loads and never touch the shard index.
+///  - folded()/hash(): lock-free — they read the slot's published string
+///    pointer with an acquire load and never touch the shard index. When
+///    eviction may run concurrently, hold an EpochManager::Pin for as long
+///    as the returned view is used.
+///  - evict_cold(): exclusive per shard; retires strings through the
+///    EpochManager instead of freeing, so concurrent pinned readers stay
+///    valid.
 ///  - size(): lock-free, may transiently under-count concurrent interns.
 class SymbolTable {
  public:
@@ -105,9 +120,9 @@ class SymbolTable {
   [[nodiscard]] static SymbolTable& global();
 
   /// Folds `s` and returns its id, inserting on first sight. Throws
-  /// std::length_error if the target shard is at capacity (~256K names
-  /// per shard, ~4M total) — far above current workloads; the hostile-peer
-  /// eviction story (ROADMAP) will replace the hard cap.
+  /// pti::ResourceExhaustedError (classified ErrorCode::ResourceExhausted)
+  /// if the target shard is at capacity (~256K names per shard, ~4M total)
+  /// — the backstop behind per-peer name budgets and cold-name eviction.
   InternedName intern(std::string_view s);
 
   /// Interns the qualified form "ns.name" (or just "name" when `ns` is
@@ -115,30 +130,55 @@ class SymbolTable {
   /// like intern() at shard capacity.
   InternedName intern_qualified(std::string_view ns, std::string_view name);
 
-  /// Id of `s` if it was ever interned; invalid otherwise. Never inserts,
-  /// never allocates.
+  /// Id of `s` if it is currently interned; invalid otherwise. Never
+  /// inserts, never allocates.
   [[nodiscard]] InternedName find(std::string_view s) const noexcept;
 
   /// find() of the qualified form "ns.name" without concatenating.
   [[nodiscard]] InternedName find_qualified(std::string_view ns,
                                             std::string_view name) const noexcept;
 
-  /// The stored folded spelling. Stable for the table's lifetime; safe to
-  /// call concurrently with interning (lock-free).
+  /// The stored folded spelling; empty for evicted or invalid ids. Stable
+  /// while the id is live; under concurrent eviction, valid for the
+  /// duration of the caller's EpochManager::Pin. Lock-free.
   [[nodiscard]] std::string_view folded(InternedName id) const noexcept;
 
-  /// The precomputed hash of the folded spelling. Lock-free.
+  /// The precomputed hash of the folded spelling; 0 for evicted or invalid
+  /// ids. Lock-free.
   [[nodiscard]] std::uint64_t hash(InternedName id) const noexcept;
 
-  /// Total interned names across all shards (may lag concurrent interns).
+  /// Live (non-evicted) names across all shards (may lag concurrent
+  /// interns/evictions).
   [[nodiscard]] std::size_t size() const noexcept;
 
   /// Number of shards (compile-time constant, exposed for stats/tests).
   [[nodiscard]] static constexpr std::size_t shard_count() noexcept { return kShardCount; }
 
-  /// Names interned into shard `shard` so far — the per-shard occupancy
-  /// hook a future eviction/epoch story will build on.
+  /// Live names in shard `shard` — the per-shard occupancy input to the
+  /// cold-entry eviction policy.
   [[nodiscard]] std::size_t shard_size(std::size_t shard) const noexcept;
+
+  /// Advances the usage clock one tick and returns the new tick. Intern
+  /// and find hits stamp their entry with the current tick; evict_cold()
+  /// measures idleness in ticks. The governor advances this once per
+  /// sweep, so "idle for N ticks" means "unused for N sweeps".
+  std::uint32_t advance_tick() noexcept;
+
+  /// Evicts up to `max_evict` names that have not been touched for at
+  /// least `min_idle_ticks` ticks and for which `in_use` (when provided)
+  /// returns false. Evicted slots are recycled by later interns; the
+  /// folded strings are retired through `em` and freed only once every
+  /// pin that could reference them has released. Returns the number of
+  /// names evicted.
+  ///
+  /// Caller contract: only evict names that nothing long-lived references
+  /// — a recycled slot's id is reused for a DIFFERENT name, so any stale
+  /// InternedName kept across an eviction would silently change meaning.
+  /// The `in_use` predicate is the caller's veto (e.g. "still registered
+  /// in some TypeRegistry").
+  std::size_t evict_cold(EpochManager& em, std::uint32_t min_idle_ticks,
+                         std::size_t max_evict,
+                         const std::function<bool(InternedName)>& in_use = {});
 
  private:
   // Ids interleave shards: id = (slot << kShardBits) | shard. The shard is
@@ -147,29 +187,42 @@ class SymbolTable {
   static constexpr std::uint32_t kShardBits = 4;
   static constexpr std::uint32_t kShardCount = 1u << kShardBits;
   // Entry storage is chunked so a slot's address never moves: chunk
-  // pointers are published once and entries are written before the shard's
-  // size counter is bumped (release), which is what makes by-id reads
-  // lock-free. 256-entry chunks keep the first intern into a shard cheap;
-  // 1024 chunk slots x 16 shards cap the table at ~4M distinct names
-  // (intern throws std::length_error beyond that) while keeping the fixed
-  // footprint of an empty table to ~8KB per shard.
+  // pointers are published once and each slot's string pointer is stored
+  // with release before the slot becomes reachable, which is what makes
+  // by-id reads lock-free. 256-entry chunks keep the first intern into a
+  // shard cheap; 1024 chunk slots x 16 shards cap the table at ~4M
+  // distinct live names (intern throws pti::ResourceExhaustedError beyond
+  // that) while keeping the fixed footprint of an empty table small.
   static constexpr std::uint32_t kChunkBits = 8;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
   static constexpr std::uint32_t kMaxChunks = 1u << 10;  // 256K names per shard
 
+  // One slot. `name` owns the heap-allocated folded spelling and is the
+  // publication point: readers acquire-load it and see the `hash` stored
+  // before it. nullptr means never-used or evicted. `last_use` is the
+  // recency stamp for the eviction policy (relaxed; advisory only).
   struct Entry {
-    std::string folded;
-    std::uint64_t hash = 0;
+    std::atomic<const std::string*> name{nullptr};
+    std::atomic<std::uint64_t> hash{0};
+    mutable std::atomic<std::uint32_t> last_use{0};
   };
   using Chunk = std::array<Entry, kChunkSize>;
 
   struct Shard {
     mutable std::shared_mutex mutex;
-    // folded hash -> slots in this shard; guarded by `mutex`.
+    // folded hash -> slots in this shard; guarded by `mutex`. Only live
+    // slots appear here (eviction unlinks before retiring the string).
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index;
-    // Append-only entry storage; readable without the mutex.
+    // Chunked entry storage; slot addresses never move, so by-id reads
+    // need no lock. Chunks are allocated on demand and never freed until
+    // table destruction.
     std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+    // High-water slot count: slots < count have been used at least once.
     std::atomic<std::uint32_t> count{0};
+    // Live (non-evicted) slots; count minus evictions plus reuses.
+    std::atomic<std::uint32_t> live{0};
+    // Evicted slots awaiting reuse; guarded by `mutex`.
+    std::vector<std::uint32_t> free_slots;
   };
 
   [[nodiscard]] static constexpr std::size_t shard_of(std::uint64_t h) noexcept {
@@ -181,19 +234,23 @@ class SymbolTable {
     return (slot << kShardBits) | static_cast<std::uint32_t>(shard);
   }
 
-  /// Entry for a published slot of `shard`; requires slot < published count.
+  /// Entry for a used slot of `shard`; requires slot < published count.
   [[nodiscard]] const Entry& entry_at(const Shard& shard, std::uint32_t slot) const noexcept;
+  [[nodiscard]] Entry& entry_at(Shard& shard, std::uint32_t slot) noexcept;
 
-  /// Probe under the caller-held shard lock (shared or exclusive).
+  /// Probe under the caller-held shard lock (shared or exclusive); stamps
+  /// the hit's last_use with the current tick.
   [[nodiscard]] InternedName find_in_shard(const Shard& shard, std::size_t shard_idx,
                                            std::uint64_t h, std::string_view ns,
                                            std::string_view name) const noexcept;
 
-  /// Insert under the caller-held exclusive shard lock.
+  /// Insert under the caller-held exclusive shard lock; reuses a free slot
+  /// when one exists.
   InternedName insert_locked(Shard& shard, std::size_t shard_idx, std::uint64_t h,
                              std::string&& folded);
 
   std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint32_t> tick_{1};
 };
 
 }  // namespace pti::util

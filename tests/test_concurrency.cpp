@@ -25,6 +25,7 @@
 #include "reflect/domain.hpp"
 #include "reflect/type_registry.hpp"
 #include "transport/async_transport.hpp"
+#include "util/epoch.hpp"
 #include "util/interning.hpp"
 
 namespace {
@@ -199,6 +200,107 @@ TEST(ConcurrentCache, LookupInsertStatsStayCoherent) {
   EXPECT_EQ(summed.hits, total.hits);
   EXPECT_EQ(summed.misses, total.misses);
   EXPECT_EQ(summed.insertions, total.insertions);
+}
+
+TEST(ConcurrentCache, EpochReclamationNeverInvalidatesHeldVerdicts) {
+  // The reclamation contract under TSan: a reader that brackets its
+  // lookups in an EpochManager::Pin may dereference the returned verdict
+  // pointer for the pin's whole lifetime, no matter how many evict_cold /
+  // clear(em) passes run concurrently. Retired nodes and read-index
+  // tables must be freed only after every pin that could have seen them
+  // releases — a use-after-free here is exactly what TSan/ASan would
+  // flag.
+  conform::ConformanceCache cache;
+  util::EpochManager em;
+  util::SymbolTable& symbols = util::SymbolTable::global();
+  constexpr int kKeys = 64;
+  std::array<util::InternedName, kKeys> names;
+  for (int i = 0; i < kKeys; ++i) {
+    names[i] = symbols.intern("epochcache.K" + std::to_string(i));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> dereferenced{0};
+
+  std::thread reclaimer([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.advance_tick();
+      if (++round % 8 == 0) {
+        cache.clear(em);
+      } else {
+        (void)cache.evict_cold(em, 1, 16);
+      }
+      (void)em.try_reclaim();
+      std::this_thread::yield();
+    }
+  });
+
+  run_threads([&](int t) {
+    for (int round = 0; round < 300; ++round) {
+      const util::EpochManager::Pin pin(em);
+      for (int i = 0; i < kKeys; ++i) {
+        const auto src = names[i];
+        const auto dst = names[(i + t) % kKeys];
+        if (const auto* held = cache.lookup(src, dst, 0)) {
+          // Deliberately dwell on the pointer across more lookups so an
+          // eviction has every chance to race us.
+          for (int j = 0; j < 4; ++j) {
+            ASSERT_TRUE(held->conformant);
+            ASSERT_TRUE(held->plan.methods().empty());
+          }
+          dereferenced.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.insert(src, dst, 0, conform::CachedVerdict{true, {}});
+        }
+      }
+    }
+  });
+  stop.store(true);
+  reclaimer.join();
+  EXPECT_GT(dereferenced.load(), 0u);
+  // With all pins released, everything still retired is reclaimable.
+  (void)em.try_reclaim();
+  EXPECT_EQ(em.retired_count(), 0u);
+}
+
+TEST(ConcurrentSymbolTable, EvictionRecyclingKeepsPinnedViewsValid) {
+  // Same contract for the interned-name table: folded() views read under
+  // a pin stay valid across concurrent evict_cold + slot recycling; ids
+  // re-interned after eviction mean the NEW name.
+  util::SymbolTable table;
+  util::EpochManager em;
+  std::atomic<bool> stop{false};
+
+  std::thread evictor([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      table.advance_tick();
+      (void)table.evict_cold(em, 1, 32);
+      (void)em.try_reclaim();
+      std::this_thread::yield();
+    }
+  });
+
+  run_threads([&](int t) {
+    for (int round = 0; round < 200; ++round) {
+      const util::EpochManager::Pin pin(em);
+      const std::string name =
+          "evictrace.T" + std::to_string(t) + "." + std::to_string(round % 16);
+      const util::InternedName id = table.intern(name);
+      const std::string_view view = table.folded(id);
+      // The slot may already have been evicted (empty view) or recycled
+      // for a newer name by the racing evictor — but the view must always
+      // be readable memory holding a well-formed folded name, never a
+      // freed string.
+      ASSERT_LE(view.size(), 64u);
+      for (const char c : view) {
+        ASSERT_TRUE(c == '.' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z'));
+      }
+    }
+  });
+  stop.store(true);
+  evictor.join();
+  (void)em.try_reclaim();
+  EXPECT_EQ(em.retired_count(), 0u);
 }
 
 TEST(ConcurrentChecker, SharedCheckerConsistentVerdicts) {

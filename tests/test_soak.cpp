@@ -1,0 +1,338 @@
+// Adversarial soak gate — hours-compressed hostile churn against the
+// resource-governance stack (ISSUE 6 tentpole, part 3).
+//
+// Four hostile workloads run concurrently against one SocketTransport
+// (real wire) while a ResourceGovernor sweeps in the background and a
+// legitimate peer keeps pushing objects through the full protocol:
+//
+//   name flood        "mallory" streams TypeInfoRequests full of fresh
+//                     names until her cumulative name budget trips.
+//   near-cap frames   "goliath" replays frames close to (and above) his
+//                     frame cap until the size cap and the bytes/sec
+//                     token bucket both reject.
+//   churn storm       endpoints attach/detach continuously while fresh
+//                     transient names are interned straight into the
+//                     global symbol table — the governor must evict them
+//                     as fast as they appear.
+//   partition/heal    a SimNetwork link is cut and restored in a loop;
+//                     sends must fail while cut and succeed after heal.
+//
+// The gate asserts the two bounds the whole design promises: resident
+// set size and global interned-name count stay below fixed ceilings no
+// matter how long the churn runs, while the legitimate peer never sees
+// a ResourceExhausted rejection.
+//
+// Env knobs (all optional; defaults keep plain ctest fast):
+//   PTI_SOAK_SECONDS       churn duration (default 2; CI soak uses 600+)
+//   PTI_SOAK_MAX_RSS_MB    RSS ceiling in MiB (default 1536 — roomy
+//                          enough for sanitizer builds)
+//   PTI_SOAK_MAX_INTERNED  global interned-name ceiling (default 200000)
+//   PTI_SOAK_REPORT        path for a JSON metrics report (default: none)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resource_governor.hpp"
+#include "fixtures/sample_types.hpp"
+#include "reflect/value.hpp"
+#include "transport/peer.hpp"
+#include "transport/peer_quota.hpp"
+#include "transport/sim_network.hpp"
+#include "transport/socket_transport.hpp"
+#include "util/epoch.hpp"
+#include "util/error.hpp"
+#include "util/interning.hpp"
+
+namespace {
+
+using namespace pti;
+using namespace pti::transport;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+/// Resident set in MiB from /proc/self/status. Returns 0.0 where the file
+/// does not exist (non-Linux), which auto-passes the RSS ceiling.
+double rss_mb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      std::istringstream fields(line.substr(6));
+      std::uint64_t kb = 0;
+      fields >> kb;
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+struct SoakMetrics {
+  double rss_start_mb = 0.0;
+  double rss_peak_mb = 0.0;
+  double rss_end_mb = 0.0;
+  std::size_t interned_peak = 0;
+  std::size_t interned_end = 0;
+  std::uint64_t legit_acks = 0;
+  std::uint64_t flood_rejections = 0;
+  std::uint64_t frame_rejections = 0;
+  std::uint64_t frame_accepted = 0;
+  std::uint64_t churn_cycles = 0;
+  std::uint64_t partition_cycles = 0;
+  std::uint64_t governor_sweeps = 0;
+  std::uint64_t names_reclaimed = 0;
+};
+
+void write_report(const char* path, std::uint64_t seconds, const SoakMetrics& m,
+                  const PeerQuotaStats& q) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"seconds\": " << seconds << ",\n"
+      << "  \"rss_start_mb\": " << m.rss_start_mb << ",\n"
+      << "  \"rss_peak_mb\": " << m.rss_peak_mb << ",\n"
+      << "  \"rss_end_mb\": " << m.rss_end_mb << ",\n"
+      << "  \"interned_peak\": " << m.interned_peak << ",\n"
+      << "  \"interned_end\": " << m.interned_end << ",\n"
+      << "  \"legit_acks\": " << m.legit_acks << ",\n"
+      << "  \"flood_rejections\": " << m.flood_rejections << ",\n"
+      << "  \"frame_rejections\": " << m.frame_rejections << ",\n"
+      << "  \"frame_accepted\": " << m.frame_accepted << ",\n"
+      << "  \"churn_cycles\": " << m.churn_cycles << ",\n"
+      << "  \"partition_cycles\": " << m.partition_cycles << ",\n"
+      << "  \"governor_sweeps\": " << m.governor_sweeps << ",\n"
+      << "  \"names_reclaimed\": " << m.names_reclaimed << ",\n"
+      << "  \"quota_rejected_frame_size\": " << q.rejected_frame_size << ",\n"
+      << "  \"quota_rejected_rate\": " << q.rejected_rate << ",\n"
+      << "  \"quota_rejected_inflight\": " << q.rejected_inflight << ",\n"
+      << "  \"quota_rejected_names\": " << q.rejected_names << "\n"
+      << "}\n";
+}
+
+TEST(Soak, HostileChurnStaysBounded) {
+  const std::uint64_t seconds = env_u64("PTI_SOAK_SECONDS", 2);
+  const double max_rss_mb = static_cast<double>(env_u64("PTI_SOAK_MAX_RSS_MB", 1536));
+  const std::size_t max_interned =
+      static_cast<std::size_t>(env_u64("PTI_SOAK_MAX_INTERNED", 200'000));
+
+  SocketTransport net;
+  {
+    // Legitimate peers get room to breathe; the two hostile identities get
+    // the budgets the scenarios are designed to exhaust.
+    PeerQuotaTable& quotas = *net.peer_quotas();
+    quotas.set_default(PeerQuotaConfig{.bytes_per_sec = 8'000'000,
+                                       .max_inflight = 32,
+                                       .max_frame_bytes = 256 * 1024});
+    quotas.set_quota("mallory",
+                     PeerQuotaConfig{.max_frame_bytes = 8192, .max_new_names = 200});
+    quotas.set_quota("goliath",
+                     PeerQuotaConfig{.bytes_per_sec = 20'000, .max_frame_bytes = 2048});
+  }
+
+  auto hub = std::make_shared<AssemblyHub>();
+  Peer alice("alice", net, hub);
+  Peer server("server", net, hub);
+  alice.host_assembly(fixtures::team_a_people());
+  server.host_assembly(fixtures::team_b_people());
+  server.add_interest("teamB.Person");
+
+  core::ResourceGovernor governor(
+      core::GovernorConfig{.min_idle_ticks = 2, .max_evict_per_sweep = 4096});
+  governor.watch(alice.domain().registry());
+  governor.watch(server.domain().registry());
+  governor.watch(alice.conformance_cache());
+  governor.watch(server.conformance_cache());
+  governor.start(std::chrono::milliseconds(5));
+
+  SoakMetrics metrics;
+  metrics.rss_start_mb = rss_mb();
+  metrics.rss_peak_mb = metrics.rss_start_mb;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> legit_acks{0};
+  std::atomic<std::uint64_t> legit_rejections{0};
+  std::atomic<std::uint64_t> flood_rejections{0};
+  std::atomic<std::uint64_t> frame_rejections{0};
+  std::atomic<std::uint64_t> frame_accepted{0};
+  std::atomic<std::uint64_t> churn_cycles{0};
+
+  std::vector<std::thread> workers;
+
+  // Name flood: every request carries a batch of names the symbol table has
+  // never seen, so the cumulative budget (200) trips within a few batches
+  // and every batch after that is refused before the handler runs.
+  workers.emplace_back([&] {
+    std::uint64_t iter = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      TypeInfoRequest request;
+      for (int k = 0; k < 32; ++k) {
+        request.type_names.push_back("soak.flood." + std::to_string(iter) + "." +
+                                     std::to_string(k));
+      }
+      ++iter;
+      try {
+        (void)net.send(Message{"mallory", "server", std::move(request)});
+      } catch (const pti::ResourceExhaustedError&) {
+        flood_rejections.fetch_add(1, std::memory_order_relaxed);
+      } catch (const Error&) {
+        // Transient wire faults are the other threads' business.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Near-cap frame replay: payloads hover around goliath's 2048-byte frame
+  // cap. Oversized ones trip the size cap outright; the in-cap ones drain
+  // the 20 kB/s token bucket and then bounce off the rate limiter until
+  // the virtual clock (advanced by the driver below) refills it.
+  workers.emplace_back([&] {
+    std::uint64_t iter = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool oversized = (iter++ % 4) == 0;
+      const std::size_t body = oversized ? 4096 : 1900;
+      try {
+        (void)net.send(Message{"goliath", "server", CodeRequest{std::string(body, 'g')}});
+        frame_accepted.fetch_add(1, std::memory_order_relaxed);
+      } catch (const pti::ResourceExhaustedError&) {
+        frame_rejections.fetch_add(1, std::memory_order_relaxed);
+      } catch (const Error&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // Churn storm: endpoints come and go while fresh transient names pour
+  // into the global symbol table (the same pressure a flood of refused
+  // description batches leaves behind). The governor must evict them as
+  // fast as they appear or the interned ceiling blows.
+  workers.emplace_back([&] {
+    util::SymbolTable& symbols = util::SymbolTable::global();
+    std::uint64_t iter = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string endpoint = "soak.ep." + std::to_string(iter % 8);
+      net.attach(endpoint, [](const Message& m) {
+        return Message{m.recipient, m.sender, PushAck{true, "churn"}};
+      });
+      net.detach(endpoint);
+      for (int k = 0; k < 64; ++k) {
+        (void)symbols.intern("soak.churn." + std::to_string(iter) + "." +
+                             std::to_string(k));
+      }
+      ++iter;
+      churn_cycles.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Legitimate traffic: the full optimistic protocol, end to end, for the
+  // whole soak. One ResourceExhausted here and the gate fails — quotas
+  // must only ever bite the hostile identities.
+  workers.emplace_back([&] {
+    std::uint64_t iter = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        const reflect::Value args[] = {reflect::Value("Alice-" + std::to_string(iter++))};
+        const PushAck ack =
+            alice.send_object("server", alice.domain().instantiate("teamA.Person", args));
+        if (ack.delivered) legit_acks.fetch_add(1, std::memory_order_relaxed);
+      } catch (const pti::ResourceExhaustedError&) {
+        legit_rejections.fetch_add(1, std::memory_order_relaxed);
+      } catch (const Error&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Driver: advance the transports' virtual clock in lock-step with real
+  // time (token buckets refill against it), run the partition/heal cycle
+  // on a SimNetwork, and sample the two bounded quantities.
+  SimNetwork sim;
+  sim.attach("sim.b", [](const Message& m) {
+    return Message{"sim.b", m.sender, PushAck{true, "pong"}};
+  });
+  std::uint64_t partition_cycles = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  auto last_tick = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto now = std::chrono::steady_clock::now();
+    const auto delta_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_tick);
+    last_tick = now;
+    net.clock().advance_ns(static_cast<std::uint64_t>(delta_ns.count()));
+
+    sim.partition("sim.a", "sim.b");
+    EXPECT_THROW((void)sim.send(Message{"sim.a", "sim.b", CodeRequest{"cut"}}),
+                 NetworkError);
+    sim.heal_partition("sim.a", "sim.b");
+    const Message pong = sim.send(Message{"sim.a", "sim.b", CodeRequest{"healed"}});
+    EXPECT_TRUE(std::get<PushAck>(pong.payload).delivered);
+    ++partition_cycles;
+
+    metrics.rss_peak_mb = std::max(metrics.rss_peak_mb, rss_mb());
+    metrics.interned_peak =
+        std::max(metrics.interned_peak, util::SymbolTable::global().size());
+    // The ceilings hold THROUGHOUT the run, not just at the end.
+    ASSERT_LE(util::SymbolTable::global().size(), max_interned)
+        << "interned-name count escaped its ceiling mid-soak";
+    if (metrics.rss_peak_mb > 0.0) {
+      ASSERT_LE(metrics.rss_peak_mb, max_rss_mb) << "RSS escaped its ceiling mid-soak";
+    }
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+
+  // Drain: a few quiescent sweeps so everything transient and cold is gone.
+  governor.stop();
+  for (int i = 0; i < 8; ++i) (void)governor.sweep();
+
+  metrics.rss_end_mb = rss_mb();
+  metrics.interned_end = util::SymbolTable::global().size();
+  metrics.legit_acks = legit_acks.load();
+  metrics.flood_rejections = flood_rejections.load();
+  metrics.frame_rejections = frame_rejections.load();
+  metrics.frame_accepted = frame_accepted.load();
+  metrics.churn_cycles = churn_cycles.load();
+  metrics.partition_cycles = partition_cycles;
+  metrics.governor_sweeps = governor.sweeps();
+  metrics.names_reclaimed = util::EpochManager::global().reclaimed_total();
+  const PeerQuotaStats quota_stats = net.peer_quotas()->stats();
+  if (const char* path = std::getenv("PTI_SOAK_REPORT"); path != nullptr && *path) {
+    write_report(path, seconds, metrics, quota_stats);
+  }
+
+  // Every hostile workload actually engaged its quota dimension...
+  EXPECT_GT(metrics.flood_rejections, 0u);
+  EXPECT_GT(quota_stats.rejected_names, 0u);
+  EXPECT_GT(metrics.frame_rejections, 0u);
+  EXPECT_GT(quota_stats.rejected_frame_size, 0u);
+  EXPECT_GT(quota_stats.rejected_rate, 0u);
+  EXPECT_GT(metrics.frame_accepted, 0u);  // bucket refilled — not a blanket ban
+  EXPECT_GT(metrics.churn_cycles, 0u);
+  EXPECT_GT(metrics.partition_cycles, 0u);
+  // ...the governor ran and actually reclaimed the transient churn...
+  EXPECT_GT(metrics.governor_sweeps, 0u);
+  EXPECT_GT(metrics.names_reclaimed, 0u);
+  // ...the legitimate peer sailed through untouched...
+  EXPECT_GT(metrics.legit_acks, 0u);
+  EXPECT_EQ(legit_rejections.load(), 0u);
+  // ...and both bounds held at the end as they did throughout.
+  EXPECT_LE(metrics.interned_end, max_interned);
+  if (metrics.rss_end_mb > 0.0) {
+    EXPECT_LE(metrics.rss_end_mb, max_rss_mb);
+  }
+}
+
+}  // namespace

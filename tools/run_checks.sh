@@ -9,6 +9,9 @@
 #                                  # fuzz/socket) — the ones instrumentation
 #                                  # is for
 #   ASAN=1 tools/run_checks.sh     # also build + run the asan preset
+#   SOAK=1 tools/run_checks.sh     # also run the adversarial soak gate
+#                                  # (tools/run_soak.sh — minutes, not
+#                                  # seconds; see SOAK_SECONDS there)
 #
 # Parallelism: CMAKE_BUILD_PARALLEL_LEVEL and CTEST_PARALLEL_LEVEL are
 # honored when set (otherwise the presets' defaults apply).
@@ -17,7 +20,7 @@
 #   10 debug configure/build   20 debug ctest
 #   30 tsan  configure/build   40 tsan  ctest
 #   50 asan  configure/build   60 asan  ctest    (ASAN=1 only)
-#   70 clang-format gate
+#   70 clang-format gate       80 adversarial soak gate (SOAK=1 only)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,7 +57,7 @@ build_preset() {
 
 TSAN_FILTER=()
 if [[ "${FAST:-0}" == "1" ]]; then
-  TSAN_FILTER=(-R 'test_concurrency|test_transport|test_protocol_fuzz|test_socket_transport|test_frame_codec')
+  TSAN_FILTER=(-R 'test_concurrency|test_transport|test_protocol_fuzz|test_socket_transport|test_frame_codec|test_governance|test_soak')
 fi
 
 stage 10 "configure + build: debug preset" build_preset debug
@@ -66,5 +69,8 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   stage 60 "ctest: asan preset" ctest --preset asan "${CTEST_JOBS[@]}"
 fi
 stage 70 "clang-format gate" tools/check_format.sh
+if [[ "${SOAK:-0}" == "1" ]]; then
+  stage 80 "adversarial soak gate" tools/run_soak.sh
+fi
 
 echo "run_checks: ALL GREEN"

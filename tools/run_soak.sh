@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Adversarial soak runner — builds the debug preset and drives test_soak
+# at soak scale: minutes of hostile churn (name floods, near-cap frame
+# replay, endpoint churn, partition/heal) with the RSS and interned-name
+# ceilings tightened well below the short ctest defaults. The scheduled
+# CI job runs this nightly; ctest runs the same binary for ~2 s per push.
+#
+#   tools/run_soak.sh                     # 10 minutes, gate ceilings
+#   SOAK_SECONDS=3600 tools/run_soak.sh   # longer churn
+#
+# Knobs (all optional):
+#   SOAK_SECONDS       churn duration          (default 600)
+#   SOAK_MAX_RSS_MB    RSS ceiling in MiB      (default 512)
+#   SOAK_MAX_INTERNED  interned-name ceiling   (default 200000)
+#   SOAK_REPORT        JSON metrics out        (default BENCH_soak.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SOAK_SECONDS="${SOAK_SECONDS:-600}"
+SOAK_MAX_RSS_MB="${SOAK_MAX_RSS_MB:-512}"
+SOAK_MAX_INTERNED="${SOAK_MAX_INTERNED:-200000}"
+SOAK_REPORT="${SOAK_REPORT:-BENCH_soak.json}"
+
+BUILD_JOBS=()
+if [[ -n "${CMAKE_BUILD_PARALLEL_LEVEL:-}" ]]; then
+  BUILD_JOBS=(-j "$CMAKE_BUILD_PARALLEL_LEVEL")
+fi
+
+cmake --preset debug > /dev/null
+cmake --build --preset debug "${BUILD_JOBS[@]}" --target test_soak
+
+echo "soak: ${SOAK_SECONDS}s of hostile churn" \
+     "(ceilings: ${SOAK_MAX_RSS_MB} MiB RSS, ${SOAK_MAX_INTERNED} names)"
+PTI_SOAK_SECONDS="${SOAK_SECONDS}" \
+PTI_SOAK_MAX_RSS_MB="${SOAK_MAX_RSS_MB}" \
+PTI_SOAK_MAX_INTERNED="${SOAK_MAX_INTERNED}" \
+PTI_SOAK_REPORT="${SOAK_REPORT}" \
+  ./build/test_soak
+
+echo "soak: metrics written to ${SOAK_REPORT}"
+cat "${SOAK_REPORT}"
