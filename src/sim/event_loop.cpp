@@ -1,0 +1,46 @@
+#include "sim/event_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pti::sim {
+
+void EventLoop::at(std::uint64_t time_ns, std::function<void()> action) {
+  heap_.push_back(Event{std::max(time_ns, now_ns_), next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventLoop::Event EventLoop::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+void EventLoop::fire(Event event) {
+  now_ns_ = std::max(now_ns_, event.time_ns);
+  if (clock_ != nullptr) clock_->advance_to_ns(now_ns_);
+  event.action();
+}
+
+std::size_t EventLoop::run() {
+  std::size_t fired = 0;
+  while (!heap_.empty()) {
+    fire(pop());
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t EventLoop::run_until(std::uint64_t time_ns) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.front().time_ns <= time_ns) {
+    fire(pop());
+    ++fired;
+  }
+  now_ns_ = std::max(now_ns_, time_ns);
+  if (clock_ != nullptr) clock_->advance_to_ns(now_ns_);
+  return fired;
+}
+
+}  // namespace pti::sim

@@ -1,0 +1,80 @@
+// EventLoop — the deterministic discrete-event engine under the megasim.
+//
+// A seeded priority queue on a virtual clock: events are (time, seq)
+// ordered, where seq is the global scheduling order, so two events at the
+// same virtual instant always fire in the order they were scheduled —
+// iteration is a pure function of (seed, schedule), never of host timing,
+// thread count, or allocator behaviour. The loop owns the run's one RNG;
+// every workload draw (which peer publishes, which type, who churns)
+// happens at fire time from this RNG, so the whole scenario replays
+// byte-identically from the seed.
+//
+// The loop advances the caller-supplied SimClock (the transport's clock)
+// to each event's fire time, so message cost accounting and scripted
+// workload share one notion of "now".
+//
+// Thread safety: none — one loop, one thread, exactly like SimNetwork.
+// Determinism across host thread counts comes from running independent
+// loops per thread, not from sharing one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_clock.hpp"
+
+namespace pti::sim {
+
+class EventLoop {
+ public:
+  /// `clock`, when given, is advanced to each event's fire time (the
+  /// transport's virtual clock, typically). Null means timekeeping stays
+  /// internal.
+  explicit EventLoop(std::uint64_t seed, util::SimClock* clock = nullptr)
+      : rng_(seed), clock_(clock) {}
+
+  /// Schedules `action` at absolute virtual time `time_ns`. Times in the
+  /// past are clamped to now: the event fires next, in schedule order.
+  void at(std::uint64_t time_ns, std::function<void()> action);
+  /// Schedules `action` at now + `delay_ns`.
+  void after(std::uint64_t delay_ns, std::function<void()> action) {
+    at(now_ns_ + delay_ns, std::move(action));
+  }
+
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return now_ns_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs until the queue is empty (events may schedule more events);
+  /// returns how many events fired.
+  std::size_t run();
+  /// Runs every event with fire time <= `time_ns`, then advances the
+  /// clock to `time_ns`; returns how many events fired.
+  std::size_t run_until(std::uint64_t time_ns);
+
+ private:
+  struct Event {
+    std::uint64_t time_ns;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+  /// Min-heap order: earliest time first, scheduling order within a tick.
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time_ns != b.time_ns ? a.time_ns > b.time_ns : a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] Event pop();
+  void fire(Event event);
+
+  std::vector<Event> heap_;
+  util::Rng rng_;
+  util::SimClock* clock_;
+  std::uint64_t now_ns_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pti::sim

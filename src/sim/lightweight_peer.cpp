@@ -1,0 +1,188 @@
+#include "sim/lightweight_peer.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "transport/transport_error.hpp"
+#include "util/error.hpp"
+
+namespace pti::sim {
+
+using transport::CodeRequest;
+using transport::CodeResponse;
+using transport::ErrorReply;
+using transport::Message;
+using transport::ObjectPush;
+using transport::PushAck;
+using transport::TypeInfoRequest;
+using transport::TypeInfoResponse;
+
+LightweightPeer::LightweightPeer(std::uint32_t index, transport::Transport& network,
+                                 TypeUniverse& universe,
+                                 transport::InterestIndex& interests,
+                                 transport::ProtocolMode mode)
+    : index_(index),
+      name_("p" + std::to_string(index)),
+      network_(network),
+      universe_(universe),
+      interests_(interests),
+      mode_(mode),
+      known_(universe.type_count(), false),
+      loaded_(universe.type_count(), false) {}
+
+LightweightPeer::~LightweightPeer() {
+  if (live_) leave();
+}
+
+void LightweightPeer::set_interests(std::vector<std::uint32_t> interest_families) {
+  interest_families_ = std::move(interest_families);
+}
+
+void LightweightPeer::join() {
+  if (live_) return;
+  sub_ = interests_.add_subscriber();
+  for (const std::uint32_t family : interest_families_) {
+    interests_.add_interest(sub_, universe_.interest_id(family),
+                            universe_.interest_fingerprint(family));
+  }
+  network_.attach(name_, [this](const Message& m) { return handle(m); });
+  live_ = true;
+}
+
+void LightweightPeer::leave() {
+  if (!live_) return;
+  network_.detach(name_);
+  interests_.remove_subscriber(sub_);
+  sub_ = transport::kNoSubscriber;
+  live_ = false;
+}
+
+LightweightPeer::PushOutcome LightweightPeer::publish_to(const std::string& target,
+                                                         std::uint32_t family) {
+  ObjectPush push;
+  push.envelope = universe_.envelope_bytes(family);
+  if (mode_ == transport::ProtocolMode::Eager) {
+    push.eager_descriptions_xml.push_back(universe_.description_xml(family));
+    push.eager_assembly_names.push_back(universe_.assembly_name(family));
+    push.eager_assembly_bytes = universe_.assembly_code_size(family);
+  }
+  // Publishing makes us the origin: we hold the description and code.
+  known_[family] = true;
+  loaded_[family] = true;
+  ++counters_.pushes_sent;
+  try {
+    const Message response = network_.send(Message{name_, target, std::move(push)});
+    if (const auto* ack = std::get_if<PushAck>(&response.payload)) {
+      return PushOutcome{ack->delivered, false};
+    }
+    return PushOutcome{false, true};  // in-band fault (ErrorReply)
+  } catch (const pti::Error&) {
+    return PushOutcome{false, true};  // drop, partition, or quota rejection
+  }
+}
+
+Message LightweightPeer::handle(const Message& request) {
+  try {
+    if (const auto* push = std::get_if<ObjectPush>(&request.payload)) {
+      return handle_push(request, *push);
+    }
+    if (const auto* info = std::get_if<TypeInfoRequest>(&request.payload)) {
+      TypeInfoResponse response;
+      for (const std::string& type_name : info->type_names) {
+        const std::uint32_t family = universe_.type_by_name(type_name);
+        if (family == TypeUniverse::kNoType || !known_[family]) {
+          response.unknown.push_back(type_name);
+        } else {
+          response.descriptions_xml.push_back(universe_.description_xml(family));
+          ++counters_.typeinfo_served;
+        }
+      }
+      return Message{name_, request.sender, std::move(response)};
+    }
+    if (const auto* code = std::get_if<CodeRequest>(&request.payload)) {
+      CodeResponse response;
+      response.assembly_name = code->assembly_name;
+      // Assembly name "u<t>.gen" maps back to its family via the type map.
+      const std::string type_name =
+          code->assembly_name.size() > 4
+              ? code->assembly_name.substr(0, code->assembly_name.size() - 4) + ".Thing"
+              : std::string();
+      const std::uint32_t family = universe_.type_by_name(type_name);
+      if (family != TypeUniverse::kNoType && loaded_[family]) {
+        response.found = true;
+        response.code_bytes = universe_.assembly_code_size(family);
+        ++counters_.code_served;
+      }
+      return Message{name_, request.sender, std::move(response)};
+    }
+    return Message{name_, request.sender,
+                   ErrorReply{"lightweight peer '" + name_ + "' cannot handle " +
+                              request.kind_name()}};
+  } catch (const pti::Error& e) {
+    // A nested fetch hit a drop or partition mid-handler: surface it as
+    // the in-band fault the publisher counts as a drop.
+    return Message{name_, request.sender, ErrorReply{e.what()}};
+  }
+}
+
+Message LightweightPeer::handle_push(const Message& request, const ObjectPush& push) {
+  ++counters_.pushes_received;
+  last_matched_ = kNoInterest;
+  const std::uint32_t family = universe_.type_of_envelope(push.envelope);
+  if (family == TypeUniverse::kNoType) {
+    ++counters_.rejected;
+    return Message{name_, request.sender, PushAck{false, "unknown envelope"}};
+  }
+
+  // Eager extras land first, exactly as in Peer::handle_object_push.
+  if (!push.eager_descriptions_xml.empty()) known_[family] = true;
+  if (!push.eager_assembly_names.empty()) loaded_[family] = true;
+
+  // Step 2: fetch the description when the type is unknown.
+  if (!known_[family]) {
+    ++counters_.typeinfo_requests;
+    const Message response = network_.send(Message{
+        name_, request.sender, TypeInfoRequest{{universe_.publisher_type_name(family)}}});
+    const auto* info = std::get_if<TypeInfoResponse>(&response.payload);
+    if (info == nullptr || info->descriptions_xml.empty()) {
+      ++counters_.rejected;
+      return Message{name_, request.sender, PushAck{false, "sender cannot describe"}};
+    }
+    known_[family] = true;
+  }
+
+  // Step 3: first conformant interest in declaration order, through the
+  // SAME shared index engine Peer uses; the verdict itself is the
+  // checker-built matrix.
+  const auto match = interests_.match_first(sub_, [&](const transport::InterestEntry& e) {
+    const std::uint32_t interest = universe_.interest_of_id(e.interest);
+    return interest != TypeUniverse::kNoType && universe_.conforms(family, interest);
+  });
+  if (!match) {
+    // The optimistic pay-off: rejection without any code download.
+    ++counters_.rejected;
+    return Message{name_, request.sender, PushAck{false, "no interest conforms"}};
+  }
+  last_matched_ = universe_.interest_of_id(match->interest);
+
+  // Steps 4+5: download the code once per family.
+  if (!loaded_[family]) {
+    ++counters_.code_requests;
+    const Message response = network_.send(
+        Message{name_, request.sender, CodeRequest{universe_.assembly_name(family)}});
+    const auto* code = std::get_if<CodeResponse>(&response.payload);
+    if (code == nullptr || !code->found) {
+      ++counters_.rejected;
+      last_matched_ = kNoInterest;
+      return Message{name_, request.sender, PushAck{false, "code unavailable"}};
+    }
+    counters_.code_bytes_fetched += code->code_bytes;
+    loaded_[family] = true;
+  }
+
+  ++counters_.accepted;
+  return Message{name_, request.sender,
+                 PushAck{true, universe_.interest_type_name(last_matched_)}};
+}
+
+}  // namespace pti::sim

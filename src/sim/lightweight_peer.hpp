@@ -1,0 +1,121 @@
+// LightweightPeer — a full protocol participant at population weight.
+//
+// Where transport::Peer carries a Domain, checker, serializer registry,
+// proxy factory and per-peer caches (~tens of KB plus per-message XML
+// work), a LightweightPeer carries two bitsets and a counter block
+// (~hundreds of bytes), which is what makes 10^5-10^6 of them tractable.
+// What it does NOT lighten is the protocol: it attaches to the same
+// Transport seam, exchanges the same ObjectPush/TypeInfoRequest/
+// CodeRequest messages with real envelope bytes and real description XML
+// crossing the (simulated) wire, registers interests in the same shared
+// InterestIndex, and matches via the same match_first scan Peer uses.
+// The differences are all precomputation, delegated to TypeUniverse:
+//   * pushed-type resolution is a content-hash probe, not an XML parse;
+//   * the conformance verdict is a matrix probe, not a checker run (the
+//     matrix was filled by the real checker, once);
+//   * "known descriptions" and "loaded assemblies" are bitsets over the
+//     universe's families instead of registry/domain state.
+//
+// Optimistic mode fetches descriptions and code on demand and skips the
+// code fetch entirely on rejection — the paper's saving. Eager mode ships
+// both with every push. The accept/reject decisions are identical.
+//
+// Thread safety: none; drive from the owning scenario's event loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/type_universe.hpp"
+#include "transport/interest_index.hpp"
+#include "transport/peer.hpp"
+#include "transport/transport.hpp"
+
+namespace pti::sim {
+
+/// Per-peer protocol counters (aggregated by the scenario's digests).
+struct PeerCounters {
+  std::uint64_t pushes_sent = 0;
+  std::uint64_t pushes_received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t typeinfo_requests = 0;
+  std::uint64_t typeinfo_served = 0;
+  std::uint64_t code_requests = 0;
+  std::uint64_t code_served = 0;
+  std::uint64_t code_bytes_fetched = 0;
+};
+
+class LightweightPeer {
+ public:
+  static constexpr std::uint32_t kNoInterest = 0xFFFFFFFFu;
+
+  LightweightPeer(std::uint32_t index, transport::Transport& network,
+                  TypeUniverse& universe, transport::InterestIndex& interests,
+                  transport::ProtocolMode mode);
+  ~LightweightPeer();
+  LightweightPeer(const LightweightPeer&) = delete;
+  LightweightPeer& operator=(const LightweightPeer&) = delete;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool live() const noexcept { return live_; }
+  [[nodiscard]] transport::SubscriberId subscriber() const noexcept { return sub_; }
+
+  /// The interest families this peer subscribes with (fixed across
+  /// leave/rejoin, so churn is reversible and deterministic). Set before
+  /// the first join().
+  void set_interests(std::vector<std::uint32_t> interest_families);
+  [[nodiscard]] const std::vector<std::uint32_t>& interest_families() const noexcept {
+    return interest_families_;
+  }
+
+  /// Attaches to the network and registers every interest in the shared
+  /// index (idempotent when live).
+  void join();
+  /// Detaches and unregisters; the subscriber id returns to the index's
+  /// free list (reused LIFO — part of the determinism contract).
+  void leave();
+
+  struct PushOutcome {
+    bool delivered = false;  ///< receiver accepted (a conformant interest)
+    bool dropped = false;    ///< the network dropped or faulted the exchange
+  };
+  /// Publishes family `family` to `target` (one full protocol exchange).
+  PushOutcome publish_to(const std::string& target, std::uint32_t family);
+
+  /// Interest family matched by the most recent accepted push delivered
+  /// TO this peer (kNoInterest when the last push was rejected). Valid
+  /// between events on the single-threaded scenario loop.
+  [[nodiscard]] std::uint32_t last_matched_interest() const noexcept {
+    return last_matched_;
+  }
+
+  [[nodiscard]] const PeerCounters& counters() const noexcept { return counters_; }
+
+ private:
+  [[nodiscard]] transport::Message handle(const transport::Message& request);
+  [[nodiscard]] transport::Message handle_push(const transport::Message& request,
+                                               const transport::ObjectPush& push);
+
+  std::uint32_t index_;
+  std::string name_;
+  transport::Transport& network_;
+  TypeUniverse& universe_;
+  transport::InterestIndex& interests_;
+  transport::ProtocolMode mode_;
+
+  bool live_ = false;
+  transport::SubscriberId sub_ = transport::kNoSubscriber;
+  std::vector<std::uint32_t> interest_families_;
+  /// Families whose description / code this peer holds. Knowledge
+  /// survives leave/rejoin (a rejoining peer keeps its caches), exactly
+  /// like a real peer's registry.
+  std::vector<bool> known_;
+  std::vector<bool> loaded_;
+  std::uint32_t last_matched_ = kNoInterest;
+  PeerCounters counters_;
+};
+
+}  // namespace pti::sim

@@ -9,9 +9,15 @@
 // every protocol-visible behaviour (message sequence, byte counts, cache
 // effects) intact — only the mechanics of code transport are simulated.
 //
+// The hub is also the one object every peer of a universe shares, which
+// makes it the natural owner of that universe's InterestIndex: peers
+// register their interests here, so the real transports and any
+// population-scale driver match through ONE engine (PR 8).
+//
 // Thread safety: fully thread-safe (one shared_mutex; publish exclusive,
 // fetch/has shared). Assemblies are immutable once published, and the hub
-// never erases, so the shared_ptrs handed out stay valid.
+// never erases, so the shared_ptrs handed out stay valid. The
+// InterestIndex carries its own concurrency contract (see its header).
 #pragma once
 
 #include <map>
@@ -21,6 +27,7 @@
 #include <string_view>
 
 #include "reflect/assembly.hpp"
+#include "transport/interest_index.hpp"
 #include "util/string_util.hpp"
 
 namespace pti::transport {
@@ -32,10 +39,16 @@ class AssemblyHub {
       std::string_view name) const noexcept;
   [[nodiscard]] bool has(std::string_view name) const noexcept;
 
+  /// The universe's shared interest-matching engine. Every Peer registers
+  /// here; the megasim builds its own hub, so both paths are this one.
+  [[nodiscard]] InterestIndex& interests() noexcept { return interests_; }
+  [[nodiscard]] const InterestIndex& interests() const noexcept { return interests_; }
+
  private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<const reflect::Assembly>, util::ICaseLess>
       assemblies_;
+  InterestIndex interests_;
 };
 
 }  // namespace pti::transport

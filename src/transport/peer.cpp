@@ -49,6 +49,8 @@ Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hu
                config_.use_conformance_cache ? &cache_ : nullptr),
       proxies_(domain_, checker_) {
   if (!hub_) throw TransportError("peer '" + name_ + "' needs an assembly hub");
+  sub_ = hub_->interests().add_subscriber();
+  interest_names_ = std::make_shared<const std::vector<std::string>>();
   serializers_ = serial::SerializerRegistry::with_defaults();
   // The XML serializer honours field visibility when it can see the
   // descriptions (XmlSerializer semantics).
@@ -63,9 +65,12 @@ Peer::~Peer() {
   // A concurrent transport's detach blocks until in-flight executions of
   // this peer's handler finish; then wait for our own outbound async-send
   // completions (their callbacks capture `this`). Only after both
-  // quiescence points is member destruction safe.
+  // quiescence points is member destruction safe — and only then may the
+  // subscriber slot be returned to the shared index (no handler can be
+  // mid-match on it anymore).
   network_.detach(name_);
   outbound_.wait_idle();
+  if (sub_ != kNoSubscriber) hub_->interests().remove_subscriber(sub_);
 }
 
 std::vector<const TypeDescription*> Peer::host_assembly(
@@ -87,17 +92,39 @@ util::InternedName Peer::add_interest(std::string_view type_name) {
 
 util::InternedName Peer::add_interest(const TypeDescription& interest) {
   const util::InternedName id = interest.name_id();
-  std::unique_lock lock(interests_mutex_);
-  if (std::find(interest_ids_.begin(), interest_ids_.end(), id) == interest_ids_.end()) {
-    interests_.push_back(interest.qualified_name());
-    interest_ids_.push_back(id);
+  InterestIndex& index = hub_->interests();
+  std::scoped_lock lock(interest_names_mutex_);
+  {
+    util::EpochManager::Pin pin(index.epochs());
+    if (const auto* entries = index.interests_of(sub_)) {
+      for (const auto& entry : *entries) {
+        if (entry.interest == id) return id;  // already declared
+      }
+    }
   }
+  index.add_interest(sub_, id, interest.fingerprint());
+  // Publish a fresh immutable name snapshot; readers holding the old one
+  // keep a valid (if stale) view.
+  auto names = std::make_shared<std::vector<std::string>>(*interest_names_);
+  names->push_back(interest.qualified_name());
+  interest_names_ = std::move(names);
   return id;
 }
 
-std::vector<std::string> Peer::interests() const {
-  std::shared_lock lock(interests_mutex_);
-  return interests_;
+std::shared_ptr<const std::vector<std::string>> Peer::interests() const {
+  std::scoped_lock lock(interest_names_mutex_);
+  return interest_names_;
+}
+
+std::vector<util::InternedName> Peer::interest_ids() const {
+  InterestIndex& index = hub_->interests();
+  std::vector<util::InternedName> out;
+  util::EpochManager::Pin pin(index.epochs());
+  if (const auto* entries = index.interests_of(sub_)) {
+    out.reserve(entries->size());
+    for (const auto& entry : *entries) out.push_back(entry.interest);
+  }
+  return out;
 }
 
 std::size_t Peer::delivered_count() const {
@@ -442,46 +469,37 @@ Message Peer::handle_object_push(const Message& request, const ObjectPush& push)
 
   // Protocol step 3: conformance against the interest set, gated by the
   // configured matcher (the paper's rule by default, a Section 2 baseline
-  // otherwise). Only the interned ids are snapshotted (no string copies
-  // on the receive path); the checks below — potentially fetching, hence
-  // slow — run without the lock, and the matched interest's name comes
-  // from its stored description.
+  // otherwise). The declaration-ordered scan lives in the hub's shared
+  // InterestIndex now (match_first pins its snapshot for the duration);
+  // the accept predicate below is the full checker — potentially
+  // fetching, hence slow — and first match wins, exactly as before.
   const TypeDescription* pushed =
       domain_.registry().find(envelope.types.front().type_name);
-  std::vector<util::InternedName> interest_snapshot;
-  {
-    std::shared_lock lock(interests_mutex_);
-    interest_snapshot = interest_ids_;
-  }
-  std::string matched_interest;
-  util::InternedName matched_id;
-  for (const util::InternedName interest_id : interest_snapshot) {
-    const TypeDescription* interest = domain_.registry().find_by_id(interest_id);
-    if (interest == nullptr) continue;
+  const auto accept = [&](const InterestEntry& entry) {
+    const TypeDescription* interest = domain_.registry().find_by_id(entry.interest);
+    if (interest == nullptr) return false;
     const CheckResult result = check_with_fetch(*pushed, *interest, sender);
-    if (!result.conformant) continue;
-    bool accepted = true;
+    if (!result.conformant) return false;
     switch (config_.matcher) {
       case MatcherKind::ImplicitStructural:
-        break;
+        return true;
       case MatcherKind::Exact:
-        accepted = result.plan.kind() == conform::ConformanceKind::Identity;
-        break;
+        return result.plan.kind() == conform::ConformanceKind::Identity;
       case MatcherKind::Nominal:
-        accepted = result.plan.kind() == conform::ConformanceKind::Identity ||
-                   result.plan.kind() == conform::ConformanceKind::Explicit;
-        break;
+        return result.plan.kind() == conform::ConformanceKind::Identity ||
+               result.plan.kind() == conform::ConformanceKind::Explicit;
       case MatcherKind::TaggedStructural: {
         conform::TaggedStructuralMatcher tagged(domain_.registry());
-        accepted = tagged.matches(*pushed, *interest);
-        break;
+        return tagged.matches(*pushed, *interest);
       }
     }
-    if (accepted) {
-      matched_interest = interest->qualified_name();
-      matched_id = interest_id;
-      break;
-    }
+    return false;
+  };
+  std::string matched_interest;
+  util::InternedName matched_id;
+  if (const auto match = hub_->interests().match_first(sub_, accept)) {
+    matched_interest = domain_.registry().find_by_id(match->interest)->qualified_name();
+    matched_id = match->interest;
   }
   if (matched_interest.empty()) {
     // The optimistic pay-off: no conformant interest, no code download.

@@ -124,13 +124,20 @@ class Peer {
 
   /// Declares a type of interest; the name must resolve in the local
   /// registry (you subscribe with *your* type). Returns the interned id of
-  /// the interest's qualified name (the dispatch key).
+  /// the interest's qualified name (the dispatch key). Registration goes
+  /// through the hub's shared InterestIndex — the one matching engine.
   util::InternedName add_interest(std::string_view type_name);
   /// Interest declared by an already-resolved local description — the
   /// handle-based fast path (no registry lookup).
   util::InternedName add_interest(const reflect::TypeDescription& interest);
-  /// Interests declared so far, in declaration order (snapshot).
-  [[nodiscard]] std::vector<std::string> interests() const;
+  /// Interests declared so far, in declaration order: an immutable shared
+  /// snapshot — no per-query rebuild or allocation. The pointed-to vector
+  /// never changes; later add_interest calls publish a fresh snapshot.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::string>> interests() const;
+  /// Interned ids of the declared interests, in declaration order.
+  [[nodiscard]] std::vector<util::InternedName> interest_ids() const;
+  /// This peer's dense id in the hub's shared InterestIndex.
+  [[nodiscard]] SubscriberId subscriber_id() const noexcept { return sub_; }
 
   using DeliveryHandler = std::function<void(const DeliveredObject&)>;
   void set_delivery_handler(DeliveryHandler handler) { on_delivery_ = std::move(handler); }
@@ -212,11 +219,13 @@ class Peer {
   proxy::ProxyFactory proxies_;
   serial::SerializerRegistry serializers_;
 
-  /// Guards interests_/interest_ids_ (shared: the per-push snapshot).
-  mutable std::shared_mutex interests_mutex_;
-  std::vector<std::string> interests_;
-  /// Interned qualified-name id of interests_[i] (parallel vector).
-  std::vector<util::InternedName> interest_ids_;
+  /// This peer's subscriber slot in hub_->interests() — the shared
+  /// inverted index that owns the interest registrations themselves.
+  SubscriberId sub_ = kNoSubscriber;
+  /// Guards publication of interest_names_ (reads just copy the
+  /// shared_ptr; the pointed-to vector is immutable).
+  mutable std::mutex interest_names_mutex_;
+  std::shared_ptr<const std::vector<std::string>> interest_names_;
 
   /// Guards delivered_ (transport worker threads append concurrently).
   mutable std::mutex delivered_mutex_;

@@ -254,7 +254,8 @@ TEST(ProtocolEdge, DuplicateInterestIsIdempotent) {
   bob.add_interest("teamB.Person");
   bob.add_interest("teamB.Person");
   bob.add_interest("Person");  // unique simple name resolves to the same
-  EXPECT_EQ(bob.interests().size(), 1u);
+  EXPECT_EQ(bob.interests()->size(), 1u);
+  EXPECT_EQ(bob.interest_ids().size(), 1u);
 }
 
 }  // namespace

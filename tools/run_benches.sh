@@ -3,7 +3,7 @@
 # BENCH_<name>.json at the repo root — the bench trajectory consumed by
 # ROADMAP.md's performance notes. Usage:
 #
-#   tools/run_benches.sh                # conformance + typedesc + concurrent + api + transport
+#   tools/run_benches.sh                # conformance + typedesc + concurrent + api + transport + scale
 #   tools/run_benches.sh all            # every bench binary
 #   tools/run_benches.sh --smoke        # CI mode: every binary, tiny iteration
 #                                       # counts, JSON validated, nothing at the
@@ -20,7 +20,7 @@ SMOKE=0
 # The single source of truth for "every bench binary" — both `all` and
 # `--smoke` use it, so a new bench cannot be added to one and silently
 # escape the other.
-ALL_BENCHES=(conformance typedesc concurrent api envelope invocation object_serial transport ablation)
+ALL_BENCHES=(conformance typedesc concurrent api envelope invocation object_serial transport ablation scale)
 
 if [[ "${1:-}" == "--smoke" ]]; then
   # Smoke mode exists so bench code cannot bit-rot: every binary must run
@@ -32,7 +32,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
 elif [[ "${1:-}" == "all" ]]; then
   BENCHES=("${ALL_BENCHES[@]}")
 else
-  BENCHES=(conformance typedesc concurrent api transport)
+  BENCHES=(conformance typedesc concurrent api transport scale)
 fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

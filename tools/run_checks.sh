@@ -21,6 +21,8 @@
 #   30 tsan  configure/build   40 tsan  ctest
 #   50 asan  configure/build   60 asan  ctest    (ASAN=1 only)
 #   70 clang-format gate       80 adversarial soak gate (SOAK=1 only)
+#   90 megasim scale smoke (10^4-peer deterministic scenario, Release,
+#      wall-clock ceiling SCALE_SMOKE_SECONDS, default 300)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -72,5 +74,19 @@ stage 70 "clang-format gate" tools/check_format.sh
 if [[ "${SOAK:-0}" == "1" ]]; then
   stage 80 "adversarial soak gate" tools/run_soak.sh
 fi
+
+# The megasim scale gate: a fixed-seed 10^4-peer scenario, run twice in
+# Release, must produce byte-identical digests inside the wall-clock
+# ceiling. The nightly soak sweeps the same test at 10^5 (tsan) and 10^6
+# (release); this stage keeps the per-push cost honest. PTI_SIM_PEERS
+# overrides the population, SCALE_SMOKE_SECONDS the ceiling.
+scale_smoke() {
+  cmake --preset release > /dev/null && \
+    cmake --build --preset release "${BUILD_JOBS[@]}" --target test_sim && \
+    PTI_SIM_PEERS="${PTI_SIM_PEERS:-10000}" PTI_SIM_RUNS=2 \
+      timeout "${SCALE_SMOKE_SECONDS:-300}" \
+      build-bench/test_sim --gtest_filter='SimScale.*'
+}
+stage 90 "megasim scale smoke (10^4 peers, deterministic)" scale_smoke
 
 echo "run_checks: ALL GREEN"
