@@ -75,14 +75,15 @@ struct ConcurrentPushEnv {
 
   /// Default transport: the 2-worker AsyncTransport. Pass any other
   /// Transport (e.g. SocketTransport) to measure the same warmed protocol
-  /// workload over it.
+  /// workload over it, and/or a PeerConfig (e.g. use_sessions) to measure
+  /// a different protocol variant over the same warmed pairs.
   explicit ConcurrentPushEnv(const std::string& prefix,
-                             std::unique_ptr<transport::Transport> transport = nullptr)
+                             std::unique_ptr<transport::Transport> transport = nullptr,
+                             transport::PeerConfig config = {})
       : system(transport ? std::move(transport)
                          : std::make_unique<transport::AsyncTransport>(
                                transport::AsyncTransportConfig{.workers = 2,
                                                                .max_inbox = 256})) {
-    transport::PeerConfig config;
     config.retain_delivered = false;
     for (int p = 0; p < kPairs; ++p) {
       const std::string ns = prefix + "ns" + std::to_string(p);

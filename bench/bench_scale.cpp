@@ -175,7 +175,8 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
       "E-scale/storm", "full megasim publish storm (bring-up included); "
                        "optimistic vs eager wire bytes at population scale");
   const auto peers = static_cast<std::size_t>(state.range(0));
-  const bool eager = state.range(1) != 0;
+  const bool eager = state.range(1) == 1;
+  const bool sessions = state.range(1) == 2;  // session-layer optimistic
   ScenarioConfig config;
   config.seed = 42;
   config.peers = peers;
@@ -183,6 +184,7 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
   config.type_groups = kGroups;
   config.mode = eager ? pti::transport::ProtocolMode::Eager
                       : pti::transport::ProtocolMode::Optimistic;
+  config.use_sessions = sessions;
   ScenarioScript script;
   script.publish_storm(peers / 10);
 
@@ -197,14 +199,17 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
     benchmark::DoNotOptimize(result.trace_digest);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
-  state.SetLabel(eager ? "eager" : "optimistic");
+  state.SetLabel(eager ? "eager" : (sessions ? "session" : "optimistic"));
 }
 BENCHMARK(BM_ScenarioPublishStorm)
     ->Args({1000, 0})
     ->Args({1000, 1})
+    ->Args({1000, 2})
     ->Args({4000, 0})
     ->Args({4000, 1})
+    ->Args({4000, 2})
     ->Args({16000, 0})
+    ->Args({16000, 2})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

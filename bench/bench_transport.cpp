@@ -291,6 +291,71 @@ BENCHMARK(BM_SocketPushThroughputQuota)
     ->Threads(4)
     ->UseRealTime();
 
+// --- the session layer: one-exchange warmed pushes ----------------------------
+
+/// The warmed universe over SocketTransport with the session layer on:
+/// after the constructor's warm-up push every pair holds a live session
+/// (wire ids mapped, verdict cached), so each measured push is exactly
+/// one framed exchange — no ObjectPush envelope, no nested round trips.
+bench::ConcurrentPushEnv& socket_session_env() {
+  static bench::ConcurrentPushEnv e("ss",
+                                    std::make_unique<transport::SocketTransport>(),
+                                    transport::PeerConfig{.use_sessions = true});
+  return e;
+}
+
+/// Session-layer twin of BM_SocketPushThroughput: same warmed pairs, same
+/// socket wire — the delta is the session protocol collapsing each push
+/// to a single request/ack pair with a raw payload and a cached verdict.
+void BM_SocketPushThroughputSession(benchmark::State& state) {
+  bench::paper_reference("session layer: one-exchange warmed push",
+                         "warmed pushes ride an established session: wire ids "
+                         "+ raw payload + cached verdict, one framed exchange");
+  bench::run_concurrent_push(state, socket_session_env());
+}
+BENCHMARK(BM_SocketPushThroughputSession)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+/// Session push with the binary payload serializer: the session layer
+/// removed the protocol round trips; this row removes the SOAP XML
+/// serialize/parse tax too, leaving framing + kernel + conformance-cache
+/// lookup — the warmed wire's practical ceiling.
+bench::ConcurrentPushEnv& socket_session_binary_env() {
+  static bench::ConcurrentPushEnv e(
+      "sb", std::make_unique<transport::SocketTransport>(),
+      transport::PeerConfig{.payload_encoding = "binary", .use_sessions = true});
+  return e;
+}
+
+void BM_SocketPushThroughputSessionBinary(benchmark::State& state) {
+  bench::run_concurrent_push(state, socket_session_binary_env());
+}
+BENCHMARK(BM_SocketPushThroughputSessionBinary)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+/// The async-transport twin (in-process handoff instead of loopback TCP):
+/// isolates the session layer's protocol savings from the kernel's.
+bench::ConcurrentPushEnv& async_session_env() {
+  static bench::ConcurrentPushEnv e("as", nullptr,
+                                    transport::PeerConfig{.use_sessions = true});
+  return e;
+}
+
+void BM_AsyncPushThroughputSession(benchmark::State& state) {
+  bench::run_concurrent_push(state, async_session_env());
+}
+BENCHMARK(BM_AsyncPushThroughputSession)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
 /// send_async pipelining over sockets: a window of in-flight pushes per
 /// thread served by the outbound worker pool.
 void BM_SocketPushPipelined(benchmark::State& state) {

@@ -35,6 +35,11 @@ void ResourceGovernor::add_veto(std::function<bool(util::InternedName)> veto) {
   vetoes_.push_back(std::move(veto));
 }
 
+void ResourceGovernor::add_post_sweep_hook(std::function<void()> hook) {
+  std::lock_guard lock(mutex_);
+  post_sweep_hooks_.push_back(std::move(hook));
+}
+
 bool ResourceGovernor::in_use(util::InternedName id) const {
   // Callers hold mutex_ (sweep does); the lists are stable underneath.
   for (const reflect::TypeRegistry* registry : registries_) {
@@ -47,21 +52,28 @@ bool ResourceGovernor::in_use(util::InternedName id) const {
 }
 
 SweepReport ResourceGovernor::sweep() {
-  std::lock_guard lock(mutex_);
   SweepReport report;
-  util::SymbolTable& symbols = util::SymbolTable::global();
-  symbols.advance_tick();
-  for (conform::ConformanceCache* cache : caches_) {
-    cache->advance_tick();
-    report.cache_evicted +=
-        cache->evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep);
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard lock(mutex_);
+    util::SymbolTable& symbols = util::SymbolTable::global();
+    symbols.advance_tick();
+    for (conform::ConformanceCache* cache : caches_) {
+      cache->advance_tick();
+      report.cache_evicted +=
+          cache->evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep);
+    }
+    report.names_evicted =
+        symbols.evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep,
+                           [this](util::InternedName id) { return in_use(id); });
+    report.reclaimed = em_.try_reclaim();
+    report.epoch = em_.epoch();
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    hooks = post_sweep_hooks_;  // copy: hooks run outside the sweep lock
   }
-  report.names_evicted =
-      symbols.evict_cold(em_, config_.min_idle_ticks, config_.max_evict_per_sweep,
-                         [this](util::InternedName id) { return in_use(id); });
-  report.reclaimed = em_.try_reclaim();
-  report.epoch = em_.epoch();
-  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& hook : hooks) {
+    if (hook) hook();
+  }
   return report;
 }
 

@@ -88,6 +88,13 @@ class ResourceGovernor {
   /// governor cannot see (e.g. a SimNetwork's link/partition keys).
   void add_veto(std::function<bool(util::InternedName)> veto);
 
+  /// Registers a hook invoked after every sweep, outside the sweep lock —
+  /// the invalidation edge for state derived from the swept stores (e.g. a
+  /// Peer's SessionTable verdict cache: hook it to invalidate_verdicts()
+  /// so reclamation can never leave a stale cached verdict servable). The
+  /// hook must be thread-safe and must not call back into the governor.
+  void add_post_sweep_hook(std::function<void()> hook);
+
   /// One maintenance pass: advance ticks, evict cold cache entries, evict
   /// cold unreferenced symbols, reclaim. Thread-safe; callable directly
   /// (deterministic tests) or via the background thread.
@@ -116,6 +123,7 @@ class ResourceGovernor {
   std::vector<reflect::TypeRegistry*> registries_;
   std::vector<conform::ConformanceCache*> caches_;
   std::vector<std::function<bool(util::InternedName)>> vetoes_;
+  std::vector<std::function<void()>> post_sweep_hooks_;
   std::atomic<std::size_t> sweeps_{0};
 
   std::mutex run_mutex_;  ///< guards running_/stopping_ with stop_cv_

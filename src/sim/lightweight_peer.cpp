@@ -14,13 +14,17 @@ using transport::ErrorReply;
 using transport::Message;
 using transport::ObjectPush;
 using transport::PushAck;
+using transport::SessionAck;
+using transport::SessionIntro;
+using transport::SessionPush;
+using transport::SessionStatus;
 using transport::TypeInfoRequest;
 using transport::TypeInfoResponse;
 
 LightweightPeer::LightweightPeer(std::uint32_t index, transport::Transport& network,
                                  TypeUniverse& universe,
                                  transport::InterestIndex& interests,
-                                 transport::ProtocolMode mode)
+                                 transport::ProtocolMode mode, bool use_sessions)
     : index_(index),
       name_("p" + std::to_string(index)),
       network_(network),
@@ -28,7 +32,8 @@ LightweightPeer::LightweightPeer(std::uint32_t index, transport::Transport& netw
       interests_(interests),
       mode_(mode),
       known_(universe.type_count(), false),
-      loaded_(universe.type_count(), false) {}
+      loaded_(universe.type_count(), false),
+      use_sessions_(use_sessions) {}
 
 LightweightPeer::~LightweightPeer() {
   if (live_) leave();
@@ -57,8 +62,57 @@ void LightweightPeer::leave() {
   live_ = false;
 }
 
+LightweightPeer::PushOutcome LightweightPeer::publish_session(const std::string& target,
+                                                              std::uint32_t family) {
+  // Publishing makes us the origin: we hold the description and code.
+  known_[family] = true;
+  loaded_[family] = true;
+  std::vector<bool>& sent = intro_sent_[target];
+  if (sent.empty()) sent.assign(universe_.type_count(), false);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    SessionPush push;
+    push.token = index_ + 1;
+    push.wire_types = {family + 1};
+    push.encoding = universe_.payload_encoding();
+    push.payload = universe_.payload_bytes(family);
+    const bool fresh = !sent[family];
+    if (fresh) {
+      SessionIntro intro;
+      intro.wire_id = family + 1;
+      intro.type_name = universe_.publisher_type_name(family);
+      intro.description_xml = universe_.description_xml(family);
+      intro.assembly_name = universe_.assembly_name(family);
+      intro.download_path = "net://origin/" + universe_.assembly_name(family);
+      push.intros.push_back(std::move(intro));
+      if (mode_ == transport::ProtocolMode::Eager) {
+        push.intro_assembly_names.push_back(universe_.assembly_name(family));
+        push.intro_assembly_bytes = universe_.assembly_code_size(family);
+      }
+    }
+    ++counters_.pushes_sent;
+    try {
+      const Message response = network_.send(Message{name_, target, std::move(push)});
+      if (const auto* ack = std::get_if<SessionAck>(&response.payload)) {
+        if (ack->status == SessionStatus::Reset) {
+          // The receiver lost the session: replay once with the intro.
+          sent.assign(universe_.type_count(), false);
+          continue;
+        }
+        if (fresh) sent[family] = true;  // commit-on-ack
+        return PushOutcome{ack->delivered, false};
+      }
+      return PushOutcome{false, true};  // in-band fault (ErrorReply)
+    } catch (const pti::Error&) {
+      return PushOutcome{false, true};  // drop, partition, or quota rejection
+    }
+  }
+  return PushOutcome{false, true};  // reset twice: give up on this push
+}
+
 LightweightPeer::PushOutcome LightweightPeer::publish_to(const std::string& target,
                                                          std::uint32_t family) {
+  if (use_sessions_) return publish_session(target, family);
   ObjectPush push;
   push.envelope = universe_.envelope_bytes(family);
   if (mode_ == transport::ProtocolMode::Eager) {
@@ -85,6 +139,9 @@ Message LightweightPeer::handle(const Message& request) {
   try {
     if (const auto* push = std::get_if<ObjectPush>(&request.payload)) {
       return handle_push(request, *push);
+    }
+    if (const auto* spush = std::get_if<SessionPush>(&request.payload)) {
+      return handle_session_push(request, *spush);
     }
     if (const auto* info = std::get_if<TypeInfoRequest>(&request.payload)) {
       TypeInfoResponse response;
@@ -123,6 +180,77 @@ Message LightweightPeer::handle(const Message& request) {
     // the in-band fault the publisher counts as a drop.
     return Message{name_, request.sender, ErrorReply{e.what()}};
   }
+}
+
+Message LightweightPeer::handle_session_push(const Message& request,
+                                             const SessionPush& push) {
+  ++counters_.pushes_received;
+  last_matched_ = kNoInterest;
+
+  std::vector<bool>& wire_known = session_known_[request.sender];
+  if (wire_known.empty()) wire_known.assign(universe_.type_count(), false);
+  for (const SessionIntro& intro : push.intros) {
+    const std::uint32_t f = universe_.type_by_name(intro.type_name);
+    if (f != TypeUniverse::kNoType && intro.wire_id == f + 1) {
+      wire_known[f] = true;
+      known_[f] = true;
+    }
+  }
+  // Eager prepay: the intro's assembly arrived with the push.
+  for (const std::string& assembly_name : push.intro_assembly_names) {
+    for (const SessionIntro& intro : push.intros) {
+      if (intro.assembly_name != assembly_name) continue;
+      const std::uint32_t f = universe_.type_by_name(intro.type_name);
+      if (f != TypeUniverse::kNoType) loaded_[f] = true;
+    }
+  }
+
+  if (push.wire_types.empty()) {
+    ++counters_.rejected;
+    return Message{name_, request.sender,
+                   SessionAck{SessionStatus::Ok, false, "no object types"}};
+  }
+  const std::uint32_t wire = push.wire_types.front();
+  if (wire == 0 || wire > universe_.type_count() || !wire_known[wire - 1]) {
+    return Message{name_, request.sender,
+                   SessionAck{SessionStatus::Reset, false, "session state lost"}};
+  }
+  const std::uint32_t family = wire - 1;
+
+  // Conformance: the same shared-index scan and matrix probe as the cold
+  // path — session mode must agree on every verdict.
+  const auto match = interests_.match_first(sub_, [&](const transport::InterestEntry& e) {
+    const std::uint32_t interest = universe_.interest_of_id(e.interest);
+    return interest != TypeUniverse::kNoType && universe_.conforms(family, interest);
+  });
+  if (!match) {
+    ++counters_.rejected;
+    return Message{name_, request.sender,
+                   SessionAck{SessionStatus::Ok, false, "no interest conforms"}};
+  }
+  last_matched_ = universe_.interest_of_id(match->interest);
+
+  // First acceptance from a cold optimistic session still fetches code in
+  // a nested exchange; every later push skips it via loaded_.
+  if (!loaded_[family]) {
+    ++counters_.code_requests;
+    const Message response = network_.send(
+        Message{name_, request.sender, CodeRequest{universe_.assembly_name(family)}});
+    const auto* code = std::get_if<CodeResponse>(&response.payload);
+    if (code == nullptr || !code->found) {
+      ++counters_.rejected;
+      last_matched_ = kNoInterest;
+      return Message{name_, request.sender,
+                     SessionAck{SessionStatus::Ok, false, "code unavailable"}};
+    }
+    counters_.code_bytes_fetched += code->code_bytes;
+    loaded_[family] = true;
+  }
+
+  ++counters_.accepted;
+  return Message{name_, request.sender,
+                 SessionAck{SessionStatus::Ok, true,
+                            universe_.interest_type_name(last_matched_)}};
 }
 
 Message LightweightPeer::handle_push(const Message& request, const ObjectPush& push) {

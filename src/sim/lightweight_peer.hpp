@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/type_universe.hpp"
@@ -53,7 +54,7 @@ class LightweightPeer {
 
   LightweightPeer(std::uint32_t index, transport::Transport& network,
                   TypeUniverse& universe, transport::InterestIndex& interests,
-                  transport::ProtocolMode mode);
+                  transport::ProtocolMode mode, bool use_sessions = false);
   ~LightweightPeer();
   LightweightPeer(const LightweightPeer&) = delete;
   LightweightPeer& operator=(const LightweightPeer&) = delete;
@@ -98,6 +99,9 @@ class LightweightPeer {
   [[nodiscard]] transport::Message handle(const transport::Message& request);
   [[nodiscard]] transport::Message handle_push(const transport::Message& request,
                                                const transport::ObjectPush& push);
+  [[nodiscard]] transport::Message handle_session_push(
+      const transport::Message& request, const transport::SessionPush& push);
+  PushOutcome publish_session(const std::string& target, std::uint32_t family);
 
   std::uint32_t index_;
   std::string name_;
@@ -116,6 +120,15 @@ class LightweightPeer {
   std::vector<bool> loaded_;
   std::uint32_t last_matched_ = kNoInterest;
   PeerCounters counters_;
+
+  /// Session mode: pushes travel as SessionPush frames (wire id = family
+  /// index + 1, token = peer index + 1 — both scenario-local, digest-safe).
+  /// Sender side tracks which families each target acknowledged an intro
+  /// for (commit-on-ack); receiver side mirrors which wire ids each sender
+  /// introduced. Both survive leave/rejoin, exactly like known_/loaded_.
+  bool use_sessions_ = false;
+  std::unordered_map<std::string, std::vector<bool>> intro_sent_;
+  std::unordered_map<std::string, std::vector<bool>> session_known_;
 };
 
 }  // namespace pti::sim

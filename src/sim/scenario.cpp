@@ -108,7 +108,7 @@ Scenario::Scenario(const ScenarioConfig& config)
   sub_to_peer_.assign(count, 0);
   for (std::uint32_t i = 0; i < count; ++i) {
     auto peer = std::make_unique<LightweightPeer>(i, net_, *universe_, hub_.interests(),
-                                                  config_.mode);
+                                                  config_.mode, config_.use_sessions);
     std::vector<std::uint32_t> families;
     for (std::size_t k = 0; k < config_.interests_per_peer; ++k) {
       const std::uint32_t family = draw_family();

@@ -50,6 +50,10 @@ struct ScenarioConfig {
   std::size_t interests_per_peer = 2;
   double zipf_exponent = 1.0;    ///< skew of type popularity (0 = uniform)
   transport::ProtocolMode mode = transport::ProtocolMode::Optimistic;
+  /// Session-layer pushes: wire ids + raw payload + inline intros; the
+  /// verdict/accept stream must match non-session runs while wire bytes
+  /// and exchange counts collapse.
+  bool use_sessions = false;
   bool use_inverted_index = true;
   std::size_t fanout_cap = 64;   ///< deliveries per publish (keeps storms tractable)
   std::uint64_t event_interval_ns = 50'000;  ///< virtual spacing of scripted events

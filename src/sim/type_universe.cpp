@@ -138,7 +138,10 @@ TypeUniverse::TypeUniverse(const TypeUniverseConfig& config, transport::Assembly
       }
     }
     serial::EnvelopeBuilder builder(serializer, &domain_.registry());
-    family.envelope = builder.build(reflect::Value(std::move(object))).to_bytes();
+    serial::Envelope env = builder.build(reflect::Value(std::move(object)));
+    payload_encoding_ = env.encoding;
+    family.payload = env.payload;
+    family.envelope = env.to_bytes();
     const std::uint64_t h = util::fnv1a64(std::string_view(
         reinterpret_cast<const char*>(family.envelope.data()), family.envelope.size()));
     family_by_envelope_hash_.emplace(h, t);

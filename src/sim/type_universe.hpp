@@ -73,6 +73,15 @@ class TypeUniverse {
   [[nodiscard]] const std::vector<std::uint8_t>& envelope_bytes(std::uint32_t family) const {
     return families_[family].envelope;
   }
+  /// Raw serialized payload of the family's canonical object — what a
+  /// session-mode push carries instead of the full XML envelope.
+  [[nodiscard]] const std::vector<std::uint8_t>& payload_bytes(std::uint32_t family) const {
+    return families_[family].payload;
+  }
+  /// Serializer name of the precomputed payloads (same for every family).
+  [[nodiscard]] const std::string& payload_encoding() const noexcept {
+    return payload_encoding_;
+  }
   /// Family whose precomputed envelope these bytes are; kNoType otherwise.
   [[nodiscard]] std::uint32_t type_of_envelope(
       const std::vector<std::uint8_t>& bytes) const noexcept;
@@ -109,6 +118,7 @@ class TypeUniverse {
     std::uint64_t code_size = 0;  ///< simulated size of that assembly
     std::string description_xml;  ///< publisher type description
     std::vector<std::uint8_t> envelope;
+    std::vector<std::uint8_t> payload;  ///< envelope's raw payload bytes
     util::InternedName interest_id;
     std::uint64_t interest_fingerprint = 0;
   };
@@ -117,6 +127,7 @@ class TypeUniverse {
   serial::SerializerRegistry serializers_;
   conform::ConformanceCache cache_;
   std::size_t groups_ = 1;
+  std::string payload_encoding_;
   std::vector<Family> families_;
   std::vector<bool> matrix_;  ///< families x families, row = publisher
   std::unordered_map<std::uint64_t, std::uint32_t> family_by_envelope_hash_;

@@ -40,6 +40,19 @@ struct SizeVisitor {
   std::size_t operator()(const ErrorReply& m) const noexcept {
     return m.message.size() + 4;
   }
+  std::size_t operator()(const SessionPush& m) const noexcept {
+    std::size_t size = 8 + 4 * m.wire_types.size() + m.encoding.size() + 4 +
+                       m.payload.size() + static_cast<std::size_t>(m.intro_assembly_bytes);
+    for (const auto& i : m.intros) {
+      size += 4 + i.type_name.size() + i.description_xml.size() + i.assembly_name.size() +
+              i.download_path.size() + 16;
+    }
+    for (const auto& n : m.intro_assembly_names) size += n.size() + 4;
+    return size;
+  }
+  std::size_t operator()(const SessionAck& m) const noexcept {
+    return 3 + m.detail.size();
+  }
 };
 
 struct KindVisitor {
@@ -54,6 +67,8 @@ struct KindVisitor {
   const char* operator()(const InvokeRequest&) const noexcept { return "InvokeRequest"; }
   const char* operator()(const InvokeResponse&) const noexcept { return "InvokeResponse"; }
   const char* operator()(const ErrorReply&) const noexcept { return "ErrorReply"; }
+  const char* operator()(const SessionPush&) const noexcept { return "SessionPush"; }
+  const char* operator()(const SessionAck&) const noexcept { return "SessionAck"; }
 };
 
 }  // namespace

@@ -69,9 +69,47 @@ struct ErrorReply {
   std::string message;
 };
 
+/// One type description piggybacked inline on a SessionPush: binds a
+/// session-scoped wire id to a named type the receiver has not seen from
+/// this sender yet. Carries everything a cold TypeInfoResponse would, so
+/// the nested fetch exchange disappears.
+struct SessionIntro {
+  std::uint32_t wire_id = 0;
+  std::string type_name;
+  std::string description_xml;
+  std::string assembly_name;
+  std::string download_path;
+};
+
+/// Session-mode object push: the envelope's type set travels as compact
+/// wire ids (established by earlier intros) and the payload travels raw,
+/// without the XML envelope wrapper. First-contact types ride along as
+/// inline intros — a warmed push is exactly one framed exchange.
+struct SessionPush {
+  std::uint64_t token = 0;                ///< sender-chosen session identity
+  std::vector<std::uint32_t> wire_types;  ///< envelope type set, root first
+  std::string encoding;                   ///< payload serializer name
+  std::vector<std::uint8_t> payload;      ///< raw serialized object bytes
+  std::vector<SessionIntro> intros;       ///< first-contact descriptions
+  /// Eager-mode extras: assemblies prepaid alongside the intros.
+  std::vector<std::string> intro_assembly_names;
+  std::uint64_t intro_assembly_bytes = 0;
+};
+
+enum class SessionStatus : std::uint8_t {
+  Ok = 0,     ///< session recognised, verdict in `delivered`/`detail`
+  Reset = 1,  ///< receiver lost the session state: replay with intros
+};
+
+struct SessionAck {
+  SessionStatus status = SessionStatus::Ok;
+  bool delivered = false;
+  std::string detail;  ///< interest type on success, reason on rejection
+};
+
 using MessagePayload = std::variant<ObjectPush, PushAck, TypeInfoRequest, TypeInfoResponse,
                                     CodeRequest, CodeResponse, InvokeRequest,
-                                    InvokeResponse, ErrorReply>;
+                                    InvokeResponse, ErrorReply, SessionPush, SessionAck>;
 
 struct Message {
   std::string sender;

@@ -47,7 +47,8 @@ Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hu
       config_(std::move(config)),
       checker_(domain_.registry(), config_.conformance,
                config_.use_conformance_cache ? &cache_ : nullptr),
-      proxies_(domain_, checker_) {
+      proxies_(domain_, checker_),
+      sessions_(config_.session) {
   if (!hub_) throw TransportError("peer '" + name_ + "' needs an assembly hub");
   sub_ = hub_->interests().add_subscriber();
   interest_names_ = std::make_shared<const std::vector<std::string>>();
@@ -108,6 +109,9 @@ util::InternedName Peer::add_interest(const TypeDescription& interest) {
   auto names = std::make_shared<std::vector<std::string>>(*interest_names_);
   names->push_back(interest.qualified_name());
   interest_names_ = std::move(names);
+  // A new interest can turn a cached session REJECT into an accept; cached
+  // verdicts must be recomputed against the widened interest set.
+  sessions_.invalidate_verdicts();
   return id;
 }
 
@@ -147,14 +151,46 @@ std::string Peer::describe_type_xml(std::string_view type_name) const {
   return serial::type_description_to_string(*d);
 }
 
-ObjectPush Peer::build_push(const std::shared_ptr<DynObject>& object) {
+Envelope Peer::build_envelope(const std::shared_ptr<DynObject>& object) {
   if (!object) throw ProtocolError("cannot send a null object");
   // The wire carries real state, never proxy wrappers.
   const std::shared_ptr<DynObject> real = proxies_.unwrap(object);
 
   serial::ObjectSerializer& serializer = serializers_.get(config_.payload_encoding);
   serial::EnvelopeBuilder builder(serializer, &domain_.registry());
-  const Envelope envelope = builder.build(reflect::Value(real));
+  return builder.build(reflect::Value(real));
+}
+
+std::vector<const TypeDescription*> Peer::collect_closure(std::vector<std::string> roots) {
+  std::set<std::string, util::ICaseLess> visited;
+  std::vector<const TypeDescription*> closure;
+  // LIFO frontier, exactly the historical traversal: the emitted order is
+  // part of the wire format (eager description lists and session intro
+  // order are pinned by the cross-transport equivalence tests).
+  std::vector<std::string>& frontier = roots;
+  while (!frontier.empty()) {
+    const std::string type_name = std::move(frontier.back());
+    frontier.pop_back();
+    if (!visited.insert(type_name).second) continue;
+    const TypeDescription* d = domain_.registry().find(type_name);
+    if (d == nullptr || d->kind() == reflect::TypeKind::Primitive) continue;
+    closure.push_back(d);
+    if (!d->superclass().empty()) frontier.push_back(d->superclass());
+    for (const auto& itf : d->interfaces()) frontier.push_back(itf);
+    for (const auto& f : d->fields()) frontier.push_back(f.type_name);
+    for (const auto& m : d->methods()) {
+      frontier.push_back(m.return_type);
+      for (const auto& p : m.params) frontier.push_back(p.type_name);
+    }
+    for (const auto& c : d->constructors()) {
+      for (const auto& p : c.params) frontier.push_back(p.type_name);
+    }
+  }
+  return closure;
+}
+
+ObjectPush Peer::build_push(const std::shared_ptr<DynObject>& object) {
+  const Envelope envelope = build_envelope(object);
 
   ObjectPush push;
   push.envelope = envelope.to_bytes();
@@ -162,28 +198,13 @@ ObjectPush Peer::build_push(const std::shared_ptr<DynObject>& object) {
   if (config_.mode == ProtocolMode::Eager) {
     // Ship the transitive description closure and every implementing
     // assembly up front — the baseline the optimistic protocol beats.
-    std::set<std::string, util::ICaseLess> visited;
-    std::vector<std::string> frontier;
-    for (const auto& t : envelope.types) frontier.push_back(t.type_name);
+    std::vector<std::string> roots;
+    roots.reserve(envelope.types.size());
+    for (const auto& t : envelope.types) roots.push_back(t.type_name);
     std::set<std::string, util::ICaseLess> assemblies;
-    while (!frontier.empty()) {
-      const std::string type_name = std::move(frontier.back());
-      frontier.pop_back();
-      if (!visited.insert(type_name).second) continue;
-      const TypeDescription* d = domain_.registry().find(type_name);
-      if (d == nullptr || d->kind() == reflect::TypeKind::Primitive) continue;
+    for (const TypeDescription* d : collect_closure(std::move(roots))) {
       push.eager_descriptions_xml.push_back(serial::type_description_to_string(*d));
       if (!d->assembly_name().empty()) assemblies.insert(d->assembly_name());
-      if (!d->superclass().empty()) frontier.push_back(d->superclass());
-      for (const auto& itf : d->interfaces()) frontier.push_back(itf);
-      for (const auto& f : d->fields()) frontier.push_back(f.type_name);
-      for (const auto& m : d->methods()) {
-        frontier.push_back(m.return_type);
-        for (const auto& p : m.params) frontier.push_back(p.type_name);
-      }
-      for (const auto& c : d->constructors()) {
-        for (const auto& p : c.params) frontier.push_back(p.type_name);
-      }
     }
     for (const auto& assembly_name : assemblies) {
       if (const auto assembly = hub_->fetch(assembly_name)) {
@@ -209,8 +230,126 @@ PushAck Peer::ack_from_response(const Message& response, std::string_view to) {
                       std::string(response.kind_name()));
 }
 
+SessionAck Peer::session_ack_from_response(const Message& response, std::string_view to) {
+  if (const auto* ack = std::get_if<SessionAck>(&response.payload)) return *ack;
+  if (const auto* err = std::get_if<ErrorReply>(&response.payload)) {
+    if (util::starts_with(err->message, kResourceReplyPrefix)) {
+      throw pti::ResourceExhaustedError(
+          "push to '" + std::string(to) + "' rejected: " +
+          err->message.substr(kResourceReplyPrefix.size()));
+    }
+    throw ProtocolError("push to '" + std::string(to) + "' failed: " + err->message);
+  }
+  throw ProtocolError("unexpected response to SessionPush: " +
+                      std::string(response.kind_name()));
+}
+
+Peer::SessionSend Peer::build_session_push(const std::string& to,
+                                           const Envelope& envelope) {
+  SessionSend out;
+  out.names.reserve(envelope.types.size());
+  for (const auto& t : envelope.types) out.names.push_back(t.type_name);
+  SessionTable::SendPlan plan = sessions_.plan_send(to, out.names);
+  out.token = plan.token;
+  out.fresh = plan.fresh;
+
+  out.push.token = plan.token;
+  out.push.wire_types = std::move(plan.wire_ids);
+  out.push.encoding = envelope.encoding;
+  out.push.payload = envelope.payload;
+
+  if (!plan.fresh.empty()) {
+    // First contact for some envelope types: their description closure
+    // rides along inline, so the receiver's conformance check needs no
+    // nested TypeInfoRequest exchange.
+    std::vector<std::string> roots;
+    roots.reserve(plan.fresh.size());
+    for (const std::size_t i : plan.fresh) roots.push_back(out.names[i]);
+    const std::vector<const TypeDescription*> closure = collect_closure(std::move(roots));
+
+    std::set<std::string, util::ICaseLess> envelope_names(out.names.begin(),
+                                                          out.names.end());
+    std::vector<std::string> extra_names;
+    std::vector<const TypeDescription*> extras;
+    for (const TypeDescription* d : closure) {
+      if (envelope_names.insert(d->qualified_name()).second) {
+        extra_names.push_back(d->qualified_name());
+        extras.push_back(d);
+      }
+    }
+    const SessionTable::SendPlan extra_plan =
+        sessions_.plan_extras(to, plan.token, extra_names);
+
+    for (const std::size_t i : plan.fresh) {
+      SessionIntro intro;
+      intro.wire_id = out.push.wire_types[i];
+      intro.type_name = out.names[i];
+      intro.assembly_name = envelope.types[i].assembly_name;
+      intro.download_path = envelope.types[i].download_path;
+      if (const TypeDescription* d = domain_.registry().find(out.names[i])) {
+        if (d->kind() != reflect::TypeKind::Primitive) {
+          intro.description_xml = serial::type_description_to_string(*d);
+        }
+      }
+      out.push.intros.push_back(std::move(intro));
+    }
+    for (const std::size_t j : extra_plan.fresh) {
+      const TypeDescription* d = extras[j];
+      SessionIntro intro;
+      intro.wire_id = extra_plan.wire_ids[j];
+      intro.type_name = extra_names[j];
+      intro.assembly_name = d->assembly_name();
+      intro.download_path = d->download_path();
+      intro.description_xml = serial::type_description_to_string(*d);
+      out.push.intros.push_back(std::move(intro));
+    }
+    for (const std::size_t j : extra_plan.fresh) {
+      out.names.push_back(extra_names[j]);
+      out.fresh.push_back(out.names.size() - 1);
+    }
+
+    if (config_.mode == ProtocolMode::Eager) {
+      // Eager + session: prepay the assemblies of everything introduced,
+      // mirroring the eager ObjectPush — a warmed eager push ships none.
+      std::set<std::string, util::ICaseLess> assemblies;
+      for (const TypeDescription* d : closure) {
+        if (!d->assembly_name().empty()) assemblies.insert(d->assembly_name());
+      }
+      for (const auto& assembly_name : assemblies) {
+        if (const auto assembly = hub_->fetch(assembly_name)) {
+          out.push.intro_assembly_names.push_back(assembly_name);
+          out.push.intro_assembly_bytes += assembly->simulated_code_size();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PushAck Peer::send_object_session(std::string_view to, const Envelope& envelope) {
+  const std::string recipient(to);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    SessionSend send = build_session_push(recipient, envelope);
+    const Message response =
+        network_.send(Message{name_, recipient, std::move(send.push)});
+    ++stats_.objects_sent;
+    const SessionAck ack = session_ack_from_response(response, recipient);
+    if (ack.status == SessionStatus::Reset) {
+      // The receiver lost the session (eviction, restart): start a new
+      // token and replay once with every type introduced inline.
+      sessions_.reset_peer(recipient);
+      ++stats_.session_retries;
+      continue;
+    }
+    sessions_.commit_send(recipient, send.token, send.names, send.fresh);
+    return PushAck{ack.delivered, ack.detail};
+  }
+  throw ProtocolError("session push to '" + recipient + "' kept resetting");
+}
+
 PushAck Peer::send_object(std::string_view to,
                           const std::shared_ptr<DynObject>& object) {
+  if (config_.use_sessions) return send_object_session(to, build_envelope(object));
   ObjectPush push = build_push(object);
   const Message response =
       network_.send(Message{name_, std::string(to), std::move(push)});
@@ -218,8 +357,69 @@ PushAck Peer::send_object(std::string_view to,
   return ack_from_response(response, to);
 }
 
+void Peer::send_session_attempt(const std::string& recipient,
+                                std::shared_ptr<const Envelope> envelope,
+                                std::shared_ptr<std::promise<PushAck>> promise,
+                                int retries_left) {
+  try {
+    SessionSend send = build_session_push(recipient, *envelope);
+    auto token = send.token;
+    outbound_.add();
+    try {
+      network_.send_async(
+          Message{name_, recipient, std::move(send.push)},
+          [this, recipient, envelope, promise, retries_left, token,
+           names = std::move(send.names), fresh = std::move(send.fresh)](
+              Message response, std::exception_ptr error) {
+            struct Done {
+              OutboundTracker& tracker;
+              ~Done() { tracker.done(); }
+            } done{outbound_};
+            if (error) {
+              promise->set_exception(error);
+              return;
+            }
+            ++stats_.objects_sent;
+            try {
+              const SessionAck ack = session_ack_from_response(response, recipient);
+              if (ack.status == SessionStatus::Reset) {
+                sessions_.reset_peer(recipient);
+                if (retries_left > 0) {
+                  // Replay once with a fresh token, from the transport
+                  // thread — Resets are rare, the nested send is bounded.
+                  ++stats_.session_retries;
+                  send_session_attempt(recipient, envelope, promise,
+                                       retries_left - 1);
+                  return;
+                }
+                throw ProtocolError("session push to '" + recipient +
+                                    "' kept resetting");
+              }
+              sessions_.commit_send(recipient, token, names, fresh);
+              promise->set_value(PushAck{ack.delivered, ack.detail});
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+            }
+          });
+    } catch (...) {
+      outbound_.done();
+      throw;
+    }
+  } catch (...) {
+    promise->set_exception(std::current_exception());
+  }
+}
+
 std::future<PushAck> Peer::send_object_async(std::string_view to,
                                              const std::shared_ptr<DynObject>& object) {
+  if (config_.use_sessions) {
+    auto promise = std::make_shared<std::promise<PushAck>>();
+    std::future<PushAck> future = promise->get_future();
+    send_session_attempt(std::string(to),
+                         std::make_shared<const Envelope>(build_envelope(object)),
+                         std::move(promise), 1);
+    return future;
+  }
   ObjectPush push = build_push(object);
   auto promise = std::make_shared<std::promise<PushAck>>();
   std::future<PushAck> future = promise->get_future();
@@ -261,6 +461,9 @@ Message Peer::handle(const Message& request) {
   try {
     if (const auto* push = std::get_if<ObjectPush>(&request.payload)) {
       return handle_object_push(request, *push);
+    }
+    if (const auto* spush = std::get_if<SessionPush>(&request.payload)) {
+      return handle_session_push(request, *spush);
     }
     if (const auto* ti = std::get_if<TypeInfoRequest>(&request.payload)) {
       return Message{name_, request.sender, handle_typeinfo(*ti)};
@@ -423,6 +626,178 @@ void Peer::ensure_types_usable(const std::vector<TypeInfoEntry>& types,
   for (const auto& entry : types) {
     ensure_code(entry, counterpart, any_download);
   }
+}
+
+Message Peer::deliver_session_payload(const std::string& sender, const SessionPush& push,
+                                      const std::string& matched_interest,
+                                      util::InternedName matched_id) {
+  serial::ObjectSerializer& serializer = serializers_.get(push.encoding);
+  const reflect::Value root = serializer.deserialize(push.payload);
+  if (root.kind() != reflect::ValueKind::Object || !root.as_object()) {
+    ++stats_.objects_rejected;
+    return Message{name_, sender,
+                   SessionAck{SessionStatus::Ok, false, "payload root is not an object"}};
+  }
+
+  DeliveredObject delivered;
+  delivered.object = root.as_object();
+  domain_.fill_missing_fields(*delivered.object);
+  delivered.adapted = proxies_.wrap(delivered.object, matched_interest);
+  delivered.interest_type = matched_interest;
+  delivered.interest_id = matched_id;
+  delivered.sender = sender;
+  if (config_.retain_delivered) {
+    std::scoped_lock lock(delivered_mutex_);
+    delivered_.push_back(delivered);
+  }
+  ++stats_.objects_delivered;
+  if (on_delivery_) on_delivery_(delivered);
+
+  return Message{name_, sender, SessionAck{SessionStatus::Ok, true, matched_interest}};
+}
+
+Message Peer::handle_session_push(const Message& request, const SessionPush& push) {
+  ++stats_.objects_received;
+  ++stats_.session_pushes;
+  const std::string& sender = request.sender;
+
+  // Session bookkeeping first: adopt/refresh the inbound session, learn
+  // the inline intros (idempotent), register their descriptions. The
+  // distinct-name budget for intro names was already charged at the
+  // transport seam (count_new_names), before this handler ran.
+  sessions_.open_inbound(sender, push.token);
+  for (const SessionIntro& intro : push.intros) {
+    if (sessions_.learn(sender, push.token, intro)) ++stats_.session_intros;
+    if (!intro.description_xml.empty() &&
+        domain_.registry().find(intro.type_name) == nullptr) {
+      domain_.registry().add(serial::type_description_from_string(intro.description_xml));
+    }
+  }
+  // Eager-mode extras: assemblies prepaid alongside the intros.
+  for (const auto& assembly_name : push.intro_assembly_names) {
+    if (!domain_.has_assembly(assembly_name)) {
+      if (const auto assembly = hub_->fetch(assembly_name)) {
+        domain_.load_assembly(assembly, "");
+      }
+    }
+  }
+
+  if (push.wire_types.empty()) {
+    ++stats_.objects_rejected;
+    return Message{name_, sender,
+                   SessionAck{SessionStatus::Ok, false, "envelope carries no object types"}};
+  }
+
+  std::vector<TypeInfoEntry> entries;
+  if (!sessions_.resolve(sender, push.token, push.wire_types, entries)) {
+    // Unknown wire ids: the session that established them is gone (evicted
+    // or replaced). Tell the sender to replay with intros.
+    ++stats_.session_resets;
+    return Message{name_, sender,
+                   SessionAck{SessionStatus::Reset, false, "session state lost"}};
+  }
+
+  // The warmed path: a decisive verdict cached for this exact envelope
+  // type set under the current invalidation generation. No registry walk,
+  // no conformance check, no nested exchange.
+  const std::uint32_t root_id = push.wire_types.front();
+  if (auto verdict = sessions_.find_verdict(sender, push.token, root_id, push.wire_types)) {
+    ++stats_.session_verdict_hits;
+    if (!verdict->conformant) {
+      ++stats_.objects_rejected;
+      return Message{name_, sender, SessionAck{SessionStatus::Ok, false, verdict->detail}};
+    }
+    if (verdict->code_ready) {
+      ++stats_.code_cache_hits;
+    } else {
+      const std::uint64_t gen = sessions_.generation();
+      bool any_download = false;
+      for (const auto& entry : entries) ensure_code(entry, sender, any_download);
+      if (!any_download) ++stats_.code_cache_hits;
+      verdict->code_ready = true;
+      sessions_.store_verdict(sender, push.token, root_id, *verdict, gen);
+    }
+    return deliver_session_payload(sender, push, verdict->matched_interest,
+                                   verdict->matched_id);
+  }
+
+  // Cold half: the full protocol, same semantics and same observable
+  // decisions as a cold ObjectPush — only the transport shape differs.
+  // The generation is read before any conformance work so a concurrent
+  // invalidation discards (rather than corrupts) the cached outcome.
+  const std::uint64_t gen = sessions_.generation();
+
+  std::vector<std::string> unknown;
+  for (const auto& entry : entries) {
+    if (domain_.registry().find(entry.type_name) == nullptr) {
+      unknown.push_back(entry.type_name);
+    }
+  }
+  if (unknown.empty()) {
+    ++stats_.typeinfo_cache_hits;
+  } else {
+    if (config_.mode != ProtocolMode::Optimistic) {
+      throw ProtocolError("eager push from '" + sender + "' missing descriptions");
+    }
+    fetch_descriptions(sender, unknown);
+    for (const auto& entry : entries) {
+      if (domain_.registry().find(entry.type_name) == nullptr) {
+        throw ProtocolError("sender '" + sender + "' could not describe type '" +
+                            entry.type_name + "'");
+      }
+    }
+  }
+
+  const TypeDescription* pushed = domain_.registry().find(entries.front().type_name);
+  bool undecided = false;
+  const auto accept = [&](const InterestEntry& entry) {
+    const TypeDescription* interest = domain_.registry().find_by_id(entry.interest);
+    if (interest == nullptr) return false;
+    const CheckResult result = check_with_fetch(*pushed, *interest, sender);
+    if (result.needs_more_types()) undecided = true;
+    if (!result.conformant) return false;
+    switch (config_.matcher) {
+      case MatcherKind::ImplicitStructural:
+        return true;
+      case MatcherKind::Exact:
+        return result.plan.kind() == conform::ConformanceKind::Identity;
+      case MatcherKind::Nominal:
+        return result.plan.kind() == conform::ConformanceKind::Identity ||
+               result.plan.kind() == conform::ConformanceKind::Explicit;
+      case MatcherKind::TaggedStructural: {
+        conform::TaggedStructuralMatcher tagged(domain_.registry());
+        return tagged.matches(*pushed, *interest);
+      }
+    }
+    return false;
+  };
+  SessionTable::Verdict verdict;
+  verdict.wire_types = push.wire_types;
+  if (const auto match = hub_->interests().match_first(sub_, accept)) {
+    verdict.conformant = true;
+    verdict.matched_interest =
+        domain_.registry().find_by_id(match->interest)->qualified_name();
+    verdict.matched_id = match->interest;
+  }
+  if (!verdict.conformant) {
+    ++stats_.objects_rejected;
+    verdict.detail = "no interest conforms to '" + entries.front().type_name + "'";
+    // An undecided rejection (the sender could not supply every referenced
+    // description) stays uncached: a later push may resolve differently.
+    if (!undecided) sessions_.store_verdict(sender, push.token, root_id, verdict, gen);
+    return Message{name_, sender, SessionAck{SessionStatus::Ok, false, verdict.detail}};
+  }
+
+  bool any_download = false;
+  for (const auto& entry : entries) {
+    ensure_code(entry, sender, any_download);
+  }
+  if (!any_download) ++stats_.code_cache_hits;
+  verdict.code_ready = true;
+  sessions_.store_verdict(sender, push.token, root_id, verdict, gen);
+
+  return deliver_session_payload(sender, push, verdict.matched_interest,
+                                 verdict.matched_id);
 }
 
 Message Peer::handle_object_push(const Message& request, const ObjectPush& push) {

@@ -52,6 +52,7 @@
 #include "serial/object_serializer.hpp"
 #include "transport/assembly_hub.hpp"
 #include "transport/protocol_stats.hpp"
+#include "transport/session.hpp"
 #include "transport/transport.hpp"
 #include "util/interning.hpp"
 
@@ -85,6 +86,12 @@ struct PeerConfig {
   /// record). Long-running or benchmarked peers turn this off — the
   /// delivery handler still fires per object, but nothing accumulates.
   bool retain_delivered = true;
+  /// Session-layer protocol: pushes travel as SessionPush frames carrying
+  /// compact wire ids and raw payload bytes; first-contact types ride
+  /// along as inline intros and conformance verdicts are cached per
+  /// session, so a warmed push is exactly one framed exchange.
+  bool use_sessions = false;
+  SessionConfig session{};
 };
 
 /// What the application receives when a pushed object matched an interest.
@@ -115,6 +122,11 @@ class Peer {
   [[nodiscard]] const PeerConfig& config() const noexcept { return config_; }
   [[nodiscard]] Transport& network() noexcept { return network_; }
   [[nodiscard]] serial::SerializerRegistry& serializers() noexcept { return serializers_; }
+  /// The session-layer state (wire-id tables, verdict cache). Present in
+  /// every peer; only consulted when config().use_sessions is set. Wire a
+  /// governor's post-sweep hook to sessions().invalidate_verdicts() so
+  /// reclamation never leaves a stale cached verdict servable.
+  [[nodiscard]] SessionTable& sessions() noexcept { return sessions_; }
 
   /// Loads the assembly locally and hosts it for download by other peers
   /// (descriptions get download path "net://<peer>/<assembly>"). Returns
@@ -189,15 +201,46 @@ class Peer {
  private:
   Message handle(const Message& request);
   Message handle_object_push(const Message& request, const ObjectPush& push);
+  Message handle_session_push(const Message& request, const SessionPush& push);
   [[nodiscard]] TypeInfoResponse handle_typeinfo(const TypeInfoRequest& request);
   [[nodiscard]] CodeResponse handle_code(const CodeRequest& request);
 
+  /// Serializes the object graph into its envelope (types + payload) —
+  /// shared front half of both push shapes.
+  [[nodiscard]] serial::Envelope build_envelope(
+      const std::shared_ptr<reflect::DynObject>& object);
   /// Serializes the object (and, in Eager mode, its metadata/code closure)
   /// into the wire payload of a push.
   [[nodiscard]] ObjectPush build_push(const std::shared_ptr<reflect::DynObject>& object);
   /// Converts a push response into the PushAck (or throws like send_object).
   [[nodiscard]] static PushAck ack_from_response(const Message& response,
                                                  std::string_view to);
+  [[nodiscard]] static SessionAck session_ack_from_response(const Message& response,
+                                                            std::string_view to);
+
+  /// Transitive description closure of `roots` in deterministic DFS order
+  /// (primitives and unknown names skipped) — what Eager mode ships and
+  /// what session intros piggyback.
+  [[nodiscard]] std::vector<const reflect::TypeDescription*> collect_closure(
+      std::vector<std::string> roots);
+
+  /// One planned SessionPush plus what to commit once it is acknowledged.
+  struct SessionSend {
+    SessionPush push;
+    std::uint64_t token = 0;
+    std::vector<std::string> names;
+    std::vector<std::size_t> fresh;
+  };
+  [[nodiscard]] SessionSend build_session_push(const std::string& to,
+                                               const serial::Envelope& envelope);
+  PushAck send_object_session(std::string_view to, const serial::Envelope& envelope);
+  void send_session_attempt(const std::string& recipient,
+                            std::shared_ptr<const serial::Envelope> envelope,
+                            std::shared_ptr<std::promise<PushAck>> promise,
+                            int retries_left);
+  Message deliver_session_payload(const std::string& sender, const SessionPush& push,
+                                  const std::string& matched_interest,
+                                  util::InternedName matched_id);
 
   /// Conformance with on-demand description fetching (protocol step 3).
   [[nodiscard]] conform::CheckResult check_with_fetch(
@@ -260,6 +303,7 @@ class Peer {
   DeliveryHandler on_delivery_;
   ExtraHandler extra_handler_;
   ProtocolStats stats_;
+  SessionTable sessions_;
 };
 
 }  // namespace pti::transport

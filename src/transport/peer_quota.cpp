@@ -144,14 +144,25 @@ std::size_t PeerQuotaTable::tracked_peers() const {
 }
 
 std::size_t count_new_names(const Message& message) {
-  const auto* info = std::get_if<TypeInfoRequest>(&message.payload);
-  if (info == nullptr) return 0;
   const util::SymbolTable& names = util::SymbolTable::global();
-  std::size_t fresh = 0;
-  for (const std::string& name : info->type_names) {
-    if (!names.find(name).valid()) ++fresh;
+  if (const auto* info = std::get_if<TypeInfoRequest>(&message.payload)) {
+    std::size_t fresh = 0;
+    for (const std::string& name : info->type_names) {
+      if (!names.find(name).valid()) ++fresh;
+    }
+    return fresh;
   }
-  return fresh;
+  // Session pushes introduce type names inline instead of via a nested
+  // TypeInfoRequest — the same distinct-name budget is charged here, at
+  // the transport seam, before the handler can register anything.
+  if (const auto* push = std::get_if<SessionPush>(&message.payload)) {
+    std::size_t fresh = 0;
+    for (const SessionIntro& intro : push->intros) {
+      if (!names.find(intro.type_name).valid()) ++fresh;
+    }
+    return fresh;
+  }
+  return 0;
 }
 
 }  // namespace pti::transport

@@ -10,7 +10,11 @@ std::string ProtocolStats::summary() const {
       << " delivered=" << objects_delivered << " rejected=" << objects_rejected
       << " typeinfo_req=" << typeinfo_requests << " code_req=" << code_requests
       << " typeinfo_cache_hits=" << typeinfo_cache_hits
-      << " code_cache_hits=" << code_cache_hits;
+      << " code_cache_hits=" << code_cache_hits
+      << " session_pushes=" << session_pushes
+      << " session_verdict_hits=" << session_verdict_hits
+      << " session_intros=" << session_intros << " session_resets=" << session_resets
+      << " session_retries=" << session_retries;
   return out.str();
 }
 

@@ -30,6 +30,13 @@ struct ProtocolStats {
   util::RelaxedCounter typeinfo_cache_hits;  ///< pushes fully served from known descriptions
   util::RelaxedCounter code_cache_hits;      ///< pushes needing no assembly download
 
+  // session layer
+  util::RelaxedCounter session_pushes;        ///< SessionPush messages received
+  util::RelaxedCounter session_verdict_hits;  ///< pushes decided from the verdict cache
+  util::RelaxedCounter session_intros;        ///< inline type intros learned
+  util::RelaxedCounter session_resets;        ///< Reset acks issued (receiver side)
+  util::RelaxedCounter session_retries;       ///< replays after a Reset (sender side)
+
   void reset() noexcept {
     objects_sent = 0;
     typeinfo_served = 0;
@@ -41,6 +48,11 @@ struct ProtocolStats {
     code_requests = 0;
     typeinfo_cache_hits = 0;
     code_cache_hits = 0;
+    session_pushes = 0;
+    session_verdict_hits = 0;
+    session_intros = 0;
+    session_resets = 0;
+    session_retries = 0;
   }
 
   [[nodiscard]] std::string summary() const;

@@ -253,4 +253,13 @@ inline void run_round(const Round& round, transport::Peer& sender,
   delivered = receiver.delivered_snapshot();
 }
 
+/// Re-sends the round's object over an already-run pair — the warmed path:
+/// interests, caches and (in session mode) the wire-id/verdict session
+/// state are all in place, so the second push must agree with the first.
+inline transport::PushAck push_again(const Round& round, transport::Peer& sender,
+                                     transport::Peer& receiver) {
+  const auto object = make_object(sender, round.sender_ns, round.schema, round.values);
+  return sender.send_object(receiver.name(), object);
+}
+
 }  // namespace pti::fuzz

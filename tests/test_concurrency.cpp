@@ -21,10 +21,13 @@
 #include "conform/conformance_cache.hpp"
 #include "conform/conformance_checker.hpp"
 #include "core/interop.hpp"
+#include "core/resource_governor.hpp"
 #include "fixtures/sample_types.hpp"
 #include "reflect/domain.hpp"
 #include "reflect/type_registry.hpp"
+#include "transport/assembly_hub.hpp"
 #include "transport/async_transport.hpp"
+#include "transport/peer.hpp"
 #include "util/epoch.hpp"
 #include "util/interning.hpp"
 
@@ -492,6 +495,85 @@ TEST(ConcurrentTransport, AsyncBackpressureUnderStorm) {
             static_cast<std::uint64_t>(kThreads) * kPushes);
   EXPECT_EQ(receiver.stats().objects_delivered + receiver.stats().objects_rejected,
             receiver.stats().objects_received);
+}
+
+TEST(ConcurrentTransport, GovernorSweepsRaceWarmedSessionPushes) {
+  // The session-layer reclamation contract under TSan: kThreads sender
+  // peers hammer warmed session pushes at one receiver over an
+  // AsyncTransport while a governor thread sweeps continuously, its
+  // post-sweep hook invalidating the receiver's verdict cache mid-storm.
+  // Invalidation must only ever cost a recomputation — never a wrong
+  // verdict, a lost delivery, or a data race on the session state.
+  auto net = std::make_unique<transport::AsyncTransport>(
+      transport::AsyncTransportConfig{.workers = 3});
+  auto hub = std::make_shared<transport::AssemblyHub>();
+  const transport::PeerConfig config{.mode = transport::ProtocolMode::Optimistic,
+                                     .use_sessions = true};
+  transport::Peer receiver("sink", *net, hub, config);
+  receiver.host_assembly(fixtures::wide_type("consess", "Event", 4, 4));
+  receiver.add_interest("consess.Event");
+
+  std::array<std::unique_ptr<transport::Peer>, kThreads> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders[t] = std::make_unique<transport::Peer>("conssrc" + std::to_string(t), *net,
+                                                   hub, config);
+    senders[t]->host_assembly(fixtures::wide_type("consess", "Event", 4, 4));
+  }
+
+  // Watch every live registry — an unwatched governor would evict the
+  // very symbols the peers' registries still key on (the PR-6 veto
+  // contract), which is misconfiguration, not the race under test.
+  core::ResourceGovernor governor;
+  governor.watch(receiver.domain().registry());
+  for (auto& sender : senders) governor.watch(sender->domain().registry());
+  governor.add_post_sweep_hook([&receiver] {
+    receiver.sessions().invalidate_verdicts();
+  });
+
+  std::atomic<bool> stop{false};
+  std::thread sweeper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)governor.sweep();
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kPushes = 40;
+  std::atomic<std::uint64_t> delivered{0};
+  run_threads([&](int t) {
+    transport::Peer& mine = *senders[t];
+    for (int i = 0; i < kPushes; ++i) {
+      const auto object = mine.domain().instantiate("consess.Event");
+      const transport::PushAck ack = mine.send_object("sink", object);
+      ASSERT_TRUE(ack.delivered) << ack.detail;
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  stop.store(true);
+  sweeper.join();
+  net->drain();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPushes;
+  EXPECT_EQ(delivered.load(), kTotal);
+  EXPECT_EQ(receiver.stats().objects_delivered, kTotal);
+  EXPECT_EQ(receiver.stats().objects_rejected, 0u);
+  EXPECT_EQ(receiver.stats().session_pushes, kTotal);
+  // Well under the session cap, so invalidation (recompute) is the only
+  // effect a sweep may have — never a reset.
+  EXPECT_EQ(receiver.stats().session_resets, 0u);
+  // The sweeps really moved the generation underneath the storm.
+  EXPECT_GT(governor.sweeps(), 0u);
+  EXPECT_GT(receiver.sessions().generation(), 0u);
+
+  // With the sweeper stopped, two back-to-back pushes pin the cache
+  // deterministically: the first (re)stores a verdict under a now-stable
+  // generation, the second MUST be served from it.
+  const auto object = senders[0]->domain().instantiate("consess.Event");
+  ASSERT_TRUE(senders[0]->send_object("sink", object).delivered);
+  const std::uint64_t hits_before = receiver.stats().session_verdict_hits.get();
+  ASSERT_TRUE(senders[0]->send_object("sink", object).delivered);
+  EXPECT_EQ(receiver.stats().session_verdict_hits.get(), hits_before + 1);
 }
 
 TEST(ConcurrentFingerprint, MemoizationRaceYieldsOneValue) {

@@ -66,6 +66,24 @@ std::vector<Message> sample_messages() {
   samples.push_back(
       {"bob", "alice", transport::InvokeResponse{false, {}, "no such method"}});
   samples.push_back({"bob", "alice", transport::ErrorReply{"peer 'bob' cannot handle it"}});
+
+  transport::SessionPush session;
+  session.token = 0xFEEDFACE12345ULL;
+  session.wire_types = {1, 0, 0xFFFFFFFFu};
+  session.encoding = "soap-1.1";
+  session.payload = {0x00, 0x01, 0xFF, 'P', 'T', 'I', 'F', 0x80};
+  session.intros.push_back({7, "teamA.Person", "<type name=\"teamA.Person\"/>",
+                            "teamA.people", std::string("net://alice\0x", 13)});
+  session.intros.push_back({0, "", "", "", ""});
+  session.intro_assembly_names = {"teamA.people"};
+  session.intro_assembly_bytes = 987654321;
+  samples.push_back({"alice", "bob", std::move(session)});
+
+  samples.push_back({"bob", "alice",
+                     transport::SessionAck{transport::SessionStatus::Ok, true,
+                                           "teamB.Person"}});
+  samples.push_back({"bob", "alice",
+                     transport::SessionAck{transport::SessionStatus::Reset, false, ""}});
   return samples;
 }
 
@@ -183,7 +201,7 @@ TEST(FrameCodec, WrongMagicVersionAndKindAreClassified) {
     expect_fault(codec, bad, FrameFault::BadVersion,
                  "version " + std::to_string(version));
   }
-  for (const std::uint8_t kind : {9, 10, 127, 255}) {
+  for (const std::uint8_t kind : {11, 12, 127, 255}) {
     std::vector<std::uint8_t> bad = frame;
     bad[5] = kind;
     expect_fault(codec, bad, FrameFault::UnknownKind, "kind " + std::to_string(kind));

@@ -58,9 +58,9 @@ struct Universe {
   Peer sender;
   Peer receiver;
 
-  explicit Universe(ProtocolMode mode)
-      : sender("sender", net, hub, PeerConfig{.mode = mode}),
-        receiver("receiver", net, hub, PeerConfig{.mode = mode}) {}
+  explicit Universe(ProtocolMode mode, bool sessions = false)
+      : sender("sender", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}),
+        receiver("receiver", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}) {}
 };
 
 TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
@@ -129,6 +129,86 @@ TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
   // The generator must have produced a real mix of outcomes.
   EXPECT_GE(accepted, kRounds / 4) << "sweep degenerated: almost nothing conformed";
   EXPECT_GE(rejected, kRounds / 8) << "sweep degenerated: everything conformed";
+}
+
+/// Session-layer equivalence sweep: the SAME fixed-seed rounds, each run
+/// through {Optimistic, Eager} x {session off, session on}. The session
+/// protocol reshapes the wire (wire ids, raw payload, inline intros,
+/// cached verdicts) but must not reshape the semantics: every variant
+/// agrees on the verdict, the matched interest and the delivered
+/// contents — and a second (warmed) push over the session pair, served
+/// from the verdict cache in exactly one framed exchange, agrees with its
+/// own cold push.
+TEST(ProtocolFuzz, SessionModeAgreesWithColdProtocol) {
+  util::Rng rng(kSweepSeed ^ 0x5E5510ULL);
+  constexpr int kSessionRounds = 32;
+  int accepted = 0;
+  int rejected = 0;
+
+  for (int index = 0; index < kSessionRounds; ++index) {
+    const Round round = fuzz::draw_round(index, "fzq", rng);
+
+    for (const ProtocolMode mode : {ProtocolMode::Optimistic, ProtocolMode::Eager}) {
+      const std::string context =
+          "round " + std::to_string(index) + " (protocol mode " +
+          std::to_string(static_cast<int>(mode)) + ", interest mode " +
+          std::to_string(static_cast<int>(round.mode)) + ")";
+
+      PushAck cold_ack;
+      PushAck session_ack;
+      std::vector<DeliveredObject> cold_delivered;
+      std::vector<DeliveredObject> session_delivered;
+
+      Universe cold(mode, /*sessions=*/false);
+      fuzz::run_round(round, cold.sender, cold.receiver, cold_ack, cold_delivered);
+      Universe warm(mode, /*sessions=*/true);
+      fuzz::run_round(round, warm.sender, warm.receiver, session_ack, session_delivered);
+
+      // Same verdict, same matched interest (or rejection reason).
+      ASSERT_EQ(session_ack.delivered, cold_ack.delivered) << context;
+      EXPECT_EQ(session_ack.detail, cold_ack.detail) << context;
+      ASSERT_EQ(session_delivered.size(), cold_delivered.size()) << context;
+      if (session_ack.delivered) {
+        ASSERT_EQ(session_delivered.size(), 1u) << context;
+        EXPECT_EQ(session_delivered.front().interest_type,
+                  cold_delivered.front().interest_type)
+            << context;
+        for (const auto& [field, sent] : round.values.fields) {
+          fuzz::expect_same_value(session_delivered.front().object->get(field), sent,
+                                  context + " session field " + field);
+        }
+      }
+
+      // The session protocol really ran (no silent fallback to ObjectPush).
+      EXPECT_EQ(warm.receiver.stats().session_pushes, 1u) << context;
+      EXPECT_EQ(cold.receiver.stats().session_pushes, 0u) << context;
+
+      // Warmed repeat: one more push over the live session must reproduce
+      // the cold verdict — now served from the cached one.
+      const std::uint64_t messages_before = warm.net.stats().messages.get();
+      const PushAck warm_ack = fuzz::push_again(round, warm.sender, warm.receiver);
+      ASSERT_EQ(warm_ack.delivered, session_ack.delivered) << context;
+      EXPECT_EQ(warm_ack.detail, session_ack.detail) << context;
+      EXPECT_EQ(warm.receiver.stats().session_verdict_hits, 1u) << context;
+      // The warmed push is ONE framed exchange: request + ack, nothing else.
+      EXPECT_EQ(warm.net.stats().messages.get() - messages_before, 2u) << context;
+      if (warm_ack.delivered) {
+        ++accepted;
+        const auto twice = warm.receiver.delivered_snapshot();
+        ASSERT_EQ(twice.size(), 2u) << context;
+        for (const auto& [field, sent] : round.values.fields) {
+          fuzz::expect_same_value(twice.back().object->get(field), sent,
+                                  context + " warmed field " + field);
+        }
+      } else {
+        ++rejected;
+        EXPECT_TRUE(warm.receiver.delivered_snapshot().empty()) << context;
+      }
+    }
+  }
+
+  EXPECT_GE(accepted, kSessionRounds / 4) << "sweep degenerated: almost nothing conformed";
+  EXPECT_GE(rejected, kSessionRounds / 8) << "sweep degenerated: everything conformed";
 }
 
 /// Conformant deliveries answer getters with the sent values through the

@@ -1,0 +1,398 @@
+// transport::SessionTable + the session-layer protocol — the differential
+// suite pinning ISSUE 9's contract:
+//
+//   * cold-then-warm over all three transports: after first contact, a
+//     push is exactly ONE framed exchange (request + SessionAck — the
+//     NetStats message delta is 2), and every delivery — cold or warm, on
+//     any transport — hands the application byte-identical objects;
+//   * Reset recovery: a receiver that evicted a sender's session (LRU cap)
+//     answers Reset, and the sender transparently replays once with all
+//     intros — the push still lands;
+//   * hostile consistency: a quota refusal before OR mid-session commits
+//     nothing on either side, and the very next admitted push succeeds
+//     without a reset;
+//   * invalidation: add_interest and governor sweeps bump the verdict
+//     generation, so a cached REJECT can never outlive the interest set or
+//     the reclamation pass that made it stale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_governor.hpp"
+#include "protocol_fuzz_common.hpp"
+#include "serial/envelope.hpp"
+#include "transport/assembly_hub.hpp"
+#include "transport/async_transport.hpp"
+#include "transport/peer.hpp"
+#include "transport/sim_network.hpp"
+#include "transport/socket_transport.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pti {
+namespace {
+
+using transport::AssemblyHub;
+using transport::AsyncTransport;
+using transport::Message;
+using transport::Peer;
+using transport::PeerConfig;
+using transport::PeerQuotaConfig;
+using transport::ProtocolMode;
+using transport::PushAck;
+using transport::SessionIntro;
+using transport::SessionPush;
+using transport::SimNetwork;
+using transport::SocketTransport;
+
+/// A fixed, guaranteed-conformant shape (no RNG: every transport run must
+/// serialize the identical graph so delivered bytes can be compared).
+[[nodiscard]] fuzz::Schema fixed_schema() {
+  fuzz::Schema schema;
+  schema.fields = {{"f0", "int32"}, {"f1", "string"}, {"f2", "int64"}};
+  schema.has_child = true;
+  schema.child_fields = {{"c0", "string"}, {"c1", "int32"}};
+  return schema;
+}
+
+[[nodiscard]] fuzz::ValuePlan fixed_values(const fuzz::Schema& schema) {
+  util::Rng rng(0x5E55BEEFULL);  // fixed seed => identical values every run
+  return fuzz::random_values(schema, rng);
+}
+
+/// Serializes a delivered object back to payload bytes through the
+/// receiver's own registry — the byte-identity probe.
+[[nodiscard]] std::vector<std::uint8_t> payload_bytes_of(Peer& receiver,
+                                                         const transport::DeliveredObject& d) {
+  serial::EnvelopeBuilder builder(receiver.serializers().get("soap"),
+                                  &receiver.domain().registry());
+  return builder.build(reflect::Value(d.object)).payload;
+}
+
+/// The differential core: one sender/receiver session pair over `net`,
+/// one cold push, then three synchronous warm pushes and one async warm
+/// push — each warmed exchange must cost exactly two messages (request +
+/// ack) and deliver bytes identical to the cold delivery. Returns the
+/// delivered payload bytes via `payload_out` so callers can compare runs
+/// across transports.
+void run_cold_then_warm(transport::Transport& net, const std::string& tag,
+                        ProtocolMode mode, std::vector<std::uint8_t>& payload_out) {
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = mode, .use_sessions = true};
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);  // Copy-mode receiver derivation draws nothing
+  sender.host_assembly(fuzz::sender_assembly(tag + "s", schema));
+  receiver.host_assembly(
+      fuzz::receiver_assembly(tag + "r", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest(tag + "r.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+
+  // Cold push: intros ride inline, so there is never a TypeInfoRequest —
+  // Optimistic still pays one nested code fetch (4 messages total), Eager
+  // prepays the assembly inside the push (one exchange even when cold).
+  const std::uint64_t cold_before = net.stats().messages.get();
+  const PushAck cold =
+      sender.send_object("receiver", fuzz::make_object(sender, tag + "s", schema, values));
+  ASSERT_TRUE(cold.delivered) << cold.detail;
+  const std::uint64_t cold_messages = net.stats().messages.get() - cold_before;
+  EXPECT_EQ(cold_messages, mode == ProtocolMode::Optimistic ? 4u : 2u);
+  EXPECT_EQ(receiver.stats().typeinfo_requests, 0u)
+      << "descriptions must piggyback as intros, never as nested fetches";
+  EXPECT_EQ(receiver.stats().session_intros, 2u);  // Thing + Child
+
+  // Warmed pushes: exactly one framed exchange, decided from the session's
+  // verdict cache.
+  constexpr int kWarmPushes = 3;
+  for (int i = 0; i < kWarmPushes; ++i) {
+    const std::uint64_t before = net.stats().messages.get();
+    const PushAck warm = sender.send_object(
+        "receiver", fuzz::make_object(sender, tag + "s", schema, values));
+    ASSERT_TRUE(warm.delivered) << warm.detail;
+    EXPECT_EQ(warm.detail, cold.detail);
+    EXPECT_EQ(net.stats().messages.get() - before, 2u)
+        << "warm push " << i << " took more than one framed exchange";
+  }
+  // And the async path shares the same session state and cost.
+  {
+    const std::uint64_t before = net.stats().messages.get();
+    auto future = sender.send_object_async(
+        "receiver", fuzz::make_object(sender, tag + "s", schema, values));
+    const PushAck warm = future.get();
+    ASSERT_TRUE(warm.delivered) << warm.detail;
+    EXPECT_EQ(net.stats().messages.get() - before, 2u);
+  }
+  EXPECT_EQ(receiver.stats().session_verdict_hits, kWarmPushes + 1u);
+  EXPECT_EQ(receiver.stats().session_pushes, kWarmPushes + 2u);
+  EXPECT_EQ(receiver.stats().session_resets, 0u);
+  EXPECT_EQ(sender.stats().session_retries, 0u);
+
+  // Byte-identical deliveries: every warm delivery re-serializes to the
+  // exact bytes of the cold one.
+  const auto delivered = receiver.delivered_snapshot();
+  ASSERT_EQ(delivered.size(), kWarmPushes + 2u);
+  payload_out = payload_bytes_of(receiver, delivered.front());
+  ASSERT_FALSE(payload_out.empty());
+  for (std::size_t d = 1; d < delivered.size(); ++d) {
+    EXPECT_EQ(delivered[d].interest_type, delivered.front().interest_type);
+    EXPECT_EQ(payload_bytes_of(receiver, delivered[d]), payload_out)
+        << "delivery " << d << " differs from the cold delivery";
+  }
+  for (const auto& [field, sent] : values.fields) {
+    fuzz::expect_same_value(delivered.front().object->get(field), sent,
+                            tag + " field " + field);
+  }
+}
+
+TEST(SessionLayer, WarmedPushIsOneExchangeOnAllThreeTransports) {
+  // The same fixed round over the simulator, the thread-pool transport and
+  // real loopback sockets: identical one-exchange behavior, and the
+  // delivered payload bytes agree across all three.
+  std::vector<std::uint8_t> sim_payload;
+  std::vector<std::uint8_t> async_payload;
+  std::vector<std::uint8_t> socket_payload;
+  {
+    SimNetwork net;
+    run_cold_then_warm(net, "sescw", ProtocolMode::Optimistic, sim_payload);
+  }
+  {
+    AsyncTransport net;
+    run_cold_then_warm(net, "sescw", ProtocolMode::Optimistic, async_payload);
+    net.drain();
+  }
+  {
+    SocketTransport net;
+    run_cold_then_warm(net, "sescw", ProtocolMode::Optimistic, socket_payload);
+  }
+  EXPECT_EQ(async_payload, sim_payload);
+  EXPECT_EQ(socket_payload, sim_payload);
+}
+
+TEST(SessionLayer, EagerSessionIsOneExchangeEvenWhenCold) {
+  // Eager + sessions prepays descriptions AND assembly bytes inside the
+  // push itself: the run_cold_then_warm helper asserts the cold exchange
+  // already costs exactly 2 messages in Eager mode.
+  std::vector<std::uint8_t> payload;
+  SimNetwork net;
+  run_cold_then_warm(net, "seseg", ProtocolMode::Eager, payload);
+}
+
+TEST(SessionLayer, EvictedSessionResetsAndReplaysTransparently) {
+  // carol remembers at most ONE sender session: alice and bob pushing
+  // alternately evict each other every time. Every evicted sender sees a
+  // Reset ack and must replay once with all intros — the application-level
+  // result (delivered == true) never changes.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig sender_config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  PeerConfig receiver_config = sender_config;
+  receiver_config.session.max_peer_sessions = 1;
+  Peer alice("alice", net, hub, sender_config);
+  Peer bob("bob", net, hub, sender_config);
+  Peer carol("carol", net, hub, receiver_config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  alice.host_assembly(fuzz::sender_assembly("sevA", schema));
+  bob.host_assembly(fuzz::sender_assembly("sevB", schema));
+  carol.host_assembly(
+      fuzz::receiver_assembly("sevRa", schema, fuzz::InterestMode::Copy, dummy));
+  carol.host_assembly(
+      fuzz::receiver_assembly("sevRb", schema, fuzz::InterestMode::Copy, dummy));
+  carol.add_interest("sevRa.Thing");
+  carol.add_interest("sevRb.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+
+  for (int round = 0; round < 3; ++round) {
+    const PushAck a =
+        alice.send_object("carol", fuzz::make_object(alice, "sevA", schema, values));
+    ASSERT_TRUE(a.delivered) << "alice round " << round << ": " << a.detail;
+    const PushAck b =
+        bob.send_object("carol", fuzz::make_object(bob, "sevB", schema, values));
+    ASSERT_TRUE(b.delivered) << "bob round " << round << ": " << b.detail;
+    EXPECT_EQ(carol.sessions().inbound_sessions(), 1u);
+  }
+
+  // Round 0 establishes both sessions (bob's cold push evicts alice's
+  // session silently — his own intros are fresh, so nothing resets); from
+  // round 1 on, every push comes from the just-evicted sender: 2 resets
+  // per round, each followed by exactly one replay.
+  EXPECT_EQ(carol.stats().session_resets, 4u);
+  EXPECT_EQ(alice.stats().session_retries + bob.stats().session_retries, 4u);
+  EXPECT_EQ(carol.stats().objects_delivered, 6u);
+  EXPECT_EQ(carol.delivered_snapshot().size(), 6u);
+}
+
+TEST(SessionLayer, QuotaRefusalLeavesSessionConsistent) {
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  sender.host_assembly(fuzz::sender_assembly("sqfs", schema));
+  receiver.host_assembly(
+      fuzz::receiver_assembly("sqfr", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest("sqfr.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+  const auto push = [&] {
+    return sender.send_object("receiver",
+                              fuzz::make_object(sender, "sqfs", schema, values));
+  };
+
+  // Phase 1: the cold push (payload + inline intros) exceeds the frame cap
+  // and is refused AT THE SEAM — the receiver never sees it, so neither
+  // side commits anything.
+  PeerQuotaConfig strict;
+  strict.max_frame_bytes = 64;
+  net.set_peer_quota("sender", strict);
+  EXPECT_THROW((void)push(), pti::ResourceExhaustedError);
+  EXPECT_EQ(receiver.stats().session_pushes, 0u);
+  EXPECT_EQ(receiver.sessions().inbound_sessions(), 0u);
+
+  // Phase 2: lift the quota — the next push still carries its intros
+  // (nothing was marked introduced) and simply succeeds.
+  net.set_peer_quota("sender", PeerQuotaConfig{});
+  const PushAck cold = push();
+  ASSERT_TRUE(cold.delivered) << cold.detail;
+  EXPECT_EQ(receiver.stats().session_intros, 2u);
+
+  // Phase 3: tighten the cap mid-session, below even the warm push size.
+  // The refusal must not poison the established session on either side.
+  net.set_peer_quota("sender", strict);
+  EXPECT_THROW((void)push(), pti::ResourceExhaustedError);
+
+  // Phase 4: lift again — the warmed path resumes untouched: verdict hit,
+  // one exchange, no reset, no replay.
+  net.set_peer_quota("sender", PeerQuotaConfig{});
+  const std::uint64_t before = net.stats().messages.get();
+  const PushAck warm = push();
+  ASSERT_TRUE(warm.delivered) << warm.detail;
+  EXPECT_EQ(net.stats().messages.get() - before, 2u);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 1u);
+  EXPECT_EQ(receiver.stats().session_resets, 0u);
+  EXPECT_EQ(sender.stats().session_retries, 0u);
+}
+
+TEST(SessionLayer, HostileIntroNamesAreChargedBeforeTheHandlerRuns) {
+  // A hand-crafted SessionPush flooding never-interned intro names is the
+  // session-mode variant of the TypeInfoRequest name flood: the distinct-
+  // name budget must refuse it at the transport seam, leaving the
+  // receiver's session table untouched.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  Peer receiver("receiver", net, hub, config);
+
+  PeerQuotaConfig strict;
+  strict.max_new_names = 2;
+  net.set_default_peer_quota(strict);
+
+  SessionPush flood;
+  flood.token = 77;
+  for (int i = 0; i < 3; ++i) {
+    SessionIntro intro;
+    intro.wire_id = static_cast<std::uint32_t>(i + 1);
+    intro.type_name = "sessflood.never.N" + std::to_string(i);
+    flood.intros.push_back(std::move(intro));
+  }
+  EXPECT_THROW((void)net.send(Message{"mallory", "receiver", std::move(flood)}),
+               pti::ResourceExhaustedError);
+  EXPECT_EQ(receiver.stats().session_pushes, 0u);
+  EXPECT_EQ(receiver.sessions().inbound_sessions(), 0u);
+  ASSERT_NE(net.peer_quotas(), nullptr);
+  EXPECT_EQ(net.peer_quotas()->stats().rejected_names, 1u);
+}
+
+TEST(SessionLayer, AddInterestInvalidatesCachedRejects) {
+  // A cached session REJECT must not survive a new interest: add_interest
+  // bumps the verdict generation, so the next push re-runs conformance and
+  // delivers.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  sender.host_assembly(fuzz::sender_assembly("sivs", schema));
+  const fuzz::ValuePlan values = fixed_values(schema);
+  const auto push = [&] {
+    return sender.send_object("receiver",
+                              fuzz::make_object(sender, "sivs", schema, values));
+  };
+
+  // No interests yet: rejected, and the rejection verdict is cached —
+  // the second push is decided from the cache in one exchange.
+  EXPECT_FALSE(push().delivered);
+  const std::uint64_t before = net.stats().messages.get();
+  EXPECT_FALSE(push().delivered);
+  EXPECT_EQ(net.stats().messages.get() - before, 2u);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 1u);
+
+  // The new interest conforms: the stale REJECT must not be served.
+  util::Rng dummy(1);
+  receiver.host_assembly(
+      fuzz::receiver_assembly("sivr", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest("sivr.Thing");
+  const PushAck after = push();
+  ASSERT_TRUE(after.delivered) << after.detail;
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 1u);  // recomputed, not served
+  EXPECT_EQ(receiver.stats().objects_delivered, 1u);
+
+  // And the recomputed ACCEPT is itself cached again.
+  EXPECT_TRUE(push().delivered);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 2u);
+}
+
+TEST(SessionLayer, GovernorSweepInvalidatesCachedVerdicts) {
+  // The reclamation contract: a governor post-sweep hook wired to
+  // sessions().invalidate_verdicts() makes every sweep bump the
+  // generation, so verdicts cached before the sweep are recomputed — a
+  // sweep can therefore never leave a stale verdict servable.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  core::ResourceGovernor governor;
+  governor.add_post_sweep_hook([&receiver] { receiver.sessions().invalidate_verdicts(); });
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  sender.host_assembly(fuzz::sender_assembly("sgvs", schema));
+  receiver.host_assembly(
+      fuzz::receiver_assembly("sgvr", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest("sgvr.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+  const auto push = [&] {
+    return sender.send_object("receiver",
+                              fuzz::make_object(sender, "sgvs", schema, values));
+  };
+
+  ASSERT_TRUE(push().delivered);
+  ASSERT_TRUE(push().delivered);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 1u);
+
+  const std::uint64_t generation = receiver.sessions().generation();
+  (void)governor.sweep();
+  EXPECT_GT(receiver.sessions().generation(), generation);
+
+  // Recomputed (still delivered — the interest is intact), then cached
+  // again under the new generation.
+  ASSERT_TRUE(push().delivered);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 1u);
+  ASSERT_TRUE(push().delivered);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 2u);
+}
+
+}  // namespace
+}  // namespace pti

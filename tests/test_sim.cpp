@@ -415,6 +415,44 @@ TEST(ScenarioEquivalence, InvertedIndexAndPerPeerScanProduceIdenticalRuns) {
   EXPECT_EQ(indexed.stats_digest, scanned.stats_digest);
 }
 
+TEST(ScenarioEquivalence, SessionModeAgreesWhileWireCostCollapses) {
+  // A deliberately small, churn-heavy population so sender/receiver pairs
+  // repeat a lot: that is where the session layer earns its keep. The
+  // verdict/accept stream must be byte-identical to the non-session run —
+  // sessions change how metadata travels, never what is decided — while
+  // the exchange count and wire bytes drop (intros piggyback inline, so
+  // the nested TypeInfoRequest traffic disappears entirely).
+  ScenarioScript script;
+  script.publish_storm(1500).churn(4, 4).publish_storm(1000).settle(5'000'000);
+  ScenarioConfig config;
+  config.seed = 29;
+  config.peers = 16;
+  config.types = 8;
+  config.mode = transport::ProtocolMode::Optimistic;
+  config.use_sessions = false;
+  const ScenarioResult cold = sim::run_scenario(config, script);
+  config.use_sessions = true;
+  const ScenarioResult session = sim::run_scenario(config, script);
+
+  EXPECT_EQ(session.accept_digest, cold.accept_digest);
+  EXPECT_EQ(session.stats.accepts, cold.stats.accepts);
+  EXPECT_EQ(session.stats.rejects, cold.stats.rejects);
+  EXPECT_EQ(session.stats.deliveries, cold.stats.deliveries);
+  EXPECT_EQ(session.stats.drops, cold.stats.drops);
+
+  // The collapse: same verdicts, strictly fewer exchanges and bytes.
+  EXPECT_GT(cold.stats.typeinfo_requests, 0u);
+  EXPECT_EQ(session.stats.typeinfo_requests, 0u);
+  EXPECT_LT(session.stats.net_messages, cold.stats.net_messages);
+  EXPECT_LT(session.stats.net_bytes, cold.stats.net_bytes);
+
+  // Determinism holds in session mode too: same seed, same digests.
+  const ScenarioResult replay = sim::run_scenario(config, script);
+  EXPECT_EQ(replay.trace_digest, session.trace_digest);
+  EXPECT_EQ(replay.accept_digest, session.accept_digest);
+  EXPECT_EQ(replay.stats_digest, session.stats_digest);
+}
+
 // --- Scale gate --------------------------------------------------------------
 
 // Env knobs:

@@ -620,16 +620,19 @@ struct Universe {
   Peer sender;
   Peer receiver;
 
-  explicit Universe(ProtocolMode mode)
-      : sender("sender", net, hub, PeerConfig{.mode = mode}),
-        receiver("receiver", net, hub, PeerConfig{.mode = mode}) {}
+  explicit Universe(ProtocolMode mode, bool sessions = false)
+      : sender("sender", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}),
+        receiver("receiver", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}) {}
 };
 
 /// The acceptance pin: the same fixed-seed fuzz rounds, over loopback
 /// sockets and over the in-process simulator, must be indistinguishable at
 /// the protocol level — verdict, matched interest, delivered contents, and
-/// the modelled cost accounting.
-void run_equivalence_sweep(ProtocolMode mode, const char* tag) {
+/// the modelled cost accounting. With `sessions` the sweep runs the
+/// session-layer protocol instead (SessionPush/SessionAck frames really
+/// crossing the socket) and adds a warmed second push per round, which
+/// must also agree between the two transports.
+void run_equivalence_sweep(ProtocolMode mode, const char* tag, bool sessions = false) {
   util::Rng rng(kSweepSeed);
   int accepted = 0;
   for (int index = 0; index < kSweepRounds; ++index) {
@@ -640,10 +643,10 @@ void run_equivalence_sweep(ProtocolMode mode, const char* tag) {
     std::vector<DeliveredObject> sim_delivered;
     std::vector<DeliveredObject> socket_delivered;
 
-    Universe<SimNetwork> sim_universe(mode);
+    Universe<SimNetwork> sim_universe(mode, sessions);
     fuzz::run_round(round, sim_universe.sender, sim_universe.receiver, sim_ack,
                     sim_delivered);
-    Universe<SocketTransport> socket_universe(mode);
+    Universe<SocketTransport> socket_universe(mode, sessions);
     fuzz::run_round(round, socket_universe.sender, socket_universe.receiver, socket_ack,
                     socket_delivered);
 
@@ -653,17 +656,43 @@ void run_equivalence_sweep(ProtocolMode mode, const char* tag) {
     ASSERT_EQ(socket_ack.delivered, sim_ack.delivered) << context;
     EXPECT_EQ(socket_ack.detail, sim_ack.detail) << context;
 
-    // Identical delivered contents.
+    if (sessions) {
+      // Warmed repeat over both live sessions: same verdict, one framed
+      // exchange each (the request and its SessionAck), on the simulator
+      // and on the real socket alike.
+      const std::uint64_t sim_before = sim_universe.net.stats().messages.get();
+      const std::uint64_t socket_before = socket_universe.net.stats().messages.get();
+      const PushAck sim_warm =
+          fuzz::push_again(round, sim_universe.sender, sim_universe.receiver);
+      const PushAck socket_warm =
+          fuzz::push_again(round, socket_universe.sender, socket_universe.receiver);
+      ASSERT_EQ(socket_warm.delivered, sim_warm.delivered) << context;
+      EXPECT_EQ(socket_warm.detail, sim_warm.detail) << context;
+      EXPECT_EQ(sim_warm.delivered, sim_ack.delivered) << context;
+      EXPECT_EQ(sim_universe.net.stats().messages.get() - sim_before, 2u) << context;
+      EXPECT_EQ(socket_universe.net.stats().messages.get() - socket_before, 2u)
+          << context;
+      EXPECT_EQ(sim_universe.receiver.stats().session_verdict_hits, 1u) << context;
+      EXPECT_EQ(socket_universe.receiver.stats().session_verdict_hits, 1u) << context;
+      // Refresh the delivered snapshots so the shared comparison below
+      // covers the warmed delivery too.
+      sim_delivered = sim_universe.receiver.delivered_snapshot();
+      socket_delivered = socket_universe.receiver.delivered_snapshot();
+    }
+
+    // Identical delivered contents (two deliveries per accepted round in
+    // session mode: the cold push and the warmed repeat).
     ASSERT_EQ(socket_delivered.size(), sim_delivered.size()) << context;
     if (socket_ack.delivered) {
       ++accepted;
-      ASSERT_EQ(socket_delivered.size(), 1u) << context;
-      EXPECT_EQ(socket_delivered.front().interest_type,
-                sim_delivered.front().interest_type)
-          << context;
-      for (const auto& [field, sent] : round.values.fields) {
-        fuzz::expect_same_value(socket_delivered.front().object->get(field), sent,
-                                context + " socket field " + field);
+      ASSERT_EQ(socket_delivered.size(), sessions ? 2u : 1u) << context;
+      for (std::size_t d = 0; d < socket_delivered.size(); ++d) {
+        EXPECT_EQ(socket_delivered[d].interest_type, sim_delivered[d].interest_type)
+            << context;
+        for (const auto& [field, sent] : round.values.fields) {
+          fuzz::expect_same_value(socket_delivered[d].object->get(field), sent,
+                                  context + " socket field " + field);
+        }
       }
     }
 
@@ -692,6 +721,14 @@ TEST(SocketTransportEquivalence, OptimisticProtocolMatchesSimNetwork) {
 
 TEST(SocketTransportEquivalence, EagerProtocolMatchesSimNetwork) {
   run_equivalence_sweep(ProtocolMode::Eager, "ske");
+}
+
+TEST(SocketTransportEquivalence, SessionOptimisticMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Optimistic, "skso", /*sessions=*/true);
+}
+
+TEST(SocketTransportEquivalence, SessionEagerMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Eager, "skse", /*sessions=*/true);
 }
 
 }  // namespace

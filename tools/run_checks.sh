@@ -23,6 +23,8 @@
 #   70 clang-format gate       80 adversarial soak gate (SOAK=1 only)
 #   90 megasim scale smoke (10^4-peer deterministic scenario, Release,
 #      wall-clock ceiling SCALE_SMOKE_SECONDS, default 300)
+#   95 session equivalence gate (Release: the differential session suite +
+#      the session fuzz/socket/megasim equivalence sweeps)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,7 +61,7 @@ build_preset() {
 
 TSAN_FILTER=()
 if [[ "${FAST:-0}" == "1" ]]; then
-  TSAN_FILTER=(-R 'test_concurrency|test_transport|test_protocol_fuzz|test_socket_transport|test_frame_codec|test_governance|test_soak')
+  TSAN_FILTER=(-R 'test_concurrency|test_transport|test_protocol_fuzz|test_socket_transport|test_frame_codec|test_governance|test_soak|test_session')
 fi
 
 stage 10 "configure + build: debug preset" build_preset debug
@@ -88,5 +90,21 @@ scale_smoke() {
       build-bench/test_sim --gtest_filter='SimScale.*'
 }
 stage 90 "megasim scale smoke (10^4 peers, deterministic)" scale_smoke
+
+# The session equivalence gate: the session layer must produce the same
+# verdict/delivery stream as the cold protocol — in Release, where timing
+# differs most from the sanitizer builds above. Runs the differential
+# session suite plus every session-tagged equivalence sweep (fixed-seed
+# fuzz, sockets-vs-simulator, megasim digests).
+session_equivalence() {
+  cmake --preset release > /dev/null && \
+    cmake --build --preset release "${BUILD_JOBS[@]}" \
+      --target test_session test_protocol_fuzz test_socket_transport test_sim && \
+    build-bench/test_session && \
+    build-bench/test_protocol_fuzz --gtest_filter='ProtocolFuzz.SessionModeAgreesWithColdProtocol' && \
+    build-bench/test_socket_transport --gtest_filter='SocketTransportEquivalence.Session*' && \
+    build-bench/test_sim --gtest_filter='ScenarioEquivalence.SessionModeAgreesWhileWireCostCollapses'
+}
+stage 95 "session equivalence gate (Release differential suite)" session_equivalence
 
 echo "run_checks: ALL GREEN"
