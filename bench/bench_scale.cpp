@@ -176,7 +176,8 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
                        "optimistic vs eager wire bytes at population scale");
   const auto peers = static_cast<std::size_t>(state.range(0));
   const bool eager = state.range(1) == 1;
-  const bool sessions = state.range(1) == 2;  // session-layer optimistic
+  const bool sessions = state.range(1) >= 2;  // session-layer optimistic
+  const bool batched = state.range(1) == 3;   // + batching window, shared intros
   ScenarioConfig config;
   config.seed = 42;
   config.peers = peers;
@@ -185,6 +186,7 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
   config.mode = eager ? pti::transport::ProtocolMode::Eager
                       : pti::transport::ProtocolMode::Optimistic;
   config.use_sessions = sessions;
+  if (batched) config.session_batch = 16;
   ScenarioScript script;
   script.publish_storm(peers / 10);
 
@@ -199,7 +201,9 @@ void BM_ScenarioPublishStorm(benchmark::State& state) {
     benchmark::DoNotOptimize(result.trace_digest);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
-  state.SetLabel(eager ? "eager" : (sessions ? "session" : "optimistic"));
+  state.SetLabel(eager ? "eager"
+                       : (batched ? "session-batched"
+                                  : (sessions ? "session" : "optimistic")));
 }
 BENCHMARK(BM_ScenarioPublishStorm)
     ->Args({1000, 0})
@@ -210,6 +214,7 @@ BENCHMARK(BM_ScenarioPublishStorm)
     ->Args({4000, 2})
     ->Args({16000, 0})
     ->Args({16000, 2})
+    ->Args({16000, 3})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

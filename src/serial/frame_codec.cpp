@@ -21,6 +21,8 @@ using transport::MessagePayload;
 using transport::ObjectPush;
 using transport::PushAck;
 using transport::SessionAck;
+using transport::SessionBatch;
+using transport::SessionBatchAck;
 using transport::SessionIntro;
 using transport::SessionPush;
 using transport::SessionStatus;
@@ -67,6 +69,116 @@ std::vector<std::string> read_string_list(ByteReader& in, const FrameLimits& lim
   return list;
 }
 
+/// Reads a varint element count for a session list, applying the same
+/// honesty bound as read_string_list: each element occupies at least one
+/// byte, so a count above the bytes left cannot be satisfied.
+std::uint64_t read_list_count(ByteReader& in, const FrameLimits& limits) {
+  const std::uint64_t count = in.read_varint();
+  if (count > in.remaining()) {
+    throw util::ByteBufferError("list count exceeds remaining frame bytes");
+  }
+  if (count > limits.max_list_elements) {
+    throw FrameError(FrameFault::Oversized,
+                     "list of " + std::to_string(count) + " elements exceeds the " +
+                         std::to_string(limits.max_list_elements) + "-element limit");
+  }
+  return count;
+}
+
+// --- shared session bodies ---------------------------------------------------
+//
+// SessionPush and SessionAck travel both standalone (kinds 9/10) and as
+// batch entries (kinds 11/12); one encode/decode pair serves both so the
+// batched wire image of an entry is byte-identical to its standalone one.
+
+void write_session_push(ByteWriter& out, const SessionPush& m, const FrameLimits& limits) {
+  out.write_varint(m.token);
+  if (m.wire_types.size() > limits.max_list_elements ||
+      m.intros.size() > limits.max_list_elements) {
+    throw FrameError(FrameFault::Oversized,
+                     "session list exceeds the " +
+                         std::to_string(limits.max_list_elements) + "-element limit");
+  }
+  out.write_varint(m.wire_types.size());
+  for (const std::uint32_t id : m.wire_types) out.write_varint(id);
+  out.write_string(m.encoding);
+  out.write_bytes(m.payload);
+  out.write_varint(m.intros.size());
+  for (const SessionIntro& i : m.intros) {
+    out.write_varint(i.wire_id);
+    out.write_string(i.type_name);
+    out.write_string(i.description_xml);
+    out.write_string(i.assembly_name);
+    out.write_string(i.download_path);
+  }
+  write_string_list(out, m.intro_assembly_names, limits);
+  out.write_varint(m.intro_assembly_bytes);
+}
+
+void write_session_ack(ByteWriter& out, const SessionAck& m, const FrameLimits& limits) {
+  out.write_u8(static_cast<std::uint8_t>(m.status));
+  out.write_bool(m.delivered);
+  out.write_string(m.detail);
+  if (m.known_desc_hashes.size() > limits.max_list_elements) {
+    throw FrameError(FrameFault::Oversized,
+                     "advertised-hash set of " +
+                         std::to_string(m.known_desc_hashes.size()) +
+                         " elements exceeds the " +
+                         std::to_string(limits.max_list_elements) + "-element limit");
+  }
+  out.write_varint(m.known_desc_hashes.size());
+  for (const std::uint64_t hash : m.known_desc_hashes) out.write_varint(hash);
+}
+
+SessionPush read_session_push(ByteReader& in, const FrameLimits& limits) {
+  const auto read_wire_id = [&in]() {
+    const std::uint64_t id = in.read_varint();
+    if (id > 0xFFFFFFFFull) {
+      throw util::ByteBufferError("session wire id exceeds 32 bits");
+    }
+    return static_cast<std::uint32_t>(id);
+  };
+  SessionPush m;
+  m.token = in.read_varint();
+  const std::uint64_t type_count = read_list_count(in, limits);
+  m.wire_types.reserve(static_cast<std::size_t>(type_count));
+  for (std::uint64_t i = 0; i < type_count; ++i) m.wire_types.push_back(read_wire_id());
+  m.encoding = in.read_string();
+  m.payload = in.read_bytes();
+  const std::uint64_t intro_count = read_list_count(in, limits);
+  m.intros.reserve(static_cast<std::size_t>(intro_count));
+  for (std::uint64_t i = 0; i < intro_count; ++i) {
+    SessionIntro intro;
+    intro.wire_id = read_wire_id();
+    intro.type_name = in.read_string();
+    intro.description_xml = in.read_string();
+    intro.assembly_name = in.read_string();
+    intro.download_path = in.read_string();
+    m.intros.push_back(std::move(intro));
+  }
+  m.intro_assembly_names = read_string_list(in, limits);
+  m.intro_assembly_bytes = in.read_varint();
+  return m;
+}
+
+SessionAck read_session_ack(ByteReader& in, const FrameLimits& limits) {
+  SessionAck m;
+  const std::uint8_t status = in.read_u8();
+  if (status > static_cast<std::uint8_t>(SessionStatus::Reset)) {
+    throw util::ByteBufferError("session ack status " + std::to_string(status) +
+                                " names no SessionStatus");
+  }
+  m.status = static_cast<SessionStatus>(status);
+  m.delivered = in.read_bool();
+  m.detail = in.read_string();
+  const std::uint64_t hash_count = read_list_count(in, limits);
+  m.known_desc_hashes.reserve(static_cast<std::size_t>(hash_count));
+  for (std::uint64_t i = 0; i < hash_count; ++i) {
+    m.known_desc_hashes.push_back(in.read_varint());
+  }
+  return m;
+}
+
 struct BodyWriter {
   ByteWriter& out;
   const FrameLimits& limits;
@@ -105,51 +217,29 @@ struct BodyWriter {
     out.write_string(m.error);
   }
   void operator()(const ErrorReply& m) const { out.write_string(m.message); }
-  void operator()(const SessionPush& m) const {
-    out.write_varint(m.token);
-    if (m.wire_types.size() > limits.max_list_elements ||
-        m.intros.size() > limits.max_list_elements) {
+  void operator()(const SessionPush& m) const { write_session_push(out, m, limits); }
+  void operator()(const SessionAck& m) const { write_session_ack(out, m, limits); }
+  void operator()(const SessionBatch& m) const {
+    if (m.entries.size() > limits.max_list_elements) {
       throw FrameError(FrameFault::Oversized,
-                       "session list exceeds the " +
+                       "batch of " + std::to_string(m.entries.size()) +
+                           " entries exceeds the " +
                            std::to_string(limits.max_list_elements) + "-element limit");
     }
-    out.write_varint(m.wire_types.size());
-    for (const std::uint32_t id : m.wire_types) out.write_varint(id);
-    out.write_string(m.encoding);
-    out.write_bytes(m.payload);
-    out.write_varint(m.intros.size());
-    for (const SessionIntro& i : m.intros) {
-      out.write_varint(i.wire_id);
-      out.write_string(i.type_name);
-      out.write_string(i.description_xml);
-      out.write_string(i.assembly_name);
-      out.write_string(i.download_path);
-    }
-    write_string_list(out, m.intro_assembly_names, limits);
-    out.write_varint(m.intro_assembly_bytes);
+    out.write_varint(m.entries.size());
+    for (const SessionPush& entry : m.entries) write_session_push(out, entry, limits);
   }
-  void operator()(const SessionAck& m) const {
-    out.write_u8(static_cast<std::uint8_t>(m.status));
-    out.write_bool(m.delivered);
-    out.write_string(m.detail);
+  void operator()(const SessionBatchAck& m) const {
+    if (m.entries.size() > limits.max_list_elements) {
+      throw FrameError(FrameFault::Oversized,
+                       "batch ack of " + std::to_string(m.entries.size()) +
+                           " entries exceeds the " +
+                           std::to_string(limits.max_list_elements) + "-element limit");
+    }
+    out.write_varint(m.entries.size());
+    for (const SessionAck& entry : m.entries) write_session_ack(out, entry, limits);
   }
 };
-
-/// Reads a varint element count for a session list, applying the same
-/// honesty bound as read_string_list: each element occupies at least one
-/// byte, so a count above the bytes left cannot be satisfied.
-std::uint64_t read_list_count(ByteReader& in, const FrameLimits& limits) {
-  const std::uint64_t count = in.read_varint();
-  if (count > in.remaining()) {
-    throw util::ByteBufferError("list count exceeds remaining frame bytes");
-  }
-  if (count > limits.max_list_elements) {
-    throw FrameError(FrameFault::Oversized,
-                     "list of " + std::to_string(count) + " elements exceeds the " +
-                         std::to_string(limits.max_list_elements) + "-element limit");
-  }
-  return count;
-}
 
 MessagePayload read_body_payload(std::uint8_t kind, ByteReader& in,
                                  const FrameLimits& limits) {
@@ -210,46 +300,24 @@ MessagePayload read_body_payload(std::uint8_t kind, ByteReader& in,
       m.message = in.read_string();
       return m;
     }
-    case 9: {
-      const auto read_wire_id = [&in]() {
-        const std::uint64_t id = in.read_varint();
-        if (id > 0xFFFFFFFFull) {
-          throw util::ByteBufferError("session wire id exceeds 32 bits");
-        }
-        return static_cast<std::uint32_t>(id);
-      };
-      SessionPush m;
-      m.token = in.read_varint();
-      const std::uint64_t type_count = read_list_count(in, limits);
-      m.wire_types.reserve(static_cast<std::size_t>(type_count));
-      for (std::uint64_t i = 0; i < type_count; ++i) m.wire_types.push_back(read_wire_id());
-      m.encoding = in.read_string();
-      m.payload = in.read_bytes();
-      const std::uint64_t intro_count = read_list_count(in, limits);
-      m.intros.reserve(static_cast<std::size_t>(intro_count));
-      for (std::uint64_t i = 0; i < intro_count; ++i) {
-        SessionIntro intro;
-        intro.wire_id = read_wire_id();
-        intro.type_name = in.read_string();
-        intro.description_xml = in.read_string();
-        intro.assembly_name = in.read_string();
-        intro.download_path = in.read_string();
-        m.intros.push_back(std::move(intro));
+    case 9: return read_session_push(in, limits);
+    case 10: return read_session_ack(in, limits);
+    case 11: {
+      SessionBatch m;
+      const std::uint64_t entry_count = read_list_count(in, limits);
+      m.entries.reserve(static_cast<std::size_t>(entry_count));
+      for (std::uint64_t i = 0; i < entry_count; ++i) {
+        m.entries.push_back(read_session_push(in, limits));
       }
-      m.intro_assembly_names = read_string_list(in, limits);
-      m.intro_assembly_bytes = in.read_varint();
       return m;
     }
-    case 10: {
-      SessionAck m;
-      const std::uint8_t status = in.read_u8();
-      if (status > static_cast<std::uint8_t>(SessionStatus::Reset)) {
-        throw util::ByteBufferError("session ack status " + std::to_string(status) +
-                                    " names no SessionStatus");
+    case 12: {
+      SessionBatchAck m;
+      const std::uint64_t entry_count = read_list_count(in, limits);
+      m.entries.reserve(static_cast<std::size_t>(entry_count));
+      for (std::uint64_t i = 0; i < entry_count; ++i) {
+        m.entries.push_back(read_session_ack(in, limits));
       }
-      m.status = static_cast<SessionStatus>(status);
-      m.delivered = in.read_bool();
-      m.detail = in.read_string();
       return m;
     }
     default: break;

@@ -8,7 +8,7 @@
 //   offset  size  field
 //   0       4     magic "PTIF"
 //   4       1     protocol version (kVersion)
-//   5       1     kind — the Message payload variant index (0..8)
+//   5       1     kind — the Message payload variant index (0..12)
 //   6       4     body length in bytes, little-endian u32
 //   10      len   body
 //
@@ -23,7 +23,9 @@
 // versions it speaks (currently only kVersion) and rejects everything else
 // as FrameFault::BadVersion — peers negotiate by failing loudly, not by
 // guessing. New payload variants append new kind values; existing kinds
-// never change shape within a version.
+// never change shape within a version. (Version 2 added the SessionBatch /
+// SessionBatchAck kinds and the known-description hash set on SessionAck —
+// a shape change to an existing kind, hence the bump.)
 //
 // Decoding is strict and total: any input — truncated, bit-flipped,
 // oversized, trailing junk — either yields a fully-valid Message or throws
@@ -58,7 +60,7 @@ struct FrameLimits {
 class FrameCodec {
  public:
   static constexpr std::array<std::uint8_t, 4> kMagic = {'P', 'T', 'I', 'F'};
-  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kVersion = 2;
   static constexpr std::size_t kHeaderSize = 10;
 
   /// The validated contents of a frame header.

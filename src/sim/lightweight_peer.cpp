@@ -15,6 +15,8 @@ using transport::Message;
 using transport::ObjectPush;
 using transport::PushAck;
 using transport::SessionAck;
+using transport::SessionBatch;
+using transport::SessionBatchAck;
 using transport::SessionIntro;
 using transport::SessionPush;
 using transport::SessionStatus;
@@ -24,7 +26,8 @@ using transport::TypeInfoResponse;
 LightweightPeer::LightweightPeer(std::uint32_t index, transport::Transport& network,
                                  TypeUniverse& universe,
                                  transport::InterestIndex& interests,
-                                 transport::ProtocolMode mode, bool use_sessions)
+                                 transport::ProtocolMode mode, bool use_sessions,
+                                 transport::IntroRegistry* intro_registry)
     : index_(index),
       name_("p" + std::to_string(index)),
       network_(network),
@@ -33,7 +36,8 @@ LightweightPeer::LightweightPeer(std::uint32_t index, transport::Transport& netw
       mode_(mode),
       known_(universe.type_count(), false),
       loaded_(universe.type_count(), false),
-      use_sessions_(use_sessions) {}
+      use_sessions_(use_sessions),
+      intro_registry_(intro_registry) {}
 
 LightweightPeer::~LightweightPeer() {
   if (live_) leave();
@@ -62,6 +66,35 @@ void LightweightPeer::leave() {
   live_ = false;
 }
 
+SessionPush LightweightPeer::build_session_entry(const std::string& target,
+                                                 std::uint32_t family, bool fresh) {
+  SessionPush push;
+  push.token = index_ + 1;
+  push.wire_types = {family + 1};
+  push.encoding = universe_.payload_encoding();
+  push.payload = universe_.payload_bytes(family);
+  if (fresh) {
+    SessionIntro intro;
+    intro.wire_id = family + 1;
+    intro.type_name = universe_.publisher_type_name(family);
+    intro.description_xml = universe_.description_xml(family);
+    intro.assembly_name = universe_.assembly_name(family);
+    intro.download_path = "net://origin/" + universe_.assembly_name(family);
+    if (intro_registry_ != nullptr &&
+        intro_registry_->knows(target, universe_.description_hash(family))) {
+      // The target advertised this hash earlier (to us or to any other
+      // sender): the wire binding still crosses, the XML does not.
+      intro.description_xml.clear();
+    }
+    push.intros.push_back(std::move(intro));
+    if (mode_ == transport::ProtocolMode::Eager) {
+      push.intro_assembly_names.push_back(universe_.assembly_name(family));
+      push.intro_assembly_bytes = universe_.assembly_code_size(family);
+    }
+  }
+  return push;
+}
+
 LightweightPeer::PushOutcome LightweightPeer::publish_session(const std::string& target,
                                                               std::uint32_t family) {
   // Publishing makes us the origin: we hold the description and code.
@@ -71,43 +104,84 @@ LightweightPeer::PushOutcome LightweightPeer::publish_session(const std::string&
   if (sent.empty()) sent.assign(universe_.type_count(), false);
 
   for (int attempt = 0; attempt < 2; ++attempt) {
-    SessionPush push;
-    push.token = index_ + 1;
-    push.wire_types = {family + 1};
-    push.encoding = universe_.payload_encoding();
-    push.payload = universe_.payload_bytes(family);
     const bool fresh = !sent[family];
-    if (fresh) {
-      SessionIntro intro;
-      intro.wire_id = family + 1;
-      intro.type_name = universe_.publisher_type_name(family);
-      intro.description_xml = universe_.description_xml(family);
-      intro.assembly_name = universe_.assembly_name(family);
-      intro.download_path = "net://origin/" + universe_.assembly_name(family);
-      push.intros.push_back(std::move(intro));
-      if (mode_ == transport::ProtocolMode::Eager) {
-        push.intro_assembly_names.push_back(universe_.assembly_name(family));
-        push.intro_assembly_bytes = universe_.assembly_code_size(family);
-      }
-    }
+    SessionPush push = build_session_entry(target, family, fresh);
     ++counters_.pushes_sent;
     try {
       const Message response = network_.send(Message{name_, target, std::move(push)});
       if (const auto* ack = std::get_if<SessionAck>(&response.payload)) {
+        if (intro_registry_ != nullptr) {
+          intro_registry_->record_all(target, ack->known_desc_hashes);
+        }
         if (ack->status == SessionStatus::Reset) {
           // The receiver lost the session: replay once with the intro.
           sent.assign(universe_.type_count(), false);
           continue;
         }
         if (fresh) sent[family] = true;  // commit-on-ack
-        return PushOutcome{ack->delivered, false};
+        PushOutcome outcome{ack->delivered, false, kNoInterest};
+        if (ack->delivered) outcome.matched = universe_.interest_by_type_name(ack->detail);
+        return outcome;
       }
-      return PushOutcome{false, true};  // in-band fault (ErrorReply)
+      return PushOutcome{false, true, kNoInterest};  // in-band fault (ErrorReply)
     } catch (const pti::Error&) {
-      return PushOutcome{false, true};  // drop, partition, or quota rejection
+      return PushOutcome{false, true, kNoInterest};  // drop, partition, or quota
     }
   }
-  return PushOutcome{false, true};  // reset twice: give up on this push
+  return PushOutcome{false, true, kNoInterest};  // reset twice: give up on this push
+}
+
+std::vector<LightweightPeer::PushOutcome> LightweightPeer::publish_batch_to(
+    const std::string& target, const std::vector<std::uint32_t>& families) {
+  std::vector<PushOutcome> out(families.size(), PushOutcome{false, true, kNoInterest});
+  if (families.empty()) return out;
+  std::vector<bool>& sent = intro_sent_[target];
+  if (sent.empty()) sent.assign(universe_.type_count(), false);
+
+  // Plans are built at flush time, exactly like transport::Peer's window:
+  // the FIRST entry for a family carries the intro, later entries in the
+  // same frame ride the binding the receiver learns while processing it.
+  SessionBatch batch;
+  batch.entries.reserve(families.size());
+  std::vector<bool> fresh(families.size(), false);
+  std::vector<bool> introduced_now(universe_.type_count(), false);
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const std::uint32_t family = families[i];
+    known_[family] = true;
+    loaded_[family] = true;
+    fresh[i] = !sent[family] && !introduced_now[family];
+    if (fresh[i]) introduced_now[family] = true;
+    batch.entries.push_back(build_session_entry(target, family, fresh[i]));
+    ++counters_.pushes_sent;
+  }
+
+  try {
+    const Message response = network_.send(Message{name_, target, std::move(batch)});
+    const auto* back = std::get_if<SessionBatchAck>(&response.payload);
+    if (back == nullptr || back->entries.size() != families.size()) {
+      return out;  // in-band fault (ErrorReply) or malformed ack: all dropped
+    }
+    for (std::size_t i = 0; i < families.size(); ++i) {
+      const SessionAck& ack = back->entries[i];
+      if (intro_registry_ != nullptr) {
+        intro_registry_->record_all(target, ack.known_desc_hashes);
+      }
+      if (ack.status == SessionStatus::Reset) {
+        // This slot lost the session: replay it individually with intros,
+        // leaving every other slot's verdict untouched.
+        sent.assign(universe_.type_count(), false);
+        --counters_.pushes_sent;  // publish_session recounts the replay
+        out[i] = publish_session(target, families[i]);
+        continue;
+      }
+      if (fresh[i]) sent[families[i]] = true;  // commit-on-ack, per slot
+      out[i] = PushOutcome{ack.delivered, false, kNoInterest};
+      if (ack.delivered) out[i].matched = universe_.interest_by_type_name(ack.detail);
+    }
+    return out;
+  } catch (const pti::Error&) {
+    return out;  // the whole frame dropped: every entry is a drop
+  }
 }
 
 LightweightPeer::PushOutcome LightweightPeer::publish_to(const std::string& target,
@@ -142,6 +216,9 @@ Message LightweightPeer::handle(const Message& request) {
     }
     if (const auto* spush = std::get_if<SessionPush>(&request.payload)) {
       return handle_session_push(request, *spush);
+    }
+    if (const auto* batch = std::get_if<SessionBatch>(&request.payload)) {
+      return handle_session_batch(request, *batch);
     }
     if (const auto* info = std::get_if<TypeInfoRequest>(&request.payload)) {
       TypeInfoResponse response;
@@ -184,16 +261,39 @@ Message LightweightPeer::handle(const Message& request) {
 
 Message LightweightPeer::handle_session_push(const Message& request,
                                              const SessionPush& push) {
+  return Message{name_, request.sender, process_session_push(request.sender, push)};
+}
+
+Message LightweightPeer::handle_session_batch(const Message& request,
+                                              const SessionBatch& batch) {
+  // Strict order, one verdict per slot: the ack stream a batch produces is
+  // exactly the concatenation of the per-push acks.
+  SessionBatchAck back;
+  back.entries.reserve(batch.entries.size());
+  for (const SessionPush& entry : batch.entries) {
+    back.entries.push_back(process_session_push(request.sender, entry));
+  }
+  return Message{name_, request.sender, std::move(back)};
+}
+
+SessionAck LightweightPeer::process_session_push(const std::string& sender,
+                                                 const SessionPush& push) {
   ++counters_.pushes_received;
   last_matched_ = kNoInterest;
 
-  std::vector<bool>& wire_known = session_known_[request.sender];
+  std::vector<bool>& wire_known = session_known_[sender];
   if (wire_known.empty()) wire_known.assign(universe_.type_count(), false);
+  // Descriptions that actually crossed the wire in this push get their
+  // hashes advertised back, so ANY sender can skip those bytes next time.
+  std::vector<std::uint64_t> advertised;
   for (const SessionIntro& intro : push.intros) {
     const std::uint32_t f = universe_.type_by_name(intro.type_name);
     if (f != TypeUniverse::kNoType && intro.wire_id == f + 1) {
       wire_known[f] = true;
       known_[f] = true;
+      if (!intro.description_xml.empty()) {
+        advertised.push_back(universe_.description_hash(f));
+      }
     }
   }
   // Eager prepay: the intro's assembly arrived with the push.
@@ -207,13 +307,18 @@ Message LightweightPeer::handle_session_push(const Message& request,
 
   if (push.wire_types.empty()) {
     ++counters_.rejected;
-    return Message{name_, request.sender,
-                   SessionAck{SessionStatus::Ok, false, "no object types"}};
+    return SessionAck{SessionStatus::Ok, false, "no object types", std::move(advertised)};
   }
   const std::uint32_t wire = push.wire_types.front();
   if (wire == 0 || wire > universe_.type_count() || !wire_known[wire - 1]) {
-    return Message{name_, request.sender,
-                   SessionAck{SessionStatus::Reset, false, "session state lost"}};
+    // A Reset ack carries the full known-description set: the sender's
+    // replay can skip every description this receiver already holds.
+    advertised.clear();
+    for (std::uint32_t f = 0; f < universe_.type_count(); ++f) {
+      if (known_[f]) advertised.push_back(universe_.description_hash(f));
+    }
+    return SessionAck{SessionStatus::Reset, false, "session state lost",
+                      std::move(advertised)};
   }
   const std::uint32_t family = wire - 1;
 
@@ -225,8 +330,8 @@ Message LightweightPeer::handle_session_push(const Message& request,
   });
   if (!match) {
     ++counters_.rejected;
-    return Message{name_, request.sender,
-                   SessionAck{SessionStatus::Ok, false, "no interest conforms"}};
+    return SessionAck{SessionStatus::Ok, false, "no interest conforms",
+                      std::move(advertised)};
   }
   last_matched_ = universe_.interest_of_id(match->interest);
 
@@ -234,23 +339,22 @@ Message LightweightPeer::handle_session_push(const Message& request,
   // a nested exchange; every later push skips it via loaded_.
   if (!loaded_[family]) {
     ++counters_.code_requests;
-    const Message response = network_.send(
-        Message{name_, request.sender, CodeRequest{universe_.assembly_name(family)}});
+    const Message response =
+        network_.send(Message{name_, sender, CodeRequest{universe_.assembly_name(family)}});
     const auto* code = std::get_if<CodeResponse>(&response.payload);
     if (code == nullptr || !code->found) {
       ++counters_.rejected;
       last_matched_ = kNoInterest;
-      return Message{name_, request.sender,
-                     SessionAck{SessionStatus::Ok, false, "code unavailable"}};
+      return SessionAck{SessionStatus::Ok, false, "code unavailable",
+                        std::move(advertised)};
     }
     counters_.code_bytes_fetched += code->code_bytes;
     loaded_[family] = true;
   }
 
   ++counters_.accepted;
-  return Message{name_, request.sender,
-                 SessionAck{SessionStatus::Ok, true,
-                            universe_.interest_type_name(last_matched_)}};
+  return SessionAck{SessionStatus::Ok, true, universe_.interest_type_name(last_matched_),
+                    std::move(advertised)};
 }
 
 Message LightweightPeer::handle_push(const Message& request, const ObjectPush& push) {

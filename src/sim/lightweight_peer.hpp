@@ -30,6 +30,7 @@
 
 #include "sim/type_universe.hpp"
 #include "transport/interest_index.hpp"
+#include "transport/intro_registry.hpp"
 #include "transport/peer.hpp"
 #include "transport/transport.hpp"
 
@@ -54,7 +55,8 @@ class LightweightPeer {
 
   LightweightPeer(std::uint32_t index, transport::Transport& network,
                   TypeUniverse& universe, transport::InterestIndex& interests,
-                  transport::ProtocolMode mode, bool use_sessions = false);
+                  transport::ProtocolMode mode, bool use_sessions = false,
+                  transport::IntroRegistry* intro_registry = nullptr);
   ~LightweightPeer();
   LightweightPeer(const LightweightPeer&) = delete;
   LightweightPeer& operator=(const LightweightPeer&) = delete;
@@ -82,9 +84,20 @@ class LightweightPeer {
   struct PushOutcome {
     bool delivered = false;  ///< receiver accepted (a conformant interest)
     bool dropped = false;    ///< the network dropped or faulted the exchange
+    /// Interest family the receiver matched (kNoInterest unless delivered).
+    /// Filled by the session paths from the ack detail; the cold path
+    /// reports it via the receiver's last_matched_interest() instead.
+    std::uint32_t matched = kNoInterest;
   };
   /// Publishes family `family` to `target` (one full protocol exchange).
   PushOutcome publish_to(const std::string& target, std::uint32_t family);
+  /// Publishes several families to `target` as ONE SessionBatch frame
+  /// (session mode only). Entries are processed by the receiver in order
+  /// and acked positionally; a Reset slot is replayed individually, so a
+  /// refused entry never desynchronises the rest. Per-entry outcomes come
+  /// back in input order.
+  std::vector<PushOutcome> publish_batch_to(const std::string& target,
+                                            const std::vector<std::uint32_t>& families);
 
   /// Interest family matched by the most recent accepted push delivered
   /// TO this peer (kNoInterest when the last push was rejected). Valid
@@ -101,6 +114,18 @@ class LightweightPeer {
                                                const transport::ObjectPush& push);
   [[nodiscard]] transport::Message handle_session_push(
       const transport::Message& request, const transport::SessionPush& push);
+  [[nodiscard]] transport::Message handle_session_batch(
+      const transport::Message& request, const transport::SessionBatch& batch);
+  /// Receive-path core shared by single pushes and batch entries: learns
+  /// intros, decides the verdict, advertises learned description hashes.
+  [[nodiscard]] transport::SessionAck process_session_push(
+      const std::string& sender, const transport::SessionPush& push);
+  /// Builds one SessionPush for `family`; when `fresh`, attaches the intro
+  /// (description bytes elided when the shared registry says `target`
+  /// already advertised the hash).
+  [[nodiscard]] transport::SessionPush build_session_entry(const std::string& target,
+                                                           std::uint32_t family,
+                                                           bool fresh);
   PushOutcome publish_session(const std::string& target, std::uint32_t family);
 
   std::uint32_t index_;
@@ -129,6 +154,11 @@ class LightweightPeer {
   bool use_sessions_ = false;
   std::unordered_map<std::string, std::vector<bool>> intro_sent_;
   std::unordered_map<std::string, std::vector<bool>> session_known_;
+  /// Scenario-shared intro registry (owned by the hub): receivers advertise
+  /// description hashes in their acks; senders consult it to elide intro
+  /// description bytes a target already holds. Byte-saving hint only —
+  /// never consulted for a verdict.
+  transport::IntroRegistry* intro_registry_ = nullptr;
 };
 
 }  // namespace pti::sim

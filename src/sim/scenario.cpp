@@ -82,6 +82,7 @@ Scenario::Scenario(const ScenarioConfig& config)
     : config_(config),
       net_(derive_seed(config.seed, 3)),
       loop_(derive_seed(config.seed, 2), &net_.clock()) {
+  defer_deliveries_ = config_.use_sessions && config_.session_batch > 1;
   TypeUniverseConfig universe_config;
   universe_config.seed = derive_seed(config.seed, 1);
   universe_config.families = config.types;
@@ -107,8 +108,9 @@ Scenario::Scenario(const ScenarioConfig& config)
   live_pos_.resize(count);
   sub_to_peer_.assign(count, 0);
   for (std::uint32_t i = 0; i < count; ++i) {
-    auto peer = std::make_unique<LightweightPeer>(i, net_, *universe_, hub_.interests(),
-                                                  config_.mode, config_.use_sessions);
+    auto peer = std::make_unique<LightweightPeer>(
+        i, net_, *universe_, hub_.interests(), config_.mode, config_.use_sessions,
+        config_.use_sessions ? &hub_.intro_registry() : nullptr);
     std::vector<std::uint32_t> families;
     for (std::size_t k = 0; k < config_.interests_per_peer; ++k) {
       const std::uint32_t family = draw_family();
@@ -164,6 +166,7 @@ ScenarioResult Scenario::run(const ScenarioScript& script) {
     }
   }
   loop_.run();
+  flush_session_batches();
 
   // Final reclaim sweep: with every event fired and no pins live, the
   // retired COW snapshots and directories must all free here — the leak
@@ -195,6 +198,7 @@ ScenarioResult Scenario::run(const ScenarioScript& script) {
       stats_.typeinfo_requests, stats_.code_requests, stats_.code_bytes_fetched,
       stats_.net_messages, stats_.net_bytes, stats_.net_drops,
       stats_.virtual_time_ns, stats_.index_subscribers, stats_.index_entries,
+      stats_.session_batch_frames, stats_.session_batch_entries,
   };
   for (const std::uint64_t field : fields) {
     h ^= field;
@@ -212,35 +216,101 @@ void Scenario::fire_publish() {
   match_targets(family, peers_[publisher]->subscriber(), target_scratch_);
   mix_trace(kTagPublish, publisher, family, target_scratch_.size());
 
+  if (defer_deliveries_) {
+    // Batched session mode: park the deliveries; the window closes when a
+    // (publisher, target) pair fills or a state-changing event is next.
+    bool full = false;
+    for (const transport::SubscriberId sub : target_scratch_) {
+      const std::uint32_t target = sub_to_peer_[sub];
+      ++stats_.deliveries;
+      pending_deliveries_.push_back({publisher, target, family});
+      const std::uint64_t key = (std::uint64_t{publisher} << 32) | target;
+      if (++pending_pair_counts_[key] >= config_.session_batch) full = true;
+    }
+    if (full) flush_session_batches();
+    return;
+  }
+
   for (const transport::SubscriberId sub : target_scratch_) {
     const std::uint32_t target = sub_to_peer_[sub];
     ++stats_.deliveries;
     const LightweightPeer::PushOutcome outcome =
         peers_[publisher]->publish_to(peers_[target]->name(), family);
-    if (outcome.dropped) {
-      ++stats_.drops;
-      mix_trace(kTagDrop, target, family);
-    } else if (outcome.delivered) {
-      ++stats_.accepts;
-      const std::uint32_t matched = peers_[target]->last_matched_interest();
-      mix_trace(kTagAccept, target, family, matched);
-      accept_digest_ ^= (static_cast<std::uint64_t>(target) << 32) | family;
-      accept_digest_ *= util::kFnvPrime64;
-      accept_digest_ ^= (std::uint64_t{1} << 40) | matched;
-      accept_digest_ *= util::kFnvPrime64;
-    } else {
-      ++stats_.rejects;
-      mix_trace(kTagReject, target, family);
-      accept_digest_ ^= (static_cast<std::uint64_t>(target) << 32) | family;
-      accept_digest_ *= util::kFnvPrime64;
-      accept_digest_ ^= std::uint64_t{0};
-      accept_digest_ *= util::kFnvPrime64;
-    }
+    mix_delivery(target, family, outcome,
+                 outcome.delivered ? peers_[target]->last_matched_interest()
+                                   : LightweightPeer::kNoInterest);
     maybe_reclaim();
   }
 }
 
+void Scenario::mix_delivery(std::uint32_t target, std::uint32_t family,
+                            const LightweightPeer::PushOutcome& outcome,
+                            std::uint32_t matched) {
+  if (outcome.dropped) {
+    ++stats_.drops;
+    mix_trace(kTagDrop, target, family);
+  } else if (outcome.delivered) {
+    ++stats_.accepts;
+    mix_trace(kTagAccept, target, family, matched);
+    accept_digest_ ^= (static_cast<std::uint64_t>(target) << 32) | family;
+    accept_digest_ *= util::kFnvPrime64;
+    accept_digest_ ^= (std::uint64_t{1} << 40) | matched;
+    accept_digest_ *= util::kFnvPrime64;
+  } else {
+    ++stats_.rejects;
+    mix_trace(kTagReject, target, family);
+    accept_digest_ ^= (static_cast<std::uint64_t>(target) << 32) | family;
+    accept_digest_ *= util::kFnvPrime64;
+    accept_digest_ ^= std::uint64_t{0};
+    accept_digest_ *= util::kFnvPrime64;
+  }
+}
+
+void Scenario::flush_session_batches() {
+  if (pending_deliveries_.empty()) return;
+  // Group by (publisher, target) in first-touch order. The frames go out
+  // group by group, but the digests fold in ORIGINAL delivery order below
+  // — batching regroups the wire, never the verdict stream.
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < pending_deliveries_.size(); ++i) {
+    const PendingDelivery& d = pending_deliveries_[i];
+    const std::uint64_t key = (std::uint64_t{d.publisher} << 32) | d.target;
+    const auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) order.push_back(key);
+    it->second.push_back(i);
+  }
+
+  std::vector<LightweightPeer::PushOutcome> outcomes(pending_deliveries_.size());
+  std::vector<std::uint32_t> families;
+  for (const std::uint64_t key : order) {
+    const std::vector<std::size_t>& slots = groups[key];
+    for (std::size_t base = 0; base < slots.size(); base += config_.session_batch) {
+      const std::size_t count = std::min(config_.session_batch, slots.size() - base);
+      families.clear();
+      for (std::size_t k = 0; k < count; ++k) {
+        families.push_back(pending_deliveries_[slots[base + k]].family);
+      }
+      const PendingDelivery& head = pending_deliveries_[slots[base]];
+      const std::vector<LightweightPeer::PushOutcome> out =
+          peers_[head.publisher]->publish_batch_to(peers_[head.target]->name(), families);
+      for (std::size_t k = 0; k < count; ++k) outcomes[slots[base + k]] = out[k];
+      ++stats_.session_batch_frames;
+      stats_.session_batch_entries += count;
+    }
+  }
+
+  for (std::size_t i = 0; i < pending_deliveries_.size(); ++i) {
+    const PendingDelivery& d = pending_deliveries_[i];
+    mix_delivery(d.target, d.family, outcomes[i], outcomes[i].matched);
+    maybe_reclaim();
+  }
+  pending_deliveries_.clear();
+  pending_pair_counts_.clear();
+}
+
 void Scenario::fire_churn_leave() {
+  flush_session_batches();
   if (live_.size() <= 1) return;
   const std::uint32_t peer = pick_live_peer();
   peers_[peer]->leave();
@@ -251,6 +321,7 @@ void Scenario::fire_churn_leave() {
 }
 
 void Scenario::fire_churn_rejoin() {
+  flush_session_batches();
   if (departed_.empty()) return;
   const std::uint32_t peer = departed_.front();
   departed_.pop_front();
@@ -263,6 +334,7 @@ void Scenario::fire_churn_rejoin() {
 }
 
 void Scenario::fire_partition(std::uint64_t heal_after_ns) {
+  flush_session_batches();
   if (live_.size() < 2) return;
   const std::uint32_t a = pick_live_peer();
   std::uint32_t b = pick_live_peer();
@@ -272,6 +344,9 @@ void Scenario::fire_partition(std::uint64_t heal_after_ns) {
   ++stats_.partitions;
   mix_trace(kTagPartition, a, b);
   loop_.after(heal_after_ns, [this, a, b] {
+    // Close the window under the PRE-heal link state: deferred deliveries
+    // must drop exactly where their unbatched counterparts would have.
+    flush_session_batches();
     net_.heal_partition(peers_[a]->name(), peers_[b]->name());
     net_.heal_partition(peers_[b]->name(), peers_[a]->name());
     ++stats_.heals;

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_loop.hpp"
@@ -54,6 +55,13 @@ struct ScenarioConfig {
   /// verdict/accept stream must match non-session runs while wire bytes
   /// and exchange counts collapse.
   bool use_sessions = false;
+  /// With use_sessions, >1 defers deliveries into a window and flushes
+  /// them as SessionBatch frames of at most this many entries per
+  /// (publisher, target) pair. Windows close as soon as any pair fills,
+  /// and ALWAYS before churn/partition/heal events, so every delivery
+  /// observes exactly the network and interest state it would have seen
+  /// unbatched — the accept stream is byte-identical to session_batch=1.
+  std::size_t session_batch = 1;
   bool use_inverted_index = true;
   std::size_t fanout_cap = 64;   ///< deliveries per publish (keeps storms tractable)
   std::uint64_t event_interval_ns = 50'000;  ///< virtual spacing of scripted events
@@ -79,6 +87,8 @@ struct ScenarioStats {
   std::uint64_t virtual_time_ns = 0;
   std::uint64_t index_subscribers = 0;
   std::uint64_t index_entries = 0;
+  std::uint64_t session_batch_frames = 0;   ///< SessionBatch frames flushed
+  std::uint64_t session_batch_entries = 0;  ///< deliveries those frames carried
 };
 
 struct ScenarioResult {
@@ -157,6 +167,16 @@ class Scenario {
   void remove_from_live(std::uint32_t peer);
   void maybe_reclaim();
 
+  /// Applies one delivery outcome to stats and digests — the ONE mixing
+  /// block both the immediate path and the deferred flush go through, so
+  /// batching cannot drift from the pinned fold.
+  void mix_delivery(std::uint32_t target, std::uint32_t family,
+                    const LightweightPeer::PushOutcome& outcome, std::uint32_t matched);
+  /// Sends every deferred delivery as SessionBatch frames (grouped by
+  /// (publisher, target) pair in first-touch order, chunks of at most
+  /// session_batch entries) and mixes outcomes in original delivery order.
+  void flush_session_batches();
+
   void mix_trace(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
                  std::uint64_t d = 0) noexcept;
 
@@ -175,6 +195,16 @@ class Scenario {
 
   std::vector<transport::SubscriberId> target_scratch_;
   std::vector<util::InternedName> interest_scratch_;
+
+  /// Deferred-delivery window for batched session mode.
+  struct PendingDelivery {
+    std::uint32_t publisher;
+    std::uint32_t target;
+    std::uint32_t family;
+  };
+  bool defer_deliveries_ = false;  ///< use_sessions && session_batch > 1
+  std::vector<PendingDelivery> pending_deliveries_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_pair_counts_;
 
   std::uint64_t cursor_ns_ = 0;  ///< schedule-time cursor for script phases
   std::size_t since_reclaim_ = 0;

@@ -118,9 +118,11 @@ TypeUniverse::TypeUniverse(const TypeUniverseConfig& config, transport::Assembly
     const reflect::TypeDescription* int_desc =
         domain_.registry().find(family.interest_type);
     family.description_xml = serial::type_description_to_string(*pub_desc);
+    family.description_hash = util::fnv1a64(family.description_xml);
     family.interest_id = int_desc->name_id();
     family.interest_fingerprint = int_desc->fingerprint();
     family_by_type_name_.emplace(family.publisher_type, t);
+    family_by_interest_name_.emplace(family.interest_type, t);
     family_by_interest_id_.emplace(family.interest_id, t);
 
     // One real envelope per family: deterministic field values, true
@@ -180,6 +182,12 @@ std::uint32_t TypeUniverse::type_by_name(const std::string& qualified_name) cons
 std::uint32_t TypeUniverse::interest_of_id(util::InternedName id) const noexcept {
   const auto it = family_by_interest_id_.find(id);
   return it == family_by_interest_id_.end() ? kNoType : it->second;
+}
+
+std::uint32_t TypeUniverse::interest_by_type_name(
+    const std::string& qualified_name) const noexcept {
+  const auto it = family_by_interest_name_.find(qualified_name);
+  return it == family_by_interest_name_.end() ? kNoType : it->second;
 }
 
 }  // namespace pti::sim

@@ -64,6 +64,11 @@ class TypeUniverse {
   [[nodiscard]] const std::string& description_xml(std::uint32_t family) const {
     return families_[family].description_xml;
   }
+  /// FNV-64 of the family's description XML — the content hash peers
+  /// advertise and the intro registry stores, computed once per family.
+  [[nodiscard]] std::uint64_t description_hash(std::uint32_t family) const noexcept {
+    return families_[family].description_hash;
+  }
   [[nodiscard]] const std::string& assembly_name(std::uint32_t family) const {
     return families_[family].assembly;
   }
@@ -100,6 +105,9 @@ class TypeUniverse {
   }
   /// Family whose interest type has this interned id; kNoType otherwise.
   [[nodiscard]] std::uint32_t interest_of_id(util::InternedName id) const noexcept;
+  /// Family whose interest type has this qualified name; kNoType otherwise.
+  [[nodiscard]] std::uint32_t interest_by_type_name(
+      const std::string& qualified_name) const noexcept;
 
   // --- ground truth -----------------------------------------------------
   /// Whether publisher type `publisher` conforms to interest `interest`,
@@ -117,6 +125,7 @@ class TypeUniverse {
     std::string assembly;         ///< publisher assembly name
     std::uint64_t code_size = 0;  ///< simulated size of that assembly
     std::string description_xml;  ///< publisher type description
+    std::uint64_t description_hash = 0;  ///< FNV-64 of description_xml
     std::vector<std::uint8_t> envelope;
     std::vector<std::uint8_t> payload;  ///< envelope's raw payload bytes
     util::InternedName interest_id;
@@ -132,6 +141,7 @@ class TypeUniverse {
   std::vector<bool> matrix_;  ///< families x families, row = publisher
   std::unordered_map<std::uint64_t, std::uint32_t> family_by_envelope_hash_;
   std::unordered_map<std::string, std::uint32_t> family_by_type_name_;
+  std::unordered_map<std::string, std::uint32_t> family_by_interest_name_;
   std::unordered_map<util::InternedName, std::uint32_t> family_by_interest_id_;
 };
 

@@ -28,6 +28,7 @@
 
 #include "reflect/assembly.hpp"
 #include "transport/interest_index.hpp"
+#include "transport/intro_registry.hpp"
 #include "util/string_util.hpp"
 
 namespace pti::transport {
@@ -44,11 +45,20 @@ class AssemblyHub {
   [[nodiscard]] InterestIndex& interests() noexcept { return interests_; }
   [[nodiscard]] const InterestIndex& interests() const noexcept { return interests_; }
 
+  /// Which receiver already holds which type description (by content
+  /// hash). Shared across every sender of the universe, so a description
+  /// advertised to one sender lets every other sender skip its bytes.
+  [[nodiscard]] IntroRegistry& intro_registry() noexcept { return intro_registry_; }
+  [[nodiscard]] const IntroRegistry& intro_registry() const noexcept {
+    return intro_registry_;
+  }
+
  private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<const reflect::Assembly>, util::ICaseLess>
       assemblies_;
   InterestIndex interests_;
+  IntroRegistry intro_registry_;
 };
 
 }  // namespace pti::transport

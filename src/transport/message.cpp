@@ -51,7 +51,17 @@ struct SizeVisitor {
     return size;
   }
   std::size_t operator()(const SessionAck& m) const noexcept {
-    return 3 + m.detail.size();
+    return 3 + m.detail.size() + 8 * m.known_desc_hashes.size();
+  }
+  std::size_t operator()(const SessionBatch& m) const noexcept {
+    std::size_t size = 4;
+    for (const auto& entry : m.entries) size += (*this)(entry);
+    return size;
+  }
+  std::size_t operator()(const SessionBatchAck& m) const noexcept {
+    std::size_t size = 4;
+    for (const auto& entry : m.entries) size += (*this)(entry);
+    return size;
   }
 };
 
@@ -69,6 +79,10 @@ struct KindVisitor {
   const char* operator()(const ErrorReply&) const noexcept { return "ErrorReply"; }
   const char* operator()(const SessionPush&) const noexcept { return "SessionPush"; }
   const char* operator()(const SessionAck&) const noexcept { return "SessionAck"; }
+  const char* operator()(const SessionBatch&) const noexcept { return "SessionBatch"; }
+  const char* operator()(const SessionBatchAck&) const noexcept {
+    return "SessionBatchAck";
+  }
 };
 
 }  // namespace

@@ -105,11 +105,29 @@ struct SessionAck {
   SessionStatus status = SessionStatus::Ok;
   bool delivered = false;
   std::string detail;  ///< interest type on success, reason on rejection
+  /// Content hashes (FNV-64 of the canonical description XML) of type
+  /// descriptions this receiver already holds. Advertised on Reset and on
+  /// the first ack of a session so senders — and, through the hub intro
+  /// registry, *other* senders — can skip re-shipping those descriptions.
+  std::vector<std::uint64_t> known_desc_hashes;
 };
 
-using MessagePayload = std::variant<ObjectPush, PushAck, TypeInfoRequest, TypeInfoResponse,
-                                    CodeRequest, CodeResponse, InvokeRequest,
-                                    InvokeResponse, ErrorReply, SessionPush, SessionAck>;
+/// Several session pushes to the same recipient in one framed exchange.
+/// Entries correlate positionally with the ack's slots: entry i is
+/// answered by SessionBatchAck::entries[i], and each slot carries a full
+/// per-entry verdict so one refused entry never desynchronises the rest.
+struct SessionBatch {
+  std::vector<SessionPush> entries;
+};
+
+struct SessionBatchAck {
+  std::vector<SessionAck> entries;  ///< one verdict per batch entry, in order
+};
+
+using MessagePayload =
+    std::variant<ObjectPush, PushAck, TypeInfoRequest, TypeInfoResponse, CodeRequest,
+                 CodeResponse, InvokeRequest, InvokeResponse, ErrorReply, SessionPush,
+                 SessionAck, SessionBatch, SessionBatchAck>;
 
 struct Message {
   std::string sender;

@@ -8,6 +8,7 @@
 #include "serial/xml_object_serializer.hpp"
 #include "transport/peer_quota.hpp"
 #include "transport/transport_error.hpp"
+#include "util/hash.hpp"
 #include "util/string_util.hpp"
 
 namespace pti::transport {
@@ -37,6 +38,12 @@ namespace {
 /// transport's "resource|" fault-frame prefix.
 constexpr std::string_view kResourceReplyPrefix = "resource-exhausted: ";
 
+/// Cap on hashes a Reset ack advertises: bounds the ack's wire size while
+/// still covering every description universe the tests and benches build.
+/// A description beyond the cap is simply re-shipped — a byte cost, never
+/// a correctness issue.
+constexpr std::size_t kMaxAdvertisedHashes = 256;
+
 }  // namespace
 
 Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hub,
@@ -63,6 +70,10 @@ Peer::Peer(std::string name, Transport& network, std::shared_ptr<AssemblyHub> hu
 }
 
 Peer::~Peer() {
+  // Drain the batching windows first: queued pushes hold promises whose
+  // futures callers may still be waiting on, and their sends must enter
+  // the outbound tracker before wait_idle below.
+  flush_session_batches();
   // A concurrent transport's detach blocks until in-flight executions of
   // this peer's handler finish; then wait for our own outbound async-send
   // completions (their callbacks capture `this`). Only after both
@@ -280,6 +291,30 @@ Peer::SessionSend Peer::build_session_push(const std::string& to,
     const SessionTable::SendPlan extra_plan =
         sessions_.plan_extras(to, plan.token, extra_names);
 
+    // Shared-intro elision: when the hub's registry says this receiver
+    // already holds a description (it advertised the content hash to some
+    // sender of this universe), the intro keeps its wire-id/name binding
+    // but drops the description bytes — a hot type's description crosses
+    // the wire once per receiver, not once per sender/receiver pair.
+    const auto elide_known = [&](SessionIntro& intro) {
+      if (intro.description_xml.empty()) return;
+      const std::uint64_t hash = util::fnv1a64(intro.description_xml);
+      if (hub_->intro_registry().knows(to, hash)) {
+        intro.description_xml.clear();
+        ++stats_.session_intro_skips;
+      }
+    };
+    // Intro XML carries type CONTENT only: provenance (assembly name,
+    // download path) already rides in the intro's own fields and differs
+    // per hosting peer, which would make the same type hash apart per
+    // sender and defeat cross-sender elision.
+    const auto content_xml = [](const TypeDescription& d) {
+      TypeDescription content = d;
+      content.set_assembly_name("");
+      content.set_download_path("");
+      return serial::type_description_to_string(content);
+    };
+
     for (const std::size_t i : plan.fresh) {
       SessionIntro intro;
       intro.wire_id = out.push.wire_types[i];
@@ -288,9 +323,10 @@ Peer::SessionSend Peer::build_session_push(const std::string& to,
       intro.download_path = envelope.types[i].download_path;
       if (const TypeDescription* d = domain_.registry().find(out.names[i])) {
         if (d->kind() != reflect::TypeKind::Primitive) {
-          intro.description_xml = serial::type_description_to_string(*d);
+          intro.description_xml = content_xml(*d);
         }
       }
+      elide_known(intro);
       out.push.intros.push_back(std::move(intro));
     }
     for (const std::size_t j : extra_plan.fresh) {
@@ -300,7 +336,8 @@ Peer::SessionSend Peer::build_session_push(const std::string& to,
       intro.type_name = extra_names[j];
       intro.assembly_name = d->assembly_name();
       intro.download_path = d->download_path();
-      intro.description_xml = serial::type_description_to_string(*d);
+      intro.description_xml = content_xml(*d);
+      elide_known(intro);
       out.push.intros.push_back(std::move(intro));
     }
     for (const std::size_t j : extra_plan.fresh) {
@@ -328,12 +365,16 @@ Peer::SessionSend Peer::build_session_push(const std::string& to,
 
 PushAck Peer::send_object_session(std::string_view to, const Envelope& envelope) {
   const std::string recipient(to);
+  // Flush-on-sync: a synchronous send must not overtake pushes already
+  // queued in this recipient's batching window.
+  flush_batch_window(recipient);
   for (int attempt = 0; attempt < 2; ++attempt) {
     SessionSend send = build_session_push(recipient, envelope);
     const Message response =
         network_.send(Message{name_, recipient, std::move(send.push)});
     ++stats_.objects_sent;
     const SessionAck ack = session_ack_from_response(response, recipient);
+    hub_->intro_registry().record_all(recipient, ack.known_desc_hashes);
     if (ack.status == SessionStatus::Reset) {
       // The receiver lost the session (eviction, restart): start a new
       // token and replay once with every type introduced inline.
@@ -382,6 +423,7 @@ void Peer::send_session_attempt(const std::string& recipient,
             ++stats_.objects_sent;
             try {
               const SessionAck ack = session_ack_from_response(response, recipient);
+              hub_->intro_registry().record_all(recipient, ack.known_desc_hashes);
               if (ack.status == SessionStatus::Reset) {
                 sessions_.reset_peer(recipient);
                 if (retries_left > 0) {
@@ -415,9 +457,25 @@ std::future<PushAck> Peer::send_object_async(std::string_view to,
   if (config_.use_sessions) {
     auto promise = std::make_shared<std::promise<PushAck>>();
     std::future<PushAck> future = promise->get_future();
-    send_session_attempt(std::string(to),
-                         std::make_shared<const Envelope>(build_envelope(object)),
-                         std::move(promise), 1);
+    auto envelope = std::make_shared<const Envelope>(build_envelope(object));
+    const std::string recipient(to);
+    if (config_.session.max_batch > 1) {
+      // Batching window: queue the push; a full window travels as one
+      // SessionBatch frame. The send happens outside the lock.
+      std::vector<PendingPush> ready;
+      {
+        std::scoped_lock lock(batch_mutex_);
+        std::vector<PendingPush>& window = batch_windows_[recipient];
+        window.push_back(PendingPush{std::move(envelope), std::move(promise)});
+        if (window.size() >= config_.session.max_batch) {
+          ready = std::move(window);
+          batch_windows_.erase(recipient);
+        }
+      }
+      if (!ready.empty()) send_batch_attempt(recipient, std::move(ready));
+      return future;
+    }
+    send_session_attempt(recipient, std::move(envelope), std::move(promise), 1);
     return future;
   }
   ObjectPush push = build_push(object);
@@ -454,6 +512,119 @@ std::future<PushAck> Peer::send_object_async(std::string_view to,
   return future;
 }
 
+void Peer::flush_batch_window(const std::string& recipient) {
+  std::vector<PendingPush> ready;
+  {
+    std::scoped_lock lock(batch_mutex_);
+    const auto it = batch_windows_.find(recipient);
+    if (it == batch_windows_.end()) return;
+    ready = std::move(it->second);
+    batch_windows_.erase(it);
+  }
+  if (!ready.empty()) send_batch_attempt(recipient, std::move(ready));
+}
+
+void Peer::flush_session_batches() {
+  std::vector<std::pair<std::string, std::vector<PendingPush>>> ready;
+  {
+    std::scoped_lock lock(batch_mutex_);
+    ready.reserve(batch_windows_.size());
+    for (auto& [recipient, window] : batch_windows_) {
+      if (!window.empty()) ready.emplace_back(recipient, std::move(window));
+    }
+    batch_windows_.clear();
+  }
+  for (auto& [recipient, items] : ready) send_batch_attempt(recipient, std::move(items));
+}
+
+void Peer::send_batch_attempt(const std::string& recipient,
+                              std::vector<PendingPush> items) {
+  auto pending = std::make_shared<std::vector<PendingPush>>(std::move(items));
+  const auto fail_all = [pending](std::exception_ptr error) {
+    for (PendingPush& item : *pending) {
+      try {
+        item.promise->set_exception(error);
+      } catch (const std::future_error&) {
+        // Slot already resolved before the failure — keep its verdict.
+      }
+    }
+  };
+  try {
+    // Plans are made at flush time, in queue order: wire ids and the token
+    // reflect the session as the receiver will see it, entry by entry.
+    auto sends = std::make_shared<std::vector<SessionSend>>();
+    sends->reserve(pending->size());
+    SessionBatch batch;
+    batch.entries.reserve(pending->size());
+    for (const PendingPush& item : *pending) {
+      sends->push_back(build_session_push(recipient, *item.envelope));
+      batch.entries.push_back(std::move(sends->back().push));
+    }
+    outbound_.add();
+    try {
+      network_.send_async(
+          Message{name_, recipient, std::move(batch)},
+          [this, recipient, pending, sends, fail_all](Message response,
+                                                      std::exception_ptr error) {
+            struct Done {
+              OutboundTracker& tracker;
+              ~Done() { tracker.done(); }
+            } done{outbound_};
+            if (error) {
+              fail_all(error);
+              return;
+            }
+            stats_.objects_sent += pending->size();
+            try {
+              const auto* acks = std::get_if<SessionBatchAck>(&response.payload);
+              if (acks == nullptr) {
+                if (const auto* err = std::get_if<ErrorReply>(&response.payload)) {
+                  if (util::starts_with(err->message, kResourceReplyPrefix)) {
+                    throw pti::ResourceExhaustedError(
+                        "batched push to '" + recipient + "' rejected: " +
+                        err->message.substr(kResourceReplyPrefix.size()));
+                  }
+                  throw ProtocolError("batched push to '" + recipient +
+                                      "' failed: " + err->message);
+                }
+                throw ProtocolError("unexpected response to SessionBatch: " +
+                                    std::string(response.kind_name()));
+              }
+              if (acks->entries.size() != pending->size()) {
+                throw ProtocolError(
+                    "batch ack carries " + std::to_string(acks->entries.size()) +
+                    " verdicts for " + std::to_string(pending->size()) + " entries");
+              }
+              // Per-entry commit on the entry's own ack slot: a Reset in
+              // slot i replays entry i alone; every other slot keeps its
+              // verdict and its wire-id commits.
+              for (std::size_t i = 0; i < acks->entries.size(); ++i) {
+                const SessionAck& ack = acks->entries[i];
+                hub_->intro_registry().record_all(recipient, ack.known_desc_hashes);
+                PendingPush& item = (*pending)[i];
+                if (ack.status == SessionStatus::Reset) {
+                  sessions_.reset_peer(recipient);
+                  ++stats_.session_retries;
+                  send_session_attempt(recipient, item.envelope, item.promise, 1);
+                  continue;
+                }
+                sessions_.commit_send(recipient, (*sends)[i].token, (*sends)[i].names,
+                                      (*sends)[i].fresh);
+                item.promise->set_value(PushAck{ack.delivered, ack.detail});
+              }
+            } catch (...) {
+              fail_all(std::current_exception());
+            }
+          });
+    } catch (...) {
+      outbound_.done();
+      throw;
+    }
+  } catch (...) {
+    fail_all(std::current_exception());
+  }
+}
+
 Message Peer::handle(const Message& request) {
   if (extra_handler_) {
     if (auto handled = extra_handler_(request)) return std::move(*handled);
@@ -464,6 +635,9 @@ Message Peer::handle(const Message& request) {
     }
     if (const auto* spush = std::get_if<SessionPush>(&request.payload)) {
       return handle_session_push(request, *spush);
+    }
+    if (const auto* batch = std::get_if<SessionBatch>(&request.payload)) {
+      return handle_session_batch(request, *batch);
     }
     if (const auto* ti = std::get_if<TypeInfoRequest>(&request.payload)) {
       return Message{name_, request.sender, handle_typeinfo(*ti)};
@@ -628,15 +802,15 @@ void Peer::ensure_types_usable(const std::vector<TypeInfoEntry>& types,
   }
 }
 
-Message Peer::deliver_session_payload(const std::string& sender, const SessionPush& push,
-                                      const std::string& matched_interest,
-                                      util::InternedName matched_id) {
+SessionAck Peer::deliver_session_payload(const std::string& sender,
+                                         const SessionPush& push,
+                                         const std::string& matched_interest,
+                                         util::InternedName matched_id) {
   serial::ObjectSerializer& serializer = serializers_.get(push.encoding);
   const reflect::Value root = serializer.deserialize(push.payload);
   if (root.kind() != reflect::ValueKind::Object || !root.as_object()) {
     ++stats_.objects_rejected;
-    return Message{name_, sender,
-                   SessionAck{SessionStatus::Ok, false, "payload root is not an object"}};
+    return SessionAck{SessionStatus::Ok, false, "payload root is not an object", {}};
   }
 
   DeliveredObject delivered;
@@ -653,13 +827,57 @@ Message Peer::deliver_session_payload(const std::string& sender, const SessionPu
   ++stats_.objects_delivered;
   if (on_delivery_) on_delivery_(delivered);
 
-  return Message{name_, sender, SessionAck{SessionStatus::Ok, true, matched_interest}};
+  return SessionAck{SessionStatus::Ok, true, matched_interest, {}};
+}
+
+void Peer::advertise_known_descriptions(const SessionPush& push, SessionAck& ack) {
+  // The ack attests content the receiver now verifiably holds: the hash of
+  // every intro description this push delivered. A Reset ack additionally
+  // carries the receiver's whole known set (capped) so the replay — and,
+  // through the hub registry, every other sender — skips those bytes.
+  std::vector<std::uint64_t> delivered;
+  for (const SessionIntro& intro : push.intros) {
+    if (!intro.description_xml.empty()) {
+      delivered.push_back(util::fnv1a64(intro.description_xml));
+    }
+  }
+  if (delivered.empty() && ack.status != SessionStatus::Reset) return;
+  std::scoped_lock lock(desc_hashes_mutex_);
+  for (const std::uint64_t hash : delivered) known_desc_hashes_.insert(hash);
+  if (ack.status == SessionStatus::Reset) {
+    for (const std::uint64_t hash : known_desc_hashes_) {
+      if (ack.known_desc_hashes.size() >= kMaxAdvertisedHashes) break;
+      ack.known_desc_hashes.push_back(hash);
+    }
+  } else {
+    ack.known_desc_hashes = std::move(delivered);
+  }
 }
 
 Message Peer::handle_session_push(const Message& request, const SessionPush& push) {
+  SessionAck ack = process_session_push(request.sender, push);
+  advertise_known_descriptions(push, ack);
+  return Message{name_, request.sender, std::move(ack)};
+}
+
+Message Peer::handle_session_batch(const Message& request, const SessionBatch& batch) {
+  // One framed exchange, one verdict slot per entry, processed strictly in
+  // order through the same per-push protocol as kind 9 — batching changes
+  // the wire shape, never a decision or the order decisions are made in.
+  ++stats_.session_batches;
+  SessionBatchAck out;
+  out.entries.reserve(batch.entries.size());
+  for (const SessionPush& entry : batch.entries) {
+    SessionAck ack = process_session_push(request.sender, entry);
+    advertise_known_descriptions(entry, ack);
+    out.entries.push_back(std::move(ack));
+  }
+  return Message{name_, request.sender, std::move(out)};
+}
+
+SessionAck Peer::process_session_push(const std::string& sender, const SessionPush& push) {
   ++stats_.objects_received;
   ++stats_.session_pushes;
-  const std::string& sender = request.sender;
 
   // Session bookkeeping first: adopt/refresh the inbound session, learn
   // the inline intros (idempotent), register their descriptions. The
@@ -670,7 +888,11 @@ Message Peer::handle_session_push(const Message& request, const SessionPush& pus
     if (sessions_.learn(sender, push.token, intro)) ++stats_.session_intros;
     if (!intro.description_xml.empty() &&
         domain_.registry().find(intro.type_name) == nullptr) {
-      domain_.registry().add(serial::type_description_from_string(intro.description_xml));
+      // The XML is content-only; provenance comes from the intro fields.
+      TypeDescription d = serial::type_description_from_string(intro.description_xml);
+      d.set_assembly_name(intro.assembly_name);
+      d.set_download_path(intro.download_path);
+      domain_.registry().add(std::move(d));
     }
   }
   // Eager-mode extras: assemblies prepaid alongside the intros.
@@ -684,8 +906,7 @@ Message Peer::handle_session_push(const Message& request, const SessionPush& pus
 
   if (push.wire_types.empty()) {
     ++stats_.objects_rejected;
-    return Message{name_, sender,
-                   SessionAck{SessionStatus::Ok, false, "envelope carries no object types"}};
+    return SessionAck{SessionStatus::Ok, false, "envelope carries no object types", {}};
   }
 
   std::vector<TypeInfoEntry> entries;
@@ -693,8 +914,7 @@ Message Peer::handle_session_push(const Message& request, const SessionPush& pus
     // Unknown wire ids: the session that established them is gone (evicted
     // or replaced). Tell the sender to replay with intros.
     ++stats_.session_resets;
-    return Message{name_, sender,
-                   SessionAck{SessionStatus::Reset, false, "session state lost"}};
+    return SessionAck{SessionStatus::Reset, false, "session state lost", {}};
   }
 
   // The warmed path: a decisive verdict cached for this exact envelope
@@ -705,7 +925,7 @@ Message Peer::handle_session_push(const Message& request, const SessionPush& pus
     ++stats_.session_verdict_hits;
     if (!verdict->conformant) {
       ++stats_.objects_rejected;
-      return Message{name_, sender, SessionAck{SessionStatus::Ok, false, verdict->detail}};
+      return SessionAck{SessionStatus::Ok, false, verdict->detail, {}};
     }
     if (verdict->code_ready) {
       ++stats_.code_cache_hits;
@@ -785,7 +1005,7 @@ Message Peer::handle_session_push(const Message& request, const SessionPush& pus
     // An undecided rejection (the sender could not supply every referenced
     // description) stays uncached: a later push may resolve differently.
     if (!undecided) sessions_.store_verdict(sender, push.token, root_id, verdict, gen);
-    return Message{name_, sender, SessionAck{SessionStatus::Ok, false, verdict.detail}};
+    return SessionAck{SessionStatus::Ok, false, verdict.detail, {}};
   }
 
   bool any_download = false;

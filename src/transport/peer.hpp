@@ -33,6 +33,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -42,6 +43,8 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "conform/conformance_cache.hpp"
@@ -166,8 +169,19 @@ class Peer {
   /// the exchange completes before this returns. In-flight async sends
   /// are tracked: ~Peer blocks until their completions have run, so the
   /// futures always resolve and never touch a dead peer.
+  ///
+  /// With config().session.max_batch > 1 (session mode only), async pushes
+  /// to the same recipient queue in a batching window and travel as one
+  /// SessionBatch frame once the window fills; the futures resolve when
+  /// the batch's ack arrives. A partially filled window flushes on a
+  /// synchronous send to that recipient, on flush_session_batches(), and
+  /// at peer teardown.
   [[nodiscard]] std::future<PushAck> send_object_async(
       std::string_view to, const std::shared_ptr<reflect::DynObject>& object);
+
+  /// Drains every pending batching window now (no-op when none). Call
+  /// after a burst of send_object_async calls shorter than max_batch.
+  void flush_session_batches();
 
   /// Objects delivered to this peer so far (most recent last). The
   /// reference is stable only at quiescent points — while transport
@@ -202,6 +216,7 @@ class Peer {
   Message handle(const Message& request);
   Message handle_object_push(const Message& request, const ObjectPush& push);
   Message handle_session_push(const Message& request, const SessionPush& push);
+  Message handle_session_batch(const Message& request, const SessionBatch& batch);
   [[nodiscard]] TypeInfoResponse handle_typeinfo(const TypeInfoRequest& request);
   [[nodiscard]] CodeResponse handle_code(const CodeRequest& request);
 
@@ -238,9 +253,28 @@ class Peer {
                             std::shared_ptr<const serial::Envelope> envelope,
                             std::shared_ptr<std::promise<PushAck>> promise,
                             int retries_left);
-  Message deliver_session_payload(const std::string& sender, const SessionPush& push,
-                                  const std::string& matched_interest,
-                                  util::InternedName matched_id);
+
+  /// One queued entry of a recipient's batching window.
+  struct PendingPush {
+    std::shared_ptr<const serial::Envelope> envelope;
+    std::shared_ptr<std::promise<PushAck>> promise;
+  };
+  /// Dispatches one SessionBatch built from `items` (plans are made at
+  /// flush time so wire ids and the token reflect the current session).
+  void send_batch_attempt(const std::string& recipient, std::vector<PendingPush> items);
+  void flush_batch_window(const std::string& recipient);
+
+  /// The shared receiver half of kinds 9 and 11: runs the full session
+  /// protocol for one push and returns its verdict (per batch entry too,
+  /// so batching cannot change any observable decision).
+  SessionAck process_session_push(const std::string& sender, const SessionPush& push);
+  /// Attaches the known-description advertisement to an outgoing ack:
+  /// hashes of the intro descriptions this push delivered, plus (on
+  /// Reset) the receiver's whole known set, capped.
+  void advertise_known_descriptions(const SessionPush& push, SessionAck& ack);
+  SessionAck deliver_session_payload(const std::string& sender, const SessionPush& push,
+                                     const std::string& matched_interest,
+                                     util::InternedName matched_id);
 
   /// Conformance with on-demand description fetching (protocol step 3).
   [[nodiscard]] conform::CheckResult check_with_fetch(
@@ -304,6 +338,17 @@ class Peer {
   ExtraHandler extra_handler_;
   ProtocolStats stats_;
   SessionTable sessions_;
+
+  /// Batching windows, one per recipient (session mode, max_batch > 1).
+  /// The lock is never held across a network call: flush extracts the
+  /// window under the lock and sends outside it.
+  std::mutex batch_mutex_;
+  std::unordered_map<std::string, std::vector<PendingPush>> batch_windows_;
+
+  /// Content hashes (FNV-64 of canonical XML) of type descriptions this
+  /// peer holds, as receiver — what gets advertised in Reset/first acks.
+  mutable std::mutex desc_hashes_mutex_;
+  std::unordered_set<std::uint64_t> known_desc_hashes_;
 };
 
 }  // namespace pti::transport

@@ -162,6 +162,18 @@ std::size_t count_new_names(const Message& message) {
     }
     return fresh;
   }
+  // A batch charges the sum of its entries up front — the whole frame is
+  // admitted or refused before any entry's handler runs, so a hostile
+  // batch cannot smuggle names past the budget one entry at a time.
+  if (const auto* batch = std::get_if<SessionBatch>(&message.payload)) {
+    std::size_t fresh = 0;
+    for (const SessionPush& entry : batch->entries) {
+      for (const SessionIntro& intro : entry.intros) {
+        if (!names.find(intro.type_name).valid()) ++fresh;
+      }
+    }
+    return fresh;
+  }
   return 0;
 }
 

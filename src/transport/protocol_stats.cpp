@@ -14,7 +14,9 @@ std::string ProtocolStats::summary() const {
       << " session_pushes=" << session_pushes
       << " session_verdict_hits=" << session_verdict_hits
       << " session_intros=" << session_intros << " session_resets=" << session_resets
-      << " session_retries=" << session_retries;
+      << " session_retries=" << session_retries
+      << " session_batches=" << session_batches
+      << " session_intro_skips=" << session_intro_skips;
   return out.str();
 }
 

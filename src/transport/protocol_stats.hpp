@@ -36,6 +36,8 @@ struct ProtocolStats {
   util::RelaxedCounter session_intros;        ///< inline type intros learned
   util::RelaxedCounter session_resets;        ///< Reset acks issued (receiver side)
   util::RelaxedCounter session_retries;       ///< replays after a Reset (sender side)
+  util::RelaxedCounter session_batches;       ///< SessionBatch frames received
+  util::RelaxedCounter session_intro_skips;   ///< intro descriptions elided (sender side)
 
   void reset() noexcept {
     objects_sent = 0;
@@ -53,6 +55,8 @@ struct ProtocolStats {
     session_intros = 0;
     session_resets = 0;
     session_retries = 0;
+    session_batches = 0;
+    session_intro_skips = 0;
   }
 
   [[nodiscard]] std::string summary() const;

@@ -50,6 +50,12 @@ struct SessionConfig {
   /// least recently used session is evicted when a new sender arrives at
   /// the cap (the evicted sender sees one Reset and replays with intros).
   std::size_t max_peer_sessions = 256;
+  /// Sender-side batching window: async session pushes to the same
+  /// recipient queue up and flush as one SessionBatch frame once this many
+  /// are pending (or earlier — a synchronous send, an explicit flush(), or
+  /// peer teardown drains the window). 1, the default, disables batching:
+  /// every push is its own framed exchange, exactly the PR-9 protocol.
+  std::size_t max_batch = 1;
 };
 
 class SessionTable {

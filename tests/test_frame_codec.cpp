@@ -81,9 +81,38 @@ std::vector<Message> sample_messages() {
 
   samples.push_back({"bob", "alice",
                      transport::SessionAck{transport::SessionStatus::Ok, true,
-                                           "teamB.Person"}});
-  samples.push_back({"bob", "alice",
-                     transport::SessionAck{transport::SessionStatus::Reset, false, ""}});
+                                           "teamB.Person", {}}});
+  samples.push_back(
+      {"bob", "alice",
+       transport::SessionAck{transport::SessionStatus::Reset, false, "",
+                             {0ULL, 0xFFFFFFFFFFFFFFFFULL, 0xCBF29CE484222325ULL}}});
+
+  transport::SessionBatch batch;
+  {
+    transport::SessionPush warm;
+    warm.token = 42;
+    warm.wire_types = {3};
+    warm.encoding = "soap-1.1";
+    warm.payload = {0xDE, 0xAD, 0x00};
+    batch.entries.push_back(std::move(warm));
+    transport::SessionPush cold;
+    cold.token = 42;
+    cold.wire_types = {4, 0};
+    cold.encoding = "";
+    cold.intros.push_back({4, "teamA.Thing", "<type name=\"teamA.Thing\"/>",
+                           "teamA.gen", std::string("net://x\0y", 9)});
+    batch.entries.push_back(std::move(cold));
+    batch.entries.push_back(transport::SessionPush{});  // degenerate empty entry
+  }
+  samples.push_back({"alice", "bob", std::move(batch)});
+
+  transport::SessionBatchAck batch_ack;
+  batch_ack.entries.push_back(
+      {transport::SessionStatus::Ok, true, "teamB.Person", {0x1234ULL}});
+  batch_ack.entries.push_back({transport::SessionStatus::Ok, false, "", {}});
+  batch_ack.entries.push_back(
+      {transport::SessionStatus::Reset, false, "session state lost", {7ULL, 8ULL}});
+  samples.push_back({"bob", "alice", std::move(batch_ack)});
   return samples;
 }
 
@@ -195,13 +224,15 @@ TEST(FrameCodec, WrongMagicVersionAndKindAreClassified) {
     bad[i] ^= 0xFF;
     expect_fault(codec, bad, FrameFault::BadMagic, "magic byte " + std::to_string(i));
   }
-  for (const std::uint8_t version : {0, 2, 7, 255}) {
+  // Version 1 frames (pre-batch wire) are rejected too: the codec is
+  // strictly single-version; rollouts bump every peer together.
+  for (const std::uint8_t version : {0, 1, 7, 255}) {
     std::vector<std::uint8_t> bad = frame;
     bad[4] = version;
     expect_fault(codec, bad, FrameFault::BadVersion,
                  "version " + std::to_string(version));
   }
-  for (const std::uint8_t kind : {11, 12, 127, 255}) {
+  for (const std::uint8_t kind : {13, 14, 127, 255}) {
     std::vector<std::uint8_t> bad = frame;
     bad[5] = kind;
     expect_fault(codec, bad, FrameFault::UnknownKind, "kind " + std::to_string(kind));
@@ -277,6 +308,87 @@ TEST(FrameCodec, ListElementCountCapIsEnforced) {
   } catch (const FrameError& e) {
     EXPECT_EQ(e.fault(), FrameFault::Oversized);
   }
+}
+
+/// Frames a hand-crafted body under the given kind index.
+std::vector<std::uint8_t> frame_body(std::uint8_t kind,
+                                     const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> frame = {'P', 'T', 'I', 'F', FrameCodec::kVersion, kind};
+  frame.push_back(static_cast<std::uint8_t>(body.size()));
+  frame.push_back(static_cast<std::uint8_t>(body.size() >> 8));
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+TEST(FrameCodec, BatchEntryCountBombsCannotAllocate) {
+  // SessionBatch (kind 11) and SessionBatchAck (kind 12) bodies whose
+  // entry count claims 2^40 entries with no bytes behind it: the honesty
+  // check (one byte minimum per entry) must fire before any reserve.
+  const FrameCodec codec;
+  std::vector<std::uint8_t> body;
+  body.push_back(1);  // sender "a"
+  body.push_back('a');
+  body.push_back(1);  // recipient "b"
+  body.push_back('b');
+  for (int i = 0; i < 5; ++i) body.push_back(0x80);  // varint 2^40 …
+  body.push_back(0x10);                              // … continued
+  expect_fault(codec, frame_body(11, body), FrameFault::Corrupt, "batch count bomb");
+  expect_fault(codec, frame_body(12, body), FrameFault::Corrupt, "batch ack count bomb");
+}
+
+TEST(FrameCodec, AdvertisedHashCountBombCannotAllocate) {
+  // A SessionAck (kind 10) whose advertised-hash count lies: status Ok,
+  // not delivered, empty detail, then a 2^40 hash count and no hashes.
+  const FrameCodec codec;
+  std::vector<std::uint8_t> body;
+  body.push_back(1);  // sender "a"
+  body.push_back('a');
+  body.push_back(1);  // recipient "b"
+  body.push_back('b');
+  body.push_back(0);  // status = Ok
+  body.push_back(0);  // delivered = false
+  body.push_back(0);  // detail: empty string
+  for (int i = 0; i < 5; ++i) body.push_back(0x80);  // varint 2^40 …
+  body.push_back(0x10);                              // … continued
+  expect_fault(codec, frame_body(10, body), FrameFault::Corrupt, "hash count bomb");
+}
+
+TEST(FrameCodec, BatchEntryAndHashSetCapsAreEnforced) {
+  // Allocation is bounded BEFORE body bytes: entry lists and advertised
+  // hash sets above max_list_elements classify as Oversized on decode and
+  // refuse to encode in the first place.
+  const FrameCodec loose;
+  transport::SessionBatch batch;
+  for (int i = 0; i < 8; ++i) {
+    transport::SessionPush entry;
+    entry.token = static_cast<std::uint64_t>(i);
+    batch.entries.push_back(std::move(entry));
+  }
+  const std::vector<std::uint8_t> frame = loose.encode({"a", "b", batch});
+  const FrameCodec capped(FrameLimits{.max_list_elements = 4});
+  expect_fault(capped, frame, FrameFault::Oversized, "batch entry cap");
+  try {
+    (void)capped.encode({"a", "b", batch});
+    FAIL() << "over-cap batch encoded";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.fault(), FrameFault::Oversized);
+  }
+  const FrameCodec roomy(FrameLimits{.max_list_elements = 8});
+  EXPECT_EQ(roomy.encode(roomy.decode(frame)), frame);
+
+  transport::SessionAck ack{transport::SessionStatus::Ok, true, "", {}};
+  for (std::uint64_t h = 0; h < 8; ++h) ack.known_desc_hashes.push_back(h * 97);
+  const std::vector<std::uint8_t> ack_frame = loose.encode({"a", "b", ack});
+  expect_fault(capped, ack_frame, FrameFault::Oversized, "hash set cap");
+  try {
+    (void)capped.encode({"a", "b", ack});
+    FAIL() << "over-cap hash set encoded";
+  } catch (const FrameError& e) {
+    EXPECT_EQ(e.fault(), FrameFault::Oversized);
+  }
+  EXPECT_EQ(roomy.encode(roomy.decode(ack_frame)), ack_frame);
 }
 
 TEST(FrameCodec, FixedSeedBitFlipCorpusNeverCrashes) {

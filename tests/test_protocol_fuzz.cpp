@@ -58,9 +58,15 @@ struct Universe {
   Peer sender;
   Peer receiver;
 
-  explicit Universe(ProtocolMode mode, bool sessions = false)
-      : sender("sender", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}),
-        receiver("receiver", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}) {}
+  explicit Universe(ProtocolMode mode, bool sessions = false, std::size_t max_batch = 1)
+      : sender("sender", net, hub, config_for(mode, sessions, max_batch)),
+        receiver("receiver", net, hub, config_for(mode, sessions, max_batch)) {}
+
+  static PeerConfig config_for(ProtocolMode mode, bool sessions, std::size_t max_batch) {
+    PeerConfig config{.mode = mode, .use_sessions = sessions};
+    config.session.max_batch = max_batch;
+    return config;
+  }
 };
 
 TEST(ProtocolFuzz, EagerAndOptimisticAlwaysAgree) {
@@ -209,6 +215,87 @@ TEST(ProtocolFuzz, SessionModeAgreesWithColdProtocol) {
 
   EXPECT_GE(accepted, kSessionRounds / 4) << "sweep degenerated: almost nothing conformed";
   EXPECT_GE(rejected, kSessionRounds / 8) << "sweep degenerated: everything conformed";
+}
+
+/// Batched-session equivalence sweep: the SAME style of fixed-seed rounds,
+/// but the session sender queues pushes in a batching window (max_batch =
+/// 3) so the round's three pushes cross as ONE SessionBatch frame — the
+/// first entry cold (inline intros), the rest served from the verdict
+/// cache the first entry just warmed. Every entry's verdict, matched
+/// interest and delivered contents must agree with the cold (non-session)
+/// protocol's verdict for the identical push.
+TEST(ProtocolFuzz, BatchedSessionAgreesWithColdProtocol) {
+  util::Rng rng(kSweepSeed ^ 0xBA7C4ULL);
+  constexpr int kBatchRounds = 24;
+  constexpr std::size_t kBatch = 3;
+  int accepted = 0;
+  int rejected = 0;
+
+  for (int index = 0; index < kBatchRounds; ++index) {
+    const Round round = fuzz::draw_round(index, "fzb", rng);
+
+    for (const ProtocolMode mode : {ProtocolMode::Optimistic, ProtocolMode::Eager}) {
+      const std::string context =
+          "round " + std::to_string(index) + " (protocol mode " +
+          std::to_string(static_cast<int>(mode)) + ", interest mode " +
+          std::to_string(static_cast<int>(round.mode)) + ")";
+
+      PushAck cold_ack;
+      std::vector<DeliveredObject> cold_delivered;
+      Universe cold(mode, /*sessions=*/false);
+      fuzz::run_round(round, cold.sender, cold.receiver, cold_ack, cold_delivered);
+
+      Universe batched(mode, /*sessions=*/true, kBatch);
+      batched.sender.host_assembly(round.sender_code);
+      batched.receiver.host_assembly(round.receiver_code);
+      if (round.decoy_code) {
+        batched.receiver.host_assembly(round.decoy_code);
+        batched.receiver.add_interest(round.decoy_ns + ".Thing");
+      }
+      batched.receiver.add_interest(round.receiver_ns + ".Thing");
+
+      std::vector<std::future<PushAck>> futures;
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        futures.push_back(batched.sender.send_object_async(
+            "receiver",
+            fuzz::make_object(batched.sender, round.sender_ns, round.schema,
+                              round.values)));
+      }
+      for (auto& future : futures) {
+        const PushAck ack = future.get();
+        ASSERT_EQ(ack.delivered, cold_ack.delivered) << context;
+        EXPECT_EQ(ack.detail, cold_ack.detail) << context;
+      }
+
+      // The window really closed as one SessionBatch frame, first entry
+      // cold, the remaining two from the verdict cache it warmed.
+      EXPECT_EQ(batched.receiver.stats().session_batches, 1u) << context;
+      EXPECT_EQ(batched.receiver.stats().session_pushes, kBatch) << context;
+      EXPECT_EQ(batched.receiver.stats().session_verdict_hits, kBatch - 1) << context;
+      EXPECT_EQ(batched.receiver.stats().session_resets, 0u) << context;
+
+      const auto delivered = batched.receiver.delivered_snapshot();
+      if (cold_ack.delivered) {
+        ++accepted;
+        ASSERT_EQ(delivered.size(), kBatch) << context;
+        for (const auto& entry : delivered) {
+          EXPECT_EQ(entry.interest_type, cold_delivered.front().interest_type) << context;
+          for (const auto& [field, sent] : round.values.fields) {
+            fuzz::expect_same_value(entry.object->get(field), sent,
+                                    context + " batched field " + field);
+          }
+        }
+      } else {
+        ++rejected;
+        EXPECT_TRUE(delivered.empty()) << context;
+        EXPECT_EQ(batched.receiver.stats().code_requests, cold.receiver.stats().code_requests)
+            << context;
+      }
+    }
+  }
+
+  EXPECT_GE(accepted, kBatchRounds / 4) << "sweep degenerated: almost nothing conformed";
+  EXPECT_GE(rejected, kBatchRounds / 8) << "sweep degenerated: everything conformed";
 }
 
 /// Conformant deliveries answer getters with the sent values through the

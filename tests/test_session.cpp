@@ -182,6 +182,154 @@ TEST(SessionLayer, EagerSessionIsOneExchangeEvenWhenCold) {
   run_cold_then_warm(net, "seseg", ProtocolMode::Eager, payload);
 }
 
+TEST(SessionLayer, BatchedWindowTravelsAsOneFrame) {
+  // max_batch = 3: three async pushes to the same recipient fill the
+  // window and cross the wire as ONE SessionBatch frame — two messages
+  // for three deliveries — with per-slot acks resolving every future.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  config.session.max_batch = 3;
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  sender.host_assembly(fuzz::sender_assembly("sbw", schema));
+  receiver.host_assembly(
+      fuzz::receiver_assembly("sbwr", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest("sbwr.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+
+  // Warm the session synchronously so the batch below is pure warm path.
+  const PushAck cold =
+      sender.send_object("receiver", fuzz::make_object(sender, "sbw", schema, values));
+  ASSERT_TRUE(cold.delivered) << cold.detail;
+
+  const std::uint64_t before = net.stats().messages.get();
+  std::vector<std::future<PushAck>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(sender.send_object_async(
+        "receiver", fuzz::make_object(sender, "sbw", schema, values)));
+  }
+  for (auto& f : futures) {
+    const PushAck ack = f.get();
+    ASSERT_TRUE(ack.delivered) << ack.detail;
+    EXPECT_EQ(ack.detail, cold.detail);
+  }
+  EXPECT_EQ(net.stats().messages.get() - before, 2u)
+      << "a full window must travel as one framed exchange";
+  EXPECT_EQ(receiver.stats().session_batches, 1u);
+  EXPECT_EQ(receiver.stats().session_verdict_hits, 3u);
+  EXPECT_EQ(receiver.stats().session_resets, 0u);
+  EXPECT_EQ(sender.stats().session_retries, 0u);
+  EXPECT_EQ(receiver.delivered_snapshot().size(), 4u);
+}
+
+TEST(SessionLayer, PartialWindowFlushesOnSyncSendAndExplicitFlush) {
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  config.session.max_batch = 8;
+  Peer sender("sender", net, hub, config);
+  Peer receiver("receiver", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  sender.host_assembly(fuzz::sender_assembly("sbf", schema));
+  receiver.host_assembly(
+      fuzz::receiver_assembly("sbfr", schema, fuzz::InterestMode::Copy, dummy));
+  receiver.add_interest("sbfr.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+  const auto make = [&] { return fuzz::make_object(sender, "sbf", schema, values); };
+
+  ASSERT_TRUE(sender.send_object("receiver", make()).delivered);
+
+  // Two parked pushes, then a synchronous send: the sync path must flush
+  // the window FIRST (order preserved), then run its own exchange.
+  auto f0 = sender.send_object_async("receiver", make());
+  auto f1 = sender.send_object_async("receiver", make());
+  const std::uint64_t before = net.stats().messages.get();
+  const PushAck sync = sender.send_object("receiver", make());
+  ASSERT_TRUE(sync.delivered) << sync.detail;
+  EXPECT_EQ(net.stats().messages.get() - before, 4u)
+      << "one batch frame for the window, one frame for the sync push";
+  ASSERT_TRUE(f0.get().delivered);
+  ASSERT_TRUE(f1.get().delivered);
+  EXPECT_EQ(receiver.stats().session_batches, 1u);
+
+  // An explicit flush drains a lone parked push; a second flush is a no-op.
+  auto f2 = sender.send_object_async("receiver", make());
+  sender.flush_session_batches();
+  ASSERT_TRUE(f2.get().delivered);
+  EXPECT_EQ(receiver.stats().session_batches, 2u);
+  const std::uint64_t idle = net.stats().messages.get();
+  sender.flush_session_batches();
+  EXPECT_EQ(net.stats().messages.get(), idle);
+  EXPECT_EQ(receiver.delivered_snapshot().size(), 5u);
+}
+
+TEST(SessionLayer, SharedIntroRegistryElidesSecondSenderDescriptions) {
+  // alice and bob host the SAME generated assembly (identical description
+  // XML). alice's cold push ships the descriptions; carol's ack advertises
+  // their content hashes into the hub-level registry; bob's cold push then
+  // skips the description bytes entirely — his intros still bind wire ids,
+  // carol still delivers, and nobody ever falls back to a TypeInfoRequest.
+  SimNetwork net;
+  auto hub = std::make_shared<AssemblyHub>();
+  const PeerConfig config{.mode = ProtocolMode::Optimistic, .use_sessions = true};
+  Peer alice("alice", net, hub, config);
+  Peer bob("bob", net, hub, config);
+  Peer carol("carol", net, hub, config);
+
+  const fuzz::Schema schema = fixed_schema();
+  util::Rng dummy(1);
+  // ONE assembly instance hosted by both senders: "the same type" means
+  // the same assembly (same GUIDs, so byte-identical description XML) —
+  // two independently built look-alikes are distinct types and would
+  // rightly hash apart.
+  const auto shared_assembly = fuzz::sender_assembly("sirs", schema);
+  alice.host_assembly(shared_assembly);
+  bob.host_assembly(shared_assembly);
+  carol.host_assembly(
+      fuzz::receiver_assembly("sirr", schema, fuzz::InterestMode::Copy, dummy));
+  carol.add_interest("sirr.Thing");
+  const fuzz::ValuePlan values = fixed_values(schema);
+
+  const PushAck first =
+      alice.send_object("carol", fuzz::make_object(alice, "sirs", schema, values));
+  ASSERT_TRUE(first.delivered) << first.detail;
+  EXPECT_EQ(alice.stats().session_intro_skips, 0u);
+  EXPECT_GT(hub->intro_registry().known_count("carol"), 0u);
+
+  const std::uint64_t bytes_before = net.stats().bytes.get();
+  const PushAck second =
+      bob.send_object("carol", fuzz::make_object(bob, "sirs", schema, values));
+  const std::uint64_t second_bytes = net.stats().bytes.get() - bytes_before;
+  ASSERT_TRUE(second.delivered) << second.detail;
+  EXPECT_EQ(bob.stats().session_intro_skips, 2u);  // Thing + Child elided
+  EXPECT_EQ(carol.stats().typeinfo_requests, 0u);
+  EXPECT_EQ(carol.stats().session_resets, 0u);
+  EXPECT_EQ(carol.delivered_snapshot().size(), 2u);
+
+  // The elided cold push is strictly smaller than the described one. Both
+  // runs repeat the identical protocol otherwise (optimistic, one nested
+  // code fetch), so the delta is exactly the description bytes.
+  SimNetwork isolated;
+  auto fresh_hub = std::make_shared<AssemblyHub>();
+  Peer dave("dave", isolated, fresh_hub, config);
+  Peer erin("erin", isolated, fresh_hub, config);
+  dave.host_assembly(fuzz::sender_assembly("sirs", schema));
+  erin.host_assembly(
+      fuzz::receiver_assembly("sirr", schema, fuzz::InterestMode::Copy, dummy));
+  erin.add_interest("sirr.Thing");
+  const std::uint64_t cold_before = isolated.stats().bytes.get();
+  ASSERT_TRUE(
+      dave.send_object("erin", fuzz::make_object(dave, "sirs", schema, values)).delivered);
+  const std::uint64_t described_bytes = isolated.stats().bytes.get() - cold_before;
+  EXPECT_LT(second_bytes, described_bytes);
+}
+
 TEST(SessionLayer, EvictedSessionResetsAndReplaysTransparently) {
   // carol remembers at most ONE sender session: alice and bob pushing
   // alternately evict each other every time. Every evicted sender sees a

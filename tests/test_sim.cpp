@@ -453,6 +453,90 @@ TEST(ScenarioEquivalence, SessionModeAgreesWhileWireCostCollapses) {
   EXPECT_EQ(replay.stats_digest, session.stats_digest);
 }
 
+// Batched session mode regroups the wire — SessionBatch frames carry many
+// pushes per (publisher, target) pair — but must NOT regroup the verdict
+// stream: the accept digest folds per delivery in original order and has
+// to land byte-identical to both the unbatched session run and the cold
+// run, across churn, partitions and heals (windows close before every
+// state-changing event).
+TEST(ScenarioEquivalence, BatchedSessionsReproduceTheVerdictStream) {
+  ScenarioScript script;
+  script.publish_storm(1200)
+      .churn(4, 4)
+      .partition_wave(6, 400'000)
+      .publish_storm(900)
+      .settle(5'000'000)
+      .publish_storm(400);
+  ScenarioConfig config;
+  config.seed = 31;
+  config.peers = 24;
+  config.types = 12;
+  config.type_groups = 4;
+  config.fanout_cap = 16;
+  config.use_sessions = false;
+  const ScenarioResult cold = sim::run_scenario(config, script);
+  config.use_sessions = true;
+  const ScenarioResult session = sim::run_scenario(config, script);
+  config.session_batch = 8;
+  const ScenarioResult batched = sim::run_scenario(config, script);
+
+  EXPECT_EQ(batched.accept_digest, session.accept_digest);
+  EXPECT_EQ(batched.accept_digest, cold.accept_digest);
+  EXPECT_EQ(batched.stats.accepts, cold.stats.accepts);
+  EXPECT_EQ(batched.stats.rejects, cold.stats.rejects);
+  EXPECT_EQ(batched.stats.deliveries, cold.stats.deliveries);
+  EXPECT_EQ(batched.stats.drops, cold.stats.drops);
+
+  // The batching was real: frames carried more entries than frames, and
+  // every deferred delivery went out through a batch frame.
+  EXPECT_GT(batched.stats.session_batch_frames, 0u);
+  EXPECT_GT(batched.stats.session_batch_entries, batched.stats.session_batch_frames);
+  EXPECT_EQ(session.stats.session_batch_frames, 0u);
+  // Fewer frames on the wire than unbatched session mode sent messages.
+  EXPECT_LT(batched.stats.net_messages, session.stats.net_messages);
+  EXPECT_LE(batched.stats.net_bytes, session.stats.net_bytes);
+
+  // Determinism holds under batching: same seed, same digests.
+  const ScenarioResult replay = sim::run_scenario(config, script);
+  EXPECT_EQ(replay.trace_digest, batched.trace_digest);
+  EXPECT_EQ(replay.accept_digest, batched.accept_digest);
+  EXPECT_EQ(replay.stats_digest, batched.stats_digest);
+}
+
+// The shared-intro pay-off at population scale: a 16k-peer cold-heavy
+// storm (almost every (sender, target) pair is first contact) used to be
+// the session layer's worst case — every pair re-shipped the description
+// XML the receiver already held. With receivers advertising description
+// hashes and senders consulting the hub registry, a hot description
+// crosses once per RECEIVER, so batched session bytes drop below even the
+// cold protocol (which pays a TypeInfoRequest round trip per receiver).
+TEST(ScenarioEquivalence, SharedIntrosBeatColdOnAColdHeavyStorm) {
+  const std::size_t peers = env_u64("PTI_SIM_BATCH_PEERS", 16384);
+  ScenarioScript script;
+  script.publish_storm(2500);
+  ScenarioConfig config;
+  config.seed = 37;
+  config.peers = peers;
+  config.types = 64;
+  config.type_groups = 16;
+  config.fanout_cap = 16;
+  config.use_sessions = false;
+  const ScenarioResult cold = sim::run_scenario(config, script);
+  config.use_sessions = true;
+  config.session_batch = 16;
+  const ScenarioResult batched = sim::run_scenario(config, script);
+
+  EXPECT_EQ(batched.accept_digest, cold.accept_digest);
+  EXPECT_EQ(batched.stats.accepts, cold.stats.accepts);
+  EXPECT_EQ(batched.stats.rejects, cold.stats.rejects);
+  EXPECT_GT(batched.stats.session_batch_frames, 0u);
+  EXPECT_LE(batched.stats.net_bytes, cold.stats.net_bytes);
+  EXPECT_LT(batched.stats.net_messages, cold.stats.net_messages);
+  ::testing::Test::RecordProperty("cold_bytes", std::to_string(cold.stats.net_bytes));
+  ::testing::Test::RecordProperty("session_bytes",
+                                  std::to_string(batched.stats.net_bytes));
+}
+
 // --- Scale gate --------------------------------------------------------------
 
 // Env knobs:

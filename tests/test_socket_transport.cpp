@@ -620,9 +620,15 @@ struct Universe {
   Peer sender;
   Peer receiver;
 
-  explicit Universe(ProtocolMode mode, bool sessions = false)
-      : sender("sender", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}),
-        receiver("receiver", net, hub, PeerConfig{.mode = mode, .use_sessions = sessions}) {}
+  explicit Universe(ProtocolMode mode, bool sessions = false, std::size_t max_batch = 1)
+      : sender("sender", net, hub, config_for(mode, sessions, max_batch)),
+        receiver("receiver", net, hub, config_for(mode, sessions, max_batch)) {}
+
+  static PeerConfig config_for(ProtocolMode mode, bool sessions, std::size_t max_batch) {
+    PeerConfig config{.mode = mode, .use_sessions = sessions};
+    config.session.max_batch = max_batch;
+    return config;
+  }
 };
 
 /// The acceptance pin: the same fixed-seed fuzz rounds, over loopback
@@ -632,7 +638,8 @@ struct Universe {
 /// session-layer protocol instead (SessionPush/SessionAck frames really
 /// crossing the socket) and adds a warmed second push per round, which
 /// must also agree between the two transports.
-void run_equivalence_sweep(ProtocolMode mode, const char* tag, bool sessions = false) {
+void run_equivalence_sweep(ProtocolMode mode, const char* tag, bool sessions = false,
+                           std::size_t max_batch = 1) {
   util::Rng rng(kSweepSeed);
   int accepted = 0;
   for (int index = 0; index < kSweepRounds; ++index) {
@@ -643,10 +650,10 @@ void run_equivalence_sweep(ProtocolMode mode, const char* tag, bool sessions = f
     std::vector<DeliveredObject> sim_delivered;
     std::vector<DeliveredObject> socket_delivered;
 
-    Universe<SimNetwork> sim_universe(mode, sessions);
+    Universe<SimNetwork> sim_universe(mode, sessions, max_batch);
     fuzz::run_round(round, sim_universe.sender, sim_universe.receiver, sim_ack,
                     sim_delivered);
-    Universe<SocketTransport> socket_universe(mode, sessions);
+    Universe<SocketTransport> socket_universe(mode, sessions, max_batch);
     fuzz::run_round(round, socket_universe.sender, socket_universe.receiver, socket_ack,
                     socket_delivered);
 
@@ -674,18 +681,58 @@ void run_equivalence_sweep(ProtocolMode mode, const char* tag, bool sessions = f
           << context;
       EXPECT_EQ(sim_universe.receiver.stats().session_verdict_hits, 1u) << context;
       EXPECT_EQ(socket_universe.receiver.stats().session_verdict_hits, 1u) << context;
+
+      if (max_batch > 1) {
+        // Batched window: max_batch async pushes fill the window and
+        // cross as ONE SessionBatch frame — two messages total — on the
+        // simulator and on the real socket alike, every slot agreeing
+        // with the warmed verdict.
+        const auto run_batch = [&](auto& universe) {
+          std::vector<std::future<PushAck>> futures;
+          for (std::size_t i = 0; i < max_batch; ++i) {
+            futures.push_back(universe.sender.send_object_async(
+                "receiver", fuzz::make_object(universe.sender, round.sender_ns,
+                                              round.schema, round.values)));
+          }
+          std::vector<PushAck> acks;
+          acks.reserve(futures.size());
+          for (auto& future : futures) acks.push_back(future.get());
+          return acks;
+        };
+        const std::uint64_t sim_batch_before = sim_universe.net.stats().messages.get();
+        const std::uint64_t socket_batch_before =
+            socket_universe.net.stats().messages.get();
+        const std::vector<PushAck> sim_acks = run_batch(sim_universe);
+        const std::vector<PushAck> socket_acks = run_batch(socket_universe);
+        for (std::size_t i = 0; i < max_batch; ++i) {
+          ASSERT_EQ(socket_acks[i].delivered, sim_acks[i].delivered) << context;
+          EXPECT_EQ(socket_acks[i].detail, sim_acks[i].detail) << context;
+          EXPECT_EQ(sim_acks[i].delivered, sim_warm.delivered) << context;
+          EXPECT_EQ(sim_acks[i].detail, sim_warm.detail) << context;
+        }
+        EXPECT_EQ(sim_universe.net.stats().messages.get() - sim_batch_before, 2u)
+            << context;
+        EXPECT_EQ(socket_universe.net.stats().messages.get() - socket_batch_before, 2u)
+            << context;
+        EXPECT_EQ(sim_universe.receiver.stats().session_batches, 1u) << context;
+        EXPECT_EQ(socket_universe.receiver.stats().session_batches, 1u) << context;
+      }
+
       // Refresh the delivered snapshots so the shared comparison below
-      // covers the warmed delivery too.
+      // covers the warmed (and batched) deliveries too.
       sim_delivered = sim_universe.receiver.delivered_snapshot();
       socket_delivered = socket_universe.receiver.delivered_snapshot();
     }
 
-    // Identical delivered contents (two deliveries per accepted round in
-    // session mode: the cold push and the warmed repeat).
+    // Identical delivered contents (per accepted round: the cold push,
+    // plus in session mode the warmed repeat, plus max_batch batched
+    // deliveries when a batching window ran).
+    const std::size_t expected_deliveries =
+        sessions ? 2u + (max_batch > 1 ? max_batch : 0u) : 1u;
     ASSERT_EQ(socket_delivered.size(), sim_delivered.size()) << context;
     if (socket_ack.delivered) {
       ++accepted;
-      ASSERT_EQ(socket_delivered.size(), sessions ? 2u : 1u) << context;
+      ASSERT_EQ(socket_delivered.size(), expected_deliveries) << context;
       for (std::size_t d = 0; d < socket_delivered.size(); ++d) {
         EXPECT_EQ(socket_delivered[d].interest_type, sim_delivered[d].interest_type)
             << context;
@@ -729,6 +776,16 @@ TEST(SocketTransportEquivalence, SessionOptimisticMatchesSimNetwork) {
 
 TEST(SocketTransportEquivalence, SessionEagerMatchesSimNetwork) {
   run_equivalence_sweep(ProtocolMode::Eager, "skse", /*sessions=*/true);
+}
+
+TEST(SocketTransportEquivalence, SessionBatchedOptimisticMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Optimistic, "skbo", /*sessions=*/true,
+                        /*max_batch=*/3);
+}
+
+TEST(SocketTransportEquivalence, SessionBatchedEagerMatchesSimNetwork) {
+  run_equivalence_sweep(ProtocolMode::Eager, "skbe", /*sessions=*/true,
+                        /*max_batch=*/3);
 }
 
 }  // namespace

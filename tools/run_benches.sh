@@ -42,8 +42,15 @@ cmake --build "$BUILD_DIR" -j --target "${targets[@]}"
 
 OUT_DIR=.
 if [[ "$SMOKE" == "1" ]]; then
-  OUT_DIR=$(mktemp -d)
-  trap 'rm -rf "$OUT_DIR"' EXIT
+  # SMOKE_OUT_DIR lets CI keep the smoke JSONs (artifact upload); without
+  # it they land in a scratch dir that vanishes on exit.
+  if [[ -n "${SMOKE_OUT_DIR:-}" ]]; then
+    OUT_DIR=$SMOKE_OUT_DIR
+    mkdir -p "$OUT_DIR"
+  else
+    OUT_DIR=$(mktemp -d)
+    trap 'rm -rf "$OUT_DIR"' EXIT
+  fi
 fi
 
 # Validates that a bench emitted well-formed JSON with a nonempty
@@ -85,6 +92,14 @@ for b in "${BENCHES[@]}"; do
 done
 
 if [[ "$SMOKE" == "1" ]]; then
+  # Regression gate: the smoke run's deterministic counters (wire bytes,
+  # message counts, fanout targets) must match the committed BENCH_*.json
+  # trajectory, and the headline ratio claims must still hold.
+  if command -v python3 > /dev/null 2>&1; then
+    python3 tools/check_bench_regression.py "$OUT_DIR" --baseline .
+  else
+    echo "run_benches: SKIP bench-regression gate (python3 unavailable)"
+  fi
   echo "run_benches: SMOKE GREEN (${#BENCHES[@]} binaries)"
 else
   echo "Wrote: $(ls BENCH_*.json | tr '\n' ' ')"

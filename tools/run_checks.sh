@@ -24,7 +24,10 @@
 #   90 megasim scale smoke (10^4-peer deterministic scenario, Release,
 #      wall-clock ceiling SCALE_SMOKE_SECONDS, default 300)
 #   95 session equivalence gate (Release: the differential session suite +
-#      the session fuzz/socket/megasim equivalence sweeps)
+#      the session fuzz/socket/megasim equivalence sweeps, batched paths
+#      included)
+#   97 bench regression gate (smoke-scale bench run; deterministic
+#      counters compared against the committed BENCH_*.json trajectory)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -101,10 +104,17 @@ session_equivalence() {
     cmake --build --preset release "${BUILD_JOBS[@]}" \
       --target test_session test_protocol_fuzz test_socket_transport test_sim && \
     build-bench/test_session && \
-    build-bench/test_protocol_fuzz --gtest_filter='ProtocolFuzz.SessionModeAgreesWithColdProtocol' && \
+    build-bench/test_protocol_fuzz --gtest_filter='ProtocolFuzz.SessionModeAgreesWithColdProtocol:ProtocolFuzz.BatchedSessionAgreesWithColdProtocol' && \
     build-bench/test_socket_transport --gtest_filter='SocketTransportEquivalence.Session*' && \
-    build-bench/test_sim --gtest_filter='ScenarioEquivalence.SessionModeAgreesWhileWireCostCollapses'
+    build-bench/test_sim --gtest_filter='ScenarioEquivalence.SessionModeAgreesWhileWireCostCollapses:ScenarioEquivalence.BatchedSessionsReproduceTheVerdictStream:ScenarioEquivalence.SharedIntrosBeatColdOnAColdHeavyStorm'
 }
 stage 95 "session equivalence gate (Release differential suite)" session_equivalence
+
+# The bench-regression gate: every bench binary runs end to end at smoke
+# iteration counts and tools/check_bench_regression.py compares the
+# deterministic counters against the committed BENCH_*.json trajectory
+# (and re-asserts the headline ratio claims). Same command CI's
+# bench-smoke job runs.
+stage 97 "bench regression gate (smoke counters vs trajectory)" tools/run_benches.sh --smoke
 
 echo "run_checks: ALL GREEN"
